@@ -1,0 +1,334 @@
+//! Pure aggregation operators over flat parameter vectors.
+
+use fg_tensor::vecops;
+use rayon::prelude::*;
+
+/// FedAvg (McMahan et al.): the sample-count-weighted mean of the updates.
+///
+/// Panics on empty input or ragged vectors. Zero total weight falls back to
+/// the unweighted mean.
+pub fn fedavg(updates: &[&[f32]], num_samples: &[usize]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "fedavg of zero updates");
+    assert_eq!(updates.len(), num_samples.len(), "weight count mismatch");
+    let total: usize = num_samples.iter().sum();
+    if total == 0 {
+        return vecops::mean_vector(updates);
+    }
+    let weights: Vec<f32> = num_samples.iter().map(|&n| n as f32 / total as f32).collect();
+    vecops::weighted_sum(updates, &weights)
+}
+
+/// Geometric median via Weiszfeld's algorithm (the GeoMed baseline,
+/// Chen et al.): the point minimizing the sum of Euclidean distances to the
+/// updates. Statistically robust to a minority of outliers.
+///
+/// `max_iters` Weiszfeld iterations with convergence tolerance `tol` on the
+/// iterate movement. A singularity (iterate exactly on an input point) is
+/// resolved by nudging with the standard epsilon regularization.
+pub fn geometric_median(updates: &[&[f32]], max_iters: usize, tol: f32) -> Vec<f32> {
+    assert!(!updates.is_empty(), "geometric median of zero updates");
+    if updates.len() == 1 {
+        return updates[0].to_vec();
+    }
+    let mut current = vecops::mean_vector(updates);
+    let eps = 1e-8f32;
+    for _ in 0..max_iters {
+        // w_i = 1 / max(||x_i - current||, eps)
+        let inv_dists: Vec<f32> = updates
+            .par_iter()
+            .map(|u| {
+                let d = vecops::l2_distance(u, &current);
+                1.0 / d.max(eps)
+            })
+            .collect();
+        let total: f32 = inv_dists.iter().sum();
+        let weights: Vec<f32> = inv_dists.iter().map(|w| w / total).collect();
+        let next = vecops::weighted_sum(updates, &weights);
+        let movement = vecops::l2_distance(&next, &current);
+        current = next;
+        if movement < tol {
+            break;
+        }
+    }
+    current
+}
+
+/// Krum scores (Blanchard et al.): for each update, the sum of squared
+/// distances to its `m - f - 2` nearest neighbours, where `f` is the assumed
+/// number of Byzantine clients. Lower is better.
+pub fn krum_scores(updates: &[&[f32]], f: usize) -> Vec<f32> {
+    let m = updates.len();
+    assert!(m >= 1, "krum of zero updates");
+    // Number of neighbours considered; clamp to a sane floor for tiny m.
+    let k = m.saturating_sub(f + 2).max(1).min(m - 1).max(1);
+    let dist = vecops::pairwise_squared_distances(updates);
+    (0..m)
+        .map(|i| {
+            if m == 1 {
+                return 0.0;
+            }
+            let mut row: Vec<f32> = (0..m).filter(|&j| j != i).map(|j| dist[i][j]).collect();
+            row.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance in Krum"));
+            row.iter().take(k).sum()
+        })
+        .collect()
+}
+
+/// Krum selection: return the single update with the lowest Krum score (the
+/// paper's baseline uses plain Krum, not Multi-Krum) together with its index.
+pub fn krum(updates: &[&[f32]], f: usize) -> (Vec<f32>, usize) {
+    let scores = krum_scores(updates, f);
+    let best = scores
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN Krum score"))
+        .map(|(i, _)| i)
+        .expect("krum of zero updates");
+    (updates[best].to_vec(), best)
+}
+
+/// Multi-Krum: average the `c` lowest-scoring updates. Returns the aggregate
+/// and the selected indices.
+pub fn multi_krum(updates: &[&[f32]], f: usize, c: usize) -> (Vec<f32>, Vec<usize>) {
+    assert!(c >= 1 && c <= updates.len(), "multi-krum selection size out of range");
+    let scores = krum_scores(updates, f);
+    let mut order: Vec<usize> = (0..updates.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN Krum score"));
+    let chosen: Vec<usize> = order.into_iter().take(c).collect();
+    let selected: Vec<&[f32]> = chosen.iter().map(|&i| updates[i]).collect();
+    (vecops::mean_vector(&selected), chosen)
+}
+
+/// Coordinate-wise median (Yin et al.).
+pub fn coordinate_median(updates: &[&[f32]]) -> Vec<f32> {
+    assert!(!updates.is_empty(), "median of zero updates");
+    let n = updates[0].len();
+    for u in updates {
+        assert_eq!(u.len(), n, "median: ragged input");
+    }
+    let m = updates.len();
+    (0..n)
+        .into_par_iter()
+        .map(|j| {
+            let mut col: Vec<f32> = updates.iter().map(|u| u[j]).collect();
+            col.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median"));
+            if m % 2 == 1 {
+                col[m / 2]
+            } else {
+                0.5 * (col[m / 2 - 1] + col[m / 2])
+            }
+        })
+        .collect()
+}
+
+/// Coordinate-wise trimmed mean (Yin et al.): drop the `trim` smallest and
+/// largest values per coordinate, average the rest.
+pub fn trimmed_mean_vectors(updates: &[&[f32]], trim: usize) -> Vec<f32> {
+    assert!(!updates.is_empty(), "trimmed mean of zero updates");
+    let m = updates.len();
+    assert!(2 * trim < m, "trim {trim} would drop all {m} updates");
+    let n = updates[0].len();
+    (0..n)
+        .into_par_iter()
+        .map(|j| {
+            let mut col: Vec<f32> = updates.iter().map(|u| u[j]).collect();
+            col.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed mean"));
+            let kept = &col[trim..m - trim];
+            kept.iter().sum::<f32>() / kept.len() as f32
+        })
+        .collect()
+}
+
+/// Norm clipping (Sun et al.): scale any update whose L2 norm exceeds
+/// `max_norm` back onto the ball of that radius.
+pub fn clip_to_norm(update: &[f32], max_norm: f32) -> Vec<f32> {
+    let norm = vecops::l2_norm(update);
+    if norm <= max_norm || norm == 0.0 {
+        update.to_vec()
+    } else {
+        let s = max_norm / norm;
+        update.iter().map(|x| x * s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn refs(vs: &[Vec<f32>]) -> Vec<&[f32]> {
+        vs.iter().map(|v| v.as_slice()).collect()
+    }
+
+    // ---- FedAvg ---------------------------------------------------------
+
+    #[test]
+    fn fedavg_weights_by_sample_count() {
+        let vs = vec![vec![0.0f32, 0.0], vec![4.0, 8.0]];
+        let out = fedavg(&refs(&vs), &[3, 1]);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn fedavg_zero_weights_fall_back_to_mean() {
+        let vs = vec![vec![0.0f32], vec![2.0]];
+        assert_eq!(fedavg(&refs(&vs), &[0, 0]), vec![1.0]);
+    }
+
+    #[test]
+    fn fedavg_of_one_is_identity() {
+        let vs = vec![vec![1.0f32, -2.0, 3.0]];
+        assert_eq!(fedavg(&refs(&vs), &[10]), vs[0]);
+    }
+
+    // ---- Geometric median ------------------------------------------------
+
+    #[test]
+    fn geomed_of_identical_points_is_that_point() {
+        let vs = vec![vec![1.0f32, 2.0]; 5];
+        let out = geometric_median(&refs(&vs), 100, 1e-7);
+        for (o, e) in out.iter().zip(&vs[0]) {
+            assert!((o - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn geomed_resists_single_outlier() {
+        // Four points near the origin, one far away: the geometric median
+        // stays near the cluster while the mean is dragged off.
+        let mut vs = vec![vec![0.0f32, 0.0]; 4];
+        for (i, v) in vs.iter_mut().enumerate() {
+            v[0] = (i as f32) * 0.01;
+        }
+        vs.push(vec![1000.0, 1000.0]);
+        let gm = geometric_median(&refs(&vs), 200, 1e-7);
+        assert!(gm[0] < 1.0 && gm[1] < 1.0, "geomed dragged to outlier: {gm:?}");
+        let mean = fg_tensor::vecops::mean_vector(&refs(&vs));
+        assert!(mean[0] > 100.0);
+    }
+
+    #[test]
+    fn geomed_collinear_median_property() {
+        // For 1-D data the geometric median is the ordinary median.
+        let vs = vec![vec![0.0f32], vec![1.0], vec![10.0]];
+        let gm = geometric_median(&refs(&vs), 500, 1e-9);
+        assert!((gm[0] - 1.0).abs() < 0.05, "{gm:?}");
+    }
+
+    #[test]
+    fn geomed_is_within_convex_hull() {
+        let vs = vec![vec![0.0f32, 0.0], vec![2.0, 0.0], vec![0.0, 2.0], vec![2.0, 2.0]];
+        let gm = geometric_median(&refs(&vs), 100, 1e-7);
+        assert!(gm.iter().all(|&x| (-1e-3..=2.001).contains(&x)), "{gm:?}");
+    }
+
+    #[test]
+    fn geomed_fails_under_colluding_majority() {
+        // The failure mode the paper reports (Table IV, same-value attack):
+        // when a majority of points coincide at an adversarial location, the
+        // geometric median lands there.
+        let mut vs = vec![vec![1.0f32, 1.0]; 6]; // colluding majority
+        vs.push(vec![0.0, 0.0]);
+        vs.push(vec![0.1, 0.0]);
+        vs.push(vec![0.0, 0.1]);
+        let gm = geometric_median(&refs(&vs), 200, 1e-7);
+        assert!(gm[0] > 0.9, "geomed unexpectedly resisted a majority: {gm:?}");
+    }
+
+    // ---- Krum -------------------------------------------------------------
+
+    #[test]
+    fn krum_picks_cluster_member_over_outlier() {
+        let vs = vec![
+            vec![0.0f32, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![0.1, 0.1],
+            vec![50.0, 50.0],
+        ];
+        let (_, idx) = krum(&refs(&vs), 1);
+        assert_ne!(idx, 4, "Krum selected the outlier");
+    }
+
+    #[test]
+    fn krum_scores_are_permutation_equivariant() {
+        let vs = vec![vec![0.0f32, 0.0], vec![1.0, 0.0], vec![0.0, 3.0], vec![2.0, 2.0]];
+        let s1 = krum_scores(&refs(&vs), 1);
+        let mut perm = vs.clone();
+        perm.swap(0, 3);
+        let s2 = krum_scores(&refs(&perm), 1);
+        assert!((s1[0] - s2[3]).abs() < 1e-5);
+        assert!((s1[3] - s2[0]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn krum_falls_to_colluding_identical_majority() {
+        // Identical malicious vectors have zero mutual distance, so Krum's
+        // nearest-neighbour score favours them — the paper's observed
+        // failure under 50% same-value attackers.
+        let mut vs = vec![vec![5.0f32, 5.0]; 5]; // identical colluders
+        vs.extend(vec![
+            vec![0.0, 0.0],
+            vec![0.2, 0.1],
+            vec![0.1, 0.3],
+            vec![0.3, 0.2],
+            vec![0.15, 0.25],
+        ]);
+        let (_, idx) = krum(&refs(&vs), 5);
+        assert!(idx < 5, "Krum resisted identical colluding majority (picked {idx})");
+    }
+
+    #[test]
+    fn multi_krum_selects_requested_count() {
+        let vs = vec![vec![0.0f32], vec![0.1], vec![0.2], vec![10.0]];
+        let (agg, chosen) = multi_krum(&refs(&vs), 1, 2);
+        assert_eq!(chosen.len(), 2);
+        assert!(!chosen.contains(&3));
+        assert!(agg[0] < 0.5);
+    }
+
+    #[test]
+    fn krum_single_update_degenerates_gracefully() {
+        let vs = vec![vec![1.0f32, 2.0]];
+        let (out, idx) = krum(&refs(&vs), 0);
+        assert_eq!(out, vs[0]);
+        assert_eq!(idx, 0);
+    }
+
+    // ---- Median / trimmed mean --------------------------------------------
+
+    #[test]
+    fn coordinate_median_odd_even() {
+        let vs = vec![vec![1.0f32, 10.0], vec![2.0, 20.0], vec![100.0, 30.0]];
+        assert_eq!(coordinate_median(&refs(&vs)), vec![2.0, 20.0]);
+        let vs2 = vec![vec![1.0f32], vec![3.0], vec![5.0], vec![100.0]];
+        assert_eq!(coordinate_median(&refs(&vs2)), vec![4.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let vs = vec![vec![-100.0f32], vec![1.0], vec![2.0], vec![3.0], vec![100.0]];
+        assert_eq!(trimmed_mean_vectors(&refs(&vs), 1), vec![2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn trimmed_mean_rejects_overtrim() {
+        let vs = vec![vec![1.0f32], vec![2.0]];
+        trimmed_mean_vectors(&refs(&vs), 1);
+    }
+
+    // ---- Clipping ----------------------------------------------------------
+
+    #[test]
+    fn clip_preserves_small_and_scales_large() {
+        assert_eq!(clip_to_norm(&[0.3, 0.4], 1.0), vec![0.3, 0.4]);
+        let clipped = clip_to_norm(&[3.0, 4.0], 1.0);
+        assert!((fg_tensor::vecops::l2_norm(&clipped) - 1.0).abs() < 1e-6);
+        assert!((clipped[0] / clipped[1] - 0.75).abs() < 1e-6); // direction kept
+    }
+
+    #[test]
+    fn clip_zero_vector_is_noop() {
+        assert_eq!(clip_to_norm(&[0.0, 0.0], 1.0), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,153 @@
+//! Model-poisoning attacks on parameter updates.
+
+use fg_fl::{ModelUpdate, UpdateInterceptor};
+use fg_tensor::rng::{derive_seed, SeededRng};
+use serde::{Deserialize, Serialize};
+
+/// A transform a malicious client applies to its local model update `w_k`
+/// before submission (RSA / Wu et al. attack families).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ModelAttack {
+    /// `w_k ← c · 1⃗` (paper: `c = 1`).
+    SameValue { value: f32 },
+    /// `w_k ← −w_k` — magnitude preserved.
+    SignFlip,
+    /// `w_k ← w_k + ε`, `ε ~ N(0, σ²)` per coordinate; all colluders share
+    /// the identical `ε` within a round (the paper's coordinated variant).
+    AdditiveNoise { sigma: f32 },
+}
+
+impl ModelAttack {
+    /// Apply the attack to a flat parameter vector. `collusion_seed` is the
+    /// round-scoped seed shared by all colluding clients, making the
+    /// additive-noise vector identical across them.
+    pub fn corrupt(&self, params: &mut [f32], collusion_seed: u64) {
+        match self {
+            ModelAttack::SameValue { value } => {
+                params.iter_mut().for_each(|w| *w = *value);
+            }
+            ModelAttack::SignFlip => {
+                params.iter_mut().for_each(|w| *w = -*w);
+            }
+            ModelAttack::AdditiveNoise { sigma } => {
+                let mut rng = SeededRng::new(collusion_seed);
+                for w in params.iter_mut() {
+                    *w += sigma * rng.next_normal();
+                }
+            }
+        }
+    }
+
+    /// Short attack label used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelAttack::SameValue { .. } => "same-value",
+            ModelAttack::SignFlip => "sign-flipping",
+            ModelAttack::AdditiveNoise { .. } => "additive-noise",
+        }
+    }
+}
+
+/// The [`UpdateInterceptor`] wiring a [`ModelAttack`] onto a fixed roster of
+/// malicious clients (TM-4: the adversary corrupts multiple clients;
+/// TM-5: they collude through a shared per-round seed).
+pub struct PoisoningInterceptor {
+    malicious: Vec<usize>,
+    attack: ModelAttack,
+    seed: u64,
+}
+
+impl PoisoningInterceptor {
+    pub fn new(malicious: Vec<usize>, attack: ModelAttack, seed: u64) -> Self {
+        PoisoningInterceptor { malicious, attack, seed }
+    }
+
+    pub fn attack(&self) -> &ModelAttack {
+        &self.attack
+    }
+}
+
+impl UpdateInterceptor for PoisoningInterceptor {
+    fn intercept(&self, update: &mut ModelUpdate, round: usize) {
+        if self.malicious.contains(&update.client_id) {
+            let collusion_seed = derive_seed(self.seed, round as u64);
+            self.attack.corrupt(&mut update.params, collusion_seed);
+        }
+    }
+
+    fn malicious_clients(&self) -> Vec<usize> {
+        self.malicious.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(id: usize) -> ModelUpdate {
+        ModelUpdate { client_id: id, params: vec![1.0, -2.0, 3.0], num_samples: 4, decoder: None, class_coverage: None }
+    }
+
+    #[test]
+    fn same_value_sets_all_weights() {
+        let mut p = vec![1.0f32, -2.0, 3.0];
+        ModelAttack::SameValue { value: 1.0 }.corrupt(&mut p, 0);
+        assert_eq!(p, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sign_flip_negates_and_preserves_magnitude() {
+        let mut p = vec![1.0f32, -2.0, 3.0];
+        let norm_before = fg_tensor::vecops::l2_norm(&p);
+        ModelAttack::SignFlip.corrupt(&mut p, 0);
+        assert_eq!(p, vec![-1.0, 2.0, -3.0]);
+        assert_eq!(fg_tensor::vecops::l2_norm(&p), norm_before);
+    }
+
+    #[test]
+    fn sign_flip_is_an_involution() {
+        let orig = vec![1.0f32, -2.0, 3.0];
+        let mut p = orig.clone();
+        ModelAttack::SignFlip.corrupt(&mut p, 0);
+        ModelAttack::SignFlip.corrupt(&mut p, 0);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn additive_noise_perturbs_with_expected_scale() {
+        let mut p = vec![0.0f32; 10_000];
+        ModelAttack::AdditiveNoise { sigma: 2.0 }.corrupt(&mut p, 42);
+        let std = fg_tensor::stats::std_dev(&p);
+        assert!((std - 2.0).abs() < 0.1, "noise std {std}");
+    }
+
+    #[test]
+    fn colluders_share_identical_noise_within_a_round() {
+        let interceptor = PoisoningInterceptor::new(
+            vec![0, 1],
+            ModelAttack::AdditiveNoise { sigma: 1.0 },
+            99,
+        );
+        let mut u0 = update(0);
+        let mut u1 = update(1);
+        interceptor.intercept(&mut u0, 5);
+        interceptor.intercept(&mut u1, 5);
+        assert_eq!(u0.params, u1.params, "colluding noise differs within round");
+
+        // ...but differs across rounds.
+        let mut u0r6 = update(0);
+        interceptor.intercept(&mut u0r6, 6);
+        assert_ne!(u0.params, u0r6.params);
+    }
+
+    #[test]
+    fn benign_clients_pass_through_untouched() {
+        let interceptor =
+            PoisoningInterceptor::new(vec![7], ModelAttack::SignFlip, 0);
+        let mut u = update(3);
+        let before = u.params.clone();
+        interceptor.intercept(&mut u, 0);
+        assert_eq!(u.params, before);
+        assert_eq!(interceptor.malicious_clients(), vec![7]);
+    }
+}

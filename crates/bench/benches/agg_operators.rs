@@ -1,0 +1,96 @@
+//! Operator-level costs of the aggregation strategies — the computational
+//! side of Table V's overhead story. FedAvg and coordinate-median are
+//! benchmarked at the paper's full dimensionality (the Table II classifier's
+//! 1.66 M parameters, m = 50 updates); the O(m²·d) operators (Krum) and
+//! iterative ones (GeoMed) additionally get a reduced-dimension series to
+//! expose their scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_agg::ops;
+use fg_tensor::rng::SeededRng;
+
+const PAPER_DIM: usize = 1_662_752;
+const FAST_DIM: usize = 50_890; // MLP(64) parameter count
+const M: usize = 50;
+
+fn make_updates(m: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SeededRng::new(seed);
+    (0..m)
+        .map(|_| (0..dim).map(|_| 0.05 * rng.next_normal()).collect())
+        .collect()
+}
+
+fn refs(vs: &[Vec<f32>]) -> Vec<&[f32]> {
+    vs.iter().map(|v| v.as_slice()).collect()
+}
+
+fn bench_fedavg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agg/fedavg");
+    g.sample_size(10);
+    for dim in [FAST_DIM, PAPER_DIM] {
+        let updates = make_updates(M, dim, 1);
+        let counts = vec![600usize; M];
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| ops::fedavg(&refs(&updates), &counts))
+        });
+    }
+    g.finish();
+}
+
+fn bench_median(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agg/coordinate_median");
+    g.sample_size(10);
+    for dim in [FAST_DIM, PAPER_DIM] {
+        let updates = make_updates(M, dim, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| ops::coordinate_median(&refs(&updates)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_geomed(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agg/geomed_10iters");
+    g.sample_size(10);
+    for dim in [FAST_DIM, PAPER_DIM] {
+        let updates = make_updates(M, dim, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| ops::geometric_median(&refs(&updates), 10, 1e-6))
+        });
+    }
+    g.finish();
+}
+
+fn bench_krum(c: &mut Criterion) {
+    // Krum's O(m²·d) distance matrix is the expensive part the paper blames
+    // for its +95% time overhead.
+    let mut g = c.benchmark_group("agg/krum");
+    g.sample_size(10);
+    for dim in [FAST_DIM, PAPER_DIM] {
+        let updates = make_updates(M, dim, 4);
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| ops::krum(&refs(&updates), M / 2))
+        });
+    }
+    g.finish();
+}
+
+fn bench_trimmed_mean(c: &mut Criterion) {
+    let mut g = c.benchmark_group("agg/trimmed_mean");
+    g.sample_size(10);
+    let updates = make_updates(M, FAST_DIM, 5);
+    g.bench_function("fast_dim", |b| {
+        b.iter(|| ops::trimmed_mean_vectors(&refs(&updates), 10))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fedavg,
+    bench_median,
+    bench_geomed,
+    bench_krum,
+    bench_trimmed_mean
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! FedGuard's per-round server-side costs: validation-data synthesis from
+//! client decoders and the subsequent audit of client classifiers. These are
+//! exactly the "tuneable overhead" knobs of §VI-A — the budget `t` and the
+//! number of decoders used.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fedguard::synthesis::{synthesize_validation_set, DecoderSubmission, SynthesisBudget};
+use fg_nn::models::{Classifier, ClassifierSpec, Cvae, CvaeSpec};
+use fg_tensor::rng::SeededRng;
+
+fn decoders(spec: &CvaeSpec, n: usize) -> Vec<Vec<f32>> {
+    (0..n)
+        .map(|i| Cvae::new(spec, &mut SeededRng::new(i as u64)).decoder_params())
+        .collect()
+}
+
+fn bench_synthesis_budget(c: &mut Criterion) {
+    // Paper-size decoders (Table III), m = 50 decoders, varying t.
+    let spec = CvaeSpec::table_iii();
+    let thetas = decoders(&spec, 50);
+    let refs: Vec<DecoderSubmission<'_>> = thetas
+        .iter()
+        .enumerate()
+        .map(|(i, t)| DecoderSubmission::plain(i, t.as_slice()))
+        .collect();
+
+    let mut g = c.benchmark_group("fedguard/synthesis_total_t");
+    g.sample_size(10);
+    for t in [50usize, 100, 400] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                synthesize_validation_set(
+                    &refs,
+                    &spec,
+                    &SynthesisBudget::Total(t),
+                    None,
+                    false,
+                    &mut SeededRng::new(99),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_synthesis_per_decoder(c: &mut Criterion) {
+    let spec = CvaeSpec::table_iii();
+    let thetas = decoders(&spec, 50);
+    let refs: Vec<DecoderSubmission<'_>> = thetas
+        .iter()
+        .enumerate()
+        .map(|(i, t)| DecoderSubmission::plain(i, t.as_slice()))
+        .collect();
+
+    let mut g = c.benchmark_group("fedguard/synthesis_per_decoder_t");
+    g.sample_size(10);
+    for t in [2usize, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, &t| {
+            b.iter(|| {
+                synthesize_validation_set(
+                    &refs,
+                    &spec,
+                    &SynthesisBudget::PerDecoder(t),
+                    None,
+                    false,
+                    &mut SeededRng::new(99),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    // Scoring one client update on t = 100 synthetic samples, per
+    // architecture: the per-client audit cost of Alg. 1 line 5.
+    let mut g = c.benchmark_group("fedguard/audit_one_client_t100");
+    g.sample_size(10);
+    let mut rng = SeededRng::new(5);
+    let x = fg_tensor::Tensor::rand_uniform(&[100, 784], 0.0, 1.0, &mut rng);
+    let y: Vec<usize> = (0..100).map(|i| i % 10).collect();
+    for (name, spec) in [
+        ("mlp64", ClassifierSpec::Mlp { hidden: 64 }),
+        ("table_ii_cnn", ClassifierSpec::TableIICnn),
+    ] {
+        let params = Classifier::new(&spec, &mut rng).get_params();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut clf = Classifier::from_params(&spec, &params);
+                clf.evaluate(&x, &y, 64)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_synthesis_budget, bench_synthesis_per_decoder, bench_audit);
+criterion_main!(benches);

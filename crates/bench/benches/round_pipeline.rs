@@ -1,0 +1,66 @@
+//! End-to-end cost of one federated round per strategy, at Smoke scale —
+//! the shape (who is cheap, who is expensive, by what factor) behind Table
+//! V's training-time column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedguard::experiment::{AttackScenario, ExperimentConfig, Preset, StrategyKind};
+use fedguard::fl::Federation;
+use fedguard::strategy::{FedGuardConfig, FedGuardStrategy};
+use fg_agg::{FedAvgStrategy, GeoMedStrategy, KrumStrategy};
+use fg_data::partition::{dirichlet_partition, partition_datasets};
+use fg_data::synth::generate_dataset;
+use fg_fl::AggregationStrategy;
+use fg_tensor::rng::SeededRng;
+
+fn build_federation(strategy: Box<dyn AggregationStrategy>) -> Federation {
+    let cfg = ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 11);
+    let train = generate_dataset(cfg.per_class_train, 1);
+    let test = generate_dataset(cfg.per_class_test, 2);
+    let mut rng = SeededRng::new(3);
+    let parts = dirichlet_partition(&train, cfg.fed.n_clients, 10.0, 10, &mut rng);
+    let datasets = partition_datasets(&train, &parts);
+    let needs_cvae = strategy.uses_decoders();
+    Federation::honest(cfg.fed, datasets, test, strategy, needs_cvae.then_some(cfg.cvae))
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("round/one_round_smoke");
+    g.sample_size(10);
+
+    g.bench_function("fedavg", |b| {
+        let mut fed = build_federation(Box::new(FedAvgStrategy));
+        b.iter(|| fed.run_round());
+    });
+    g.bench_function("geomed", |b| {
+        let mut fed = build_federation(Box::new(GeoMedStrategy::default()));
+        b.iter(|| fed.run_round());
+    });
+    g.bench_function("krum", |b| {
+        let mut fed = build_federation(Box::new(KrumStrategy::new(2)));
+        b.iter(|| fed.run_round());
+    });
+    g.bench_function("fedguard", |b| {
+        let cfg =
+            ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedGuard, AttackScenario::None, 11);
+        let strategy = FedGuardStrategy::new(FedGuardConfig {
+            classifier: cfg.fed.classifier,
+            cvae: cfg.cvae.spec,
+            budget: cfg.budget,
+            class_probs: None,
+            eval_batch: cfg.fed.eval_batch,
+            inner: fedguard::InnerAggregator::FedAvg,
+            coverage_aware: false,
+        });
+        let mut fed = build_federation(Box::new(strategy));
+        // Warm up once so the lazy per-client CVAE training cost is paid
+        // before measurement (mirrors the paper's static-partition setup).
+        for _ in 0..2 {
+            fed.run_round();
+        }
+        b.iter(|| fed.run_round());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

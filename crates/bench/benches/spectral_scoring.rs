@@ -1,0 +1,36 @@
+//! Spectral's per-round cost: reconstruction-error scoring of a full round
+//! of updates through the pre-trained surrogate VAE.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fg_data::synth::generate_dataset;
+use fg_defenses::{SpectralConfig, SpectralDefense};
+use fg_fl::ModelUpdate;
+use fg_nn::models::{Classifier, ClassifierSpec};
+use fg_tensor::rng::SeededRng;
+
+fn bench_spectral(c: &mut Criterion) {
+    let spec = ClassifierSpec::Mlp { hidden: 64 };
+    let aux = generate_dataset(20, 3);
+    let config = SpectralConfig { surrogate_dim: 64 * 10 + 10, ..SpectralConfig::fast() };
+    let mut defense = SpectralDefense::pretrain(&spec, &aux, config, 7);
+
+    let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+    let updates: Vec<ModelUpdate> = (0..50)
+        .map(|i| {
+            let mut rng = SeededRng::new(100 + i as u64);
+            let mut params = global.clone();
+            for w in &mut params {
+                *w += 0.01 * rng.next_normal();
+            }
+            ModelUpdate { client_id: i, params, num_samples: 600, decoder: None, class_coverage: None }
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("spectral/score_50_updates");
+    g.sample_size(20);
+    g.bench_function("mlp64", |b| b.iter(|| defense.scores(&updates, &global)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_spectral);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Compute-kernel microbenchmarks: the matmul/conv/pool primitives whose
+//! throughput determines every training time in Table V.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fg_tensor::conv::{conv2d_forward, Conv2dSpec};
+use fg_tensor::kernels::{matmul, matmul_bt};
+use fg_tensor::pool::{maxpool2d_forward, MaxPool2dSpec};
+use fg_tensor::rng::SeededRng;
+use fg_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/matmul");
+    g.sample_size(20);
+    for n in [64usize, 128, 256] {
+        let mut rng = SeededRng::new(n as u64);
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_linear_layer_shape(c: &mut Criterion) {
+    // The Table II classifier's dominant FLOPs: (batch 32, 3136) x (512, 3136)^T.
+    let mut g = c.benchmark_group("kernels/linear_3136x512");
+    g.sample_size(10);
+    let mut rng = SeededRng::new(7);
+    let x = Tensor::randn(&[32, 3136], &mut rng);
+    let w = Tensor::randn(&[512, 3136], &mut rng);
+    g.bench_function("forward", |b| b.iter(|| matmul_bt(&x, &w)));
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    // Table II conv2: (batch 8, 32, 14, 14) with 64 5x5 filters, padding 2.
+    let mut g = c.benchmark_group("kernels/conv2d_table_ii");
+    g.sample_size(10);
+    let spec = Conv2dSpec { in_ch: 32, out_ch: 64, kh: 5, kw: 5, pad: 2 };
+    let mut rng = SeededRng::new(8);
+    let x = Tensor::randn(&[8, 32, 14, 14], &mut rng);
+    let w = Tensor::randn(&[64, spec.patch_len()], &mut rng);
+    let bias = Tensor::randn(&[64], &mut rng);
+    g.bench_function("forward_b8", |b| b.iter(|| conv2d_forward(&x, &w, &bias, &spec)));
+    g.finish();
+}
+
+fn bench_maxpool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/maxpool2x2");
+    g.sample_size(20);
+    let mut rng = SeededRng::new(9);
+    let x = Tensor::randn(&[8, 32, 28, 28], &mut rng);
+    let spec = MaxPool2dSpec { k: 2 };
+    g.bench_function("forward_b8", |b| b.iter(|| maxpool2d_forward(&x, &spec)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_linear_layer_shape, bench_conv, bench_maxpool);
+criterion_main!(benches);

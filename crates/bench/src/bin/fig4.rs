@@ -1,0 +1,91 @@
+//! Regenerates **Fig. 4**: per-round global-model accuracy of every strategy
+//! in the four attack scenarios (plus the no-attack reference).
+//!
+//! ```text
+//! cargo run --release -p fg-bench --bin fig4 -- [--preset fast|smoke|paper]
+//!     [--seed N] [--scenario noise|labelflip30|signflip|samevalue|all]
+//! ```
+//!
+//! Output: one CSV block per scenario — `round, FedAvg, GeoMed, Krum,
+//! Spectral, FedGuard, NoAttack` — the exact series the paper plots, plus an
+//! SVG rendering of each panel under `results/` (created if absent).
+
+use fedguard::experiment::{AttackScenario, ExperimentConfig, StrategyKind};
+use fg_bench::plot::{LineChart, Series};
+use fg_bench::{flag_value, preset_from_args, run_cached, seed_from_args};
+
+fn scenario_by_name(name: &str) -> AttackScenario {
+    match name {
+        "noise" => AttackScenario::AdditiveNoise { fraction: 0.5, sigma: 8.0 },
+        "labelflip30" => AttackScenario::LabelFlip { fraction: 0.3 },
+        "signflip" => AttackScenario::SignFlip { fraction: 0.5 },
+        "samevalue" => AttackScenario::SameValue { fraction: 0.5, value: 1.0 },
+        other => panic!("unknown scenario {other:?}"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = preset_from_args(&args);
+    let seed = seed_from_args(&args);
+    let which = flag_value(&args, "--scenario").unwrap_or_else(|| "all".into());
+
+    let scenarios: Vec<(&str, AttackScenario)> = match which.as_str() {
+        "all" => vec![
+            ("noise", scenario_by_name("noise")),
+            ("labelflip30", scenario_by_name("labelflip30")),
+            ("signflip", scenario_by_name("signflip")),
+            ("samevalue", scenario_by_name("samevalue")),
+        ],
+        name => vec![(name, scenario_by_name(name))],
+    };
+
+    // No-attack reference (FedAvg, as the paper's "No attack" row).
+    let no_attack_cfg =
+        ExperimentConfig::preset(preset, StrategyKind::FedAvg, AttackScenario::None, seed);
+    let no_attack = run_cached(&no_attack_cfg, preset);
+    let reference = no_attack.accuracy_series();
+
+    for (name, attack) in scenarios {
+        println!("# Fig 4 — scenario: {name} ({:.0}% malicious)", attack.fraction() * 100.0);
+        let mut series: Vec<(String, Vec<f32>)> = Vec::new();
+        for strategy in StrategyKind::paper_set() {
+            let cfg = ExperimentConfig::preset(preset, strategy, attack, seed);
+            eprintln!("[run] {}", cfg.label());
+            let result = run_cached(&cfg, preset);
+            series.push((strategy.name().to_string(), result.accuracy_series()));
+        }
+        series.push(("NoAttack".into(), reference.clone()));
+
+        // SVG panel.
+        let chart = LineChart {
+            title: format!("Fig 4 — {name} ({:.0}% malicious)", attack.fraction() * 100.0),
+            x_label: "federated round".into(),
+            y_label: "global model accuracy".into(),
+            series: series
+                .iter()
+                .map(|(n, v)| Series { name: n.clone(), values: v.clone() })
+                .collect(),
+            y_range: (0.0, 1.0),
+        };
+        let out_dir = std::path::Path::new("results");
+        std::fs::create_dir_all(out_dir).ok();
+        let svg_path = out_dir.join(format!("fig4_{name}.svg"));
+        if chart.save(&svg_path).is_ok() {
+            eprintln!("[svg] {}", svg_path.display());
+        }
+
+        let header: Vec<String> =
+            std::iter::once("round".to_string()).chain(series.iter().map(|(n, _)| n.clone())).collect();
+        println!("{}", header.join(","));
+        let rounds = series[0].1.len();
+        for r in 0..rounds {
+            let mut cells = vec![r.to_string()];
+            for (_, s) in &series {
+                cells.push(format!("{:.4}", s.get(r).copied().unwrap_or(f32::NAN)));
+            }
+            println!("{}", cells.join(","));
+        }
+        println!();
+    }
+}

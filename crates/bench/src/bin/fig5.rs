@@ -1,0 +1,68 @@
+//! Regenerates **Fig. 5**: the impact of the server learning rate on
+//! FedGuard's stability under the hardest scenario the paper tests — 40%
+//! malicious peers performing label flipping.
+//!
+//! ```text
+//! cargo run --release -p fg-bench --bin fig5 -- [--preset fast|smoke|paper] [--seed N]
+//! ```
+//!
+//! Output: CSV — `round, FedGuard-lr-1, FedGuard-lr-0.3`.
+
+use fedguard::experiment::{run_experiment, AttackScenario, ExperimentConfig, Preset, StrategyKind};
+use fg_bench::plot::{LineChart, Series};
+use fg_bench::{preset_from_args, seed_from_args};
+
+fn config_with_lr(preset: Preset, seed: u64, server_lr: f32) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::preset(
+        preset,
+        StrategyKind::FedGuard,
+        AttackScenario::LabelFlip { fraction: 0.4 },
+        seed,
+    );
+    cfg.fed.server_lr = server_lr;
+    cfg
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = preset_from_args(&args);
+    let seed = seed_from_args(&args);
+
+    println!("# Fig 5 — FedGuard server learning rate, 40% label flipping");
+    let mut series: Vec<(String, Vec<f32>)> = Vec::new();
+    for lr in [1.0f32, 0.3] {
+        let cfg = config_with_lr(preset, seed, lr);
+        eprintln!("[run] FedGuard lr={lr}");
+        let result = run_experiment(&cfg);
+        let tail = result.tail_accuracy();
+        eprintln!("  tail accuracy: {tail}");
+        series.push((format!("FedGuard-lr-{lr}"), result.accuracy_series()));
+    }
+
+    let chart = LineChart {
+        title: "Fig 5 — server learning rate, 40% label flipping".into(),
+        x_label: "federated round".into(),
+        y_label: "global model accuracy".into(),
+        series: series
+            .iter()
+            .map(|(n, v)| Series { name: n.clone(), values: v.clone() })
+            .collect(),
+        y_range: (0.0, 1.0),
+    };
+    let out_dir = std::path::Path::new("results");
+    std::fs::create_dir_all(out_dir).ok();
+    if chart.save(&out_dir.join("fig5.svg")).is_ok() {
+        eprintln!("[svg] results/fig5.svg");
+    }
+
+    let header: Vec<String> =
+        std::iter::once("round".to_string()).chain(series.iter().map(|(n, _)| n.clone())).collect();
+    println!("{}", header.join(","));
+    for r in 0..series[0].1.len() {
+        let mut cells = vec![r.to_string()];
+        for (_, s) in &series {
+            cells.push(format!("{:.4}", s[r]));
+        }
+        println!("{}", cells.join(","));
+    }
+}

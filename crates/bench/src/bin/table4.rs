@@ -1,0 +1,64 @@
+//! Regenerates **Table IV**: average accuracy ± standard deviation over the
+//! last 80% of rounds for every strategy × attack scenario, alongside the
+//! paper's reported values for shape comparison.
+//!
+//! ```text
+//! cargo run --release -p fg-bench --bin table4 -- [--preset fast|smoke|paper] [--seed N]
+//! ```
+//!
+//! Reuses the cached runs of `fig4` when present (same preset and seed).
+
+use fedguard::experiment::{AttackScenario, ExperimentConfig, StrategyKind};
+use fg_bench::{preset_from_args, row, run_cached, seed_from_args};
+
+/// The paper's Table IV cells (mean%, std%) — rows in `StrategyKind`
+/// paper-set order, columns in `AttackScenario` paper-set order.
+const PAPER_TABLE_IV: [[(f32, f32); 4]; 5] = [
+    // additive noise     label flip 30%      sign flip            same value
+    [(6.87, 0.12), (95.80, 6.66), (24.21, 18.74), (10.16, 0.09)], // FedAvg
+    [(7.26, 0.31), (98.13, 1.63), (23.66, 21.56), (9.78, 0.00)],  // GeoMed
+    [(6.52, 0.46), (96.51, 0.59), (62.48, 41.96), (9.93, 0.45)],  // Krum
+    [(98.97, 0.18), (96.91, 6.12), (18.95, 14.81), (98.97, 0.17)], // Spectral
+    [(98.72, 0.60), (98.96, 0.17), (98.97, 0.22), (98.99, 0.19)], // FedGuard
+];
+
+const PAPER_NO_ATTACK: (f32, f32) = (98.97, 0.17);
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = preset_from_args(&args);
+    let seed = seed_from_args(&args);
+    let attacks = AttackScenario::paper_set();
+
+    println!("# Table IV — mean ± std accuracy over the last 80% of rounds");
+    println!("# (ours @ {preset:?} preset | paper @ GPU testbed; compare shape, not absolutes)");
+    let header: Vec<String> = std::iter::once("Strategy".to_string())
+        .chain(attacks.iter().map(|a| a.name().to_string()))
+        .collect();
+    println!("{}", row(&header));
+    println!("{}", row(&vec!["---".to_string(); header.len()]));
+
+    for (si, strategy) in StrategyKind::paper_set().into_iter().enumerate() {
+        let mut cells = vec![strategy.name().to_string()];
+        for (ai, attack) in attacks.into_iter().enumerate() {
+            let cfg = ExperimentConfig::preset(preset, strategy, attack, seed);
+            eprintln!("[run] {}", cfg.label());
+            let result = run_cached(&cfg, preset);
+            let ours = result.tail_accuracy();
+            let (pm, ps) = PAPER_TABLE_IV[si][ai];
+            cells.push(format!("{ours} (paper {pm:.2}% ± {ps:.2}%)"));
+        }
+        println!("{}", row(&cells));
+    }
+
+    // No-attack reference row.
+    let cfg = ExperimentConfig::preset(preset, StrategyKind::FedAvg, AttackScenario::None, seed);
+    let result = run_cached(&cfg, preset);
+    let ours = result.tail_accuracy();
+    let (pm, ps) = PAPER_NO_ATTACK;
+    let mut cells = vec!["No attack".to_string()];
+    for _ in 0..attacks.len() {
+        cells.push(format!("{ours} (paper {pm:.2}% ± {ps:.2}%)"));
+    }
+    println!("{}", row(&cells));
+}

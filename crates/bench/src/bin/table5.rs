@@ -1,0 +1,108 @@
+//! Regenerates **Table V**: per-round system overhead of each strategy.
+//!
+//! Two parts:
+//! 1. **Communication** — computed analytically at the *paper's* scale
+//!    (Table II classifier, Table III decoder, m = 50 clients/round,
+//!    4 bytes/f32). This reproduces the paper's MB columns exactly up to
+//!    their framework's serialization overhead: the quantity the paper
+//!    argues about is the *relative* overhead (+20% downloads, +10% total
+//!    for FedGuard), which is scale-free.
+//! 2. **Training time / round** — measured by running every strategy for a
+//!    few rounds at the selected preset and reporting mean wall-clock
+//!    seconds and the overhead relative to FedAvg.
+//!
+//! ```text
+//! cargo run --release -p fg-bench --bin table5 -- [--preset fast|smoke|paper] [--seed N] [--rounds N]
+//! ```
+
+use fedguard::experiment::{run_experiment, AttackScenario, ExperimentConfig, StrategyKind};
+use fg_bench::{flag_value, preset_from_args, row, seed_from_args};
+use fg_nn::models::{ClassifierSpec, CvaeSpec};
+
+/// Paper-reported Table V values: (upload MB, download MB, total MB, secs).
+const PAPER_TABLE_V: [(&str, f64, f64, f64, f64); 5] = [
+    ("FedAvg", 348.3, 348.3, 696.6, 3.76),
+    ("GeoMed", 348.3, 348.3, 696.6, 4.66),
+    ("Krum", 348.3, 348.3, 696.6, 7.32),
+    ("Spectral", 348.3, 348.3, 696.6, 6.94),
+    ("FedGuard", 349.3, 417.4, 766.7, 6.86),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = preset_from_args(&args);
+    let seed = seed_from_args(&args);
+    let rounds: usize =
+        flag_value(&args, "--rounds").map_or(6, |v| v.parse().expect("--rounds expects an integer"));
+
+    // ---- Part 1: analytic communication at paper scale -------------------
+    let m = 50u64;
+    let psi_mb = (ClassifierSpec::TableIICnn.num_params() as f64 * 4.0) / 1e6;
+    let theta_mb = (CvaeSpec::table_iii().decoder_params() as f64 * 4.0) / 1e6;
+
+    println!("# Table V (part 1) — per-round server communication, paper scale (m = 50)");
+    println!(
+        "{}",
+        row(&[
+            "Strategy".into(),
+            "Uploads/round".into(),
+            "Downloads/round".into(),
+            "Total/round".into(),
+            "Paper".into()
+        ])
+    );
+    println!("{}", row(&vec!["---".to_string(); 5]));
+    let base_down = m as f64 * psi_mb;
+    for (name, p_up, p_down, p_total, _) in PAPER_TABLE_V {
+        let up = m as f64 * psi_mb;
+        let down = if name == "FedGuard" { m as f64 * (psi_mb + theta_mb) } else { base_down };
+        let down_pct = (down / base_down - 1.0) * 100.0;
+        let total = up + down;
+        let total_pct = (total / (2.0 * base_down) - 1.0) * 100.0;
+        println!(
+            "{}",
+            row(&[
+                name.into(),
+                format!("{up:.1} MB"),
+                format!("{down:.1} MB ({down_pct:+.0}%)"),
+                format!("{total:.1} MB ({total_pct:+.0}%)"),
+                format!("{p_up:.1}/{p_down:.1}/{p_total:.1} MB"),
+            ])
+        );
+    }
+
+    // ---- Part 2: measured training time per round ------------------------
+    println!();
+    println!("# Table V (part 2) — measured time per round @ {preset:?} preset, {rounds} rounds, no attack");
+    println!(
+        "{}",
+        row(&["Strategy".into(), "Time/round".into(), "Overhead".into(), "Paper".into()])
+    );
+    println!("{}", row(&vec!["---".to_string(); 4]));
+
+    let mut fedavg_secs = None;
+    for (strategy, (_, _, _, _, paper_secs)) in
+        StrategyKind::paper_set().into_iter().zip(PAPER_TABLE_V)
+    {
+        let mut cfg = ExperimentConfig::preset(preset, strategy, AttackScenario::None, seed);
+        cfg.fed.rounds = rounds;
+        eprintln!("[run] {} ({} rounds)", cfg.label(), rounds);
+        let result = run_experiment(&cfg);
+        let secs = result.mean_round_secs();
+        let base = *fedavg_secs.get_or_insert(secs);
+        let pct = (secs / base - 1.0) * 100.0;
+        println!(
+            "{}",
+            row(&[
+                strategy.name().into(),
+                format!("{secs:.2} s"),
+                format!("{pct:+.0}%"),
+                format!("{paper_secs:.2} s"),
+            ])
+        );
+    }
+    println!();
+    println!("# Note: FedGuard's first rounds include each newly sampled client's");
+    println!("# one-time CVAE training (static partitions, paper footnote 5), so its");
+    println!("# measured mean includes that amortized cost.");
+}

@@ -1,0 +1,223 @@
+//! A small, dependency-free SVG line-chart writer, so the `fig4` / `fig5`
+//! binaries can emit literal figures next to their CSV series.
+//!
+//! The output is a single self-contained SVG: axes, per-series polylines,
+//! a legend, round ticks on x and percent ticks on y — enough to eyeball
+//! the same curves the paper plots.
+
+/// One named data series (y-values indexed by round).
+#[derive(Clone, Debug)]
+pub struct Series {
+    pub name: String,
+    pub values: Vec<f32>,
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug)]
+pub struct LineChart {
+    pub title: String,
+    pub x_label: String,
+    pub y_label: String,
+    pub series: Vec<Series>,
+    /// y-range; accuracy plots use (0, 1).
+    pub y_range: (f32, f32),
+}
+
+const WIDTH: f32 = 760.0;
+const HEIGHT: f32 = 440.0;
+const MARGIN_L: f32 = 64.0;
+const MARGIN_R: f32 = 160.0;
+const MARGIN_T: f32 = 48.0;
+const MARGIN_B: f32 = 56.0;
+
+/// A categorical palette (Okabe–Ito, colorblind-safe).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+impl LineChart {
+    /// Render the chart to an SVG string.
+    pub fn to_svg(&self) -> String {
+        let plot_w = WIDTH - MARGIN_L - MARGIN_R;
+        let plot_h = HEIGHT - MARGIN_T - MARGIN_B;
+        let n = self.series.iter().map(|s| s.values.len()).max().unwrap_or(0);
+        let (y_lo, y_hi) = self.y_range;
+        assert!(y_hi > y_lo, "empty y range");
+
+        let x_of = |i: usize| {
+            if n <= 1 {
+                MARGIN_L + plot_w / 2.0
+            } else {
+                MARGIN_L + plot_w * i as f32 / (n - 1) as f32
+            }
+        };
+        let y_of = |v: f32| MARGIN_T + plot_h * (1.0 - (v.clamp(y_lo, y_hi) - y_lo) / (y_hi - y_lo));
+
+        let mut svg = String::new();
+        svg.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" font-family="sans-serif">"#
+        ));
+        svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+        // Title.
+        svg.push_str(&format!(
+            r#"<text x="{}" y="26" text-anchor="middle" font-size="16" font-weight="bold">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            escape(&self.title)
+        ));
+
+        // Grid + y ticks (5 divisions).
+        for k in 0..=5 {
+            let v = y_lo + (y_hi - y_lo) * k as f32 / 5.0;
+            let y = y_of(v);
+            svg.push_str(&format!(
+                r##"<line x1="{MARGIN_L}" y1="{y}" x2="{}" y2="{y}" stroke="#ddd"/>"##,
+                MARGIN_L + plot_w
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{}" y="{}" text-anchor="end" font-size="11">{:.0}%</text>"#,
+                MARGIN_L - 8.0,
+                y + 4.0,
+                v * 100.0
+            ));
+        }
+        // x ticks (up to 6).
+        if n > 1 {
+            let ticks = 6.min(n);
+            for k in 0..ticks {
+                let i = k * (n - 1) / (ticks - 1).max(1);
+                let x = x_of(i);
+                svg.push_str(&format!(
+                    r#"<text x="{x}" y="{}" text-anchor="middle" font-size="11">{i}</text>"#,
+                    MARGIN_T + plot_h + 18.0
+                ));
+            }
+        }
+
+        // Axes.
+        svg.push_str(&format!(
+            r#"<line x1="{MARGIN_L}" y1="{MARGIN_T}" x2="{MARGIN_L}" y2="{}" stroke="black"/>"#,
+            MARGIN_T + plot_h
+        ));
+        svg.push_str(&format!(
+            r#"<line x1="{MARGIN_L}" y1="{}" x2="{}" y2="{0}" stroke="black"/>"#,
+            MARGIN_T + plot_h,
+            MARGIN_L + plot_w
+        ));
+
+        // Axis labels.
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" text-anchor="middle" font-size="12">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            HEIGHT - 14.0,
+            escape(&self.x_label)
+        ));
+        svg.push_str(&format!(
+            r#"<text x="16" y="{}" text-anchor="middle" font-size="12" transform="rotate(-90 16 {0})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            escape(&self.y_label)
+        ));
+
+        // Series.
+        for (si, s) in self.series.iter().enumerate() {
+            let color = PALETTE[si % PALETTE.len()];
+            let points: Vec<String> = s
+                .values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| format!("{:.1},{:.1}", x_of(i), y_of(v)))
+                .collect();
+            svg.push_str(&format!(
+                r#"<polyline fill="none" stroke="{color}" stroke-width="2" points="{}"/>"#,
+                points.join(" ")
+            ));
+            // Legend entry.
+            let ly = MARGIN_T + 16.0 * si as f32;
+            let lx = MARGIN_L + plot_w + 12.0;
+            svg.push_str(&format!(
+                r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/>"#,
+                lx + 22.0
+            ));
+            svg.push_str(&format!(
+                r#"<text x="{}" y="{}" font-size="12">{}</text>"#,
+                lx + 28.0,
+                ly + 4.0,
+                escape(&s.name)
+            ));
+        }
+
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Write the chart to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_svg())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> LineChart {
+        LineChart {
+            title: "t".into(),
+            x_label: "round".into(),
+            y_label: "accuracy".into(),
+            series: vec![
+                Series { name: "A".into(), values: vec![0.1, 0.5, 0.9] },
+                Series { name: "B".into(), values: vec![0.9, 0.5, 0.1] },
+            ],
+            y_range: (0.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains(">A</text>"));
+        assert!(svg.contains(">B</text>"));
+    }
+
+    #[test]
+    fn values_are_clamped_into_range() {
+        let mut c = chart();
+        c.series[0].values = vec![-5.0, 5.0];
+        let svg = c.to_svg();
+        // No coordinate may leave the canvas.
+        for cap in svg.split("points=\"").skip(1) {
+            let pts = cap.split('"').next().unwrap();
+            for pair in pts.split_whitespace() {
+                let (x, y) = pair.split_once(',').unwrap();
+                let (x, y): (f32, f32) = (x.parse().unwrap(), y.parse().unwrap());
+                assert!((0.0..=WIDTH).contains(&x));
+                assert!((0.0..=HEIGHT).contains(&y));
+            }
+        }
+    }
+
+    #[test]
+    fn escape_handles_markup() {
+        assert_eq!(escape("a<b&c"), "a&lt;b&amp;c");
+    }
+
+    #[test]
+    fn single_point_series_renders() {
+        let c = LineChart {
+            title: "one".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![Series { name: "s".into(), values: vec![0.5] }],
+            y_range: (0.0, 1.0),
+        };
+        assert!(c.to_svg().contains("<polyline"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # FedGuard
+//!
+//! A complete Rust reproduction of *"FedGuard: Selective Parameter
+//! Aggregation for Poisoning Attack Mitigation in Federated Learning"*
+//! (Chelli et al., IEEE CLUSTER 2023).
+//!
+//! FedGuard defends federated learning against poisoning without auxiliary
+//! datasets or centralized pre-training: every client trains a Conditional
+//! Variational AutoEncoder (CVAE) on its private data alongside the task
+//! model and ships the CVAE **decoder** with each update. Per round, the
+//! server samples latent vectors `z ~ N(0, I)` and labels `y ~ Cat(L, α)`,
+//! synthesizes a validation set from the active clients' decoders
+//! ([`synthesis`]), scores every submitted classifier on it, and aggregates
+//! only the updates at or above the round-mean accuracy
+//! ([`strategy::FedGuardStrategy`] — Algorithm 1 of the paper).
+//!
+//! This crate is the public façade of the workspace: it re-exports the
+//! substrate crates (`fg-tensor`, `fg-nn`, `fg-data`, `fg-fl`, `fg-agg`,
+//! `fg-attacks`, `fg-defenses`) and owns the [`experiment`] harness that the
+//! examples and the paper-reproduction benches are written against.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use fedguard::experiment::{AttackScenario, ExperimentConfig, Preset, StrategyKind};
+//!
+//! // FedGuard vs. a 50% sign-flipping attack, CPU-budget scale.
+//! let cfg = ExperimentConfig::preset(
+//!     Preset::Smoke,
+//!     StrategyKind::FedGuard,
+//!     AttackScenario::SignFlip { fraction: 0.5 },
+//!     42,
+//! );
+//! let result = fedguard::experiment::run_experiment(&cfg);
+//! println!("final accuracy: {:.2}%", result.final_accuracy() * 100.0);
+//! ```
+
+pub mod experiment;
+pub mod strategy;
+pub mod summary;
+pub mod synthesis;
+
+pub use strategy::{FedGuardConfig, FedGuardStrategy, InnerAggregator};
+pub use synthesis::{synthesize_validation_set, SynthesisBudget};
+
+// Re-export the substrate crates under stable names for downstream users.
+pub use fg_agg as agg;
+pub use fg_attacks as attacks;
+pub use fg_data as data;
+pub use fg_defenses as defenses;
+pub use fg_fl as fl;
+pub use fg_nn as nn;
+pub use fg_tensor as tensor;

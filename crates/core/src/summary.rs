@@ -1,0 +1,114 @@
+//! Experiment summaries — the statistics behind Table IV.
+
+use fg_fl::RoundRecord;
+use fg_tensor::stats::MeanStd;
+use serde::{Deserialize, Serialize};
+
+/// Mean ± std of accuracy over the last `tail_fraction` of rounds. The paper
+/// averages the last 40 of 50 rounds ("we do not average the 10 first rounds
+/// ... because the model has not converged yet"), i.e. `tail_fraction = 0.8`.
+pub fn tail_accuracy(history: &[RoundRecord], tail_fraction: f64) -> MeanStd {
+    assert!((0.0..=1.0).contains(&tail_fraction), "tail fraction out of range");
+    if history.is_empty() {
+        return MeanStd { mean: 0.0, std: 0.0 };
+    }
+    let skip = ((history.len() as f64) * (1.0 - tail_fraction)).round() as usize;
+    let skip = skip.min(history.len() - 1);
+    let tail: Vec<f32> = history[skip..].iter().map(|r| r.accuracy).collect();
+    MeanStd::of(&tail)
+}
+
+/// Detection quality over a run: how often malicious clients were excluded
+/// and how often benign clients were wrongly excluded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DetectionSummary {
+    /// Fraction of sampled malicious updates excluded from aggregation.
+    pub malicious_exclusion_rate: f64,
+    /// Fraction of sampled benign updates excluded from aggregation.
+    pub benign_exclusion_rate: f64,
+}
+
+/// Compute detection rates over a run history.
+pub fn detection_summary(history: &[RoundRecord]) -> DetectionSummary {
+    let mut mal_total = 0usize;
+    let mut mal_excluded = 0usize;
+    let mut ben_total = 0usize;
+    let mut ben_excluded = 0usize;
+    for r in history {
+        let mal = r.malicious_sampled.len();
+        mal_total += mal;
+        mal_excluded += r.malicious_excluded();
+        ben_total += r.sampled.len() - mal;
+        ben_excluded += r.benign_excluded();
+    }
+    DetectionSummary {
+        malicious_exclusion_rate: if mal_total == 0 { 0.0 } else { mal_excluded as f64 / mal_total as f64 },
+        benign_exclusion_rate: if ben_total == 0 { 0.0 } else { ben_excluded as f64 / ben_total as f64 },
+    }
+}
+
+/// Mean wall-clock seconds per round (Table V's "training time / round").
+pub fn mean_round_secs(history: &[RoundRecord]) -> f64 {
+    if history.is_empty() {
+        return 0.0;
+    }
+    history.iter().map(|r| r.wall_secs).sum::<f64>() / history.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_fl::CommStats;
+
+    fn record(round: usize, acc: f32) -> RoundRecord {
+        RoundRecord {
+            round,
+            accuracy: acc,
+            sampled: vec![0, 1],
+            selected: vec![0],
+            malicious_sampled: vec![1],
+            wall_secs: 2.0,
+            comm: CommStats::default(),
+        }
+    }
+
+    #[test]
+    fn tail_skips_warmup_rounds() {
+        // 10 rounds: first 2 bad, last 8 good; tail 0.8 sees only the 8.
+        let mut h: Vec<RoundRecord> = Vec::new();
+        for r in 0..10 {
+            h.push(record(r, if r < 2 { 0.1 } else { 0.9 }));
+        }
+        let s = tail_accuracy(&h, 0.8);
+        assert!((s.mean - 0.9).abs() < 1e-6);
+        assert!(s.std < 1e-6);
+    }
+
+    #[test]
+    fn tail_full_history() {
+        let h = vec![record(0, 0.5), record(1, 1.0)];
+        let s = tail_accuracy(&h, 1.0);
+        assert!((s.mean - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tail_of_empty_history_is_zero() {
+        assert_eq!(tail_accuracy(&[], 0.8).mean, 0.0);
+    }
+
+    #[test]
+    fn detection_rates() {
+        // Each round: 1 malicious sampled + excluded, 1 benign kept.
+        let h = vec![record(0, 0.9), record(1, 0.9)];
+        let d = detection_summary(&h);
+        assert_eq!(d.malicious_exclusion_rate, 1.0);
+        assert_eq!(d.benign_exclusion_rate, 0.0);
+    }
+
+    #[test]
+    fn mean_round_time() {
+        let h = vec![record(0, 0.9), record(1, 0.9)];
+        assert_eq!(mean_round_secs(&h), 2.0);
+        assert_eq!(mean_round_secs(&[]), 0.0);
+    }
+}

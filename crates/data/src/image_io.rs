@@ -1,0 +1,98 @@
+//! Minimal grayscale image output (binary PGM and ASCII art), for inspecting
+//! the synthetic digits and the CVAE generations without any image crate.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Write a `[0, 1]` grayscale image as a binary PGM (P5) file.
+pub fn write_pgm(path: &Path, pixels: &[f32], width: usize, height: usize) -> std::io::Result<()> {
+    assert_eq!(pixels.len(), width * height, "pixel count mismatch");
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P5\n{width} {height}\n255\n")?;
+    let bytes: Vec<u8> =
+        pixels.iter().map(|&p| (p.clamp(0.0, 1.0) * 255.0).round() as u8).collect();
+    f.write_all(&bytes)
+}
+
+/// Tile a batch of equally sized images into one big image (row-major grid).
+pub fn tile_images(
+    images: &[&[f32]],
+    width: usize,
+    height: usize,
+    cols: usize,
+) -> (Vec<f32>, usize, usize) {
+    assert!(!images.is_empty() && cols > 0);
+    let rows = images.len().div_ceil(cols);
+    let (tile_w, tile_h) = (cols * width, rows * height);
+    let mut out = vec![0.0f32; tile_w * tile_h];
+    for (i, img) in images.iter().enumerate() {
+        assert_eq!(img.len(), width * height, "ragged image in tile");
+        let (cx, cy) = (i % cols, i / cols);
+        for y in 0..height {
+            let dst = (cy * height + y) * tile_w + cx * width;
+            out[dst..dst + width].copy_from_slice(&img[y * width..(y + 1) * width]);
+        }
+    }
+    (out, tile_w, tile_h)
+}
+
+/// Render a `[0, 1]` grayscale image as ASCII art (for terminal inspection).
+pub fn ascii_art(pixels: &[f32], width: usize) -> String {
+    const RAMP: &[u8] = b" .:-=+*#%@";
+    let mut out = String::new();
+    for row in pixels.chunks(width) {
+        for &p in row {
+            let idx = ((p.clamp(0.0, 1.0) * (RAMP.len() - 1) as f32).round()) as usize;
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pgm_round_trip_header_and_size() {
+        let dir = std::env::temp_dir().join("fg_pgm_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        let img = vec![0.0f32, 0.5, 1.0, 0.25];
+        write_pgm(&path, &img, 2, 2).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n2 2\n255\n".len() + 4);
+        assert_eq!(*bytes.last().unwrap(), 64); // 0.25 * 255 rounded
+    }
+
+    #[test]
+    fn tiling_places_images_on_grid() {
+        let a = vec![1.0f32; 4]; // 2x2 white
+        let b = vec![0.0f32; 4]; // 2x2 black
+        let (tile, w, h) = tile_images(&[&a, &b], 2, 2, 2);
+        assert_eq!((w, h), (4, 2));
+        assert_eq!(tile[0], 1.0); // top-left from a
+        assert_eq!(tile[2], 0.0); // top-right from b
+    }
+
+    #[test]
+    fn tiling_pads_last_row() {
+        let a = vec![1.0f32; 4];
+        let (tile, w, h) = tile_images(&[&a, &a, &a], 2, 2, 2);
+        assert_eq!((w, h), (4, 4));
+        // Bottom-right cell is empty (zeros).
+        assert_eq!(tile[2 * 4 + 2], 0.0);
+    }
+
+    #[test]
+    fn ascii_art_shape() {
+        let art = ascii_art(&[0.0, 1.0, 0.5, 0.0], 2);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        assert!(lines[0].ends_with('@'));
+        assert!(lines[0].starts_with(' '));
+    }
+}

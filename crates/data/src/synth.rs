@@ -1,0 +1,286 @@
+//! Procedural synthetic digit generator — the MNIST substitute.
+//!
+//! Each digit class is defined by a set of stroke polylines in a normalized
+//! `[0,1]²` canvas. A sample is produced by applying a random affine
+//! transform (rotation, anisotropic scale, translation, shear) to the
+//! template, rasterizing it with an anti-aliased distance field at a random
+//! stroke width, and adding Gaussian pixel noise. The generator is fully
+//! deterministic under its seed.
+//!
+//! Class pairs (5, 7) and (4, 2) — the targets of the paper's label-flip
+//! attack — share strokes (5/7 share the top bar, 4/2 share a diagonal),
+//! giving the targeted attack the "visually adjacent classes" character it
+//! has on MNIST.
+
+use crate::dataset::Dataset;
+use fg_tensor::rng::SeededRng;
+use rayon::prelude::*;
+
+/// Image side length (28, matching MNIST).
+pub const SIDE: usize = 28;
+/// Flattened image dimensionality.
+pub const DIM: usize = SIDE * SIDE;
+/// Number of digit classes.
+pub const NUM_CLASSES: usize = 10;
+
+type Point = (f32, f32);
+
+/// Stroke templates per class, in normalized canvas coordinates
+/// (x right, y down).
+fn template(class: usize) -> Vec<Vec<Point>> {
+    // A few reusable fragments.
+    let circle = |cx: f32, cy: f32, rx: f32, ry: f32, from: f32, to: f32, n: usize| -> Vec<Point> {
+        (0..=n)
+            .map(|i| {
+                let t = from + (to - from) * i as f32 / n as f32;
+                (cx + rx * t.cos(), cy + ry * t.sin())
+            })
+            .collect()
+    };
+    use std::f32::consts::PI;
+    match class {
+        // 0: full oval outline.
+        0 => vec![circle(0.5, 0.5, 0.28, 0.38, 0.0, 2.0 * PI, 24)],
+        // 1: vertical stroke with a small flag.
+        1 => vec![vec![(0.42, 0.22), (0.55, 0.12), (0.55, 0.88)]],
+        // 2: top arc, diagonal to bottom-left, bottom bar.
+        2 => vec![
+            circle(0.5, 0.3, 0.25, 0.18, -PI, 0.0, 10),
+            vec![(0.75, 0.3), (0.7, 0.45), (0.3, 0.85)],
+            vec![(0.3, 0.85), (0.78, 0.85)],
+        ],
+        // 3: two right-bulging arcs stacked.
+        3 => vec![
+            circle(0.45, 0.3, 0.26, 0.18, -PI * 0.9, PI * 0.5, 12),
+            circle(0.45, 0.68, 0.28, 0.2, -PI * 0.5, PI * 0.9, 12),
+        ],
+        // 4: open top: left diagonal down to mid bar, vertical right stroke.
+        4 => vec![
+            vec![(0.62, 0.12), (0.25, 0.6), (0.8, 0.6)],
+            vec![(0.62, 0.12), (0.62, 0.88)],
+        ],
+        // 5: top bar, left vertical, mid bar, lower-right bulge.
+        5 => vec![
+            vec![(0.75, 0.14), (0.3, 0.14), (0.3, 0.48)],
+            circle(0.48, 0.66, 0.26, 0.22, -PI * 0.5, PI * 0.75, 12),
+        ],
+        // 6: tall left curve closing into a lower loop.
+        6 => vec![
+            vec![(0.68, 0.14), (0.38, 0.4), (0.32, 0.62)],
+            circle(0.5, 0.68, 0.2, 0.18, 0.0, 2.0 * PI, 16),
+        ],
+        // 7: top bar and a long diagonal (shares the top bar with 5).
+        7 => vec![vec![(0.25, 0.14), (0.75, 0.14), (0.42, 0.88)]],
+        // 8: two stacked loops.
+        8 => vec![
+            circle(0.5, 0.32, 0.19, 0.17, 0.0, 2.0 * PI, 16),
+            circle(0.5, 0.68, 0.23, 0.19, 0.0, 2.0 * PI, 16),
+        ],
+        // 9: upper loop with a tail (mirror of 6).
+        9 => vec![
+            circle(0.5, 0.32, 0.2, 0.18, 0.0, 2.0 * PI, 16),
+            vec![(0.7, 0.36), (0.64, 0.62), (0.5, 0.88)],
+        ],
+        _ => panic!("digit class {class} out of range"),
+    }
+}
+
+/// Per-sample random rendering parameters.
+#[derive(Clone, Copy, Debug)]
+struct Jitter {
+    rotation: f32,
+    scale_x: f32,
+    scale_y: f32,
+    shear: f32,
+    dx: f32,
+    dy: f32,
+    thickness: f32,
+    brightness: f32,
+    noise_sigma: f32,
+}
+
+impl Jitter {
+    fn sample(rng: &mut SeededRng) -> Self {
+        Jitter {
+            rotation: (rng.next_f32() - 0.5) * 0.42, // ±12°
+            scale_x: 0.85 + rng.next_f32() * 0.3,
+            scale_y: 0.85 + rng.next_f32() * 0.3,
+            shear: (rng.next_f32() - 0.5) * 0.2,
+            dx: (rng.next_f32() - 0.5) * 0.12,
+            dy: (rng.next_f32() - 0.5) * 0.12,
+            thickness: 0.045 + rng.next_f32() * 0.025,
+            brightness: 0.85 + rng.next_f32() * 0.15,
+            noise_sigma: 0.03 + rng.next_f32() * 0.02,
+        }
+    }
+}
+
+fn apply_affine(p: Point, j: &Jitter) -> Point {
+    // Center, shear, scale, rotate, translate, un-center.
+    let (mut x, mut y) = (p.0 - 0.5, p.1 - 0.5);
+    x += j.shear * y;
+    x *= j.scale_x;
+    y *= j.scale_y;
+    let (s, c) = j.rotation.sin_cos();
+    let (rx, ry) = (c * x - s * y, s * x + c * y);
+    (rx + 0.5 + j.dx, ry + 0.5 + j.dy)
+}
+
+/// Distance from point `p` to segment `a`–`b`.
+fn dist_to_segment(p: Point, a: Point, b: Point) -> f32 {
+    let (px, py) = (p.0 - a.0, p.1 - a.1);
+    let (vx, vy) = (b.0 - a.0, b.1 - a.1);
+    let len2 = vx * vx + vy * vy;
+    let t = if len2 > 0.0 { ((px * vx + py * vy) / len2).clamp(0.0, 1.0) } else { 0.0 };
+    let (dx, dy) = (px - t * vx, py - t * vy);
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Render one digit of the given class into a flat 784-pixel buffer in
+/// `[0, 1]`, deterministic under `rng`.
+pub fn render_digit(class: usize, rng: &mut SeededRng) -> Vec<f32> {
+    let jitter = Jitter::sample(rng);
+    let strokes: Vec<Vec<Point>> = template(class)
+        .into_iter()
+        .map(|poly| poly.into_iter().map(|p| apply_affine(p, &jitter)).collect())
+        .collect();
+
+    let mut img = vec![0.0f32; DIM];
+    let inv = 1.0 / SIDE as f32;
+    for py in 0..SIDE {
+        for px in 0..SIDE {
+            let p = ((px as f32 + 0.5) * inv, (py as f32 + 0.5) * inv);
+            let mut d = f32::INFINITY;
+            for poly in &strokes {
+                for seg in poly.windows(2) {
+                    d = d.min(dist_to_segment(p, seg[0], seg[1]));
+                }
+            }
+            // Anti-aliased stroke: full intensity inside the stroke core,
+            // smooth falloff over one pixel width.
+            let aa = inv;
+            let v = if d <= jitter.thickness {
+                1.0
+            } else if d <= jitter.thickness + aa {
+                1.0 - (d - jitter.thickness) / aa
+            } else {
+                0.0
+            };
+            img[py * SIDE + px] = v * jitter.brightness;
+        }
+    }
+    // Pixel noise, clamped to [0, 1].
+    for v in &mut img {
+        *v = (*v + jitter.noise_sigma * rng.next_normal()).clamp(0.0, 1.0);
+    }
+    img
+}
+
+/// Generate a balanced dataset with `per_class` samples of each digit,
+/// deterministic under `seed`. Samples are rendered in parallel and then
+/// shuffled.
+pub fn generate_dataset(per_class: usize, seed: u64) -> Dataset {
+    let total = per_class * NUM_CLASSES;
+    let images: Vec<Vec<f32>> = (0..total)
+        .into_par_iter()
+        .map(|i| {
+            let class = i / per_class;
+            let mut rng = SeededRng::new(fg_tensor::rng::derive_seed(seed, i as u64));
+            render_digit(class, &mut rng)
+        })
+        .collect();
+    let mut flat = Vec::with_capacity(total * DIM);
+    let mut labels = Vec::with_capacity(total);
+    for (i, img) in images.iter().enumerate() {
+        flat.extend_from_slice(img);
+        labels.push((i / per_class) as u8);
+    }
+    let mut ds = Dataset::new(flat, labels);
+    ds.shuffle(&mut SeededRng::new(fg_tensor::rng::derive_seed(seed, u64::MAX)));
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_deterministic_per_seed() {
+        let a = render_digit(3, &mut SeededRng::new(7));
+        let b = render_digit(3, &mut SeededRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_varies_across_seeds() {
+        let a = render_digit(3, &mut SeededRng::new(7));
+        let b = render_digit(3, &mut SeededRng::new(8));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pixels_are_normalized() {
+        for class in 0..NUM_CLASSES {
+            let img = render_digit(class, &mut SeededRng::new(42 + class as u64));
+            assert_eq!(img.len(), DIM);
+            assert!(img.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn digits_have_ink() {
+        // Every class must draw something substantial but not fill the canvas.
+        for class in 0..NUM_CLASSES {
+            let img = render_digit(class, &mut SeededRng::new(1000 + class as u64));
+            let ink: f32 = img.iter().sum();
+            assert!(ink > 20.0, "class {class} almost empty: {ink}");
+            assert!(ink < 500.0, "class {class} almost full: {ink}");
+        }
+    }
+
+    #[test]
+    fn classes_are_mutually_distinguishable_on_average() {
+        // Mean images of different classes should differ far more than two
+        // mean images of the same class from disjoint sample sets.
+        let n = 30;
+        let mean_img = |class: usize, salt: u64| -> Vec<f32> {
+            let mut acc = vec![0.0f32; DIM];
+            for i in 0..n {
+                let mut rng = SeededRng::new(salt * 10_000 + i);
+                let img = render_digit(class, &mut rng);
+                for (a, v) in acc.iter_mut().zip(&img) {
+                    *a += v / n as f32;
+                }
+            }
+            acc
+        };
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        let m3a = mean_img(3, 1);
+        let m3b = mean_img(3, 2);
+        let m8 = mean_img(8, 3);
+        let within = dist(&m3a, &m3b);
+        let between = dist(&m3a, &m8);
+        assert!(
+            between > 2.0 * within,
+            "class separation too weak: within={within}, between={between}"
+        );
+    }
+
+    #[test]
+    fn generate_dataset_is_balanced_and_deterministic() {
+        let ds1 = generate_dataset(5, 99);
+        let ds2 = generate_dataset(5, 99);
+        assert_eq!(ds1.images(), ds2.images());
+        assert_eq!(ds1.len(), 50);
+        let hist = ds1.class_histogram(NUM_CLASSES);
+        assert!(hist.iter().all(|&c| c == 5), "{hist:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_class_panics() {
+        render_digit(10, &mut SeededRng::new(0));
+    }
+}

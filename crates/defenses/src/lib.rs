@@ -1,0 +1,18 @@
+//! # fg-defenses
+//!
+//! Anomaly-detection defense baselines. Currently: **Spectral** (Li et al.,
+//! "Learning to Detect Malicious Clients for Robust Federated Learning",
+//! 2020), the strongest baseline in the paper's evaluation.
+//!
+//! Spectral assumes a public auxiliary dataset at the server. Before
+//! federated training starts, the server simulates benign local trainings on
+//! that dataset, extracts a low-dimensional *surrogate vector* from each
+//! resulting model update (the output-layer parameters), and pre-trains a
+//! VAE to reconstruct benign surrogates. During federated rounds every
+//! client's surrogate is scored by reconstruction error; updates scoring
+//! above the dynamic threshold — the mean of the round's errors — are
+//! discarded and the rest are FedAvg'd.
+
+pub mod spectral;
+
+pub use spectral::{SpectralConfig, SpectralDefense};

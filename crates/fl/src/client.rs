@@ -1,0 +1,359 @@
+//! The federated client (Alg. 1, `Client` function).
+
+use crate::config::{CvaeTrainConfig, LocalTrainConfig};
+use crate::update::ModelUpdate;
+use fg_data::Dataset;
+use fg_nn::models::{Classifier, ClassifierSpec, Cvae};
+use fg_nn::optim::{Adam, Sgd};
+use fg_tensor::rng::SeededRng;
+
+/// Hook through which poisoning attacks corrupt a client's submission before
+/// it reaches the server. The federation applies the interceptor to every
+/// sampled client each round; benign clients are left untouched by the
+/// implementations in `fg-attacks`.
+pub trait UpdateInterceptor: Send + Sync {
+    /// Mutate `update` in place. `round` is the current federated round.
+    fn intercept(&self, update: &mut ModelUpdate, round: usize);
+
+    /// Client ids this interceptor corrupts (for reporting/ground truth).
+    fn malicious_clients(&self) -> Vec<usize>;
+}
+
+/// A no-op interceptor: every client behaves honestly.
+pub struct NoAttack;
+
+impl UpdateInterceptor for NoAttack {
+    fn intercept(&self, _update: &mut ModelUpdate, _round: usize) {}
+
+    fn malicious_clients(&self) -> Vec<usize> {
+        Vec::new()
+    }
+}
+
+/// A stream of per-round datasets — the paper's "dynamic datasets" future
+/// work (§VI-C): instead of a static partition, the client sees a fresh
+/// chunk each round, and its CVAE must be retrained periodically to keep the
+/// decoder representative.
+pub struct DataStream {
+    /// Data chunk visible at round `r` is `chunks[r % chunks.len()]`.
+    pub chunks: Vec<Dataset>,
+    /// Retrain the CVAE every `cvae_refresh_every` rounds (1 = every round).
+    /// `usize::MAX` reproduces the paper's train-once behaviour on a stream.
+    pub cvae_refresh_every: usize,
+}
+
+impl DataStream {
+    pub fn new(chunks: Vec<Dataset>, cvae_refresh_every: usize) -> Self {
+        assert!(!chunks.is_empty(), "stream needs at least one chunk");
+        assert!(cvae_refresh_every > 0, "refresh period must be positive");
+        DataStream { chunks, cvae_refresh_every }
+    }
+
+    fn chunk(&self, round: usize) -> &Dataset {
+        &self.chunks[round % self.chunks.len()]
+    }
+}
+
+/// A federated client: private data partition plus local training state.
+///
+/// Each round the client receives the global parameters `ψ₀`, trains the
+/// classifier for `local.epochs` epochs on its partition, and returns the
+/// trained `ψ`. When a CVAE configuration is present the client also trains
+/// its CVAE — once, since partitions are static (paper footnote 5) — and
+/// attaches the cached decoder `θ` to every update. With a [`DataStream`]
+/// installed, the visible data changes per round and the CVAE is refreshed
+/// on the stream's cadence instead.
+pub struct Client {
+    id: usize,
+    data: Dataset,
+    classifier_spec: ClassifierSpec,
+    local: LocalTrainConfig,
+    cvae: Option<CvaeTrainConfig>,
+    cached_decoder: Option<Vec<f32>>,
+    seed: u64,
+    stream: Option<DataStream>,
+    last_cvae_round: Option<usize>,
+}
+
+impl Client {
+    pub fn new(
+        id: usize,
+        data: Dataset,
+        classifier_spec: ClassifierSpec,
+        local: LocalTrainConfig,
+        cvae: Option<CvaeTrainConfig>,
+        seed: u64,
+    ) -> Self {
+        Client {
+            id,
+            data,
+            classifier_spec,
+            local,
+            cvae,
+            cached_decoder: None,
+            seed,
+            stream: None,
+            last_cvae_round: None,
+        }
+    }
+
+    /// Install a data stream (§VI-C "dynamic datasets"). The static `data`
+    /// is replaced by the stream's chunk each round.
+    pub fn set_stream(&mut self, stream: DataStream) {
+        self.stream = Some(stream);
+        self.cached_decoder = None;
+        self.last_cvae_round = None;
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn num_samples(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Replace this client's dataset (used by data-poisoning setups to
+    /// install a label-flipped partition).
+    pub fn set_data(&mut self, data: Dataset) {
+        self.data = data;
+        self.cached_decoder = None; // decoder must be retrained on new data
+    }
+
+    /// Whether this client ships a CVAE decoder.
+    pub fn trains_cvae(&self) -> bool {
+        self.cvae.is_some()
+    }
+
+    /// One federated round of local work (Alg. 1 lines 22-27): train the
+    /// classifier from the global parameters and return `(θ*, ψ*)`.
+    pub fn train_round(&mut self, global_params: &[f32], round: usize) -> ModelUpdate {
+        // Streaming clients see a fresh chunk each round; invalidate the
+        // cached decoder when a refresh is due.
+        if let Some(stream) = &self.stream {
+            self.data = stream.chunk(round).clone();
+            let due = match self.last_cvae_round {
+                None => true,
+                Some(last) => round.saturating_sub(last) >= stream.cvae_refresh_every,
+            };
+            if due {
+                self.cached_decoder = None;
+            }
+        }
+        let params = self.train_classifier(global_params, round);
+        let (decoder, class_coverage) = if let Some(cfg) = &self.cvae {
+            let n_classes = cfg.spec.n_classes;
+            let coverage =
+                self.data.class_histogram(n_classes).iter().map(|&c| c as u32).collect();
+            (Some(self.decoder_params(round)), Some(coverage))
+        } else {
+            (None, None)
+        };
+        ModelUpdate { client_id: self.id, params, num_samples: self.data.len(), decoder, class_coverage }
+    }
+
+    fn train_classifier(&mut self, global_params: &[f32], round: usize) -> Vec<f32> {
+        let mut clf = Classifier::from_params(&self.classifier_spec, global_params);
+        if self.data.is_empty() {
+            return clf.get_params();
+        }
+        let mut sgd = Sgd::with_momentum(self.local.lr, self.local.momentum);
+        let mut rng = SeededRng::new(self.seed).fork(round as u64);
+        let mut data = self.data.clone();
+        for _ in 0..self.local.epochs {
+            data.shuffle(&mut rng);
+            for (x, y) in data.batches(self.local.batch_size) {
+                if self.local.prox_mu > 0.0 {
+                    clf.train_batch_prox(&x, &y, &mut sgd, global_params, self.local.prox_mu);
+                } else {
+                    clf.train_batch(&x, &y, &mut sgd);
+                }
+            }
+        }
+        clf.get_params()
+    }
+
+    /// The client's CVAE decoder `θ`, training the CVAE on first use.
+    pub fn decoder_params(&mut self, round: usize) -> Vec<f32> {
+        if let Some(theta) = &self.cached_decoder {
+            return theta.clone();
+        }
+        let cfg = self.cvae.as_ref().expect("decoder requested but no CVAE configured");
+        let mut rng = SeededRng::new(self.seed).fork(0xC0DE ^ round as u64);
+        let mut cvae = Cvae::new(&cfg.spec, &mut rng);
+        if !self.data.is_empty() {
+            let mut adam = Adam::new(cfg.lr);
+            let mut data = self.data.clone();
+            for _ in 0..cfg.epochs {
+                data.shuffle(&mut rng);
+                for (x, y) in data.batches(cfg.batch_size) {
+                    cvae.train_batch(&x, &y, &mut adam, &mut rng);
+                }
+            }
+        }
+        let theta = cvae.decoder_params();
+        self.cached_decoder = Some(theta.clone());
+        self.last_cvae_round = Some(round);
+        theta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_data::synth::generate_dataset;
+    use fg_nn::models::CvaeSpec;
+
+    fn toy_client(with_cvae: bool) -> Client {
+        let data = generate_dataset(5, 1); // 50 samples
+        let cvae = with_cvae.then(|| CvaeTrainConfig {
+            spec: CvaeSpec::reduced(16, 4),
+            epochs: 1,
+            batch_size: 16,
+            lr: 1e-3,
+        });
+        Client::new(
+            0,
+            data,
+            ClassifierSpec::Mlp { hidden: 16 },
+            LocalTrainConfig { epochs: 1, batch_size: 16, lr: 0.05, momentum: 0.9, prox_mu: 0.0 },
+            cvae,
+            42,
+        )
+    }
+
+    #[test]
+    fn train_round_returns_changed_params() {
+        let mut c = toy_client(false);
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+        let update = c.train_round(&global, 0);
+        assert_eq!(update.params.len(), global.len());
+        assert_ne!(update.params, global);
+        assert_eq!(update.num_samples, 50);
+        assert!(update.decoder.is_none());
+    }
+
+    #[test]
+    fn cvae_client_attaches_decoder_and_caches_it() {
+        let mut c = toy_client(true);
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+        let u1 = c.train_round(&global, 0);
+        let d1 = u1.decoder.expect("decoder attached");
+        assert_eq!(d1.len(), CvaeSpec::reduced(16, 4).decoder_params());
+        // Second round: decoder identical (trained once, cached).
+        let u2 = c.train_round(&global, 1);
+        assert_eq!(u2.decoder.unwrap(), d1);
+    }
+
+    #[test]
+    fn cvae_client_ships_its_class_coverage() {
+        let mut c = toy_client(true);
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+        let update = c.train_round(&global, 0);
+        let coverage = update.class_coverage.expect("coverage attached with decoder");
+        assert_eq!(coverage.len(), 10);
+        // Balanced toy dataset: 5 samples per class.
+        assert!(coverage.iter().all(|&c| c == 5), "{coverage:?}");
+    }
+
+    #[test]
+    fn plain_client_ships_no_coverage() {
+        let mut c = toy_client(false);
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+        assert!(c.train_round(&global, 0).class_coverage.is_none());
+    }
+
+    #[test]
+    fn set_data_invalidates_decoder_cache() {
+        let mut c = toy_client(true);
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+        let d1 = c.train_round(&global, 0).decoder.unwrap();
+        c.set_data(generate_dataset(5, 2));
+        let d2 = c.train_round(&global, 1).decoder.unwrap();
+        assert_ne!(d1, d2);
+    }
+
+    #[test]
+    fn empty_client_returns_global_unchanged() {
+        let mut c = Client::new(
+            3,
+            Dataset::empty(),
+            ClassifierSpec::Mlp { hidden: 16 },
+            LocalTrainConfig::default(),
+            None,
+            7,
+        );
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+        let update = c.train_round(&global, 0);
+        assert_eq!(update.params, global);
+        assert_eq!(update.num_samples, 0);
+    }
+
+    #[test]
+    fn streaming_client_sees_per_round_chunks() {
+        let mut c = toy_client(false);
+        let chunk0 = generate_dataset(2, 100);
+        let chunk1 = generate_dataset(3, 101);
+        c.set_stream(DataStream::new(vec![chunk0.clone(), chunk1.clone()], usize::MAX));
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+        assert_eq!(c.train_round(&global, 0).num_samples, chunk0.len());
+        assert_eq!(c.train_round(&global, 1).num_samples, chunk1.len());
+        // Stream wraps around.
+        assert_eq!(c.train_round(&global, 2).num_samples, chunk0.len());
+    }
+
+    #[test]
+    fn stream_refresh_retrains_decoder_on_cadence() {
+        let mut c = toy_client(true);
+        let chunks = vec![generate_dataset(3, 200), generate_dataset(3, 201)];
+        c.set_stream(DataStream::new(chunks, 2));
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+        let d0 = c.train_round(&global, 0).decoder.unwrap();
+        // Round 1: refresh not yet due -> cached decoder reused.
+        let d1 = c.train_round(&global, 1).decoder.unwrap();
+        assert_eq!(d0, d1);
+        // Round 2: refresh due -> retrained on the current chunk.
+        let d2 = c.train_round(&global, 2).decoder.unwrap();
+        assert_ne!(d0, d2);
+    }
+
+    #[test]
+    fn train_once_stream_never_refreshes() {
+        let mut c = toy_client(true);
+        let chunks = vec![generate_dataset(3, 300), generate_dataset(3, 301)];
+        c.set_stream(DataStream::new(chunks, usize::MAX));
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+        let d0 = c.train_round(&global, 0).decoder.unwrap();
+        let d5 = c.train_round(&global, 5).decoder.unwrap();
+        assert_eq!(d0, d5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_stream_rejected() {
+        DataStream::new(vec![], 1);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed_and_round() {
+        let mut c1 = toy_client(false);
+        let mut c2 = toy_client(false);
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(0)).get_params();
+        assert_eq!(c1.train_round(&global, 3).params, c2.train_round(&global, 3).params);
+        assert_ne!(c1.train_round(&global, 3).params, c1.train_round(&global, 4).params);
+    }
+}

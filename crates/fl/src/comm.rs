@@ -1,0 +1,112 @@
+//! Byte-accurate communication accounting.
+//!
+//! The paper's Table V reports "server uploads" (the server distributing the
+//! global model `ψ₀` to the `m` sampled clients) and "server downloads" (the
+//! server receiving each client's `ψ_j`, plus the CVAE decoder `θ_j` under
+//! FedGuard). We account each direction from parameter counts at 4 bytes per
+//! f32, which is exactly how the paper's MB figures decompose
+//! (1,662,752 × 4 B ≈ 6.65 MB per classifier, 330,794 × 4 B ≈ 1.32 MB per
+//! decoder).
+
+use crate::update::ModelUpdate;
+use serde::{Deserialize, Serialize};
+
+/// Bytes moved through the server in one round (or accumulated over many).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Server → clients (global model distribution).
+    pub upload_bytes: u64,
+    /// Clients → server (updates, incl. decoders when present).
+    pub download_bytes: u64,
+}
+
+impl CommStats {
+    /// Account one round: the server sent `global_params` floats to each of
+    /// `m` clients and received the given updates.
+    pub fn for_round(global_params: usize, m: usize, updates: &[ModelUpdate]) -> CommStats {
+        CommStats {
+            upload_bytes: (global_params as u64 * 4) * m as u64,
+            download_bytes: updates.iter().map(ModelUpdate::wire_bytes).sum(),
+        }
+    }
+
+    /// Total bytes in both directions.
+    pub fn total(&self) -> u64 {
+        self.upload_bytes + self.download_bytes
+    }
+
+    /// Element-wise accumulation.
+    pub fn add(&mut self, other: &CommStats) {
+        self.upload_bytes += other.upload_bytes;
+        self.download_bytes += other.download_bytes;
+    }
+
+    /// Megabytes (10⁶ bytes, as the paper reports).
+    pub fn upload_mb(&self) -> f64 {
+        self.upload_bytes as f64 / 1e6
+    }
+
+    pub fn download_mb(&self) -> f64 {
+        self.download_bytes as f64 / 1e6
+    }
+
+    pub fn total_mb(&self) -> f64 {
+        self.total() as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(params: usize, decoder: Option<usize>) -> ModelUpdate {
+        ModelUpdate {
+            client_id: 0,
+            params: vec![0.0; params],
+            num_samples: 1,
+            decoder: decoder.map(|d| vec![0.0; d]),
+            class_coverage: None,
+        }
+    }
+
+    #[test]
+    fn round_accounting() {
+        let updates = vec![update(100, None), update(100, None)];
+        let s = CommStats::for_round(100, 2, &updates);
+        assert_eq!(s.upload_bytes, 800);
+        assert_eq!(s.download_bytes, 800);
+        assert_eq!(s.total(), 1600);
+    }
+
+    #[test]
+    fn decoders_increase_downloads_only() {
+        let updates = vec![update(100, Some(20)); 2];
+        let s = CommStats::for_round(100, 2, &updates);
+        assert_eq!(s.upload_bytes, 800);
+        assert_eq!(s.download_bytes, 960);
+    }
+
+    #[test]
+    fn paper_scale_decoder_overhead_is_twenty_percent() {
+        // Table V: FedGuard's per-round downloads are ~20% above FedAvg's.
+        // ψ = 1,662,752 weights (paper count), θ = 330,794; m = 50.
+        let psi = 1_662_752usize;
+        let theta = 330_794usize;
+        let fedavg: Vec<ModelUpdate> = (0..50).map(|_| update(psi, None)).collect();
+        let fedguard: Vec<ModelUpdate> = (0..50).map(|_| update(psi, Some(theta))).collect();
+        let base = CommStats::for_round(psi, 50, &fedavg);
+        let ours = CommStats::for_round(psi, 50, &fedguard);
+        let overhead = ours.download_bytes as f64 / base.download_bytes as f64 - 1.0;
+        assert!((overhead - 0.199).abs() < 0.01, "download overhead {overhead}");
+        let total_overhead = ours.total() as f64 / base.total() as f64 - 1.0;
+        assert!((total_overhead - 0.0995).abs() < 0.005, "total overhead {total_overhead}");
+    }
+
+    #[test]
+    fn accumulation() {
+        let mut acc = CommStats::default();
+        acc.add(&CommStats { upload_bytes: 10, download_bytes: 20 });
+        acc.add(&CommStats { upload_bytes: 1, download_bytes: 2 });
+        assert_eq!(acc, CommStats { upload_bytes: 11, download_bytes: 22 });
+    }
+}

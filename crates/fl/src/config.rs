@@ -1,0 +1,146 @@
+//! Federation and local-training configuration.
+
+use fg_nn::models::{ClassifierSpec, CvaeSpec};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a client's local classifier training (Alg. 1 line 26).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LocalTrainConfig {
+    /// Local epochs per round (the paper uses 5).
+    pub epochs: usize,
+    pub batch_size: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// FedProx proximal coefficient μ (Sahu et al., the paper's §VI-C
+    /// alternative operator family). 0 = plain local SGD, the paper's setup.
+    pub prox_mu: f32,
+}
+
+impl Default for LocalTrainConfig {
+    fn default() -> Self {
+        LocalTrainConfig { epochs: 5, batch_size: 32, lr: 0.05, momentum: 0.9, prox_mu: 0.0 }
+    }
+}
+
+/// Hyper-parameters of a client's one-time CVAE training (Alg. 1 line 25;
+/// the paper trains for 30 epochs, once, since partitions are static).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CvaeTrainConfig {
+    pub spec: CvaeSpec,
+    pub epochs: usize,
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+}
+
+impl CvaeTrainConfig {
+    /// The paper's Table III configuration: 30 epochs of Adam.
+    pub fn paper() -> Self {
+        CvaeTrainConfig { spec: CvaeSpec::table_iii(), epochs: 30, batch_size: 64, lr: 1e-3 }
+    }
+
+    /// Reduced configuration for CPU-budget presets.
+    pub fn reduced(hidden: usize, latent: usize, epochs: usize) -> Self {
+        CvaeTrainConfig { spec: CvaeSpec::reduced(hidden, latent), epochs, batch_size: 32, lr: 2e-3 }
+    }
+}
+
+/// Top-level federation parameters (the `Federation` procedure of Alg. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FederationConfig {
+    /// Total number of clients `N`.
+    pub n_clients: usize,
+    /// Clients sampled per round `m`.
+    pub clients_per_round: usize,
+    /// Number of federated rounds `R`.
+    pub rounds: usize,
+    /// Classifier architecture.
+    pub classifier: ClassifierSpec,
+    /// Local training hyper-parameters.
+    pub local: LocalTrainConfig,
+    /// Server learning rate: the global model moves
+    /// `(1-η)·ψ₀ + η·aggregate` per round. `1.0` is the standard full step;
+    /// the paper's Fig. 5 studies `0.3`.
+    pub server_lr: f32,
+    /// Evaluation batch size for the server-side test set.
+    pub eval_batch: usize,
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+}
+
+impl FederationConfig {
+    /// The paper's §IV-A setup: N = 100, m = 50, Table II CNN, 5 local
+    /// epochs, 50 rounds.
+    pub fn paper() -> Self {
+        FederationConfig {
+            n_clients: 100,
+            clients_per_round: 50,
+            rounds: 50,
+            classifier: ClassifierSpec::TableIICnn,
+            local: LocalTrainConfig { epochs: 5, batch_size: 32, lr: 0.01, momentum: 0.9, prox_mu: 0.0 },
+            server_lr: 1.0,
+            eval_batch: 64,
+            seed: 0,
+        }
+    }
+
+    /// Sanity checks; panics on inconsistent configs.
+    pub fn validate(&self) {
+        assert!(self.n_clients > 0, "need at least one client");
+        assert!(
+            self.clients_per_round > 0 && self.clients_per_round <= self.n_clients,
+            "clients_per_round must be in 1..=n_clients"
+        );
+        assert!(self.rounds > 0, "need at least one round");
+        assert!(self.server_lr > 0.0 && self.server_lr <= 1.0, "server_lr must be in (0, 1]");
+        assert!(self.local.epochs > 0 && self.local.batch_size > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid_and_matches_section_iv() {
+        let c = FederationConfig::paper();
+        c.validate();
+        assert_eq!(c.n_clients, 100);
+        assert_eq!(c.clients_per_round, 50);
+        assert_eq!(c.local.epochs, 5);
+        assert_eq!(c.classifier, ClassifierSpec::TableIICnn);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_clients_rejected() {
+        let mut c = FederationConfig::paper();
+        c.n_clients = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversampling_rejected() {
+        let mut c = FederationConfig::paper();
+        c.clients_per_round = 101;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_server_lr_rejected() {
+        let mut c = FederationConfig::paper();
+        c.server_lr = 0.0;
+        c.validate();
+    }
+
+    #[test]
+    fn paper_cvae_config() {
+        let c = CvaeTrainConfig::paper();
+        assert_eq!(c.epochs, 30);
+        assert_eq!(c.spec, CvaeSpec::table_iii());
+    }
+}

@@ -1,0 +1,351 @@
+//! The federated round loop (Alg. 1, `Server` function).
+
+use crate::client::{Client, NoAttack, UpdateInterceptor};
+use crate::comm::CommStats;
+use crate::config::{CvaeTrainConfig, FederationConfig};
+use crate::metrics::RoundRecord;
+use crate::strategy::{AggregationContext, AggregationStrategy};
+use crate::update::ModelUpdate;
+use fg_data::Dataset;
+use fg_nn::models::Classifier;
+use fg_tensor::rng::SeededRng;
+use fg_tensor::vecops;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A complete federated-learning simulation: `N` clients, a server-side test
+/// set, an aggregation strategy, and an optional attack interceptor.
+///
+/// Each round (cf. Alg. 1 lines 16-20):
+/// 1. uniformly sample `m` of the `N` clients,
+/// 2. train the sampled clients locally, in parallel (rayon), from the
+///    current global parameters,
+/// 3. let the attack interceptor corrupt the malicious clients' updates,
+/// 4. hand all updates to the aggregation strategy,
+/// 5. move the global model by the server learning rate toward the
+///    aggregate, and
+/// 6. evaluate on the held-out test set and record metrics.
+pub struct Federation {
+    config: FederationConfig,
+    clients: Vec<Mutex<Client>>,
+    test_set: Dataset,
+    strategy: Box<dyn AggregationStrategy>,
+    interceptor: Arc<dyn UpdateInterceptor>,
+    global: Vec<f32>,
+    history: Vec<RoundRecord>,
+    rng: SeededRng,
+}
+
+impl Federation {
+    /// Assemble a federation. `client_datasets` must contain exactly
+    /// `config.n_clients` partitions. The CVAE configuration is installed on
+    /// every client iff the strategy consumes decoders.
+    pub fn new(
+        config: FederationConfig,
+        client_datasets: Vec<Dataset>,
+        test_set: Dataset,
+        strategy: Box<dyn AggregationStrategy>,
+        interceptor: Arc<dyn UpdateInterceptor>,
+        cvae: Option<CvaeTrainConfig>,
+    ) -> Self {
+        config.validate();
+        assert_eq!(
+            client_datasets.len(),
+            config.n_clients,
+            "expected {} client partitions, got {}",
+            config.n_clients,
+            client_datasets.len()
+        );
+        let needs_cvae = strategy.uses_decoders();
+        if needs_cvae {
+            assert!(cvae.is_some(), "strategy {} needs a CVAE config", strategy.name());
+        }
+        let master = SeededRng::new(config.seed);
+        let clients = client_datasets
+            .into_iter()
+            .enumerate()
+            .map(|(id, data)| {
+                Mutex::new(Client::new(
+                    id,
+                    data,
+                    config.classifier,
+                    config.local,
+                    if needs_cvae { cvae } else { None },
+                    master.fork(id as u64).seed(),
+                ))
+            })
+            .collect();
+
+        let mut init_rng = master.fork(u64::MAX);
+        let global = Classifier::new(&config.classifier, &mut init_rng).get_params();
+
+        Federation {
+            config,
+            clients,
+            test_set,
+            strategy,
+            interceptor,
+            global,
+            history: Vec::new(),
+            rng: master.fork(u64::MAX - 1),
+        }
+    }
+
+    /// Convenience constructor for honest federations.
+    pub fn honest(
+        config: FederationConfig,
+        client_datasets: Vec<Dataset>,
+        test_set: Dataset,
+        strategy: Box<dyn AggregationStrategy>,
+        cvae: Option<CvaeTrainConfig>,
+    ) -> Self {
+        Federation::new(config, client_datasets, test_set, strategy, Arc::new(NoAttack), cvae)
+    }
+
+    pub fn config(&self) -> &FederationConfig {
+        &self.config
+    }
+
+    /// The current global parameter vector.
+    pub fn global_params(&self) -> &[f32] {
+        &self.global
+    }
+
+    /// Per-round records so far.
+    pub fn history(&self) -> &[RoundRecord] {
+        &self.history
+    }
+
+    /// Mutable access to a client (e.g. to install a poisoned dataset).
+    pub fn client_mut(&mut self, id: usize) -> &mut Client {
+        self.clients[id].get_mut()
+    }
+
+    /// Evaluate the current global model on the test set.
+    pub fn evaluate_global(&self) -> f32 {
+        let mut clf = Classifier::from_params(&self.config.classifier, &self.global);
+        let x = self.test_set.to_tensor();
+        let y = self.test_set.labels_usize();
+        clf.evaluate(&x, &y, self.config.eval_batch)
+    }
+
+    /// Run one round; returns the new record.
+    pub fn run_round(&mut self) -> RoundRecord {
+        let round = self.history.len();
+        let start = Instant::now();
+
+        // (1) Sample m participants uniformly (Alg. 1 line 17).
+        let mut sampled = self.rng.sample_distinct(self.config.n_clients, self.config.clients_per_round);
+        sampled.sort_unstable();
+
+        // (2) Parallel local training; (3) attack interception.
+        let global = &self.global;
+        let interceptor = &self.interceptor;
+        let clients = &self.clients;
+        let mut updates: Vec<ModelUpdate> = sampled
+            .par_iter()
+            .map(|&id| {
+                let mut client = clients[id].lock();
+                let mut update = client.train_round(global, round);
+                interceptor.intercept(&mut update, round);
+                update
+            })
+            .collect();
+        updates.sort_by_key(|u| u.client_id);
+
+        // (4) Aggregate.
+        let mut ctx = AggregationContext {
+            round,
+            global: &self.global,
+            rng: self.rng.fork(0xA66 ^ round as u64),
+        };
+        let outcome = self.strategy.aggregate(&updates, &mut ctx);
+        assert_eq!(
+            outcome.params.len(),
+            self.global.len(),
+            "strategy {} returned wrong-size parameters",
+            self.strategy.name()
+        );
+
+        // (5) Server learning rate (§V-A): ψ₀ ← (1-η)ψ₀ + η·aggregate.
+        self.global = vecops::lerp(&self.global, &outcome.params, self.config.server_lr);
+
+        // (6) Evaluate and record.
+        let accuracy = self.evaluate_global();
+        let malicious = self.interceptor.malicious_clients();
+        let malicious_sampled: Vec<usize> =
+            sampled.iter().copied().filter(|c| malicious.contains(c)).collect();
+        let comm = CommStats::for_round(self.global.len(), sampled.len(), &updates);
+
+        let record = RoundRecord {
+            round,
+            accuracy,
+            sampled,
+            selected: outcome.selected,
+            malicious_sampled,
+            wall_secs: start.elapsed().as_secs_f64(),
+            comm,
+        };
+        self.history.push(record.clone());
+        record
+    }
+
+    /// Run all configured rounds; returns the full history.
+    pub fn run(&mut self) -> Vec<RoundRecord> {
+        for _ in 0..self.config.rounds {
+            self.run_round();
+        }
+        self.history.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LocalTrainConfig;
+    use crate::strategy::AggregationOutcome;
+    use fg_data::partition::{dirichlet_partition, partition_datasets};
+    use fg_data::synth::generate_dataset;
+    use fg_nn::models::ClassifierSpec;
+
+    /// Plain unweighted mean — a stand-in FedAvg for framework tests.
+    struct MeanStrategy;
+
+    impl AggregationStrategy for MeanStrategy {
+        fn name(&self) -> &'static str {
+            "mean"
+        }
+
+        fn aggregate(
+            &mut self,
+            updates: &[ModelUpdate],
+            _ctx: &mut AggregationContext<'_>,
+        ) -> AggregationOutcome {
+            let refs: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
+            AggregationOutcome::new(
+                vecops::mean_vector(&refs),
+                updates.iter().map(|u| u.client_id).collect(),
+            )
+        }
+    }
+
+    fn smoke_federation(rounds: usize, seed: u64) -> Federation {
+        let data = generate_dataset(30, seed); // 300 samples
+        let (test, train) = data.split_at(60);
+        let mut rng = SeededRng::new(seed ^ 1);
+        let parts = dirichlet_partition(&train, 8, 10.0, 10, &mut rng);
+        let datasets = partition_datasets(&train, &parts);
+        let config = FederationConfig {
+            n_clients: 8,
+            clients_per_round: 4,
+            rounds,
+            classifier: ClassifierSpec::Mlp { hidden: 24 },
+            local: LocalTrainConfig { epochs: 2, batch_size: 16, lr: 0.1, momentum: 0.9, prox_mu: 0.0 },
+            server_lr: 1.0,
+            eval_batch: 64,
+            seed,
+        };
+        Federation::honest(config, datasets, test, Box::new(MeanStrategy), None)
+    }
+
+    #[test]
+    fn honest_federation_learns() {
+        let mut fed = smoke_federation(8, 42);
+        let history = fed.run();
+        assert_eq!(history.len(), 8);
+        let last = history.last().unwrap().accuracy;
+        assert!(last > 0.6, "federated training did not learn: {last}");
+        // Accuracy should broadly improve over training.
+        assert!(last > history[0].accuracy);
+    }
+
+    #[test]
+    fn rounds_sample_correct_count_without_duplicates() {
+        let mut fed = smoke_federation(3, 7);
+        let history = fed.run();
+        for r in &history {
+            assert_eq!(r.sampled.len(), 4);
+            let mut s = r.sampled.clone();
+            s.dedup();
+            assert_eq!(s.len(), 4);
+            assert!(s.iter().all(|&c| c < 8));
+        }
+    }
+
+    #[test]
+    fn comm_accounting_matches_analytic_count() {
+        let mut fed = smoke_federation(1, 9);
+        let psi = fed.global_params().len() as u64;
+        let history = fed.run();
+        let comm = history[0].comm;
+        assert_eq!(comm.upload_bytes, psi * 4 * 4); // m = 4 clients
+        assert_eq!(comm.download_bytes, psi * 4 * 4); // no decoders
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let h1 = smoke_federation(3, 11).run();
+        let h2 = smoke_federation(3, 11).run();
+        let a1: Vec<f32> = h1.iter().map(|r| r.accuracy).collect();
+        let a2: Vec<f32> = h2.iter().map(|r| r.accuracy).collect();
+        assert_eq!(a1, a2);
+        assert_ne!(a1, smoke_federation(3, 12).run().iter().map(|r| r.accuracy).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn server_lr_damps_movement() {
+        let data = generate_dataset(10, 5);
+        let (test, train) = data.split_at(20);
+        let mut rng = SeededRng::new(6);
+        let parts = dirichlet_partition(&train, 4, 10.0, 10, &mut rng);
+        let datasets = partition_datasets(&train, &parts);
+        let mut config = FederationConfig {
+            n_clients: 4,
+            clients_per_round: 2,
+            rounds: 1,
+            classifier: ClassifierSpec::Mlp { hidden: 8 },
+            local: LocalTrainConfig { epochs: 1, batch_size: 8, lr: 0.1, momentum: 0.0, prox_mu: 0.0 },
+            server_lr: 1.0,
+            eval_batch: 32,
+            seed: 3,
+        };
+
+        let mut full = Federation::honest(
+            config,
+            datasets.clone(),
+            test.clone(),
+            Box::new(MeanStrategy),
+            None,
+        );
+        let start = full.global_params().to_vec();
+        full.run();
+        let full_move = fg_tensor::vecops::l2_distance(&start, full.global_params());
+
+        config.server_lr = 0.3;
+        let mut damped =
+            Federation::honest(config, datasets, test, Box::new(MeanStrategy), None);
+        damped.run();
+        let damped_move = fg_tensor::vecops::l2_distance(&start, damped.global_params());
+
+        assert!((damped_move / full_move - 0.3).abs() < 0.02, "{damped_move} vs {full_move}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_partition_count_rejected() {
+        let data = generate_dataset(5, 0);
+        let config = FederationConfig {
+            n_clients: 4,
+            clients_per_round: 2,
+            rounds: 1,
+            classifier: ClassifierSpec::Mlp { hidden: 8 },
+            local: LocalTrainConfig::default(),
+            server_lr: 1.0,
+            eval_batch: 32,
+            seed: 0,
+        };
+        Federation::honest(config, vec![data.clone()], data, Box::new(MeanStrategy), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fg-fl
+//!
+//! The federated-learning simulation framework of the FedGuard reproduction.
+//! It plays the role the paper's Grid'5000 deployment plays: `N` clients
+//! holding Dirichlet-partitioned data, a server that samples `m` of them per
+//! round, local training (classifier always, CVAE when configured), pluggable
+//! aggregation strategies, an update-interception hook for poisoning attacks,
+//! byte-accurate communication accounting and per-round wall-time metering.
+//!
+//! The crate knows nothing about specific defenses or attacks; those live in
+//! `fg-agg`, `fg-defenses`, `fg-attacks` and `fedguard`, all plugging in via
+//! [`strategy::AggregationStrategy`] and [`client::UpdateInterceptor`].
+
+pub mod client;
+pub mod comm;
+pub mod config;
+pub mod federation;
+pub mod metrics;
+pub mod strategy;
+pub mod update;
+
+pub use client::{Client, DataStream, UpdateInterceptor};
+pub use comm::CommStats;
+pub use config::{CvaeTrainConfig, FederationConfig, LocalTrainConfig};
+pub use federation::Federation;
+pub use metrics::RoundRecord;
+pub use strategy::{AggregationContext, AggregationOutcome, AggregationStrategy};
+pub use update::ModelUpdate;

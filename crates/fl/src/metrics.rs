@@ -1,0 +1,92 @@
+//! Per-round experiment records.
+
+use crate::comm::CommStats;
+use serde::{Deserialize, Serialize};
+
+/// Everything the harness records about one federated round — the raw
+/// material for Fig. 4/5 (accuracy series), Table IV (mean ± std over the
+/// tail) and Table V (communication and time overheads).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// 0-based round index.
+    pub round: usize,
+    /// Global-model accuracy on the server-side test set after aggregation.
+    pub accuracy: f32,
+    /// Clients sampled this round.
+    pub sampled: Vec<usize>,
+    /// Clients whose updates the strategy included in the aggregate.
+    pub selected: Vec<usize>,
+    /// Ground-truth malicious clients among the sampled (from the attack
+    /// interceptor), for detection-quality analysis.
+    pub malicious_sampled: Vec<usize>,
+    /// Wall-clock seconds the round took (local training + aggregation).
+    pub wall_secs: f64,
+    /// Bytes moved through the server this round.
+    pub comm: CommStats,
+}
+
+impl RoundRecord {
+    /// True-positive count: malicious clients the strategy excluded.
+    pub fn malicious_excluded(&self) -> usize {
+        self.malicious_sampled.iter().filter(|c| !self.selected.contains(c)).count()
+    }
+
+    /// False-positive count: benign clients the strategy excluded.
+    pub fn benign_excluded(&self) -> usize {
+        self.sampled
+            .iter()
+            .filter(|c| !self.malicious_sampled.contains(c) && !self.selected.contains(c))
+            .count()
+    }
+}
+
+/// Accuracy series from a run history.
+pub fn accuracy_series(history: &[RoundRecord]) -> Vec<f32> {
+    history.iter().map(|r| r.accuracy).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(sampled: Vec<usize>, selected: Vec<usize>, malicious: Vec<usize>) -> RoundRecord {
+        RoundRecord {
+            round: 0,
+            accuracy: 0.9,
+            sampled,
+            selected,
+            malicious_sampled: malicious,
+            wall_secs: 0.1,
+            comm: CommStats::default(),
+        }
+    }
+
+    #[test]
+    fn exclusion_counting() {
+        let r = record(vec![0, 1, 2, 3], vec![0, 1], vec![2, 3]);
+        assert_eq!(r.malicious_excluded(), 2);
+        assert_eq!(r.benign_excluded(), 0);
+    }
+
+    #[test]
+    fn benign_exclusions_counted() {
+        let r = record(vec![0, 1, 2], vec![2], vec![2]);
+        // Clients 0 and 1 are benign but excluded; 2 is malicious but kept.
+        assert_eq!(r.malicious_excluded(), 0);
+        assert_eq!(r.benign_excluded(), 2);
+    }
+
+    #[test]
+    fn series_extraction() {
+        let rs = vec![record(vec![], vec![], vec![])];
+        assert_eq!(accuracy_series(&rs), vec![0.9]);
+    }
+
+    #[test]
+    fn round_record_round_trips_through_json() {
+        let r = record(vec![1], vec![1], vec![]);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: RoundRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

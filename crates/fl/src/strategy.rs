@@ -1,0 +1,93 @@
+//! The pluggable aggregation-strategy interface.
+
+use crate::update::ModelUpdate;
+use fg_tensor::rng::SeededRng;
+
+/// Per-round context handed to the aggregation strategy.
+pub struct AggregationContext<'a> {
+    /// Current federated round (0-based).
+    pub round: usize,
+    /// The global parameters `ψ₀` the round started from.
+    pub global: &'a [f32],
+    /// Round-scoped RNG (derived from the federation seed), for strategies
+    /// with stochastic components — FedGuard's latent / conditioning samples.
+    pub rng: SeededRng,
+}
+
+/// What a strategy produced for the round.
+#[derive(Clone, Debug)]
+pub struct AggregationOutcome {
+    /// The aggregated parameter vector (before the server learning rate is
+    /// applied by the federation).
+    pub params: Vec<f32>,
+    /// Client ids whose updates were included in the aggregate.
+    pub selected: Vec<usize>,
+    /// Optional per-client diagnostic scores (meaning is strategy-specific:
+    /// validation accuracy for FedGuard, reconstruction error for Spectral,
+    /// Krum scores for Krum...).
+    pub scores: Vec<(usize, f32)>,
+}
+
+impl AggregationOutcome {
+    /// Outcome with no diagnostics.
+    pub fn new(params: Vec<f32>, selected: Vec<usize>) -> Self {
+        AggregationOutcome { params, selected, scores: Vec::new() }
+    }
+}
+
+/// An aggregation strategy: FedAvg, GeoMed, Krum, Spectral, FedGuard, ...
+///
+/// Strategies receive every submitted update (possibly corrupted by the
+/// attack interceptor) and must produce the next global parameter vector.
+/// `updates` is never empty.
+pub trait AggregationStrategy: Send {
+    /// Human-readable name used in reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Combine the round's updates.
+    fn aggregate(&mut self, updates: &[ModelUpdate], ctx: &mut AggregationContext<'_>) -> AggregationOutcome;
+
+    /// Whether this strategy consumes the clients' CVAE decoders (drives both
+    /// client-side CVAE training and communication accounting).
+    fn uses_decoders(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TakeFirst;
+
+    impl AggregationStrategy for TakeFirst {
+        fn name(&self) -> &'static str {
+            "take-first"
+        }
+
+        fn aggregate(
+            &mut self,
+            updates: &[ModelUpdate],
+            _ctx: &mut AggregationContext<'_>,
+        ) -> AggregationOutcome {
+            AggregationOutcome::new(updates[0].params.clone(), vec![updates[0].client_id])
+        }
+    }
+
+    #[test]
+    fn strategies_are_object_safe() {
+        let mut s: Box<dyn AggregationStrategy> = Box::new(TakeFirst);
+        let updates = vec![ModelUpdate {
+            client_id: 7,
+            params: vec![1.0, 2.0],
+            num_samples: 3,
+            decoder: None,
+            class_coverage: None,
+        }];
+        let mut ctx = AggregationContext { round: 0, global: &[0.0, 0.0], rng: SeededRng::new(0) };
+        let out = s.aggregate(&updates, &mut ctx);
+        assert_eq!(out.params, vec![1.0, 2.0]);
+        assert_eq!(out.selected, vec![7]);
+        assert!(!s.uses_decoders());
+    }
+}

@@ -1,0 +1,69 @@
+//! The message a client sends to the server each round.
+
+use serde::{Deserialize, Serialize};
+
+/// A client's per-round submission: its trained classifier parameters `ψ_j`,
+/// and — when the federation runs a CVAE-based defense — its CVAE decoder
+/// parameters `θ_j` (Alg. 1, line 18 ships the pair `(θ*, ψ*)`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelUpdate {
+    /// Stable client identifier (index into the federation).
+    pub client_id: usize,
+    /// Flat classifier parameter vector `ψ_j`.
+    pub params: Vec<f32>,
+    /// Number of local training samples (FedAvg weighting).
+    pub num_samples: usize,
+    /// Flat CVAE decoder vector `θ_j`, present when the client trains a CVAE.
+    pub decoder: Option<Vec<f32>>,
+    /// Per-class sample counts of the client's training data, shipped with
+    /// the decoder. §VI-B proposes this so the server can condition each
+    /// decoder only on classes it was actually trained on (important under
+    /// strong heterogeneity). `None` when no CVAE is configured.
+    pub class_coverage: Option<Vec<u32>>,
+}
+
+impl ModelUpdate {
+    /// Bytes this update occupies on the simulated wire (f32 = 4 bytes).
+    pub fn wire_bytes(&self) -> u64 {
+        let decoder = self.decoder.as_ref().map_or(0, |d| d.len());
+        (self.params.len() + decoder) as u64 * 4
+    }
+
+    /// True if the parameter vector contains NaN or infinite entries.
+    pub fn is_non_finite(&self) -> bool {
+        self.params.iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_counts_decoder() {
+        let u = ModelUpdate {
+            client_id: 0,
+            params: vec![0.0; 10],
+            num_samples: 5,
+            decoder: None,
+            class_coverage: None,
+        };
+        assert_eq!(u.wire_bytes(), 40);
+        let u2 = ModelUpdate { decoder: Some(vec![0.0; 5]), ..u };
+        assert_eq!(u2.wire_bytes(), 60);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut u = ModelUpdate {
+            client_id: 0,
+            params: vec![1.0, 2.0],
+            num_samples: 1,
+            decoder: None,
+            class_coverage: None,
+        };
+        assert!(!u.is_non_finite());
+        u.params[0] = f32::NAN;
+        assert!(u.is_non_finite());
+    }
+}

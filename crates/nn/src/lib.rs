@@ -1,0 +1,40 @@
+//! # fg-nn
+//!
+//! The neural-network layer library of the FedGuard reproduction: layers with
+//! explicit forward/backward passes, classification and variational losses,
+//! SGD/Adam optimizers, and the exact models from the paper —
+//!
+//! * the Table II MNIST classifier (two padded 5×5 convolutions with 2×2 max
+//!   pooling, a 512-unit fully connected layer and a 10-way output;
+//!   1,662,752 weight parameters as counted by the paper),
+//! * the Table III Conditional Variational AutoEncoder (794-400 encoder with
+//!   twin 20-unit heads, 30-400-794 decoder; 664,834 parameters),
+//! * an MLP classifier and a reduced CVAE used by the CPU-budget presets.
+//!
+//! Model parameters can be flattened to / restored from plain `Vec<f32>`
+//! vectors ([`params`]), which is the currency of the federated-learning
+//! layer: clients ship flat vectors, aggregation operators combine them.
+//!
+//! ```
+//! use fg_nn::models::{Classifier, ClassifierSpec};
+//! use fg_tensor::rng::SeededRng;
+//!
+//! let mut rng = SeededRng::new(0);
+//! let clf = Classifier::new(&ClassifierSpec::Mlp { hidden: 32 }, &mut rng);
+//! assert_eq!(clf.spec().input_dim(), 784);
+//! ```
+
+pub mod activations;
+pub mod conv_layer;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod models;
+pub mod optim;
+pub mod params;
+pub mod pool_layer;
+pub mod sequential;
+
+pub use layer::{Layer, Module, Parameter};
+pub use optim::{Adam, Optimizer, Sgd};
+pub use sequential::Sequential;

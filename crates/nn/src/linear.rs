@@ -1,0 +1,174 @@
+//! Fully connected layer.
+
+use crate::layer::{Layer, Module, Parameter};
+use fg_tensor::kernels::{matmul, matmul_at, matmul_bt};
+use fg_tensor::rng::SeededRng;
+use fg_tensor::Tensor;
+
+/// `y = x · Wᵀ + b` with weights stored `(out_features, in_features)`.
+pub struct Linear {
+    pub weight: Parameter,
+    pub bias: Parameter,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Kaiming-uniform initialized linear layer (ReLU-friendly).
+    pub fn new(in_features: usize, out_features: usize, rng: &mut SeededRng) -> Self {
+        let weight = Tensor::kaiming_uniform(&[out_features, in_features], in_features, rng);
+        let bound = 1.0 / (in_features as f32).sqrt();
+        let bias = Tensor::rand_uniform(&[out_features], -bound, bound, rng);
+        Linear {
+            weight: Parameter::new(weight),
+            bias: Parameter::new(bias),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Module for Linear {
+    fn visit_params(&self, f: &mut dyn FnMut(&Parameter)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 2, "Linear expects (batch, features)");
+        assert_eq!(input.dim(1), self.in_features, "Linear: feature dim mismatch");
+        let mut out = matmul_bt(input, &self.weight.value);
+        let bias = self.bias.value.data();
+        for r in 0..out.dim(0) {
+            let row = out.row_mut(r);
+            for (o, &b) in row.iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        if train {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cached_input.as_ref().expect("Linear::backward before forward");
+        // dW += gᵀ · x   (out, in); db += column sums of g; dx = g · W.
+        let dw = matmul_at(grad_output, input);
+        self.weight.grad.add_assign(&dw);
+        let db = self.bias.grad.data_mut();
+        for r in 0..grad_output.dim(0) {
+            for (d, &g) in db.iter_mut().zip(grad_output.row(r)) {
+                *d += g;
+            }
+        }
+        matmul(grad_output, &self.weight.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = SeededRng::new(0);
+        let mut l = Linear::new(3, 2, &mut rng);
+        l.weight.value.fill(0.0);
+        l.bias.value.data_mut().copy_from_slice(&[1.0, -1.0]);
+        let x = Tensor::ones(&[4, 3]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.dims(), &[4, 2]);
+        assert_eq!(y.row(0), &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SeededRng::new(1);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let x = Tensor::randn(&[2, 4], &mut rng);
+        let targets = vec![0usize, 2];
+
+        // Analytic gradients through a softmax-CE head.
+        let logits = l.forward(&x, true);
+        let (_, dlogits) = loss::softmax_cross_entropy(&logits, &targets);
+        let dx = l.backward(&dlogits);
+
+        let loss_fn = |l_: &mut Linear, x_: &Tensor| {
+            let logits = l_.forward(x_, false);
+            loss::softmax_cross_entropy(&logits, &targets).0
+        };
+
+        let eps = 1e-3f32;
+        for i in 0..l.weight.value.numel() {
+            let orig = l.weight.value.data()[i];
+            l.weight.value.data_mut()[i] = orig + eps;
+            let lp = loss_fn(&mut l, &x);
+            l.weight.value.data_mut()[i] = orig - eps;
+            let lm = loss_fn(&mut l, &x);
+            l.weight.value.data_mut()[i] = orig;
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = l.weight.grad.data()[i];
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "dW[{i}] {num} vs {ana}");
+        }
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss_fn(&mut l, &xp) - loss_fn(&mut l, &xm)) / (2.0 * eps);
+            let ana = dx.data()[i];
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "dX[{i}] {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mut rng = SeededRng::new(2);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let x = Tensor::ones(&[1, 2]);
+        let g = Tensor::ones(&[1, 2]);
+        l.forward(&x, true);
+        l.backward(&g);
+        let once = l.weight.grad.clone();
+        l.forward(&x, true);
+        l.backward(&g);
+        let twice = l.weight.grad.clone();
+        for (a, b) in once.data().iter().zip(twice.data()) {
+            assert!((2.0 * a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_without_forward_panics() {
+        let mut rng = SeededRng::new(3);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.backward(&Tensor::ones(&[1, 2]));
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = SeededRng::new(4);
+        let l = Linear::new(784, 512, &mut rng);
+        assert_eq!(l.num_params(), 784 * 512 + 512);
+    }
+}

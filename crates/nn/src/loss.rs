@@ -1,0 +1,234 @@
+//! Loss functions, each returning `(scalar_loss, gradient_wrt_input)` so the
+//! caller can start backprop immediately.
+
+use fg_tensor::Tensor;
+
+/// Fused softmax + cross-entropy over logits `(batch, classes)` with integer
+/// class targets. Returns the mean loss and `d loss / d logits`
+/// (already scaled by `1/batch`).
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.shape().rank(), 2, "logits must be (batch, classes)");
+    let (b, c) = (logits.dim(0), logits.dim(1));
+    assert_eq!(targets.len(), b, "target count mismatch");
+
+    let mut grad = Tensor::zeros(&[b, c]);
+    let mut total = 0.0f64;
+    for r in 0..b {
+        let row = logits.row(r);
+        let t = targets[r];
+        assert!(t < c, "target class {t} out of range");
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &x in row {
+            denom += (x - max).exp();
+        }
+        let log_denom = denom.ln() + max;
+        total += (log_denom - row[t]) as f64;
+        let g = grad.row_mut(r);
+        let inv_b = 1.0 / b as f32;
+        for (j, (&x, gj)) in row.iter().zip(g.iter_mut()).enumerate() {
+            let p = (x - log_denom).exp();
+            *gj = (p - if j == t { 1.0 } else { 0.0 }) * inv_b;
+        }
+    }
+    ((total / b as f64) as f32, grad)
+}
+
+/// Softmax probabilities per row (used for reporting, not training).
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().rank(), 2);
+    let (b, c) = (logits.dim(0), logits.dim(1));
+    let mut out = Tensor::zeros(&[b, c]);
+    for r in 0..b {
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut denom = 0.0f32;
+        for &x in row {
+            denom += (x - max).exp();
+        }
+        let o = out.row_mut(r);
+        for (j, &x) in row.iter().enumerate() {
+            o[j] = (x - max).exp() / denom;
+        }
+    }
+    out
+}
+
+/// Numerically stable binary cross-entropy on logits:
+/// `L = max(x,0) − x·t + ln(1 + e^{−|x|})`, summed over features and averaged
+/// over the batch (the CVAE reconstruction term). The gradient is
+/// `(σ(x) − t) / batch`.
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.dims(), targets.dims(), "bce: shape mismatch");
+    let b = logits.dim(0) as f32;
+    let mut grad = Tensor::zeros(logits.dims());
+    let mut total = 0.0f64;
+    for ((&x, &t), g) in logits.data().iter().zip(targets.data()).zip(grad.data_mut()) {
+        let loss = x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        total += loss as f64;
+        let s = 1.0 / (1.0 + (-x).exp());
+        *g = (s - t) / b;
+    }
+    ((total / b as f64) as f32, grad)
+}
+
+/// KL divergence `KL(N(mu, diag(exp(logvar))) ‖ N(0, I))`, summed over the
+/// latent dimension and averaged over the batch — the CVAE regularization
+/// term of Eqn. 6. Returns `(loss, d/d mu, d/d logvar)`.
+pub fn kl_gaussian(mu: &Tensor, logvar: &Tensor) -> (f32, Tensor, Tensor) {
+    assert_eq!(mu.dims(), logvar.dims(), "kl: shape mismatch");
+    let b = mu.dim(0) as f32;
+    let mut d_mu = Tensor::zeros(mu.dims());
+    let mut d_logvar = Tensor::zeros(logvar.dims());
+    let mut total = 0.0f64;
+    for (((&m, &lv), dm), dl) in mu
+        .data()
+        .iter()
+        .zip(logvar.data())
+        .zip(d_mu.data_mut())
+        .zip(d_logvar.data_mut())
+    {
+        let var = lv.exp();
+        total += (-0.5 * (1.0 + lv - m * m - var)) as f64;
+        *dm = m / b;
+        *dl = -0.5 * (1.0 - var) / b;
+    }
+    ((total / b as f64) as f32, d_mu, d_logvar)
+}
+
+/// Classification accuracy of logits against integer targets.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f32 {
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(targets).filter(|(p, t)| p == t).count();
+    correct as f32 / targets.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_tensor::rng::SeededRng;
+
+    #[test]
+    fn ce_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0], &[1, 3]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn ce_of_uniform_logits_is_ln_c() {
+        let logits = Tensor::zeros(&[2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_differences() {
+        let mut rng = SeededRng::new(0);
+        let logits = Tensor::randn(&[3, 5], &mut rng);
+        let targets = vec![1usize, 4, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (softmax_cross_entropy(&lp, &targets).0
+                - softmax_cross_entropy(&lm, &targets).0)
+                / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3, "g[{i}]");
+        }
+    }
+
+    #[test]
+    fn ce_gradient_rows_sum_to_zero() {
+        let mut rng = SeededRng::new(1);
+        let logits = Tensor::randn(&[4, 6], &mut rng);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0, 1, 2, 3]);
+        for r in 0..4 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let mut rng = SeededRng::new(2);
+        let logits = Tensor::randn(&[3, 5], &mut rng);
+        let p = softmax(&logits);
+        for r in 0..3 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(r).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_differences() {
+        let mut rng = SeededRng::new(3);
+        let logits = Tensor::randn(&[2, 4], &mut rng);
+        let targets = Tensor::rand_uniform(&[2, 4], 0.0, 1.0, &mut rng);
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num =
+                (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0) / (2.0 * eps);
+            assert!((num - grad.data()[i]).abs() < 1e-3, "g[{i}]");
+        }
+    }
+
+    #[test]
+    fn bce_is_stable_at_extreme_logits() {
+        let logits = Tensor::from_vec(vec![100.0, -100.0], &[1, 2]);
+        let targets = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        let (loss, grad) = bce_with_logits(&logits, &targets);
+        assert!(loss.is_finite() && loss < 1e-4);
+        assert!(!grad.has_non_finite());
+    }
+
+    #[test]
+    fn kl_of_standard_normal_is_zero() {
+        let mu = Tensor::zeros(&[2, 3]);
+        let logvar = Tensor::zeros(&[2, 3]);
+        let (loss, dm, dl) = kl_gaussian(&mu, &logvar);
+        assert!(loss.abs() < 1e-7);
+        assert_eq!(dm.sum(), 0.0);
+        assert_eq!(dl.sum(), 0.0);
+    }
+
+    #[test]
+    fn kl_gradients_match_finite_differences() {
+        let mut rng = SeededRng::new(4);
+        let mu = Tensor::randn(&[2, 3], &mut rng);
+        let logvar = Tensor::randn(&[2, 3], &mut rng);
+        let (_, dm, dl) = kl_gaussian(&mu, &logvar);
+        let eps = 1e-3f32;
+        for i in 0..mu.numel() {
+            let mut mp = mu.clone();
+            mp.data_mut()[i] += eps;
+            let mut mm = mu.clone();
+            mm.data_mut()[i] -= eps;
+            let num = (kl_gaussian(&mp, &logvar).0 - kl_gaussian(&mm, &logvar).0) / (2.0 * eps);
+            assert!((num - dm.data()[i]).abs() < 1e-3);
+
+            let mut lp = logvar.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logvar.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (kl_gaussian(&mu, &lp).0 - kl_gaussian(&mu, &lm).0) / (2.0 * eps);
+            assert!((num - dl.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 0]), 1.0);
+    }
+}

@@ -1,0 +1,333 @@
+//! The federated MNIST classifier `f_ψ`.
+
+use crate::activations::ReLU;
+use crate::conv_layer::Conv2d;
+use crate::layer::{Layer, Module, Parameter};
+use crate::linear::Linear;
+use crate::loss;
+use crate::optim::Optimizer;
+use crate::params;
+use crate::pool_layer::{Flatten, MaxPool2d};
+use crate::sequential::Sequential;
+use fg_tensor::rng::SeededRng;
+use fg_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Which classifier architecture to instantiate.
+///
+/// `TableIICnn` is the paper's exact architecture: two ReLU-activated 5×5
+/// convolutions (32 and 64 channels, padding 2) each followed by 2×2 max
+/// pooling, a 512-unit ReLU fully connected layer, and a 10-way output
+/// (softmax applied inside the loss). Weight-only parameter count is
+/// 1,662,752, matching Table II.
+///
+/// `Mlp` is a single-hidden-layer perceptron over the flattened 784-pixel
+/// image, used by the CPU-budget presets where the full CNN would be too
+/// slow; it changes the capacity, not any federated or defensive mechanics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassifierSpec {
+    TableIICnn,
+    Mlp { hidden: usize },
+}
+
+impl ClassifierSpec {
+    /// Flattened input dimensionality (28 × 28 images).
+    pub fn input_dim(&self) -> usize {
+        784
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        10
+    }
+
+    /// Total trainable scalar count (including biases).
+    pub fn num_params(&self) -> usize {
+        match self {
+            ClassifierSpec::TableIICnn => {
+                (800 + 32) + (51_200 + 64) + (3136 * 512 + 512) + (512 * 10 + 10)
+            }
+            ClassifierSpec::Mlp { hidden } => (784 * hidden + hidden) + (hidden * 10 + 10),
+        }
+    }
+}
+
+/// A classifier instance: architecture plus parameter state.
+pub struct Classifier {
+    spec: ClassifierSpec,
+    net: Sequential,
+}
+
+impl Classifier {
+    /// Freshly initialized classifier.
+    pub fn new(spec: &ClassifierSpec, rng: &mut SeededRng) -> Self {
+        let net = match spec {
+            ClassifierSpec::TableIICnn => Sequential::new()
+                .push(Conv2d::new(1, 32, 5, 2, rng))
+                .push(ReLU::new())
+                .push(MaxPool2d::new(2))
+                .push(Conv2d::new(32, 64, 5, 2, rng))
+                .push(ReLU::new())
+                .push(MaxPool2d::new(2))
+                .push(Flatten::new())
+                .push(Linear::new(3136, 512, rng))
+                .push(ReLU::new())
+                .push(Linear::new(512, 10, rng)),
+            ClassifierSpec::Mlp { hidden } => Sequential::new()
+                .push(Linear::new(784, *hidden, rng))
+                .push(ReLU::new())
+                .push(Linear::new(*hidden, 10, rng)),
+        };
+        Classifier { spec: *spec, net }
+    }
+
+    /// Classifier constructed from a flat parameter vector `ψ`.
+    pub fn from_params(spec: &ClassifierSpec, flat: &[f32]) -> Self {
+        // Seed is irrelevant: every weight is overwritten by `flat`.
+        let mut clf = Classifier::new(spec, &mut SeededRng::new(0));
+        params::load(&mut clf.net, flat);
+        clf
+    }
+
+    pub fn spec(&self) -> &ClassifierSpec {
+        &self.spec
+    }
+
+    /// Flat parameter vector `ψ`.
+    pub fn get_params(&self) -> Vec<f32> {
+        params::flatten(&self.net)
+    }
+
+    /// Overwrite parameters from a flat vector.
+    pub fn set_params(&mut self, flat: &[f32]) {
+        params::load(&mut self.net, flat);
+    }
+
+    fn shape_input(&self, x: &Tensor) -> Tensor {
+        match self.spec {
+            ClassifierSpec::TableIICnn => {
+                let b = x.dim(0);
+                x.view(&[b, 1, 28, 28])
+            }
+            ClassifierSpec::Mlp { .. } => x.clone(),
+        }
+    }
+
+    /// Raw class logits for a batch of flattened images `(batch, 784)`.
+    pub fn logits(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.dim(1), 784, "classifier expects flattened 28x28 images");
+        let shaped = self.shape_input(x);
+        self.net.forward(&shaped, train)
+    }
+
+    /// One optimizer step on a mini-batch; returns the batch loss.
+    pub fn train_batch(&mut self, x: &Tensor, y: &[usize], optim: &mut dyn Optimizer) -> f32 {
+        self.net.zero_grad();
+        let logits = self.logits(x, true);
+        let (loss, dlogits) = loss::softmax_cross_entropy(&logits, y);
+        self.net.backward(&dlogits);
+        optim.step(&mut self.net);
+        loss
+    }
+
+    /// One FedProx step (Sahu et al., cited by the paper's §VI-C): the
+    /// cross-entropy gradient plus the proximal pull `μ (w − w_global)`
+    /// toward the round's global parameters. `μ = 0` reduces to
+    /// [`Classifier::train_batch`]. Returns the cross-entropy part of the
+    /// loss.
+    pub fn train_batch_prox(
+        &mut self,
+        x: &Tensor,
+        y: &[usize],
+        optim: &mut dyn Optimizer,
+        global: &[f32],
+        mu: f32,
+    ) -> f32 {
+        assert_eq!(global.len(), self.spec.num_params(), "global parameter size mismatch");
+        self.net.zero_grad();
+        let logits = self.logits(x, true);
+        let (loss, dlogits) = loss::softmax_cross_entropy(&logits, y);
+        self.net.backward(&dlogits);
+        if mu != 0.0 {
+            let mut off = 0usize;
+            self.net.visit_params_mut(&mut |p| {
+                let n = p.numel();
+                let w = p.value.data();
+                let g = p.grad.data_mut();
+                for i in 0..n {
+                    g[i] += mu * (w[i] - global[off + i]);
+                }
+                off += n;
+            });
+        }
+        optim.step(&mut self.net);
+        loss
+    }
+
+    /// Accuracy over a dataset, evaluated in mini-batches of `batch`.
+    pub fn evaluate(&mut self, x: &Tensor, y: &[usize], batch: usize) -> f32 {
+        let n = x.dim(0);
+        assert_eq!(y.len(), n);
+        if n == 0 {
+            return 0.0;
+        }
+        let mut correct = 0usize;
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + batch).min(n);
+            let xb = x.slice_rows(lo, hi);
+            let logits = self.logits(&xb, false);
+            let preds = logits.argmax_rows();
+            correct += preds.iter().zip(&y[lo..hi]).filter(|(p, t)| p == t).count();
+            lo = hi;
+        }
+        correct as f32 / n as f32
+    }
+
+    /// Predicted class per row.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        self.logits(x, false).argmax_rows()
+    }
+}
+
+impl Module for Classifier {
+    fn visit_params(&self, f: &mut dyn FnMut(&Parameter)) {
+        self.net.visit_params(f);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.net.visit_params_mut(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+
+    #[test]
+    fn table_ii_weight_count_matches_paper() {
+        // The paper counts weights only (no biases): 1,662,752.
+        let mut rng = SeededRng::new(0);
+        let clf = Classifier::new(&ClassifierSpec::TableIICnn, &mut rng);
+        let mut weights_only = 0usize;
+        let mut total = 0usize;
+        clf.visit_params(&mut |p| {
+            total += p.numel();
+            if p.value.shape().rank() > 1 {
+                weights_only += p.numel();
+            }
+        });
+        assert_eq!(weights_only, 1_662_752);
+        assert_eq!(total, ClassifierSpec::TableIICnn.num_params());
+    }
+
+    #[test]
+    fn mlp_param_count() {
+        let mut rng = SeededRng::new(0);
+        let spec = ClassifierSpec::Mlp { hidden: 32 };
+        let clf = Classifier::new(&spec, &mut rng);
+        assert_eq!(clf.get_params().len(), spec.num_params());
+    }
+
+    #[test]
+    fn params_round_trip() {
+        let mut rng = SeededRng::new(1);
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let clf = Classifier::new(&spec, &mut rng);
+        let p = clf.get_params();
+        let clf2 = Classifier::from_params(&spec, &p);
+        assert_eq!(clf2.get_params(), p);
+    }
+
+    #[test]
+    fn cnn_forward_shape() {
+        let mut rng = SeededRng::new(2);
+        let mut clf = Classifier::new(&ClassifierSpec::TableIICnn, &mut rng);
+        let x = Tensor::randn(&[2, 784], &mut rng);
+        let logits = clf.logits(&x, false);
+        assert_eq!(logits.dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn mlp_learns_a_separable_task() {
+        let mut rng = SeededRng::new(3);
+        let spec = ClassifierSpec::Mlp { hidden: 16 };
+        let mut clf = Classifier::new(&spec, &mut rng);
+        // Class = brightest quadrant indicator in a crude synthetic pattern.
+        let n = 64;
+        let mut xs = vec![0.0f32; n * 784];
+        let mut ys = vec![0usize; n];
+        for i in 0..n {
+            let c = i % 2;
+            ys[i] = c;
+            for j in 0..784 {
+                let bright = if c == 0 { j < 392 } else { j >= 392 };
+                xs[i * 784 + j] = if bright { 0.8 } else { 0.1 } + 0.05 * rng.next_normal();
+            }
+        }
+        let x = Tensor::from_vec(xs, &[n, 784]);
+        let mut sgd = Sgd::new(0.1);
+        for _ in 0..30 {
+            clf.train_batch(&x, &ys, &mut sgd);
+        }
+        assert!(clf.evaluate(&x, &ys, 32) > 0.95);
+    }
+
+    #[test]
+    fn prox_zero_matches_plain_training() {
+        let mut rng = SeededRng::new(6);
+        let spec = ClassifierSpec::Mlp { hidden: 8 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(7)).get_params();
+        let x = Tensor::randn(&[4, 784], &mut rng);
+        let y = vec![0usize, 1, 2, 3];
+
+        let mut a = Classifier::from_params(&spec, &global);
+        let mut b = Classifier::from_params(&spec, &global);
+        let mut sa = Sgd::new(0.1);
+        let mut sb = Sgd::new(0.1);
+        a.train_batch(&x, &y, &mut sa);
+        b.train_batch_prox(&x, &y, &mut sb, &global, 0.0);
+        assert_eq!(a.get_params(), b.get_params());
+    }
+
+    #[test]
+    fn large_prox_mu_pins_params_to_global() {
+        let mut rng = SeededRng::new(8);
+        let spec = ClassifierSpec::Mlp { hidden: 8 };
+        let global = Classifier::new(&spec, &mut SeededRng::new(9)).get_params();
+        let x = Tensor::randn(&[4, 784], &mut rng);
+        let y = vec![0usize, 1, 2, 3];
+
+        let dist = |mu: f32| {
+            let mut clf = Classifier::from_params(&spec, &global);
+            let mut sgd = Sgd::new(0.05);
+            for _ in 0..10 {
+                clf.train_batch_prox(&x, &y, &mut sgd, &global, mu);
+            }
+            fg_tensor::vecops::l2_distance(&clf.get_params(), &global)
+        };
+        // Stability requires lr * mu < 2; mu = 10 with lr = 0.05 contracts.
+        let free = dist(0.0);
+        let pinned = dist(10.0);
+        assert!(pinned < free * 0.5, "prox did not constrain: {pinned} vs {free}");
+    }
+
+    #[test]
+    fn evaluate_handles_partial_batches() {
+        let mut rng = SeededRng::new(4);
+        let mut clf = Classifier::new(&ClassifierSpec::Mlp { hidden: 8 }, &mut rng);
+        let x = Tensor::randn(&[7, 784], &mut rng);
+        let y = vec![0usize; 7];
+        let acc = clf.evaluate(&x, &y, 3);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn evaluate_empty_dataset_is_zero() {
+        let mut rng = SeededRng::new(5);
+        let mut clf = Classifier::new(&ClassifierSpec::Mlp { hidden: 8 }, &mut rng);
+        let x = Tensor::zeros(&[0, 784]);
+        assert_eq!(clf.evaluate(&x, &[], 4), 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! A plain (unconditional) Variational AutoEncoder with Gaussian likelihood.
+//!
+//! Used by the Spectral baseline (Li et al. 2020): the server pre-trains this
+//! VAE on low-dimensional *surrogate vectors* of benign model updates and
+//! flags clients whose submissions reconstruct poorly. Surrogates are
+//! real-valued, so the reconstruction term is mean-squared error rather than
+//! the image CVAE's Bernoulli BCE.
+
+use crate::activations::ReLU;
+use crate::layer::{Layer, Module, Parameter};
+use crate::linear::Linear;
+use crate::loss;
+use crate::optim::Optimizer;
+use fg_tensor::rng::SeededRng;
+use fg_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Architecture hyper-parameters of a plain VAE.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VaeSpec {
+    pub x_dim: usize,
+    pub hidden: usize,
+    pub latent: usize,
+}
+
+/// Encoder `x → (μ, log σ²)`, decoder `z → x̂`, trained on MSE + KL.
+pub struct Vae {
+    spec: VaeSpec,
+    enc_l1: Linear,
+    enc_relu: ReLU,
+    mu_head: Linear,
+    logvar_head: Linear,
+    dec_l1: Linear,
+    dec_relu: ReLU,
+    dec_l2: Linear,
+}
+
+impl Vae {
+    pub fn new(spec: &VaeSpec, rng: &mut SeededRng) -> Self {
+        Vae {
+            spec: *spec,
+            enc_l1: Linear::new(spec.x_dim, spec.hidden, rng),
+            enc_relu: ReLU::new(),
+            mu_head: Linear::new(spec.hidden, spec.latent, rng),
+            logvar_head: Linear::new(spec.hidden, spec.latent, rng),
+            dec_l1: Linear::new(spec.latent, spec.hidden, rng),
+            dec_relu: ReLU::new(),
+            dec_l2: Linear::new(spec.hidden, spec.x_dim, rng),
+        }
+    }
+
+    pub fn spec(&self) -> &VaeSpec {
+        &self.spec
+    }
+
+    fn decode(&mut self, z: &Tensor, train: bool) -> Tensor {
+        let h = self.dec_l1.forward(z, train);
+        let h = self.dec_relu.forward(&h, train);
+        self.dec_l2.forward(&h, train)
+    }
+
+    fn encode_internal(&mut self, x: &Tensor, train: bool) -> (Tensor, Tensor) {
+        let h = self.enc_l1.forward(x, train);
+        let h = self.enc_relu.forward(&h, train);
+        (self.mu_head.forward(&h, train), self.logvar_head.forward(&h, train))
+    }
+
+    /// One training step on a batch; returns the loss (MSE + β·KL).
+    pub fn train_batch(
+        &mut self,
+        x: &Tensor,
+        beta: f32,
+        optim: &mut dyn Optimizer,
+        rng: &mut SeededRng,
+    ) -> f32 {
+        self.zero_grad();
+        let (mu, logvar) = self.encode_internal(x, true);
+        let eps = mu.randn_like(rng);
+        let std = logvar.map(|lv| (0.5 * lv).exp());
+        let z = mu.add(&std.mul(&eps));
+        let recon = self.decode(&z, true);
+
+        // MSE summed over features, averaged over batch.
+        let b = x.dim(0) as f32;
+        let diff = recon.sub(x);
+        let mse: f32 = diff.data().iter().map(|d| d * d).sum::<f32>() / b;
+        let drecon = diff.map(|d| 2.0 * d / b);
+
+        let (kl, kl_dmu, kl_dlv) = loss::kl_gaussian(&mu, &logvar);
+
+        // Backward through decoder.
+        let dh = self.dec_l2.backward(&drecon);
+        let dh = self.dec_relu.backward(&dh);
+        let dz = self.dec_l1.backward(&dh);
+
+        let mut dmu = dz.clone();
+        dmu.axpy(beta, &kl_dmu);
+        let mut dlv = dz.mul(&eps).mul(&std).map(|v| 0.5 * v);
+        dlv.axpy(beta, &kl_dlv);
+
+        let dh_mu = self.mu_head.backward(&dmu);
+        let dh_lv = self.logvar_head.backward(&dlv);
+        let dh = dh_mu.add(&dh_lv);
+        let dh = self.enc_relu.backward(&dh);
+        self.enc_l1.backward(&dh);
+
+        optim.step(self);
+        mse + beta * kl
+    }
+
+    /// Per-row reconstruction error (MSE over features, via the posterior
+    /// mean — the anomaly score Spectral thresholds on).
+    pub fn reconstruction_errors(&mut self, x: &Tensor) -> Vec<f32> {
+        let (mu, _) = self.encode_internal(x, false);
+        let recon = self.decode(&mu, false);
+        let n = x.dim(1) as f32;
+        (0..x.dim(0))
+            .map(|r| {
+                recon
+                    .row(r)
+                    .iter()
+                    .zip(x.row(r))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f32>()
+                    / n
+            })
+            .collect()
+    }
+}
+
+impl Module for Vae {
+    fn visit_params(&self, f: &mut dyn FnMut(&Parameter)) {
+        self.enc_l1.visit_params(f);
+        self.mu_head.visit_params(f);
+        self.logvar_head.visit_params(f);
+        self.dec_l1.visit_params(f);
+        self.dec_l2.visit_params(f);
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        self.enc_l1.visit_params_mut(f);
+        self.mu_head.visit_params_mut(f);
+        self.logvar_head.visit_params_mut(f);
+        self.dec_l1.visit_params_mut(f);
+        self.dec_l2.visit_params_mut(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Adam;
+
+    fn blob_data(rng: &mut SeededRng, n: usize, dim: usize) -> Tensor {
+        // Correlated low-rank data the VAE can compress: x = u * direction.
+        let mut data = vec![0.0f32; n * dim];
+        for r in 0..n {
+            let u = rng.next_normal();
+            for c in 0..dim {
+                data[r * dim + c] = u * (c as f32 / dim as f32) + 0.01 * rng.next_normal();
+            }
+        }
+        Tensor::from_vec(data, &[n, dim])
+    }
+
+    #[test]
+    fn training_reduces_reconstruction_error() {
+        let spec = VaeSpec { x_dim: 16, hidden: 32, latent: 4 };
+        let mut rng = SeededRng::new(0);
+        let mut vae = Vae::new(&spec, &mut rng);
+        let x = blob_data(&mut rng, 64, 16);
+        let before: f32 =
+            vae.reconstruction_errors(&x).iter().sum::<f32>() / 64.0;
+        let mut adam = Adam::new(1e-2);
+        for _ in 0..200 {
+            vae.train_batch(&x, 0.1, &mut adam, &mut rng);
+        }
+        let after: f32 = vae.reconstruction_errors(&x).iter().sum::<f32>() / 64.0;
+        assert!(after < before * 0.5, "VAE did not learn: {before} -> {after}");
+    }
+
+    #[test]
+    fn anomalies_score_higher_than_inliers() {
+        let spec = VaeSpec { x_dim: 16, hidden: 32, latent: 4 };
+        let mut rng = SeededRng::new(1);
+        let mut vae = Vae::new(&spec, &mut rng);
+        let x = blob_data(&mut rng, 128, 16);
+        let mut adam = Adam::new(1e-2);
+        for _ in 0..300 {
+            vae.train_batch(&x, 0.1, &mut adam, &mut rng);
+        }
+        // Inliers: fresh draws from the same process. Outliers: sign-flipped
+        // and offset versions.
+        let inliers = blob_data(&mut rng, 16, 16);
+        let outliers = inliers.map(|v| -v + 3.0);
+        let e_in: f32 = vae.reconstruction_errors(&inliers).iter().sum::<f32>() / 16.0;
+        let e_out: f32 = vae.reconstruction_errors(&outliers).iter().sum::<f32>() / 16.0;
+        assert!(e_out > 2.0 * e_in, "outliers not separated: in={e_in}, out={e_out}");
+    }
+
+    #[test]
+    fn reconstruction_error_shape() {
+        let spec = VaeSpec { x_dim: 8, hidden: 8, latent: 2 };
+        let mut rng = SeededRng::new(2);
+        let mut vae = Vae::new(&spec, &mut rng);
+        let x = Tensor::randn(&[5, 8], &mut rng);
+        assert_eq!(vae.reconstruction_errors(&x).len(), 5);
+    }
+}

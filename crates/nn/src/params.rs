@@ -1,0 +1,82 @@
+//! Flattening model parameters to and from plain `Vec<f32>` vectors — the
+//! wire format of the federated-learning layer. Clients ship flat vectors
+//! (`ψ` for the classifier, `θ` for the CVAE decoder) and the aggregation
+//! operators work on them directly.
+
+use crate::layer::Module;
+
+/// Concatenate all parameters of a module into one flat vector, in visit
+/// order.
+pub fn flatten(module: &dyn Module) -> Vec<f32> {
+    let mut out = Vec::with_capacity(module.num_params());
+    module.visit_params(&mut |p| out.extend_from_slice(p.value.data()));
+    out
+}
+
+/// Load a flat vector produced by [`flatten`] back into the module.
+///
+/// Panics if the vector length does not match the module's parameter count.
+pub fn load(module: &mut dyn Module, flat: &[f32]) {
+    let expected = module.num_params();
+    assert_eq!(flat.len(), expected, "parameter vector length {} != model size {}", flat.len(), expected);
+    let mut off = 0usize;
+    module.visit_params_mut(&mut |p| {
+        let n = p.numel();
+        p.value.data_mut().copy_from_slice(&flat[off..off + n]);
+        off += n;
+    });
+}
+
+/// Concatenate all *gradients* of a module (useful for tests and for
+/// gradient-based defenses).
+pub fn flatten_grads(module: &dyn Module) -> Vec<f32> {
+    let mut out = Vec::with_capacity(module.num_params());
+    module.visit_params(&mut |p| out.extend_from_slice(p.grad.data()));
+    out
+}
+
+/// Size in bytes of a flat parameter vector on the simulated wire
+/// (f32 = 4 bytes, matching the paper's MB figures: 1,662,752 × 4 ≈ 6.65 MB).
+pub fn wire_bytes(num_params: usize) -> u64 {
+    num_params as u64 * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::sequential::Sequential;
+    use fg_tensor::rng::SeededRng;
+
+    #[test]
+    fn flatten_load_round_trip() {
+        let mut rng = SeededRng::new(0);
+        let net = Sequential::new()
+            .push(Linear::new(3, 4, &mut rng))
+            .push(Linear::new(4, 2, &mut rng));
+        let flat = flatten(&net);
+        assert_eq!(flat.len(), net.num_params());
+
+        let mut net2 = Sequential::new()
+            .push(Linear::new(3, 4, &mut rng))
+            .push(Linear::new(4, 2, &mut rng));
+        load(&mut net2, &flat);
+        assert_eq!(flatten(&net2), flat);
+    }
+
+    #[test]
+    #[should_panic]
+    fn load_rejects_wrong_length() {
+        let mut rng = SeededRng::new(1);
+        let mut net = Sequential::new().push(Linear::new(2, 2, &mut rng));
+        load(&mut net, &[0.0; 3]);
+    }
+
+    #[test]
+    fn wire_bytes_matches_paper_classifier_size() {
+        // Paper: 1,662,752 parameters == 6.65 MB.
+        let bytes = wire_bytes(1_662_752);
+        assert_eq!(bytes, 6_651_008);
+        assert!((bytes as f64 / 1e6 - 6.65).abs() < 0.01);
+    }
+}

@@ -1,0 +1,102 @@
+//! Max-pool and flatten layers.
+
+use crate::layer::{Layer, Module, Parameter};
+use fg_tensor::pool::{maxpool2d_backward, maxpool2d_forward, MaxPool2dSpec};
+use fg_tensor::Tensor;
+
+/// 2-D max pooling with square window `k` and stride `k` (Table II uses 2×2).
+pub struct MaxPool2d {
+    spec: MaxPool2dSpec,
+    cached_argmax: Option<Vec<u32>>,
+    cached_input_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    pub fn new(k: usize) -> Self {
+        MaxPool2d { spec: MaxPool2dSpec { k }, cached_argmax: None, cached_input_dims: None }
+    }
+}
+
+impl Module for MaxPool2d {
+    fn visit_params(&self, _f: &mut dyn FnMut(&Parameter)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let out = maxpool2d_forward(input, &self.spec);
+        if train {
+            self.cached_argmax = Some(out.argmax);
+            self.cached_input_dims = Some(input.dims().to_vec());
+        }
+        out.output
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let argmax = self.cached_argmax.as_ref().expect("MaxPool2d::backward before forward");
+        let dims = self.cached_input_dims.as_ref().expect("MaxPool2d::backward before forward");
+        maxpool2d_backward(grad_output, argmax, dims)
+    }
+}
+
+/// Collapse `(batch, ...)` into `(batch, features)`.
+#[derive(Default)]
+pub struct Flatten {
+    cached_input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    pub fn new() -> Self {
+        Flatten { cached_input_dims: None }
+    }
+}
+
+impl Module for Flatten {
+    fn visit_params(&self, _f: &mut dyn FnMut(&Parameter)) {}
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Parameter)) {}
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let batch = input.dim(0);
+        let features = input.numel() / batch;
+        if train {
+            self.cached_input_dims = Some(input.dims().to_vec());
+        }
+        input.view(&[batch, features])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = self.cached_input_dims.as_ref().expect("Flatten::backward before forward");
+        grad_output.view(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_tensor::rng::SeededRng;
+
+    #[test]
+    fn pool_halves_spatial_dims() {
+        let mut rng = SeededRng::new(0);
+        let mut pool = MaxPool2d::new(2);
+        let x = Tensor::randn(&[1, 3, 8, 8], &mut rng);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 3, 4, 4]);
+        let dx = pool.backward(&Tensor::ones(y.dims()));
+        assert_eq!(dx.dims(), x.dims());
+        assert_eq!(dx.sum(), 48.0); // one unit of gradient per output element
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut rng = SeededRng::new(1);
+        let mut fl = Flatten::new();
+        let x = Tensor::randn(&[2, 3, 4, 4], &mut rng);
+        let y = fl.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 48]);
+        let back = fl.backward(&y);
+        assert_eq!(back, x);
+    }
+}

@@ -1,0 +1,111 @@
+//! A stack of layers executed in order.
+
+use crate::layer::{Layer, Module, Parameter};
+use fg_tensor::Tensor;
+
+/// An ordered stack of layers; forward runs front-to-back, backward
+/// back-to-front.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Append a layer (builder style).
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Module for Sequential {
+    fn visit_params(&self, f: &mut dyn FnMut(&Parameter)) {
+        for l in &self.layers {
+            l.visit_params(f);
+        }
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Parameter)) {
+        for l in &mut self.layers {
+            l.visit_params_mut(f);
+        }
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activations::ReLU;
+    use crate::linear::Linear;
+    use fg_tensor::rng::SeededRng;
+
+    #[test]
+    fn composes_layers() {
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new()
+            .push(Linear::new(4, 8, &mut rng))
+            .push(ReLU::new())
+            .push(Linear::new(8, 2, &mut rng));
+        assert_eq!(net.len(), 3);
+        let x = Tensor::randn(&[3, 4], &mut rng);
+        let y = net.forward(&x, true);
+        assert_eq!(y.dims(), &[3, 2]);
+        let dx = net.backward(&Tensor::ones(&[3, 2]));
+        assert_eq!(dx.dims(), &[3, 4]);
+    }
+
+    #[test]
+    fn num_params_sums_layers() {
+        let mut rng = SeededRng::new(1);
+        let net = Sequential::new()
+            .push(Linear::new(4, 8, &mut rng))
+            .push(Linear::new(8, 2, &mut rng));
+        assert_eq!(net.num_params(), (4 * 8 + 8) + (8 * 2 + 2));
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut rng = SeededRng::new(2);
+        let mut net = Sequential::new().push(Linear::new(3, 3, &mut rng));
+        let x = Tensor::randn(&[2, 3], &mut rng);
+        net.forward(&x, true);
+        net.backward(&Tensor::ones(&[2, 3]));
+        let mut norm = 0.0;
+        net.visit_params(&mut |p| norm += p.grad.l2_norm());
+        assert!(norm > 0.0);
+        net.zero_grad();
+        norm = 0.0;
+        net.visit_params(&mut |p| norm += p.grad.l2_norm());
+        assert_eq!(norm, 0.0);
+    }
+}

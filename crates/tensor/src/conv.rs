@@ -1,0 +1,386 @@
+//! 2-D convolution via im2col lowering.
+//!
+//! Layouts follow the paper's classifier (Table II): activations are
+//! `(batch, channels, height, width)`, weights `(out_ch, in_ch, kh, kw)`
+//! flattened to `(out_ch, in_ch*kh*kw)`, stride 1, configurable zero padding.
+//! Table II's flatten size (3136 = 64·7·7) and parameter counts imply the
+//! paper's two 5×5 convolutions are same-size (padding 2) with the 2×2 max
+//! pools providing all downsampling (28 → 14 → 7), so padded convolution is a
+//! first-class citizen here. Each batch item is lowered to a
+//! `(out_h*out_w, in_ch*kh*kw)` patch matrix and the convolution becomes a
+//! matrix multiply, reusing the optimized kernels in [`crate::kernels`].
+
+use crate::kernels::{matmul, matmul_at, matmul_bt};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Static description of a convolution (stride 1, zero padding `pad`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Conv2dSpec {
+    pub in_ch: usize,
+    pub out_ch: usize,
+    pub kh: usize,
+    pub kw: usize,
+    pub pad: usize,
+}
+
+impl Conv2dSpec {
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let (ph, pw) = (h + 2 * self.pad, w + 2 * self.pad);
+        assert!(ph >= self.kh && pw >= self.kw, "padded input smaller than kernel");
+        (ph - self.kh + 1, pw - self.kw + 1)
+    }
+
+    /// Number of columns of the im2col patch matrix.
+    pub fn patch_len(&self) -> usize {
+        self.in_ch * self.kh * self.kw
+    }
+}
+
+/// Lower one image `(in_ch, h, w)` into a `(out_h*out_w, patch_len)` matrix,
+/// reading zeros outside the image bounds (zero padding).
+pub fn im2col(image: &[f32], h: usize, w: usize, spec: &Conv2dSpec, out: &mut [f32]) {
+    let (oh, ow) = spec.out_size(h, w);
+    let patch = spec.patch_len();
+    let pad = spec.pad as isize;
+    debug_assert_eq!(image.len(), spec.in_ch * h * w);
+    debug_assert_eq!(out.len(), oh * ow * patch);
+
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = &mut out[(oy * ow + ox) * patch..(oy * ow + ox + 1) * patch];
+            let mut p = 0;
+            for c in 0..spec.in_ch {
+                let plane = &image[c * h * w..(c + 1) * h * w];
+                for ky in 0..spec.kh {
+                    let sy = oy as isize + ky as isize - pad;
+                    if sy < 0 || sy >= h as isize {
+                        row[p..p + spec.kw].fill(0.0);
+                        p += spec.kw;
+                        continue;
+                    }
+                    let sy = sy as usize;
+                    for kx in 0..spec.kw {
+                        let sx = ox as isize + kx as isize - pad;
+                        row[p] = if sx < 0 || sx >= w as isize {
+                            0.0
+                        } else {
+                            plane[sy * w + sx as usize]
+                        };
+                        p += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-add the columns gradient back into an image gradient (adjoint of
+/// [`im2col`]; contributions that fell in the zero-padding are dropped).
+pub fn col2im(cols: &[f32], h: usize, w: usize, spec: &Conv2dSpec, image_grad: &mut [f32]) {
+    let (oh, ow) = spec.out_size(h, w);
+    let patch = spec.patch_len();
+    let pad = spec.pad as isize;
+    debug_assert_eq!(cols.len(), oh * ow * patch);
+    debug_assert_eq!(image_grad.len(), spec.in_ch * h * w);
+
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = &cols[(oy * ow + ox) * patch..(oy * ow + ox + 1) * patch];
+            let mut p = 0;
+            for c in 0..spec.in_ch {
+                let plane = &mut image_grad[c * h * w..(c + 1) * h * w];
+                for ky in 0..spec.kh {
+                    let sy = oy as isize + ky as isize - pad;
+                    if sy < 0 || sy >= h as isize {
+                        p += spec.kw;
+                        continue;
+                    }
+                    let sy = sy as usize;
+                    for kx in 0..spec.kw {
+                        let sx = ox as isize + kx as isize - pad;
+                        if sx >= 0 && sx < w as isize {
+                            plane[sy * w + sx as usize] += row[p];
+                        }
+                        p += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Forward convolution.
+///
+/// `input` is `(batch, in_ch, h, w)`, `weight` `(out_ch, in_ch*kh*kw)` (the
+/// flattened filter bank), `bias` `(out_ch)`. Returns
+/// `(batch, out_ch, out_h, out_w)`.
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    let dims = input.dims();
+    assert_eq!(dims.len(), 4, "conv2d input must be (B,C,H,W)");
+    let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    assert_eq!(c, spec.in_ch, "channel mismatch");
+    assert_eq!(weight.dims(), &[spec.out_ch, spec.patch_len()]);
+    let (oh, ow) = spec.out_size(h, w);
+    let img_len = c * h * w;
+    let out_plane = oh * ow;
+
+    let mut out = vec![0.0f32; b * spec.out_ch * out_plane];
+    let in_data = input.data();
+    let bias_data = bias.data();
+
+    out.par_chunks_mut(spec.out_ch * out_plane).enumerate().for_each(|(bi, out_img)| {
+        let image = &in_data[bi * img_len..(bi + 1) * img_len];
+        let mut cols = vec![0.0f32; out_plane * spec.patch_len()];
+        im2col(image, h, w, spec, &mut cols);
+        let cols_t = Tensor::from_vec(cols, &[out_plane, spec.patch_len()]);
+        // (out_plane, patch) x (out_ch, patch)^T -> (out_plane, out_ch)
+        let prod = matmul_bt(&cols_t, weight);
+        // Transpose into (out_ch, out_plane) with bias.
+        let prod_data = prod.data();
+        for oc in 0..spec.out_ch {
+            let bias_v = bias_data[oc];
+            let dst = &mut out_img[oc * out_plane..(oc + 1) * out_plane];
+            for (pos, d) in dst.iter_mut().enumerate() {
+                *d = prod_data[pos * spec.out_ch + oc] + bias_v;
+            }
+        }
+    });
+
+    Tensor::from_vec(out, &[b, spec.out_ch, oh, ow])
+}
+
+/// Gradients produced by [`conv2d_backward`].
+pub struct Conv2dGrads {
+    pub d_input: Tensor,
+    pub d_weight: Tensor,
+    pub d_bias: Tensor,
+}
+
+/// Backward convolution: given the cached forward `input` and the upstream
+/// gradient `d_out` `(batch, out_ch, oh, ow)`, produce gradients for input,
+/// weight and bias. Weight gradient layout matches the forward flattened
+/// filter bank `(out_ch, in_ch*kh*kw)`.
+pub fn conv2d_backward(input: &Tensor, weight: &Tensor, d_out: &Tensor, spec: &Conv2dSpec) -> Conv2dGrads {
+    let dims = input.dims();
+    let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let (oh, ow) = spec.out_size(h, w);
+    let out_plane = oh * ow;
+    let img_len = c * h * w;
+    assert_eq!(d_out.dims(), &[b, spec.out_ch, oh, ow]);
+
+    let in_data = input.data();
+    let dout_data = d_out.data();
+
+    // Per-batch partial results folded together; keeps rayon tasks free of
+    // shared mutable state.
+    let (d_input_vec, d_weight_t, d_bias_t) = (0..b)
+        .into_par_iter()
+        .map(|bi| {
+            let image = &in_data[bi * img_len..(bi + 1) * img_len];
+            let mut cols = vec![0.0f32; out_plane * spec.patch_len()];
+            im2col(image, h, w, spec, &mut cols);
+            let cols_t = Tensor::from_vec(cols, &[out_plane, spec.patch_len()]);
+
+            // Upstream grad reshaped to (out_plane, out_ch).
+            let mut g = vec![0.0f32; out_plane * spec.out_ch];
+            let src = &dout_data[bi * spec.out_ch * out_plane..(bi + 1) * spec.out_ch * out_plane];
+            for oc in 0..spec.out_ch {
+                for pos in 0..out_plane {
+                    g[pos * spec.out_ch + oc] = src[oc * out_plane + pos];
+                }
+            }
+            let g_t = Tensor::from_vec(g, &[out_plane, spec.out_ch]);
+
+            // dW = g^T (out_ch, out_plane) x cols (out_plane, patch)
+            let dw = matmul_at(&g_t, &cols_t);
+            // db = column sums of g
+            let mut db = vec![0.0f32; spec.out_ch];
+            for pos in 0..out_plane {
+                let row = &g_t.data()[pos * spec.out_ch..(pos + 1) * spec.out_ch];
+                for (d, &v) in db.iter_mut().zip(row) {
+                    *d += v;
+                }
+            }
+            // dcols = g (out_plane, out_ch) x W (out_ch, patch)
+            let dcols = matmul(&g_t, weight);
+            let mut dimg = vec![0.0f32; img_len];
+            col2im(dcols.data(), h, w, spec, &mut dimg);
+
+            (bi, dimg, dw, Tensor::from_vec(db, &[spec.out_ch]))
+        })
+        .fold(
+            || (vec![0.0f32; b * img_len], Tensor::zeros(&[spec.out_ch, spec.patch_len()]), Tensor::zeros(&[spec.out_ch])),
+            |(mut din, mut dw_acc, mut db_acc), (bi, dimg, dw, db)| {
+                din[bi * img_len..(bi + 1) * img_len].copy_from_slice(&dimg);
+                dw_acc.add_assign(&dw);
+                db_acc.add_assign(&db);
+                (din, dw_acc, db_acc)
+            },
+        )
+        .reduce(
+            || (vec![0.0f32; b * img_len], Tensor::zeros(&[spec.out_ch, spec.patch_len()]), Tensor::zeros(&[spec.out_ch])),
+            |(mut din1, mut dw1, mut db1), (din2, dw2, db2)| {
+                for (a, x) in din1.iter_mut().zip(&din2) {
+                    *a += x;
+                }
+                dw1.add_assign(&dw2);
+                db1.add_assign(&db2);
+                (din1, dw1, db1)
+            },
+        );
+
+    Conv2dGrads {
+        d_input: Tensor::from_vec(d_input_vec, &[b, c, h, w]),
+        d_weight: d_weight_t,
+        d_bias: d_bias_t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn naive_conv(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+        let dims = input.dims();
+        let (b, _, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = spec.out_size(h, w);
+        let pad = spec.pad as isize;
+        let mut out = Tensor::zeros(&[b, spec.out_ch, oh, ow]);
+        for bi in 0..b {
+            for oc in 0..spec.out_ch {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut s = bias.data()[oc];
+                        for ic in 0..spec.in_ch {
+                            for ky in 0..spec.kh {
+                                for kx in 0..spec.kw {
+                                    let sy = oy as isize + ky as isize - pad;
+                                    let sx = ox as isize + kx as isize - pad;
+                                    if sy < 0 || sy >= h as isize || sx < 0 || sx >= w as isize {
+                                        continue;
+                                    }
+                                    let wv = weight.at(&[oc, ic * spec.kh * spec.kw + ky * spec.kw + kx]);
+                                    let xv = input.at(&[bi, ic, sy as usize, sx as usize]);
+                                    s += wv * xv;
+                                }
+                            }
+                        }
+                        *out.at_mut(&[bi, oc, oy, ox]) = s;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive_unpadded() {
+        let mut rng = SeededRng::new(1);
+        let spec = Conv2dSpec { in_ch: 2, out_ch: 3, kh: 3, kw: 3, pad: 0 };
+        let x = Tensor::randn(&[2, 2, 8, 8], &mut rng);
+        let w = Tensor::randn(&[3, spec.patch_len()], &mut rng);
+        let b = Tensor::randn(&[3], &mut rng);
+        let fast = conv2d_forward(&x, &w, &b, &spec);
+        let slow = naive_conv(&x, &w, &b, &spec);
+        assert_eq!(fast.dims(), &[2, 3, 6, 6]);
+        for (a, c) in fast.data().iter().zip(slow.data()) {
+            assert!((a - c).abs() < 1e-4, "{a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_padded() {
+        let mut rng = SeededRng::new(7);
+        let spec = Conv2dSpec { in_ch: 1, out_ch: 2, kh: 5, kw: 5, pad: 2 };
+        let x = Tensor::randn(&[2, 1, 10, 10], &mut rng);
+        let w = Tensor::randn(&[2, spec.patch_len()], &mut rng);
+        let b = Tensor::randn(&[2], &mut rng);
+        let fast = conv2d_forward(&x, &w, &b, &spec);
+        let slow = naive_conv(&x, &w, &b, &spec);
+        // Same-size convolution.
+        assert_eq!(fast.dims(), &[2, 2, 10, 10]);
+        for (a, c) in fast.data().iter().zip(slow.data()) {
+            assert!((a - c).abs() < 1e-4, "{a} vs {c}");
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness() {
+        // <im2col(x), y> == <x, col2im(y)> for any x, y: the two ops must be
+        // adjoint linear maps or backprop is wrong. Checked with padding.
+        let mut rng = SeededRng::new(2);
+        let spec = Conv2dSpec { in_ch: 2, out_ch: 1, kh: 3, kw: 3, pad: 1 };
+        let (h, w) = (6, 5);
+        let (oh, ow) = spec.out_size(h, w);
+        let x = Tensor::randn(&[spec.in_ch * h * w], &mut rng);
+        let y = Tensor::randn(&[oh * ow * spec.patch_len()], &mut rng);
+
+        let mut cols = vec![0.0f32; oh * ow * spec.patch_len()];
+        im2col(x.data(), h, w, &spec, &mut cols);
+        let lhs: f32 = cols.iter().zip(y.data()).map(|(a, b)| a * b).sum();
+
+        let mut back = vec![0.0f32; spec.in_ch * h * w];
+        col2im(y.data(), h, w, &spec, &mut back);
+        let rhs: f32 = back.iter().zip(x.data()).map(|(a, b)| a * b).sum();
+
+        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut rng = SeededRng::new(3);
+        let spec = Conv2dSpec { in_ch: 1, out_ch: 2, kh: 2, kw: 2, pad: 1 };
+        let x = Tensor::randn(&[1, 1, 4, 4], &mut rng);
+        let w = Tensor::randn(&[2, spec.patch_len()], &mut rng);
+        let b = Tensor::randn(&[2], &mut rng);
+
+        // Loss = sum(conv(x)); upstream gradient of ones.
+        let out = conv2d_forward(&x, &w, &b, &spec);
+        let ones = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&x, &w, &ones, &spec);
+
+        let eps = 1e-3f32;
+        let loss = |w_: &Tensor, x_: &Tensor, b_: &Tensor| conv2d_forward(x_, w_, b_, &spec).sum();
+
+        for i in 0..w.numel() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (loss(&wp, &x, &b) - loss(&wm, &x, &b)) / (2.0 * eps);
+            let ana = grads.d_weight.data()[i];
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "dW[{i}]: {num} vs {ana}");
+        }
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (loss(&w, &xp, &b) - loss(&w, &xm, &b)) / (2.0 * eps);
+            let ana = grads.d_input.data()[i];
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "dX[{i}]: {num} vs {ana}");
+        }
+        for i in 0..b.numel() {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[i] -= eps;
+            let num = (loss(&w, &x, &bp) - loss(&w, &x, &bm)) / (2.0 * eps);
+            let ana = grads.d_bias.data()[i];
+            assert!((num - ana).abs() < 1e-2 * (1.0 + num.abs()), "dB[{i}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn table_ii_shapes() {
+        // The paper's classifier: flatten = 3136 = 64*7*7 implies same-size
+        // 5x5 convolutions (padding 2) with 2x2 pools doing 28 -> 14 -> 7.
+        let c1 = Conv2dSpec { in_ch: 1, out_ch: 32, kh: 5, kw: 5, pad: 2 };
+        assert_eq!(c1.out_size(28, 28), (28, 28));
+        let c2 = Conv2dSpec { in_ch: 32, out_ch: 64, kh: 5, kw: 5, pad: 2 };
+        assert_eq!(c2.out_size(14, 14), (14, 14));
+    }
+}

@@ -1,0 +1,231 @@
+//! Matrix-multiplication kernels.
+//!
+//! Three layouts cover every need of the layer library without materializing
+//! transposes on hot paths:
+//!
+//! * [`matmul`]      — `C = A · B`        (M,K)·(K,N) → (M,N)
+//! * [`matmul_bt`]   — `C = A · Bᵀ`       (M,K)·(N,K) → (M,N)
+//! * [`matmul_at`]   — `C = Aᵀ · B`       (K,M)·(K,N) → (M,N)
+//!
+//! The inner loops are written over contiguous slices so LLVM can
+//! auto-vectorize; the `A·B` kernel uses the classic i-k-j ordering with the
+//! `B` row streamed linearly. Row blocks are distributed over rayon when the
+//! problem is large enough to amortize the fork-join cost.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many multiply-accumulates we stay single-threaded: the fork
+/// cost dwarfs the work.
+const PAR_THRESHOLD_MACS: usize = 1 << 20;
+
+/// `C = A · B` for row-major matrices.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul: A must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul: B must be rank-2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul: inner dims mismatch ({k} vs {k2})");
+
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let body = |row: usize, out_row: &mut [f32]| {
+        let a_row = &a_data[row * k..(row + 1) * k];
+        for (kk, &a_v) in a_row.iter().enumerate() {
+            if a_v == 0.0 {
+                continue;
+            }
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (o, &b_v) in out_row.iter_mut().zip(b_row) {
+                *o += a_v * b_v;
+            }
+        }
+    };
+
+    if m * n * k >= PAR_THRESHOLD_MACS {
+        out.par_chunks_mut(n).enumerate().for_each(|(row, out_row)| body(row, out_row));
+    } else {
+        out.chunks_mut(n).enumerate().for_each(|(row, out_row)| body(row, out_row));
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = A · Bᵀ` where `A` is (M,K) and `B` is (N,K).
+///
+/// This is the natural layout for a linear layer forward pass with weights
+/// stored (out_features, in_features): each output element is a dot product
+/// of two contiguous rows.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_bt: A must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul_bt: B must be rank-2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, k2) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_bt: inner dims mismatch ({k} vs {k2})");
+
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+
+    let body = |row: usize, out_row: &mut [f32]| {
+        let a_row = &a_data[row * k..(row + 1) * k];
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b_data[j * k..(j + 1) * k];
+            *o = dot(a_row, b_row);
+        }
+    };
+
+    if m * n * k >= PAR_THRESHOLD_MACS {
+        out.par_chunks_mut(n).enumerate().for_each(|(row, out_row)| body(row, out_row));
+    } else {
+        out.chunks_mut(n).enumerate().for_each(|(row, out_row)| body(row, out_row));
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// `C = Aᵀ · B` where `A` is (K,M) and `B` is (K,N).
+///
+/// This is the weight-gradient layout: `dW = Xᵀ · dY` accumulated over the
+/// batch dimension K.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_at: A must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul_at: B must be rank-2");
+    let (k, m) = (a.dim(0), a.dim(1));
+    let (k2, n) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_at: outer dims mismatch ({k} vs {k2})");
+
+    // Accumulate rank-1 updates; out[i][j] += a[kk][i] * b[kk][j].
+    let a_data = a.data();
+    let b_data = b.data();
+    let mut out = vec![0.0f32; m * n];
+    for kk in 0..k {
+        let a_row = &a_data[kk * m..(kk + 1) * m];
+        let b_row = &b_data[kk * n..(kk + 1) * n];
+        for (i, &a_v) in a_row.iter().enumerate() {
+            if a_v == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (o, &b_v) in out_row.iter_mut().zip(b_row) {
+                *o += a_v * b_v;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+/// Dot product over contiguous slices, with a 4-way unrolled accumulator so
+/// LLVM vectorizes it even at modest optimization levels.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Naive triple-loop reference multiply, used by tests to validate the
+/// optimized kernels.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = b.dim(1);
+    let mut out = Tensor::zeros(&[m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for kk in 0..k {
+                s += a.at(&[i, kk]) * b.at(&[kk, j]);
+            }
+            *out.at_mut(&[i, j]) = s;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeededRng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let mut rng = SeededRng::new(1);
+        let a = Tensor::randn(&[7, 11], &mut rng);
+        let b = Tensor::randn(&[11, 5], &mut rng);
+        assert_close(&matmul(&a, &b), &matmul_reference(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn matmul_bt_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(2);
+        let a = Tensor::randn(&[6, 9], &mut rng);
+        let b = Tensor::randn(&[4, 9], &mut rng);
+        assert_close(&matmul_bt(&a, &b), &matmul(&a, &b.transpose()), 1e-5);
+    }
+
+    #[test]
+    fn matmul_at_matches_explicit_transpose() {
+        let mut rng = SeededRng::new(3);
+        let a = Tensor::randn(&[9, 6], &mut rng);
+        let b = Tensor::randn(&[9, 4], &mut rng);
+        assert_close(&matmul_at(&a, &b), &matmul(&a.transpose(), &b), 1e-5);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = SeededRng::new(4);
+        let a = Tensor::randn(&[5, 5], &mut rng);
+        assert_close(&matmul(&a, &Tensor::eye(5)), &a, 1e-6);
+        assert_close(&matmul(&Tensor::eye(5), &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn large_matmul_uses_parallel_path_and_matches() {
+        // Big enough to cross PAR_THRESHOLD_MACS.
+        let mut rng = SeededRng::new(5);
+        let a = Tensor::randn(&[128, 128], &mut rng);
+        let b = Tensor::randn(&[128, 128], &mut rng);
+        assert_close(&matmul(&a, &b), &matmul_reference(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        let a: Vec<f32> = (0..7).map(|x| x as f32).collect();
+        let b = vec![1.0f32; 7];
+        assert_eq!(dot(&a, &b), 21.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_rejects_dim_mismatch() {
+        matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    #[test]
+    fn zero_rows_short_circuit_is_correct() {
+        // Exercise the `a_v == 0.0` fast path.
+        let a = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[7.0, 8.0, 0.0, 0.0]);
+    }
+}

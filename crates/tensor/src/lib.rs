@@ -1,0 +1,35 @@
+//! # fg-tensor
+//!
+//! Dense, row-major `f32` tensors and the compute kernels used throughout the
+//! FedGuard reproduction: blocked matrix multiplication, im2col convolution
+//! (forward and backward), max pooling, reductions, vector algebra over raw
+//! parameter slices, and deterministic seeded random-number utilities.
+//!
+//! The crate is deliberately small and dependency-light: it is the substrate
+//! that replaces the role PyTorch plays in the original paper. Kernels are
+//! written so the inner loops operate on contiguous slices (letting LLVM
+//! auto-vectorize) and the outer loops are parallelized with rayon where the
+//! problem size warrants it.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fg_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod conv;
+pub mod kernels;
+pub mod pool;
+pub mod rng;
+pub mod shape;
+pub mod stats;
+pub mod tensor;
+pub mod vecops;
+
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,115 @@
+//! Scalar statistics used for experiment reporting (Table IV's mean ± std)
+//! and for the defenses' thresholding logic.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population standard deviation; 0 for fewer than two samples.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Sample variance (n − 1 denominator); 0 for fewer than two samples.
+pub fn sample_variance(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / (xs.len() - 1) as f32
+}
+
+/// Median (average of middle two for even lengths). Panics on empty input.
+pub fn median(xs: &[f32]) -> f32 {
+    assert!(!xs.is_empty(), "median of empty slice");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in input"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Trimmed mean: drop the `trim` smallest and `trim` largest values, average
+/// the rest. Panics if `2*trim >= len`.
+pub fn trimmed_mean(xs: &[f32], trim: usize) -> f32 {
+    assert!(2 * trim < xs.len(), "trimmed_mean would drop everything");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("trimmed_mean: NaN in input"));
+    mean(&sorted[trim..sorted.len() - trim])
+}
+
+/// Summary of a series: mean and population standard deviation, the format
+/// of every cell in the paper's Table IV.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanStd {
+    pub mean: f32,
+    pub std: f32,
+}
+
+impl MeanStd {
+    /// Summarize a slice.
+    pub fn of(xs: &[f32]) -> MeanStd {
+        MeanStd { mean: mean(xs), std: std_dev(xs) }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}% ± {:.2}%", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(sample_variance(&[]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_outliers() {
+        let xs = [1.0f32, 2.0, 3.0, 100.0, -50.0];
+        assert!((trimmed_mean(&xs, 1) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn trimmed_mean_rejects_overtrim() {
+        trimmed_mean(&[1.0, 2.0], 1);
+    }
+
+    #[test]
+    fn mean_std_display_is_percent() {
+        let s = MeanStd { mean: 0.9897, std: 0.0017 };
+        assert_eq!(s.to_string(), "98.97% ± 0.17%");
+    }
+}

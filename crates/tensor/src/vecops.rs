@@ -1,0 +1,192 @@
+//! Vector algebra over raw `&[f32]` parameter slices.
+//!
+//! Federated aggregation operates on flattened model-parameter vectors (1.66
+//! million elements at paper scale), not on shaped tensors, so these free
+//! functions work directly on slices. They are the primitives FedAvg, GeoMed,
+//! Krum and the attacks are built from.
+
+use rayon::prelude::*;
+
+/// Below this length the rayon overhead exceeds the work; stay sequential.
+const PAR_LEN: usize = 1 << 16;
+
+/// Euclidean distance between two equal-length vectors.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    squared_distance(a, b).sqrt()
+}
+
+/// Squared Euclidean distance.
+pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    if a.len() >= PAR_LEN {
+        a.par_chunks(PAR_LEN)
+            .zip(b.par_chunks(PAR_LEN))
+            .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| (x - y) * (x - y)).sum::<f32>())
+            .sum()
+    } else {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+}
+
+/// Euclidean norm.
+pub fn l2_norm(a: &[f32]) -> f32 {
+    a.iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// `out = sum_i w_i * vs_i` — the weighted mean when the weights sum to 1.
+///
+/// Panics if `vs` is empty, lengths are ragged, or weight count mismatches.
+pub fn weighted_sum(vs: &[&[f32]], weights: &[f32]) -> Vec<f32> {
+    assert!(!vs.is_empty(), "weighted_sum of zero vectors");
+    assert_eq!(vs.len(), weights.len(), "weighted_sum: weight count mismatch");
+    let n = vs[0].len();
+    for v in vs {
+        assert_eq!(v.len(), n, "weighted_sum: ragged input");
+    }
+    let mut out = vec![0.0f32; n];
+    for (v, &w) in vs.iter().zip(weights) {
+        if w == 0.0 {
+            continue;
+        }
+        for (o, &x) in out.iter_mut().zip(*v) {
+            *o += w * x;
+        }
+    }
+    out
+}
+
+/// Arithmetic mean of a set of vectors.
+pub fn mean_vector(vs: &[&[f32]]) -> Vec<f32> {
+    let w = 1.0 / vs.len() as f32;
+    weighted_sum(vs, &vec![w; vs.len()])
+}
+
+/// In-place `a += alpha * b`.
+pub fn axpy(a: &mut [f32], alpha: f32, b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "axpy: length mismatch");
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// In-place scale.
+pub fn scale(a: &mut [f32], alpha: f32) {
+    for x in a.iter_mut() {
+        *x *= alpha;
+    }
+}
+
+/// Linear interpolation `(1 - t) * a + t * b`, the server-learning-rate
+/// update rule of FedGuard (§V-A): `t = 1` is the standard full step.
+pub fn lerp(a: &[f32], b: &[f32], t: f32) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "lerp: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+}
+
+/// Full pairwise squared-distance matrix of `m` vectors, parallelized over
+/// the O(m²) upper triangle. Entry `(i, j)` is `‖v_i − v_j‖²`.
+pub fn pairwise_squared_distances(vs: &[&[f32]]) -> Vec<Vec<f32>> {
+    let m = vs.len();
+    let pairs: Vec<(usize, usize)> =
+        (0..m).flat_map(|i| (i + 1..m).map(move |j| (i, j))).collect();
+    let dists: Vec<f32> =
+        pairs.par_iter().map(|&(i, j)| squared_distance(vs[i], vs[j])).collect();
+    let mut mat = vec![vec![0.0f32; m]; m];
+    for (&(i, j), &d) in pairs.iter().zip(&dists) {
+        mat[i][j] = d;
+        mat[j][i] = d;
+    }
+    mat
+}
+
+/// True if any element is NaN or infinite.
+pub fn has_non_finite(a: &[f32]) -> bool {
+    a.iter().any(|x| !x.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn weighted_sum_is_convex_combination() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        let out = weighted_sum(&[&a, &b], &[0.25, 0.75]);
+        assert_eq!(out, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn mean_of_identical_vectors_is_identity() {
+        let v = [2.0f32, -1.0, 0.5];
+        let out = mean_vector(&[&v, &v, &v]);
+        for (o, e) in out.iter().zip(&v) {
+            assert!((o - e).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_sum_rejects_ragged() {
+        weighted_sum(&[&[1.0, 2.0], &[1.0]], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 6.0];
+        assert_eq!(lerp(&a, &b, 0.0), a.to_vec());
+        assert_eq!(lerp(&a, &b, 1.0), b.to_vec());
+        assert_eq!(lerp(&a, &b, 0.5), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn pairwise_matrix_is_symmetric_with_zero_diagonal() {
+        let vs: Vec<Vec<f32>> = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]];
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let m = pairwise_squared_distances(&refs);
+        for i in 0..3 {
+            assert_eq!(m[i][i], 0.0);
+            for j in 0..3 {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+        assert_eq!(m[0][1], 1.0);
+        assert_eq!(m[0][2], 4.0);
+        assert_eq!(m[1][2], 5.0);
+    }
+
+    #[test]
+    fn parallel_distance_matches_sequential() {
+        // Length above PAR_LEN exercises the rayon path.
+        let n = (1 << 16) + 7;
+        let a: Vec<f32> = (0..n).map(|i| (i % 13) as f32).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i % 7) as f32).collect();
+        let seq: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let par = squared_distance(&a, &b);
+        assert!((seq - par).abs() < 1e-2 * seq.max(1.0));
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = vec![1.0f32, 2.0];
+        axpy(&mut a, 2.0, &[1.0, 1.0]);
+        assert_eq!(a, vec![3.0, 4.0]);
+        scale(&mut a, 0.5);
+        assert_eq!(a, vec![1.5, 2.0]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        assert!(!has_non_finite(&[1.0, 2.0]));
+        assert!(has_non_finite(&[1.0, f32::NAN]));
+        assert!(has_non_finite(&[f32::NEG_INFINITY]));
+    }
+}

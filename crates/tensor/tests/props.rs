@@ -1,0 +1,119 @@
+//! Property-based tests on the tensor substrate's algebraic invariants.
+
+use fg_tensor::kernels::{dot, matmul, matmul_at, matmul_bt};
+use fg_tensor::stats;
+use fg_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-5.0f32..5.0, rows * cols)
+        .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+}
+
+fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
+    a.dims() == b.dims()
+        && a.data()
+            .iter()
+            .zip(b.data())
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in tensor_strategy(4, 6),
+        b in tensor_strategy(6, 3),
+        c in tensor_strategy(6, 3),
+    ) {
+        let lhs = matmul(&a, &b.add(&c));
+        let rhs = matmul(&a, &b).add(&matmul(&a, &c));
+        prop_assert!(close(&lhs, &rhs, 1e-4));
+    }
+
+    #[test]
+    fn matmul_identity_is_neutral(a in tensor_strategy(5, 5)) {
+        prop_assert!(close(&matmul(&a, &Tensor::eye(5)), &a, 1e-6));
+        prop_assert!(close(&matmul(&Tensor::eye(5), &a), &a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose(a in tensor_strategy(3, 7), b in tensor_strategy(4, 7)) {
+        prop_assert!(close(&matmul_bt(&a, &b), &matmul(&a, &b.transpose()), 1e-4));
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose(a in tensor_strategy(7, 3), b in tensor_strategy(7, 4)) {
+        prop_assert!(close(&matmul_at(&a, &b), &matmul(&a.transpose(), &b), 1e-4));
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in tensor_strategy(3, 8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn reshape_preserves_contents(a in tensor_strategy(4, 6)) {
+        let r = a.clone().reshape(&[6, 4]);
+        prop_assert_eq!(r.data(), a.data());
+        prop_assert_eq!(r.clone().reshape(&[4, 6]), a);
+    }
+
+    #[test]
+    fn concat_then_slice_round_trips(a in tensor_strategy(3, 4), b in tensor_strategy(3, 2)) {
+        let joined = a.concat_cols(&b);
+        prop_assert_eq!(joined.slice_cols(0, 4), a);
+        prop_assert_eq!(joined.slice_cols(4, 6), b);
+    }
+
+    #[test]
+    fn dot_is_symmetric_and_matches_sum(
+        v in proptest::collection::vec(-3.0f32..3.0, 1..64),
+    ) {
+        let w: Vec<f32> = v.iter().rev().copied().collect();
+        let d1 = dot(&v, &w);
+        let d2 = dot(&w, &v);
+        let naive: f32 = v.iter().zip(&w).map(|(a, b)| a * b).sum();
+        prop_assert!((d1 - d2).abs() < 1e-4);
+        prop_assert!((d1 - naive).abs() < 1e-3 * (1.0 + naive.abs()));
+    }
+
+    #[test]
+    fn axpy_matches_definition(
+        a in proptest::collection::vec(-3.0f32..3.0, 16),
+        b in proptest::collection::vec(-3.0f32..3.0, 16),
+        alpha in -2.0f32..2.0,
+    ) {
+        let mut t = Tensor::from_vec(a.clone(), &[16]);
+        t.axpy(alpha, &Tensor::from_vec(b.clone(), &[16]));
+        for i in 0..16 {
+            prop_assert!((t.data()[i] - (a[i] + alpha * b[i])).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn stats_invariants(v in proptest::collection::vec(-10.0f32..10.0, 2..40)) {
+        let m = stats::mean(&v);
+        let lo = v.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = v.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        prop_assert!(m >= lo - 1e-4 && m <= hi + 1e-4);
+        prop_assert!(stats::std_dev(&v) >= 0.0);
+        let med = stats::median(&v);
+        prop_assert!(med >= lo && med <= hi);
+    }
+
+    #[test]
+    fn argmax_rows_points_at_row_maximum(a in tensor_strategy(4, 7)) {
+        for (r, &j) in a.argmax_rows().iter().enumerate() {
+            let row = a.row(r);
+            prop_assert!(row.iter().all(|&v| v <= row[j]));
+        }
+    }
+
+    #[test]
+    fn l2_norm_triangle_inequality(a in tensor_strategy(1, 24), b in tensor_strategy(1, 24)) {
+        let sum = a.add(&b);
+        prop_assert!(sum.l2_norm() <= a.l2_norm() + b.l2_norm() + 1e-4);
+    }
+}

@@ -1,0 +1,93 @@
+//! Extending the framework: plug a custom aggregation strategy into the
+//! federation. This demonstrates the §VI-C "internal aggregation operator"
+//! direction — here, FedGuard-style auditing is unnecessary; we build a
+//! simple norm-clip + coordinate-median hybrid and run it against a
+//! same-value attack.
+//!
+//! ```text
+//! cargo run --release -p fedguard --example custom_defense
+//! ```
+
+use fedguard::agg::ops::{clip_to_norm, coordinate_median};
+use fedguard::attacks::{choose_malicious, ModelAttack, PoisoningInterceptor};
+use fedguard::data::partition::{dirichlet_partition, partition_datasets};
+use fedguard::data::synth::generate_dataset;
+use fedguard::fl::{
+    AggregationContext, AggregationOutcome, AggregationStrategy, Federation, FederationConfig,
+    LocalTrainConfig, ModelUpdate,
+};
+use fedguard::nn::models::ClassifierSpec;
+use fedguard::tensor::rng::SeededRng;
+use std::sync::Arc;
+
+/// A custom defense: clip every update to the median update norm, then take
+/// the coordinate-wise median.
+struct ClippedMedian;
+
+impl AggregationStrategy for ClippedMedian {
+    fn name(&self) -> &'static str {
+        "ClippedMedian"
+    }
+
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        _ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome {
+        // Median norm as the clipping radius.
+        let mut norms: Vec<f32> =
+            updates.iter().map(|u| fedguard::tensor::vecops::l2_norm(&u.params)).collect();
+        norms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let radius = norms[norms.len() / 2];
+
+        let clipped: Vec<Vec<f32>> =
+            updates.iter().map(|u| clip_to_norm(&u.params, radius)).collect();
+        let refs: Vec<&[f32]> = clipped.iter().map(|v| v.as_slice()).collect();
+        AggregationOutcome::new(
+            coordinate_median(&refs),
+            updates.iter().map(|u| u.client_id).collect(),
+        )
+    }
+}
+
+fn main() {
+    let config = FederationConfig {
+        n_clients: 10,
+        clients_per_round: 5,
+        rounds: 8,
+        classifier: ClassifierSpec::Mlp { hidden: 24 },
+        local: LocalTrainConfig { epochs: 2, batch_size: 16, lr: 0.1, momentum: 0.9, prox_mu: 0.0 },
+        server_lr: 1.0,
+        eval_batch: 64,
+        seed: 21,
+    };
+
+    let train = generate_dataset(40, 1);
+    let test = generate_dataset(20, 2);
+    let mut rng = SeededRng::new(3);
+    let parts = dirichlet_partition(&train, config.n_clients, 10.0, 10, &mut rng);
+    let datasets = partition_datasets(&train, &parts);
+
+    // 20% of clients submit all-ones updates — within the breakdown point
+    // of a median-based defense (unlike FedGuard, it cannot survive a
+    // malicious majority; cf. Table IV's GeoMed/Krum rows at 50%).
+    let malicious = choose_malicious(config.n_clients, 0.2, 4);
+    println!("Malicious clients: {malicious:?}");
+    let interceptor =
+        Arc::new(PoisoningInterceptor::new(malicious, ModelAttack::SameValue { value: 1.0 }, 5));
+
+    let mut federation =
+        Federation::new(config, datasets, test, Box::new(ClippedMedian), interceptor, None);
+    for record in federation.run() {
+        println!(
+            "round {} accuracy {:.1}% ({} malicious among {} sampled)",
+            record.round,
+            record.accuracy * 100.0,
+            record.malicious_sampled.len(),
+            record.sampled.len()
+        );
+    }
+    println!("\nCoordinate-median with norm clipping resists a 20% same-value attack");
+    println!("without any auditing — but unlike FedGuard it breaks down once the");
+    println!("attackers approach a majority of a round's sample.");
+}

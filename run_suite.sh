@@ -1,0 +1,13 @@
+#!/bin/bash
+# Regenerates every table/figure of the paper at the fast preset.
+set -x
+cd /root/repo
+B=target/release
+$B/fig4 --preset fast --seed 42 > results/fig4.csv 2> results/fig4.log
+$B/table4 --preset fast --seed 42 > results/table4.md 2> results/table4.log
+$B/fig5 --preset fast --seed 42 > results/fig5.csv 2> results/fig5.log
+$B/table5 --preset fast --seed 42 --rounds 6 > results/table5.md 2> results/table5.log
+$B/ablation_budget --preset fast --seed 42 > results/ablation_budget.md 2> results/ablation_budget.log
+$B/ablation_inner --preset fast --seed 42 > results/ablation_inner.md 2> results/ablation_inner.log
+$B/ablation_heterogeneity --preset fast --seed 42 > results/ablation_heterogeneity.md 2> results/ablation_heterogeneity.log
+echo ALL_RESULTS_DONE

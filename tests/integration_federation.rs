@@ -1,0 +1,112 @@
+//! Cross-crate integration: the full federation pipeline at Smoke scale —
+//! data synthesis → Dirichlet partitioning → local training → aggregation →
+//! evaluation — for every aggregation strategy.
+
+use fedguard::experiment::{
+    run_experiment, AttackScenario, ExperimentConfig, Preset, StrategyKind,
+};
+use fedguard::nn::models::CvaeSpec;
+
+#[test]
+fn every_strategy_learns_without_attack() {
+    for strategy in [
+        StrategyKind::FedAvg,
+        StrategyKind::GeoMed,
+        StrategyKind::Krum,
+        StrategyKind::Median,
+        StrategyKind::TrimmedMean,
+        StrategyKind::Spectral,
+        StrategyKind::FedGuard,
+    ] {
+        let mut cfg = ExperimentConfig::preset(Preset::Smoke, strategy, AttackScenario::None, 5);
+        cfg.fed.rounds = 4;
+        let result = run_experiment(&cfg);
+        assert_eq!(result.history.len(), 4);
+        // Krum aggregates a single client's update, so it converges slower;
+        // everything must at least clearly beat the 10% random baseline.
+        assert!(
+            result.final_accuracy() > 0.3,
+            "{} failed to learn: {:.3}",
+            strategy.name(),
+            result.final_accuracy()
+        );
+        // Accuracy must trend upward from round 0.
+        assert!(result.final_accuracy() >= result.history[0].accuracy);
+    }
+}
+
+#[test]
+fn fedguard_comm_accounting_includes_decoders() {
+    let cfg = ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedGuard, AttackScenario::None, 6);
+    let result = run_experiment(&cfg);
+    let psi = cfg.fed.classifier.num_params() as u64 * 4;
+    let theta = CvaeSpec::reduced(64, 8).decoder_params() as u64 * 4;
+    let m = cfg.fed.clients_per_round as u64;
+    for r in &result.history {
+        assert_eq!(r.comm.upload_bytes, psi * m);
+        assert_eq!(r.comm.download_bytes, (psi + theta) * m);
+    }
+
+    // FedAvg moves no decoders.
+    let cfg2 = ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 6);
+    let result2 = run_experiment(&cfg2);
+    for r in &result2.history {
+        assert_eq!(r.comm.download_bytes, psi * m);
+    }
+}
+
+#[test]
+fn histories_record_sampling_invariants() {
+    let cfg = ExperimentConfig::preset(
+        Preset::Smoke,
+        StrategyKind::FedAvg,
+        AttackScenario::SignFlip { fraction: 0.5 },
+        7,
+    );
+    let result = run_experiment(&cfg);
+    for r in &result.history {
+        assert_eq!(r.sampled.len(), cfg.fed.clients_per_round);
+        // Selected and malicious_sampled are subsets of sampled.
+        assert!(r.selected.iter().all(|c| r.sampled.contains(c)));
+        assert!(r.malicious_sampled.iter().all(|c| r.sampled.contains(c)));
+        // Ground truth roster matches the interceptor's.
+        assert!(r.malicious_sampled.iter().all(|c| result.malicious_clients.contains(c)));
+    }
+}
+
+#[test]
+fn server_lr_slows_but_stabilizes_convergence() {
+    let mut fast_cfg =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 8);
+    fast_cfg.fed.rounds = 4;
+    let mut damped_cfg = fast_cfg.clone();
+    damped_cfg.fed.server_lr = 0.3;
+
+    let fast = run_experiment(&fast_cfg);
+    let damped = run_experiment(&damped_cfg);
+    // The exact 0.3x parameter-space displacement is unit-tested in fg-fl
+    // (accuracy is not monotone in parameter interpolation, so per-round
+    // accuracy comparisons would be brittle). Here: both must learn, and the
+    // damped run must actually differ from the full-step run.
+    assert!(fast.final_accuracy() > 0.3);
+    assert!(damped.final_accuracy() > 0.3);
+    assert_ne!(fast.accuracy_series(), damped.accuracy_series());
+}
+
+#[test]
+fn seeds_produce_identical_runs_and_different_seeds_do_not() {
+    let cfg = |seed| {
+        ExperimentConfig::preset(
+            Preset::Smoke,
+            StrategyKind::FedGuard,
+            AttackScenario::SameValue { fraction: 0.3, value: 1.0 },
+            seed,
+        )
+    };
+    let a = run_experiment(&cfg(9));
+    let b = run_experiment(&cfg(9));
+    let c = run_experiment(&cfg(10));
+    assert_eq!(a.accuracy_series(), b.accuracy_series());
+    assert_ne!(a.accuracy_series(), c.accuracy_series());
+    assert_eq!(a.malicious_clients, b.malicious_clients);
+}

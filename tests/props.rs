@@ -1,0 +1,136 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! federated pipeline relies on.
+
+use fedguard::agg::ops;
+use fedguard::data::{Dataset, LabelFlip};
+use fedguard::nn::models::{Classifier, ClassifierSpec};
+use fedguard::synthesis::SynthesisBudget;
+use fedguard::tensor::vecops;
+use proptest::prelude::*;
+
+fn vecs_strategy(m: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-10.0f32..10.0, d),
+        m,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- aggregation operators ------------------------------------------
+
+    #[test]
+    fn fedavg_stays_in_coordinate_hull(vs in vecs_strategy(5, 8), counts in proptest::collection::vec(1usize..100, 5)) {
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let out = ops::fedavg(&refs, &counts);
+        for j in 0..8 {
+            let lo = vs.iter().map(|v| v[j]).fold(f32::INFINITY, f32::min);
+            let hi = vs.iter().map(|v| v[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out[j] >= lo - 1e-3 && out[j] <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn geomed_is_permutation_invariant(vs in vecs_strategy(5, 6)) {
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let a = ops::geometric_median(&refs, 50, 1e-6);
+        let mut perm = vs.clone();
+        perm.rotate_left(2);
+        let refs2: Vec<&[f32]> = perm.iter().map(|v| v.as_slice()).collect();
+        let b = ops::geometric_median(&refs2, 50, 1e-6);
+        let d = vecops::l2_distance(&a, &b);
+        let scale = vecops::l2_norm(&a).max(1.0);
+        prop_assert!(d < 0.05 * scale, "permutation moved geomed by {d}");
+    }
+
+    #[test]
+    fn median_bounded_by_extremes(vs in vecs_strategy(7, 5)) {
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let out = ops::coordinate_median(&refs);
+        for j in 0..5 {
+            let lo = vs.iter().map(|v| v[j]).fold(f32::INFINITY, f32::min);
+            let hi = vs.iter().map(|v| v[j]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(out[j] >= lo && out[j] <= hi);
+        }
+    }
+
+    #[test]
+    fn krum_returns_an_input_vector(vs in vecs_strategy(6, 4)) {
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let (out, idx) = ops::krum(&refs, 1);
+        prop_assert!(idx < vs.len());
+        prop_assert_eq!(out, vs[idx].clone());
+    }
+
+    #[test]
+    fn clipping_never_increases_norm(v in proptest::collection::vec(-100.0f32..100.0, 16), max_norm in 0.1f32..10.0) {
+        let clipped = ops::clip_to_norm(&v, max_norm);
+        prop_assert!(vecops::l2_norm(&clipped) <= max_norm + 1e-3);
+        // Direction preserved for nonzero inputs.
+        let n = vecops::l2_norm(&v);
+        if n > max_norm {
+            let cos: f32 = v.iter().zip(&clipped).map(|(a, b)| a * b).sum::<f32>()
+                / (n * vecops::l2_norm(&clipped)).max(1e-9);
+            prop_assert!(cos > 0.999, "direction changed: cos={cos}");
+        }
+    }
+
+    // ---- model parameter plumbing -----------------------------------------
+
+    #[test]
+    fn classifier_params_round_trip(hidden in 4usize..32, seed in 0u64..1000) {
+        let spec = ClassifierSpec::Mlp { hidden };
+        let mut rng = fedguard::tensor::rng::SeededRng::new(seed);
+        let clf = Classifier::new(&spec, &mut rng);
+        let p = clf.get_params();
+        prop_assert_eq!(p.len(), spec.num_params());
+        let clf2 = Classifier::from_params(&spec, &p);
+        prop_assert_eq!(clf2.get_params(), p);
+    }
+
+    // ---- synthesis budget --------------------------------------------------
+
+    #[test]
+    fn total_budget_counts_sum_exactly(t in 1usize..500, n in 1usize..60) {
+        let counts = SynthesisBudget::Total(t).per_decoder_counts(n);
+        prop_assert_eq!(counts.len(), n);
+        prop_assert_eq!(counts.iter().sum::<usize>(), t);
+        // Round-robin fairness: counts differ by at most one.
+        let lo = counts.iter().min().unwrap();
+        let hi = counts.iter().max().unwrap();
+        prop_assert!(hi - lo <= 1);
+    }
+
+    // ---- poisoning transforms ------------------------------------------------
+
+    #[test]
+    fn label_flip_is_involutive_on_any_labels(labels in proptest::collection::vec(0u8..10, 1..50)) {
+        let n = labels.len();
+        let ds = Dataset::new(vec![0.0; n * 4], labels.clone());
+        let flip = LabelFlip::paper();
+        let twice = flip.applied(&flip.applied(&ds));
+        prop_assert_eq!(twice.labels(), &labels[..]);
+    }
+
+    #[test]
+    fn sign_flip_preserves_norm(v in proptest::collection::vec(-10.0f32..10.0, 8)) {
+        use fedguard::attacks::ModelAttack;
+        let mut p = v.clone();
+        ModelAttack::SignFlip.corrupt(&mut p, 0);
+        prop_assert!((vecops::l2_norm(&p) - vecops::l2_norm(&v)).abs() < 1e-4);
+        for (a, b) in v.iter().zip(&p) {
+            prop_assert_eq!(*b, -*a);
+        }
+    }
+
+    #[test]
+    fn weighted_sum_of_equal_vectors_is_identity(v in proptest::collection::vec(-5.0f32..5.0, 8), m in 2usize..6) {
+        let vs: Vec<Vec<f32>> = vec![v.clone(); m];
+        let refs: Vec<&[f32]> = vs.iter().map(|x| x.as_slice()).collect();
+        let out = ops::fedavg(&refs, &vec![7usize; m]);
+        for (a, b) in out.iter().zip(&v) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+}
