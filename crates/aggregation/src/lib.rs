@@ -14,5 +14,11 @@
 pub mod ops;
 pub mod strategies;
 
-pub use ops::{coordinate_median, fedavg, geometric_median, krum, krum_scores, multi_krum, trimmed_mean_vectors};
-pub use strategies::{FedAvgStrategy, GeoMedStrategy, KrumStrategy, MedianStrategy, MultiKrumStrategy, TrimmedMeanStrategy};
+pub use ops::{
+    coordinate_median, fedavg, geometric_median, krum, krum_scores, multi_krum,
+    trimmed_mean_vectors,
+};
+pub use strategies::{
+    FedAvgStrategy, GeoMedStrategy, KrumStrategy, MedianStrategy, MultiKrumStrategy,
+    TrimmedMeanStrategy,
+};

@@ -20,7 +20,11 @@ impl AggregationStrategy for FedAvgStrategy {
         "FedAvg"
     }
 
-    fn aggregate(&mut self, updates: &[ModelUpdate], _ctx: &mut AggregationContext<'_>) -> AggregationOutcome {
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        _ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome {
         let refs = param_refs(updates);
         let counts: Vec<usize> = updates.iter().map(|u| u.num_samples).collect();
         AggregationOutcome::new(ops::fedavg(&refs, &counts), all_ids(updates))
@@ -44,7 +48,11 @@ impl AggregationStrategy for GeoMedStrategy {
         "GeoMed"
     }
 
-    fn aggregate(&mut self, updates: &[ModelUpdate], _ctx: &mut AggregationContext<'_>) -> AggregationOutcome {
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        _ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome {
         let refs = param_refs(updates);
         // The geometric median is a synthesis of all updates rather than a
         // selection; report all contributors.
@@ -72,15 +80,16 @@ impl AggregationStrategy for KrumStrategy {
         "Krum"
     }
 
-    fn aggregate(&mut self, updates: &[ModelUpdate], _ctx: &mut AggregationContext<'_>) -> AggregationOutcome {
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        _ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome {
         let refs = param_refs(updates);
         let scores = ops::krum_scores(&refs, self.assumed_byzantine);
         let (params, idx) = ops::krum(&refs, self.assumed_byzantine);
-        AggregationOutcome {
-            params,
-            selected: vec![updates[idx].client_id],
-            scores: updates.iter().zip(&scores).map(|(u, &s)| (u.client_id, s)).collect(),
-        }
+        AggregationOutcome::new(params, vec![updates[idx].client_id])
+            .with_scores(updates.iter().zip(&scores).map(|(u, &s)| (u.client_id, s)).collect())
     }
 }
 
@@ -104,7 +113,11 @@ impl AggregationStrategy for MultiKrumStrategy {
         "MultiKrum"
     }
 
-    fn aggregate(&mut self, updates: &[ModelUpdate], _ctx: &mut AggregationContext<'_>) -> AggregationOutcome {
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        _ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome {
         let refs = param_refs(updates);
         let c = self.select.min(updates.len());
         let (params, chosen) = ops::multi_krum(&refs, self.assumed_byzantine, c);
@@ -121,7 +134,11 @@ impl AggregationStrategy for MedianStrategy {
         "Median"
     }
 
-    fn aggregate(&mut self, updates: &[ModelUpdate], _ctx: &mut AggregationContext<'_>) -> AggregationOutcome {
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        _ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome {
         let refs = param_refs(updates);
         AggregationOutcome::new(ops::coordinate_median(&refs), all_ids(updates))
     }
@@ -145,7 +162,11 @@ impl AggregationStrategy for TrimmedMeanStrategy {
         "TrimmedMean"
     }
 
-    fn aggregate(&mut self, updates: &[ModelUpdate], _ctx: &mut AggregationContext<'_>) -> AggregationOutcome {
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        _ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome {
         let refs = param_refs(updates);
         let trim = self.trim.min((updates.len().saturating_sub(1)) / 2);
         AggregationOutcome::new(ops::trimmed_mean_vectors(&refs, trim), all_ids(updates))
@@ -204,11 +225,8 @@ mod tests {
 
     #[test]
     fn median_and_trimmed_mean_strategies() {
-        let updates = vec![
-            update(0, vec![1.0], 1),
-            update(1, vec![2.0], 1),
-            update(2, vec![100.0], 1),
-        ];
+        let updates =
+            vec![update(0, vec![1.0], 1), update(1, vec![2.0], 1), update(2, vec![100.0], 1)];
         assert_eq!(MedianStrategy.aggregate(&updates, &mut ctx(&[0.0])).params, vec![2.0]);
         assert_eq!(
             TrimmedMeanStrategy::new(1).aggregate(&updates, &mut ctx(&[0.0])).params,

@@ -85,7 +85,13 @@ mod tests {
     use super::*;
 
     fn update(id: usize) -> ModelUpdate {
-        ModelUpdate { client_id: id, params: vec![1.0, -2.0, 3.0], num_samples: 4, decoder: None, class_coverage: None }
+        ModelUpdate {
+            client_id: id,
+            params: vec![1.0, -2.0, 3.0],
+            num_samples: 4,
+            decoder: None,
+            class_coverage: None,
+        }
     }
 
     #[test]
@@ -123,11 +129,8 @@ mod tests {
 
     #[test]
     fn colluders_share_identical_noise_within_a_round() {
-        let interceptor = PoisoningInterceptor::new(
-            vec![0, 1],
-            ModelAttack::AdditiveNoise { sigma: 1.0 },
-            99,
-        );
+        let interceptor =
+            PoisoningInterceptor::new(vec![0, 1], ModelAttack::AdditiveNoise { sigma: 1.0 }, 99);
         let mut u0 = update(0);
         let mut u1 = update(1);
         interceptor.intercept(&mut u0, 5);
@@ -142,8 +145,7 @@ mod tests {
 
     #[test]
     fn benign_clients_pass_through_untouched() {
-        let interceptor =
-            PoisoningInterceptor::new(vec![7], ModelAttack::SignFlip, 0);
+        let interceptor = PoisoningInterceptor::new(vec![7], ModelAttack::SignFlip, 0);
         let mut u = update(3);
         let before = u.params.clone();
         interceptor.intercept(&mut u, 0);

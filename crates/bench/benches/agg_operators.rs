@@ -15,9 +15,7 @@ const M: usize = 50;
 
 fn make_updates(m: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
     let mut rng = SeededRng::new(seed);
-    (0..m)
-        .map(|_| (0..dim).map(|_| 0.05 * rng.next_normal()).collect())
-        .collect()
+    (0..m).map(|_| (0..dim).map(|_| 0.05 * rng.next_normal()).collect()).collect()
 }
 
 fn refs(vs: &[Vec<f32>]) -> Vec<&[f32]> {
@@ -79,18 +77,9 @@ fn bench_trimmed_mean(c: &mut Criterion) {
     let mut g = c.benchmark_group("agg/trimmed_mean");
     g.sample_size(10);
     let updates = make_updates(M, FAST_DIM, 5);
-    g.bench_function("fast_dim", |b| {
-        b.iter(|| ops::trimmed_mean_vectors(&refs(&updates), 10))
-    });
+    g.bench_function("fast_dim", |b| b.iter(|| ops::trimmed_mean_vectors(&refs(&updates), 10)));
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fedavg,
-    bench_median,
-    bench_geomed,
-    bench_krum,
-    bench_trimmed_mean
-);
+criterion_group!(benches, bench_fedavg, bench_median, bench_geomed, bench_krum, bench_trimmed_mean);
 criterion_main!(benches);

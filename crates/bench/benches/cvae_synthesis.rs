@@ -9,20 +9,15 @@ use fg_nn::models::{Classifier, ClassifierSpec, Cvae, CvaeSpec};
 use fg_tensor::rng::SeededRng;
 
 fn decoders(spec: &CvaeSpec, n: usize) -> Vec<Vec<f32>> {
-    (0..n)
-        .map(|i| Cvae::new(spec, &mut SeededRng::new(i as u64)).decoder_params())
-        .collect()
+    (0..n).map(|i| Cvae::new(spec, &mut SeededRng::new(i as u64)).decoder_params()).collect()
 }
 
 fn bench_synthesis_budget(c: &mut Criterion) {
     // Paper-size decoders (Table III), m = 50 decoders, varying t.
     let spec = CvaeSpec::table_iii();
     let thetas = decoders(&spec, 50);
-    let refs: Vec<DecoderSubmission<'_>> = thetas
-        .iter()
-        .enumerate()
-        .map(|(i, t)| DecoderSubmission::plain(i, t.as_slice()))
-        .collect();
+    let refs: Vec<DecoderSubmission<'_>> =
+        thetas.iter().enumerate().map(|(i, t)| DecoderSubmission::plain(i, t.as_slice())).collect();
 
     let mut g = c.benchmark_group("fedguard/synthesis_total_t");
     g.sample_size(10);
@@ -46,11 +41,8 @@ fn bench_synthesis_budget(c: &mut Criterion) {
 fn bench_synthesis_per_decoder(c: &mut Criterion) {
     let spec = CvaeSpec::table_iii();
     let thetas = decoders(&spec, 50);
-    let refs: Vec<DecoderSubmission<'_>> = thetas
-        .iter()
-        .enumerate()
-        .map(|(i, t)| DecoderSubmission::plain(i, t.as_slice()))
-        .collect();
+    let refs: Vec<DecoderSubmission<'_>> =
+        thetas.iter().enumerate().map(|(i, t)| DecoderSubmission::plain(i, t.as_slice())).collect();
 
     let mut g = c.benchmark_group("fedguard/synthesis_per_decoder_t");
     g.sample_size(10);

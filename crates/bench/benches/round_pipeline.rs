@@ -13,14 +13,20 @@ use fg_fl::AggregationStrategy;
 use fg_tensor::rng::SeededRng;
 
 fn build_federation(strategy: Box<dyn AggregationStrategy>) -> Federation {
-    let cfg = ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 11);
+    let cfg =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 11);
     let train = generate_dataset(cfg.per_class_train, 1);
     let test = generate_dataset(cfg.per_class_test, 2);
     let mut rng = SeededRng::new(3);
     let parts = dirichlet_partition(&train, cfg.fed.n_clients, 10.0, 10, &mut rng);
     let datasets = partition_datasets(&train, &parts);
     let needs_cvae = strategy.uses_decoders();
-    Federation::honest(cfg.fed, datasets, test, strategy, needs_cvae.then_some(cfg.cvae))
+    Federation::builder(cfg.fed)
+        .datasets(datasets)
+        .test_set(test)
+        .strategy(strategy)
+        .cvae(needs_cvae.then_some(cfg.cvae))
+        .build()
 }
 
 fn bench_rounds(c: &mut Criterion) {
@@ -40,8 +46,12 @@ fn bench_rounds(c: &mut Criterion) {
         b.iter(|| fed.run_round());
     });
     g.bench_function("fedguard", |b| {
-        let cfg =
-            ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedGuard, AttackScenario::None, 11);
+        let cfg = ExperimentConfig::preset(
+            Preset::Smoke,
+            StrategyKind::FedGuard,
+            AttackScenario::None,
+            11,
+        );
         let strategy = FedGuardStrategy::new(FedGuardConfig {
             classifier: cfg.fed.classifier,
             cvae: cfg.cvae.spec,

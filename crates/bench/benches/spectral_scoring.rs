@@ -22,7 +22,13 @@ fn bench_spectral(c: &mut Criterion) {
             for w in &mut params {
                 *w += 0.01 * rng.next_normal();
             }
-            ModelUpdate { client_id: i, params, num_samples: 600, decoder: None, class_coverage: None }
+            ModelUpdate {
+                client_id: i,
+                params,
+                num_samples: 600,
+                decoder: None,
+                class_coverage: None,
+            }
         })
         .collect();
 

@@ -48,6 +48,7 @@ fn main() {
             seed,
         );
         cfg.budget = budget;
+        cfg.telemetry_dir = Some(fg_bench::telemetry_dir().to_string());
         eprintln!("[run] budget {budget:?}");
         let result = run_experiment(&cfg);
         let det = result.detection();

@@ -11,11 +11,11 @@
 //! cargo run --release -p fg-bench --bin ablation_dynamic -- [--preset fast|smoke|paper] [--seed N]
 //! ```
 
+use fedguard::attacks::{choose_malicious, ModelAttack, PoisoningInterceptor};
 use fedguard::data::synth::generate_dataset;
 use fedguard::data::Dataset;
 use fedguard::experiment::{AttackScenario, ExperimentConfig, Preset, StrategyKind};
-use fedguard::fl::{DataStream, Federation};
-use fedguard::attacks::{choose_malicious, ModelAttack, PoisoningInterceptor};
+use fedguard::fl::{DataStream, Federation, JsonlSink};
 use fedguard::strategy::{FedGuardConfig, FedGuardStrategy};
 use fedguard::tensor::rng::SeededRng;
 use fedguard::InnerAggregator;
@@ -79,14 +79,20 @@ fn run_with_refresh(cfg: &ExperimentConfig, refresh: usize, seed: u64) -> (f32, 
 
     // Initial datasets are the first chunks; streams take over per round.
     let datasets: Vec<Dataset> = streams.iter().map(|s| s[0].clone()).collect();
-    let mut federation = Federation::new(
-        cfg.fed,
-        datasets,
-        test,
-        Box::new(strategy),
-        interceptor,
-        Some(cfg.cvae),
-    );
+    let mut federation = Federation::builder(cfg.fed)
+        .datasets(datasets)
+        .test_set(test)
+        .strategy(strategy)
+        .interceptor(interceptor)
+        .cvae(cfg.cvae)
+        .observer(
+            JsonlSink::create(
+                std::path::Path::new(fg_bench::telemetry_dir())
+                    .join(format!("ablation_dynamic-refresh{refresh}-s{seed}.jsonl")),
+            )
+            .expect("create telemetry sink"),
+        )
+        .build();
     for (id, chunks) in streams.into_iter().enumerate() {
         federation.client_mut(id).set_stream(DataStream::new(chunks, refresh));
     }
@@ -108,18 +114,17 @@ fn main() {
     );
 
     println!("# Ablation — dynamic datasets (drifting class windows, 40% same-value)");
-    println!("{}", row(&["CVAE refresh".into(), "Tail accuracy".into(), "Malicious excluded".into()]));
+    println!(
+        "{}",
+        row(&["CVAE refresh".into(), "Tail accuracy".into(), "Malicious excluded".into()])
+    );
     println!("{}", row(&vec!["---".to_string(); 3]));
     for (label, refresh) in [("never (paper static)", usize::MAX), ("every 5 rounds", 5)] {
         eprintln!("[run] refresh={label}");
         let (tail, excl) = run_with_refresh(&cfg, refresh, seed);
         println!(
             "{}",
-            row(&[
-                label.into(),
-                format!("{:.2}%", tail * 100.0),
-                format!("{:.0}%", excl * 100.0),
-            ])
+            row(&[label.into(), format!("{:.2}%", tail * 100.0), format!("{:.0}%", excl * 100.0),])
         );
     }
     if preset == Preset::Paper {

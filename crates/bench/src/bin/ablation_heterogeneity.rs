@@ -39,6 +39,7 @@ fn main() {
             );
             cfg.dirichlet_alpha = alpha;
             cfg.fedguard_coverage_aware = coverage_aware;
+            cfg.telemetry_dir = Some(fg_bench::telemetry_dir().to_string());
             eprintln!("[run] alpha={alpha} coverage_aware={coverage_aware}");
             let result = run_experiment(&cfg);
             let det = result.detection();

@@ -40,6 +40,7 @@ fn main() {
             seed,
         );
         cfg.fedguard_inner = inner;
+        cfg.telemetry_dir = Some(fg_bench::telemetry_dir().to_string());
         eprintln!("[run] inner={inner:?}");
         let result = run_experiment(&cfg);
         println!(

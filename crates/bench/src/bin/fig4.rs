@@ -75,8 +75,9 @@ fn main() {
             eprintln!("[svg] {}", svg_path.display());
         }
 
-        let header: Vec<String> =
-            std::iter::once("round".to_string()).chain(series.iter().map(|(n, _)| n.clone())).collect();
+        let header: Vec<String> = std::iter::once("round".to_string())
+            .chain(series.iter().map(|(n, _)| n.clone()))
+            .collect();
         println!("{}", header.join(","));
         let rounds = series[0].1.len();
         for r in 0..rounds {

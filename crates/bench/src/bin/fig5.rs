@@ -8,7 +8,9 @@
 //!
 //! Output: CSV — `round, FedGuard-lr-1, FedGuard-lr-0.3`.
 
-use fedguard::experiment::{run_experiment, AttackScenario, ExperimentConfig, Preset, StrategyKind};
+use fedguard::experiment::{
+    run_experiment, AttackScenario, ExperimentConfig, Preset, StrategyKind,
+};
 use fg_bench::plot::{LineChart, Series};
 use fg_bench::{preset_from_args, seed_from_args};
 
@@ -20,6 +22,9 @@ fn config_with_lr(preset: Preset, seed: u64, server_lr: f32) -> ExperimentConfig
         seed,
     );
     cfg.fed.server_lr = server_lr;
+    // Both variants share strategy/attack/seed, so give each learning rate its
+    // own trail directory instead of letting the second run truncate the first.
+    cfg.telemetry_dir = Some(format!("{}/fig5-lr{server_lr}", fg_bench::telemetry_dir()));
     cfg
 }
 
@@ -43,10 +48,7 @@ fn main() {
         title: "Fig 5 — server learning rate, 40% label flipping".into(),
         x_label: "federated round".into(),
         y_label: "global model accuracy".into(),
-        series: series
-            .iter()
-            .map(|(n, v)| Series { name: n.clone(), values: v.clone() })
-            .collect(),
+        series: series.iter().map(|(n, v)| Series { name: n.clone(), values: v.clone() }).collect(),
         y_range: (0.0, 1.0),
     };
     let out_dir = std::path::Path::new("results");

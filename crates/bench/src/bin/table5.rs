@@ -32,8 +32,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let preset = preset_from_args(&args);
     let seed = seed_from_args(&args);
-    let rounds: usize =
-        flag_value(&args, "--rounds").map_or(6, |v| v.parse().expect("--rounds expects an integer"));
+    let rounds: usize = flag_value(&args, "--rounds")
+        .map_or(6, |v| v.parse().expect("--rounds expects an integer"));
 
     // ---- Part 1: analytic communication at paper scale -------------------
     let m = 50u64;
@@ -86,6 +86,7 @@ fn main() {
     {
         let mut cfg = ExperimentConfig::preset(preset, strategy, AttackScenario::None, seed);
         cfg.fed.rounds = rounds;
+        cfg.telemetry_dir = Some(fg_bench::telemetry_dir().to_string());
         eprintln!("[run] {} ({} rounds)", cfg.label(), rounds);
         let result = run_experiment(&cfg);
         let secs = result.mean_round_secs();

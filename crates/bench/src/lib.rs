@@ -34,6 +34,13 @@ fn cache_dir() -> PathBuf {
     dir
 }
 
+/// Where the bench binaries drop their JSONL telemetry trails (one
+/// `RoundTelemetry` per line, one file per run): `results/telemetry/` at the
+/// workspace root.
+pub fn telemetry_dir() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/telemetry")
+}
+
 fn cache_key(cfg: &ExperimentConfig, preset: Preset) -> String {
     // Hash the full serialized config so any parameter change (attack σ,
     // budget, server lr, ...) invalidates the cache entry.
@@ -55,7 +62,9 @@ fn cache_key(cfg: &ExperimentConfig, preset: Preset) -> String {
 }
 
 /// Run an experiment, reusing a cached JSON result from a previous identical
-/// invocation when available. Cached under `target/fg-results/`.
+/// invocation when available. Cached under `target/fg-results/`. Fresh
+/// (non-cached) runs leave a JSONL telemetry trail under
+/// [`telemetry_dir`] unless the config already names a destination.
 pub fn run_cached(cfg: &ExperimentConfig, preset: Preset) -> ExperimentResult {
     let path = cache_dir().join(format!("{}.json", cache_key(cfg, preset)));
     if let Ok(bytes) = fs::read_to_string(&path) {
@@ -64,7 +73,11 @@ pub fn run_cached(cfg: &ExperimentConfig, preset: Preset) -> ExperimentResult {
             return result;
         }
     }
-    let result = run_experiment(cfg);
+    let mut cfg = cfg.clone();
+    if cfg.telemetry_dir.is_none() {
+        cfg.telemetry_dir = Some(telemetry_dir().to_string());
+    }
+    let result = run_experiment(&cfg);
     fs::write(&path, result.to_json()).expect("write result cache");
     result
 }
@@ -106,7 +119,8 @@ mod tests {
 
     #[test]
     fn cache_key_distinguishes_cells() {
-        let a = ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 1);
+        let a =
+            ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 1);
         let b = ExperimentConfig::preset(
             Preset::Smoke,
             StrategyKind::FedGuard,

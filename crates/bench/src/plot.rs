@@ -31,9 +31,8 @@ const MARGIN_T: f32 = 48.0;
 const MARGIN_B: f32 = 56.0;
 
 /// A categorical palette (Okabe–Ito, colorblind-safe).
-const PALETTE: [&str; 8] = [
-    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
-];
+const PALETTE: [&str; 8] =
+    ["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000"];
 
 impl LineChart {
     /// Render the chart to an SVG string.
@@ -51,7 +50,8 @@ impl LineChart {
                 MARGIN_L + plot_w * i as f32 / (n - 1) as f32
             }
         };
-        let y_of = |v: f32| MARGIN_T + plot_h * (1.0 - (v.clamp(y_lo, y_hi) - y_lo) / (y_hi - y_lo));
+        let y_of =
+            |v: f32| MARGIN_T + plot_h * (1.0 - (v.clamp(y_lo, y_hi) - y_lo) / (y_hi - y_lo));
 
         let mut svg = String::new();
         svg.push_str(&format!(

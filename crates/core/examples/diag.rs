@@ -2,10 +2,19 @@ use fedguard::experiment::*;
 fn main() {
     for sigma in [3.0f32, 8.0] {
         for s in [StrategyKind::FedAvg, StrategyKind::GeoMed] {
-            let cfg = ExperimentConfig::preset(Preset::Fast, s,
-                AttackScenario::AdditiveNoise { fraction: 0.5, sigma }, 42);
+            let cfg = ExperimentConfig::preset(
+                Preset::Fast,
+                s,
+                AttackScenario::AdditiveNoise { fraction: 0.5, sigma },
+                42,
+            );
             let r = run_experiment(&cfg);
-            println!("{} sigma={sigma}: tail={} final={:.3}", cfg.label(), r.tail_accuracy(), r.final_accuracy());
+            println!(
+                "{} sigma={sigma}: tail={} final={:.3}",
+                cfg.label(),
+                r.tail_accuracy(),
+                r.final_accuracy()
+            );
         }
     }
 }

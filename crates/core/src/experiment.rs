@@ -12,7 +12,7 @@ use fg_data::LabelFlip;
 use fg_defenses::{SpectralConfig, SpectralDefense};
 use fg_fl::client::NoAttack;
 use fg_fl::{
-    AggregationStrategy, CommStats, CvaeTrainConfig, Federation, FederationConfig,
+    AggregationStrategy, CommStats, CvaeTrainConfig, Federation, FederationConfig, JsonlSink,
     LocalTrainConfig, RoundRecord, UpdateInterceptor,
 };
 use fg_nn::models::{ClassifierSpec, CvaeSpec};
@@ -150,11 +150,20 @@ pub struct ExperimentConfig {
     pub fedguard_inner: crate::strategy::InnerAggregator,
     /// Coverage-aware synthesis (§VI-B extension).
     pub fedguard_coverage_aware: bool,
+    /// When set, the run writes one JSONL telemetry trail (one
+    /// `RoundTelemetry` per line) into this directory, named after the
+    /// strategy, attack and seed. `None` = no telemetry file.
+    pub telemetry_dir: Option<String>,
 }
 
 impl ExperimentConfig {
     /// Build a config from a preset, strategy, attack and seed.
-    pub fn preset(preset: Preset, strategy: StrategyKind, attack: AttackScenario, seed: u64) -> Self {
+    pub fn preset(
+        preset: Preset,
+        strategy: StrategyKind,
+        attack: AttackScenario,
+        seed: u64,
+    ) -> Self {
         match preset {
             Preset::Paper => {
                 let fed = FederationConfig { seed, ..FederationConfig::paper() };
@@ -183,6 +192,7 @@ impl ExperimentConfig {
                     tail_fraction: 0.8,
                     fedguard_inner: crate::strategy::InnerAggregator::FedAvg,
                     fedguard_coverage_aware: false,
+                    telemetry_dir: None,
                 }
             }
             Preset::Fast => {
@@ -194,7 +204,13 @@ impl ExperimentConfig {
                     // 5 local epochs as in the paper; ~120 samples/client
                     // makes each individual update informative, the regime
                     // FedGuard's audit assumes (local models reach ~85%).
-                    local: LocalTrainConfig { epochs: 5, batch_size: 20, lr: 0.1, momentum: 0.9, prox_mu: 0.0 },
+                    local: LocalTrainConfig {
+                        epochs: 5,
+                        batch_size: 20,
+                        lr: 0.1,
+                        momentum: 0.9,
+                        prox_mu: 0.0,
+                    },
                     server_lr: 1.0,
                     eval_batch: 128,
                     seed,
@@ -223,6 +239,7 @@ impl ExperimentConfig {
                     tail_fraction: 0.8,
                     fedguard_inner: crate::strategy::InnerAggregator::FedAvg,
                     fedguard_coverage_aware: false,
+                    telemetry_dir: None,
                 }
             }
             Preset::Smoke => {
@@ -234,7 +251,13 @@ impl ExperimentConfig {
                     // 3 local epochs on ~80 samples: individual updates are
                     // informative enough for audit-based selection to have
                     // signal even at this tiny scale.
-                    local: LocalTrainConfig { epochs: 3, batch_size: 16, lr: 0.1, momentum: 0.9, prox_mu: 0.0 },
+                    local: LocalTrainConfig {
+                        epochs: 3,
+                        batch_size: 16,
+                        lr: 0.1,
+                        momentum: 0.9,
+                        prox_mu: 0.0,
+                    },
                     server_lr: 1.0,
                     eval_batch: 64,
                     seed,
@@ -269,6 +292,7 @@ impl ExperimentConfig {
                     tail_fraction: 0.8,
                     fedguard_inner: crate::strategy::InnerAggregator::FedAvg,
                     fedguard_coverage_aware: false,
+                    telemetry_dir: None,
                 }
             }
         }
@@ -390,11 +414,13 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
 
     // Dirichlet partitioning over N clients (paper: α = 10).
     let mut part_rng = SeededRng::new(derive_seed(seed, 3));
-    let parts = dirichlet_partition(&train, cfg.fed.n_clients, cfg.dirichlet_alpha, 10, &mut part_rng);
+    let parts =
+        dirichlet_partition(&train, cfg.fed.n_clients, cfg.dirichlet_alpha, 10, &mut part_rng);
     let mut datasets = partition_datasets(&train, &parts);
 
     // Malicious roster and attack installation.
-    let malicious = choose_malicious(cfg.fed.n_clients, cfg.attack.fraction(), derive_seed(seed, 4));
+    let malicious =
+        choose_malicious(cfg.fed.n_clients, cfg.attack.fraction(), derive_seed(seed, 4));
     let interceptor: Arc<dyn UpdateInterceptor> = match cfg.attack {
         AttackScenario::None => Arc::new(NoAttack),
         AttackScenario::LabelFlip { .. } => {
@@ -423,7 +449,22 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
 
     let strategy = build_strategy(cfg);
     let cvae = strategy.uses_decoders().then_some(cfg.cvae);
-    let mut federation = Federation::new(cfg.fed, datasets, test, strategy, interceptor, cvae);
+    let mut builder = Federation::builder(cfg.fed)
+        .datasets(datasets)
+        .test_set(test)
+        .strategy(strategy)
+        .interceptor(interceptor)
+        .cvae(cvae);
+    if let Some(dir) = &cfg.telemetry_dir {
+        let path = std::path::Path::new(dir).join(format!(
+            "{}-{}-s{}.jsonl",
+            cfg.strategy.name().to_lowercase(),
+            cfg.attack.name(),
+            cfg.fed.seed
+        ));
+        builder = builder.observer(JsonlSink::create(&path).expect("create telemetry sink"));
+    }
+    let mut federation = builder.build();
     let history = federation.run();
 
     ExperimentResult {
@@ -463,8 +504,7 @@ mod tests {
             StrategyKind::Median,
             StrategyKind::TrimmedMean,
         ] {
-            let cfg =
-                ExperimentConfig::preset(Preset::Smoke, strategy, AttackScenario::None, 1);
+            let cfg = ExperimentConfig::preset(Preset::Smoke, strategy, AttackScenario::None, 1);
             let result = run_experiment(&cfg);
             assert_eq!(result.history.len(), 3, "{}", cfg.label());
             assert!(result.final_accuracy() > 0.15, "{} collapsed", cfg.label());
@@ -489,7 +529,8 @@ mod tests {
 
     #[test]
     fn results_serialize_to_json() {
-        let cfg = ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 3);
+        let cfg =
+            ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 3);
         let result = run_experiment(&cfg);
         let json = result.to_json();
         let back: ExperimentResult = serde_json::from_str(&json).unwrap();
@@ -512,10 +553,29 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic_per_seed() {
-        let cfg = ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 5);
+        let cfg =
+            ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 5);
         let a = run_experiment(&cfg);
         let b = run_experiment(&cfg);
         assert_eq!(a.accuracy_series(), b.accuracy_series());
+    }
+
+    #[test]
+    fn telemetry_dir_leaves_a_replayable_trail() {
+        let dir = std::env::temp_dir().join("fg_experiment_telemetry_test");
+        let mut cfg =
+            ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 6);
+        cfg.telemetry_dir = Some(dir.to_string_lossy().into_owned());
+        let result = run_experiment(&cfg);
+        let path = dir.join("fedavg-no-attack-s6.jsonl");
+        let events = fg_fl::read_jsonl(&path).expect("telemetry trail written");
+        assert_eq!(events.len(), result.history.len());
+        for (e, r) in events.iter().zip(&result.history) {
+            assert_eq!(e.round, r.round);
+            assert_eq!(e.accuracy, r.accuracy);
+            assert_eq!(e.comm, r.comm);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

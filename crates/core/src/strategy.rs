@@ -3,10 +3,14 @@
 
 use crate::synthesis::{synthesize_validation_set, DecoderSubmission, SynthesisBudget};
 use fg_agg::ops::{coordinate_median, fedavg, geometric_median};
-use fg_fl::{AggregationContext, AggregationOutcome, AggregationStrategy, ModelUpdate};
+use fg_fl::{
+    AggregationContext, AggregationOutcome, AggregationStrategy, ModelUpdate, StrategyTimings,
+};
 use fg_nn::models::{Classifier, ClassifierSpec, CvaeSpec};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::time::Instant;
 
 /// The aggregation operator FedGuard applies to the *selected* updates
 /// (Alg. 1 line 7 uses FedAvg; §VI-C proposes swapping in more robust
@@ -70,15 +74,6 @@ impl FedGuardConfig {
     }
 }
 
-/// Per-round audit diagnostics, retained for analysis and tests.
-#[derive(Clone, Debug, Default)]
-pub struct AuditTrace {
-    /// `(client_id, synthetic-set accuracy)` for every audited update.
-    pub accuracies: Vec<(usize, f32)>,
-    /// The round's selection threshold (mean accuracy).
-    pub threshold: f32,
-}
-
 /// The FedGuard aggregation strategy.
 ///
 /// Per round:
@@ -88,25 +83,24 @@ pub struct AuditTrace {
 /// 4. keep clients with accuracy ≥ the round mean (line 6),
 /// 5. FedAvg the kept updates (line 7).
 ///
+/// Per-round diagnostics (audit scores, selection threshold, synthesis and
+/// audit wall time) are reported through the returned
+/// [`AggregationOutcome`], which the federation forwards to telemetry
+/// observers.
+///
 /// The server learning rate of Fig. 5 is applied by the federation loop
 /// (`FederationConfig::server_lr`), orthogonal to this operator.
 pub struct FedGuardStrategy {
     config: FedGuardConfig,
-    last_trace: AuditTrace,
 }
 
 impl FedGuardStrategy {
     pub fn new(config: FedGuardConfig) -> Self {
-        FedGuardStrategy { config, last_trace: AuditTrace::default() }
+        FedGuardStrategy { config }
     }
 
     pub fn config(&self) -> &FedGuardConfig {
         &self.config
-    }
-
-    /// Diagnostics from the most recent round.
-    pub fn last_trace(&self) -> &AuditTrace {
-        &self.last_trace
     }
 }
 
@@ -119,7 +113,11 @@ impl AggregationStrategy for FedGuardStrategy {
         true
     }
 
-    fn aggregate(&mut self, updates: &[ModelUpdate], ctx: &mut AggregationContext<'_>) -> AggregationOutcome {
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome {
         // (1) Gather decoders. Every FedGuard client ships one; tolerate
         // missing decoders (a malformed submission) by auditing with the
         // rest.
@@ -139,7 +137,6 @@ impl AggregationStrategy for FedGuardStrategy {
             // back to FedAvg over everything rather than stall the round.
             let refs: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
             let counts: Vec<usize> = updates.iter().map(|u| u.num_samples).collect();
-            self.last_trace = AuditTrace::default();
             return AggregationOutcome::new(
                 fedavg(&refs, &counts),
                 updates.iter().map(|u| u.client_id).collect(),
@@ -147,6 +144,7 @@ impl AggregationStrategy for FedGuardStrategy {
         }
 
         // (2) Synthesize D_syn.
+        let stage = Instant::now();
         let d_syn = synthesize_validation_set(
             &decoders,
             &self.config.cvae,
@@ -157,9 +155,11 @@ impl AggregationStrategy for FedGuardStrategy {
         );
         let x = d_syn.to_tensor();
         let y = d_syn.labels_usize();
+        let synthesis_secs = stage.elapsed().as_secs_f64();
 
         // (3) Audit every client on the identical synthetic set, in
         // parallel (model reconstruction + forward passes dominate).
+        let stage = Instant::now();
         let eval_batch = self.config.eval_batch;
         let classifier = self.config.classifier;
         let accuracies: Vec<(usize, f32)> = updates
@@ -175,29 +175,29 @@ impl AggregationStrategy for FedGuardStrategy {
                 (u.client_id, acc)
             })
             .collect();
+        let audit_secs = stage.elapsed().as_secs_f64();
 
         // (4) Selection threshold: the round-mean accuracy.
-        let mean_acc =
-            accuracies.iter().map(|&(_, a)| a).sum::<f32>() / accuracies.len() as f32;
-        let mut selected: Vec<usize> = accuracies
-            .iter()
-            .filter(|&&(_, a)| a >= mean_acc)
-            .map(|&(id, _)| id)
-            .collect();
+        let mean_acc = accuracies.iter().map(|&(_, a)| a).sum::<f32>() / accuracies.len() as f32;
+        let mut selected: Vec<usize> =
+            accuracies.iter().filter(|&&(_, a)| a >= mean_acc).map(|&(id, _)| id).collect();
         if selected.is_empty() {
             // All-equal (or pathological) scores: keep everyone.
             selected = updates.iter().map(|u| u.client_id).collect();
         }
 
         // (5) FedAvg over the kept updates.
+        let selected_set: HashSet<usize> = selected.iter().copied().collect();
         let kept: Vec<&ModelUpdate> =
-            updates.iter().filter(|u| selected.contains(&u.client_id)).collect();
+            updates.iter().filter(|u| selected_set.contains(&u.client_id)).collect();
         let refs: Vec<&[f32]> = kept.iter().map(|u| u.params.as_slice()).collect();
         let counts: Vec<usize> = kept.iter().map(|u| u.num_samples).collect();
         let params = self.config.inner.combine(&refs, &counts);
 
-        self.last_trace = AuditTrace { accuracies: accuracies.clone(), threshold: mean_acc };
-        AggregationOutcome { params, selected, scores: accuracies }
+        AggregationOutcome::new(params, selected)
+            .with_scores(accuracies)
+            .with_threshold(mean_acc)
+            .with_timings(StrategyTimings { synthesis_secs, audit_secs })
     }
 }
 
@@ -275,10 +275,13 @@ mod tests {
 
         assert!(!out.selected.contains(&99), "garbage update selected: {:?}", out.selected);
         assert!(!out.selected.is_empty());
-        // Trace recorded for all four updates with a sane threshold.
-        let trace = s.last_trace();
-        assert_eq!(trace.accuracies.len(), 4);
-        assert!((0.0..=1.0).contains(&trace.threshold));
+        // Diagnostics reported for all four updates with a sane threshold.
+        assert_eq!(out.scores.len(), 4);
+        let threshold = out.threshold.expect("FedGuard reports its threshold");
+        assert!((0.0..=1.0).contains(&threshold));
+        // Synthesis and audit both take measurable time.
+        assert!(out.timings.synthesis_secs > 0.0);
+        assert!(out.timings.audit_secs > 0.0);
     }
 
     #[test]
@@ -288,19 +291,20 @@ mod tests {
         let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(1) };
         let mut s = FedGuardStrategy::new(config());
         let out = s.aggregate(&updates, &mut ctx);
-        let trace = s.last_trace();
-        for &(id, acc) in &trace.accuracies {
+        let threshold = out.threshold.unwrap();
+        for &(id, acc) in &out.scores {
             if out.selected.contains(&id) {
-                assert!(acc >= trace.threshold);
+                assert!(acc >= threshold);
             } else {
-                assert!(acc < trace.threshold);
+                assert!(acc < threshold);
             }
         }
     }
 
     #[test]
     fn non_finite_updates_audit_to_zero_and_are_dropped() {
-        let mut updates: Vec<ModelUpdate> = (0..3).map(|i| honest_update(i, 30 + i as u64)).collect();
+        let mut updates: Vec<ModelUpdate> =
+            (0..3).map(|i| honest_update(i, 30 + i as u64)).collect();
         updates[2].params[0] = f32::NAN;
         updates[2].client_id = 7;
         let global = vec![0.0f32; updates[0].params.len()];
@@ -313,7 +317,8 @@ mod tests {
 
     #[test]
     fn missing_decoders_fall_back_to_fedavg() {
-        let mut updates: Vec<ModelUpdate> = (0..2).map(|i| honest_update(i, 40 + i as u64)).collect();
+        let mut updates: Vec<ModelUpdate> =
+            (0..2).map(|i| honest_update(i, 40 + i as u64)).collect();
         for u in &mut updates {
             u.decoder = None;
         }
@@ -332,8 +337,7 @@ mod tests {
             let mut cfg = config();
             cfg.inner = inner;
             let mut s = FedGuardStrategy::new(cfg);
-            let mut ctx =
-                AggregationContext { round: 0, global: &global, rng: SeededRng::new(4) };
+            let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(4) };
             let out = s.aggregate(&updates, &mut ctx);
             assert_eq!(out.params.len(), global.len(), "{inner:?}");
             assert!(out.params.iter().all(|w| w.is_finite()), "{inner:?}");

@@ -42,8 +42,16 @@ pub fn detection_summary(history: &[RoundRecord]) -> DetectionSummary {
         ben_excluded += r.benign_excluded();
     }
     DetectionSummary {
-        malicious_exclusion_rate: if mal_total == 0 { 0.0 } else { mal_excluded as f64 / mal_total as f64 },
-        benign_exclusion_rate: if ben_total == 0 { 0.0 } else { ben_excluded as f64 / ben_total as f64 },
+        malicious_exclusion_rate: if mal_total == 0 {
+            0.0
+        } else {
+            mal_excluded as f64 / mal_total as f64
+        },
+        benign_exclusion_rate: if ben_total == 0 {
+            0.0
+        } else {
+            ben_excluded as f64 / ben_total as f64
+        },
     }
 }
 

@@ -245,7 +245,8 @@ mod tests {
         let theta = toy_decoder(8);
         // Decoder trained only on classes 1 and 3.
         let coverage: Vec<u32> = (0..10).map(|c| u32::from(c == 1 || c == 3)).collect();
-        let decoders = vec![DecoderSubmission { client_id: 0, theta: &theta, coverage: Some(&coverage) }];
+        let decoders =
+            vec![DecoderSubmission { client_id: 0, theta: &theta, coverage: Some(&coverage) }];
         let ds = synthesize_validation_set(
             &decoders,
             &spec,
@@ -263,7 +264,8 @@ mod tests {
         let spec = CvaeSpec::reduced(16, 4);
         let theta = toy_decoder(9);
         let coverage: Vec<u32> = (0..10).map(|c| u32::from(c == 1)).collect();
-        let decoders = vec![DecoderSubmission { client_id: 0, theta: &theta, coverage: Some(&coverage) }];
+        let decoders =
+            vec![DecoderSubmission { client_id: 0, theta: &theta, coverage: Some(&coverage) }];
         let ds = synthesize_validation_set(
             &decoders,
             &spec,
@@ -304,6 +306,13 @@ mod tests {
     #[should_panic]
     fn empty_decoder_set_panics() {
         let spec = CvaeSpec::reduced(16, 4);
-        synthesize_validation_set(&[], &spec, &SynthesisBudget::Total(10), None, false, &mut SeededRng::new(0));
+        synthesize_validation_set(
+            &[],
+            &spec,
+            &SynthesisBudget::Total(10),
+            None,
+            false,
+            &mut SeededRng::new(0),
+        );
     }
 }

@@ -117,7 +117,10 @@ impl Dataset {
         (0..n.div_ceil(batch)).map(move |b| {
             let lo = b * batch;
             let hi = (lo + batch).min(n);
-            let x = Tensor::from_vec(self.images[lo * self.dim..hi * self.dim].to_vec(), &[hi - lo, self.dim]);
+            let x = Tensor::from_vec(
+                self.images[lo * self.dim..hi * self.dim].to_vec(),
+                &[hi - lo, self.dim],
+            );
             let y = self.labels[lo..hi].iter().map(|&l| l as usize).collect();
             (x, y)
         })
@@ -134,11 +137,7 @@ impl Dataset {
 
     /// Indices of samples of a given class.
     pub fn indices_of_class(&self, class: u8) -> Vec<usize> {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &l)| (l == class).then_some(i))
-            .collect()
+        self.labels.iter().enumerate().filter_map(|(i, &l)| (l == class).then_some(i)).collect()
     }
 
     /// Concatenate two datasets of equal dimensionality.

@@ -109,10 +109,7 @@ pub fn shard_partition(
 }
 
 /// Materialize partitions into per-client datasets.
-pub fn partition_datasets(
-    dataset: &Dataset,
-    partitions: &[Vec<usize>],
-) -> Vec<Dataset> {
+pub fn partition_datasets(dataset: &Dataset, partitions: &[Vec<usize>]) -> Vec<Dataset> {
     partitions.iter().map(|idx| dataset.subset(idx)).collect()
 }
 

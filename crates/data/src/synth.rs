@@ -55,10 +55,7 @@ fn template(class: usize) -> Vec<Vec<Point>> {
             circle(0.45, 0.68, 0.28, 0.2, -PI * 0.5, PI * 0.9, 12),
         ],
         // 4: open top: left diagonal down to mid bar, vertical right stroke.
-        4 => vec![
-            vec![(0.62, 0.12), (0.25, 0.6), (0.8, 0.6)],
-            vec![(0.62, 0.12), (0.62, 0.88)],
-        ],
+        4 => vec![vec![(0.62, 0.12), (0.25, 0.6), (0.8, 0.6)], vec![(0.62, 0.12), (0.62, 0.88)]],
         // 5: top bar, left vertical, mid bar, lower-right bulge.
         5 => vec![
             vec![(0.75, 0.14), (0.3, 0.14), (0.3, 0.48)],

@@ -2,7 +2,9 @@
 
 use fg_agg::ops::fedavg;
 use fg_data::Dataset;
-use fg_fl::{AggregationContext, AggregationOutcome, AggregationStrategy, ModelUpdate};
+use fg_fl::{
+    AggregationContext, AggregationOutcome, AggregationStrategy, ModelUpdate, StrategyTimings,
+};
 use fg_nn::models::{Classifier, ClassifierSpec, Vae, VaeSpec};
 use fg_nn::optim::{Adam, Sgd};
 use fg_tensor::rng::SeededRng;
@@ -83,11 +85,7 @@ impl Scaler {
     }
 
     fn transform(&self, row: &[f32]) -> Vec<f32> {
-        row.iter()
-            .zip(&self.mean)
-            .zip(&self.std)
-            .map(|((&v, &m), &s)| (v - m) / s)
-            .collect()
+        row.iter().zip(&self.mean).zip(&self.std).map(|((&v, &m), &s)| (v - m) / s).collect()
     }
 }
 
@@ -180,7 +178,8 @@ impl SpectralDefense {
     /// Reconstruction error per update — the anomaly scores the dynamic
     /// threshold operates on. `global` is the round's starting parameters.
     pub fn scores(&mut self, updates: &[ModelUpdate], global: &[f32]) -> Vec<f32> {
-        let rows: Vec<Vec<f32>> = updates.iter().map(|u| self.surrogate(&u.params, global)).collect();
+        let rows: Vec<Vec<f32>> =
+            updates.iter().map(|u| self.surrogate(&u.params, global)).collect();
         let flat: Vec<f32> = rows.iter().flatten().copied().collect();
         let x = Tensor::from_vec(flat, &[rows.len(), self.config.surrogate_dim]);
         self.vae.reconstruction_errors(&x)
@@ -192,9 +191,15 @@ impl AggregationStrategy for SpectralDefense {
         "Spectral"
     }
 
-    fn aggregate(&mut self, updates: &[ModelUpdate], ctx: &mut AggregationContext<'_>) -> AggregationOutcome {
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome {
+        let audit_start = std::time::Instant::now();
         let errors = self.scores(updates, ctx.global);
         let threshold = errors.iter().sum::<f32>() / errors.len() as f32;
+        let audit_secs = audit_start.elapsed().as_secs_f64();
         let mut keep: Vec<usize> = (0..updates.len()).filter(|&i| errors[i] <= threshold).collect();
         if keep.is_empty() {
             // Degenerate round (all errors identical / NaN): keep everything
@@ -203,11 +208,13 @@ impl AggregationStrategy for SpectralDefense {
         }
         let refs: Vec<&[f32]> = keep.iter().map(|&i| updates[i].params.as_slice()).collect();
         let counts: Vec<usize> = keep.iter().map(|&i| updates[i].num_samples).collect();
-        AggregationOutcome {
-            params: fedavg(&refs, &counts),
-            selected: keep.iter().map(|&i| updates[i].client_id).collect(),
-            scores: updates.iter().zip(&errors).map(|(u, &e)| (u.client_id, e)).collect(),
-        }
+        AggregationOutcome::new(
+            fedavg(&refs, &counts),
+            keep.iter().map(|&i| updates[i].client_id).collect(),
+        )
+        .with_scores(updates.iter().zip(&errors).map(|(u, &e)| (u.client_id, e)).collect())
+        .with_threshold(threshold)
+        .with_timings(StrategyTimings { synthesis_secs: 0.0, audit_secs })
     }
 }
 
@@ -248,7 +255,13 @@ mod tests {
         for (x, y) in data.batches(16) {
             clf.train_batch(&x, &y, &mut sgd);
         }
-        ModelUpdate { client_id: id, params: clf.get_params(), num_samples: aux.len(), decoder: None, class_coverage: None }
+        ModelUpdate {
+            client_id: id,
+            params: clf.get_params(),
+            num_samples: aux.len(),
+            decoder: None,
+            class_coverage: None,
+        }
     }
 
     #[test]
@@ -257,7 +270,8 @@ mod tests {
         let spec = ClassifierSpec::Mlp { hidden: 16 };
         let mut def = SpectralDefense::pretrain(&spec, &aux, tiny_config(), 7);
 
-        let benign: Vec<ModelUpdate> = (0..4).map(|i| benign_update(i, &aux, 100 + i as u64)).collect();
+        let benign: Vec<ModelUpdate> =
+            (0..4).map(|i| benign_update(i, &aux, 100 + i as u64)).collect();
         let mut garbage = benign_update(9, &aux, 999);
         garbage.params.iter_mut().for_each(|w| *w = 1.0); // same-value attack
 
@@ -298,10 +312,8 @@ mod tests {
         let mut def = SpectralDefense::pretrain(&spec, &aux, tiny_config(), 9);
         // Identical updates: every error equals the mean, all kept.
         let u = benign_update(0, &aux, 1);
-        let updates = vec![
-            ModelUpdate { client_id: 0, ..u.clone() },
-            ModelUpdate { client_id: 1, ..u },
-        ];
+        let updates =
+            vec![ModelUpdate { client_id: 0, ..u.clone() }, ModelUpdate { client_id: 1, ..u }];
         let global = test_global();
         let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(0) };
         let out = def.aggregate(&updates, &mut ctx);

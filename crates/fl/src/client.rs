@@ -147,13 +147,18 @@ impl Client {
         let params = self.train_classifier(global_params, round);
         let (decoder, class_coverage) = if let Some(cfg) = &self.cvae {
             let n_classes = cfg.spec.n_classes;
-            let coverage =
-                self.data.class_histogram(n_classes).iter().map(|&c| c as u32).collect();
+            let coverage = self.data.class_histogram(n_classes).iter().map(|&c| c as u32).collect();
             (Some(self.decoder_params(round)), Some(coverage))
         } else {
             (None, None)
         };
-        ModelUpdate { client_id: self.id, params, num_samples: self.data.len(), decoder, class_coverage }
+        ModelUpdate {
+            client_id: self.id,
+            params,
+            num_samples: self.data.len(),
+            decoder,
+            class_coverage,
+        }
     }
 
     fn train_classifier(&mut self, global_params: &[f32], round: usize) -> Vec<f32> {

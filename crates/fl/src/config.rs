@@ -43,7 +43,12 @@ impl CvaeTrainConfig {
 
     /// Reduced configuration for CPU-budget presets.
     pub fn reduced(hidden: usize, latent: usize, epochs: usize) -> Self {
-        CvaeTrainConfig { spec: CvaeSpec::reduced(hidden, latent), epochs, batch_size: 32, lr: 2e-3 }
+        CvaeTrainConfig {
+            spec: CvaeSpec::reduced(hidden, latent),
+            epochs,
+            batch_size: 32,
+            lr: 2e-3,
+        }
     }
 }
 
@@ -79,7 +84,13 @@ impl FederationConfig {
             clients_per_round: 50,
             rounds: 50,
             classifier: ClassifierSpec::TableIICnn,
-            local: LocalTrainConfig { epochs: 5, batch_size: 32, lr: 0.01, momentum: 0.9, prox_mu: 0.0 },
+            local: LocalTrainConfig {
+                epochs: 5,
+                batch_size: 32,
+                lr: 0.01,
+                momentum: 0.9,
+                prox_mu: 0.0,
+            },
             server_lr: 1.0,
             eval_batch: 64,
             seed: 0,

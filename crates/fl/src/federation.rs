@@ -5,6 +5,7 @@ use crate::comm::CommStats;
 use crate::config::{CvaeTrainConfig, FederationConfig};
 use crate::metrics::RoundRecord;
 use crate::strategy::{AggregationContext, AggregationStrategy};
+use crate::telemetry::{RoundObserver, RoundTelemetry, StageTimings};
 use crate::update::ModelUpdate;
 use fg_data::Dataset;
 use fg_nn::models::Classifier;
@@ -12,11 +13,25 @@ use fg_tensor::rng::SeededRng;
 use fg_tensor::vecops;
 use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
 /// A complete federated-learning simulation: `N` clients, a server-side test
 /// set, an aggregation strategy, and an optional attack interceptor.
+///
+/// Assembled through [`Federation::builder`]:
+///
+/// ```ignore
+/// let mut fed = Federation::builder(config)
+///     .datasets(client_datasets)
+///     .test_set(test)
+///     .strategy(FedAvgStrategy)
+///     .interceptor(attack)            // optional; defaults to NoAttack
+///     .cvae(cvae_config)              // required iff the strategy audits decoders
+///     .observer(JsonlSink::create("results/telemetry/run.jsonl")?)
+///     .build();
+/// ```
 ///
 /// Each round (cf. Alg. 1 lines 16-20):
 /// 1. uniformly sample `m` of the `N` clients,
@@ -26,7 +41,8 @@ use std::time::Instant;
 /// 4. hand all updates to the aggregation strategy,
 /// 5. move the global model by the server learning rate toward the
 ///    aggregate, and
-/// 6. evaluate on the held-out test set and record metrics.
+/// 6. evaluate on the held-out test set, record metrics, and emit one
+///    [`RoundTelemetry`] event to every registered observer.
 pub struct Federation {
     config: FederationConfig,
     clients: Vec<Mutex<Client>>,
@@ -36,21 +52,73 @@ pub struct Federation {
     global: Vec<f32>,
     history: Vec<RoundRecord>,
     rng: SeededRng,
+    observers: Vec<Box<dyn RoundObserver>>,
 }
 
-impl Federation {
-    /// Assemble a federation. `client_datasets` must contain exactly
-    /// `config.n_clients` partitions. The CVAE configuration is installed on
-    /// every client iff the strategy consumes decoders.
-    pub fn new(
-        config: FederationConfig,
-        client_datasets: Vec<Dataset>,
-        test_set: Dataset,
-        strategy: Box<dyn AggregationStrategy>,
-        interceptor: Arc<dyn UpdateInterceptor>,
-        cvae: Option<CvaeTrainConfig>,
-    ) -> Self {
+/// Step-by-step assembly of a [`Federation`]; validates at [`build`].
+///
+/// [`build`]: FederationBuilder::build
+pub struct FederationBuilder {
+    config: FederationConfig,
+    datasets: Option<Vec<Dataset>>,
+    test_set: Option<Dataset>,
+    strategy: Option<Box<dyn AggregationStrategy>>,
+    interceptor: Arc<dyn UpdateInterceptor>,
+    cvae: Option<CvaeTrainConfig>,
+    observers: Vec<Box<dyn RoundObserver>>,
+}
+
+impl FederationBuilder {
+    /// The per-client data partitions; must contain exactly
+    /// `config.n_clients` datasets (checked at build).
+    pub fn datasets(mut self, client_datasets: Vec<Dataset>) -> Self {
+        self.datasets = Some(client_datasets);
+        self
+    }
+
+    /// The server-side held-out test set.
+    pub fn test_set(mut self, test_set: Dataset) -> Self {
+        self.test_set = Some(test_set);
+        self
+    }
+
+    /// The aggregation strategy. Accepts a plain strategy value or an
+    /// already-boxed `Box<dyn AggregationStrategy>`.
+    pub fn strategy(mut self, strategy: impl AggregationStrategy + 'static) -> Self {
+        self.strategy = Some(Box::new(strategy));
+        self
+    }
+
+    /// The attack interceptor. Defaults to [`NoAttack`] when omitted.
+    pub fn interceptor(mut self, interceptor: Arc<dyn UpdateInterceptor>) -> Self {
+        self.interceptor = interceptor;
+        self
+    }
+
+    /// CVAE training configuration, installed on every client iff the
+    /// strategy consumes decoders. Accepts a bare config or an `Option`.
+    pub fn cvae(mut self, cvae: impl Into<Option<CvaeTrainConfig>>) -> Self {
+        self.cvae = cvae.into();
+        self
+    }
+
+    /// Register a telemetry observer; may be called multiple times.
+    pub fn observer(mut self, observer: impl RoundObserver + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Validate the assembled configuration and construct the federation.
+    ///
+    /// Panics when a required component is missing, the partition count does
+    /// not match `config.n_clients`, or a decoder-auditing strategy has no
+    /// CVAE configuration.
+    pub fn build(self) -> Federation {
+        let config = self.config;
         config.validate();
+        let client_datasets = self.datasets.expect("FederationBuilder: datasets(..) not set");
+        let test_set = self.test_set.expect("FederationBuilder: test_set(..) not set");
+        let strategy = self.strategy.expect("FederationBuilder: strategy(..) not set");
         assert_eq!(
             client_datasets.len(),
             config.n_clients,
@@ -60,7 +128,7 @@ impl Federation {
         );
         let needs_cvae = strategy.uses_decoders();
         if needs_cvae {
-            assert!(cvae.is_some(), "strategy {} needs a CVAE config", strategy.name());
+            assert!(self.cvae.is_some(), "strategy {} needs a CVAE config", strategy.name());
         }
         let master = SeededRng::new(config.seed);
         let clients = client_datasets
@@ -72,7 +140,7 @@ impl Federation {
                     data,
                     config.classifier,
                     config.local,
-                    if needs_cvae { cvae } else { None },
+                    if needs_cvae { self.cvae } else { None },
                     master.fork(id as u64).seed(),
                 ))
             })
@@ -86,22 +154,27 @@ impl Federation {
             clients,
             test_set,
             strategy,
-            interceptor,
+            interceptor: self.interceptor,
             global,
             history: Vec::new(),
             rng: master.fork(u64::MAX - 1),
+            observers: self.observers,
         }
     }
+}
 
-    /// Convenience constructor for honest federations.
-    pub fn honest(
-        config: FederationConfig,
-        client_datasets: Vec<Dataset>,
-        test_set: Dataset,
-        strategy: Box<dyn AggregationStrategy>,
-        cvae: Option<CvaeTrainConfig>,
-    ) -> Self {
-        Federation::new(config, client_datasets, test_set, strategy, Arc::new(NoAttack), cvae)
+impl Federation {
+    /// Start assembling a federation for `config`.
+    pub fn builder(config: FederationConfig) -> FederationBuilder {
+        FederationBuilder {
+            config,
+            datasets: None,
+            test_set: None,
+            strategy: None,
+            interceptor: Arc::new(NoAttack),
+            cvae: None,
+            observers: Vec::new(),
+        }
     }
 
     pub fn config(&self) -> &FederationConfig {
@@ -123,6 +196,11 @@ impl Federation {
         self.clients[id].get_mut()
     }
 
+    /// Register a telemetry observer after construction.
+    pub fn add_observer(&mut self, observer: impl RoundObserver + 'static) {
+        self.observers.push(Box::new(observer));
+    }
+
     /// Evaluate the current global model on the test set.
     pub fn evaluate_global(&self) -> f32 {
         let mut clf = Classifier::from_params(&self.config.classifier, &self.global);
@@ -131,16 +209,21 @@ impl Federation {
         clf.evaluate(&x, &y, self.config.eval_batch)
     }
 
-    /// Run one round; returns the new record.
+    /// Run one round; returns the new record and emits one
+    /// [`RoundTelemetry`] event to every observer.
     pub fn run_round(&mut self) -> RoundRecord {
         let round = self.history.len();
         let start = Instant::now();
 
         // (1) Sample m participants uniformly (Alg. 1 line 17).
-        let mut sampled = self.rng.sample_distinct(self.config.n_clients, self.config.clients_per_round);
+        let stage = Instant::now();
+        let mut sampled =
+            self.rng.sample_distinct(self.config.n_clients, self.config.clients_per_round);
         sampled.sort_unstable();
+        let sampling_secs = stage.elapsed().as_secs_f64();
 
         // (2) Parallel local training; (3) attack interception.
+        let stage = Instant::now();
         let global = &self.global;
         let interceptor = &self.interceptor;
         let clients = &self.clients;
@@ -154,14 +237,18 @@ impl Federation {
             })
             .collect();
         updates.sort_by_key(|u| u.client_id);
+        let local_training_secs = stage.elapsed().as_secs_f64();
 
-        // (4) Aggregate.
+        // (4) Aggregate. The strategy reports its own synthesis/audit time;
+        // the remainder of the aggregate() call is inner aggregation.
+        let stage = Instant::now();
         let mut ctx = AggregationContext {
             round,
             global: &self.global,
             rng: self.rng.fork(0xA66 ^ round as u64),
         };
         let outcome = self.strategy.aggregate(&updates, &mut ctx);
+        let aggregate_total_secs = stage.elapsed().as_secs_f64();
         assert_eq!(
             outcome.params.len(),
             self.global.len(),
@@ -172,12 +259,31 @@ impl Federation {
         // (5) Server learning rate (§V-A): ψ₀ ← (1-η)ψ₀ + η·aggregate.
         self.global = vecops::lerp(&self.global, &outcome.params, self.config.server_lr);
 
-        // (6) Evaluate and record.
+        // (6) Evaluate, record, and emit telemetry.
+        let stage = Instant::now();
         let accuracy = self.evaluate_global();
-        let malicious = self.interceptor.malicious_clients();
+        let evaluation_secs = stage.elapsed().as_secs_f64();
+
+        let malicious: HashSet<usize> = self.interceptor.malicious_clients().into_iter().collect();
         let malicious_sampled: Vec<usize> =
             sampled.iter().copied().filter(|c| malicious.contains(c)).collect();
         let comm = CommStats::for_round(self.global.len(), sampled.len(), &updates);
+
+        let selected_set: HashSet<usize> = outcome.selected.iter().copied().collect();
+        let excluded: Vec<usize> =
+            sampled.iter().copied().filter(|c| !selected_set.contains(c)).collect();
+
+        let stages = StageTimings {
+            sampling_secs,
+            local_training_secs,
+            synthesis_secs: outcome.timings.synthesis_secs,
+            audit_secs: outcome.timings.audit_secs,
+            aggregation_secs: (aggregate_total_secs
+                - outcome.timings.synthesis_secs
+                - outcome.timings.audit_secs)
+                .max(0.0),
+            evaluation_secs,
+        };
 
         let record = RoundRecord {
             round,
@@ -188,14 +294,37 @@ impl Federation {
             wall_secs: start.elapsed().as_secs_f64(),
             comm,
         };
+
+        let event = RoundTelemetry {
+            round,
+            strategy: self.strategy.name().to_string(),
+            accuracy,
+            stages,
+            wall_secs: record.wall_secs,
+            scores: outcome.scores,
+            threshold: outcome.threshold,
+            sampled: record.sampled.clone(),
+            selected: record.selected.clone(),
+            excluded,
+            malicious_sampled: record.malicious_sampled.clone(),
+            comm,
+        };
+        for obs in &mut self.observers {
+            obs.on_round(&event);
+        }
+
         self.history.push(record.clone());
         record
     }
 
-    /// Run all configured rounds; returns the full history.
+    /// Run all configured rounds; returns the full history and notifies
+    /// observers that the run is complete (sinks flush here).
     pub fn run(&mut self) -> Vec<RoundRecord> {
         for _ in 0..self.config.rounds {
             self.run_round();
+        }
+        for obs in &mut self.observers {
+            obs.on_run_complete();
         }
         self.history.clone()
     }
@@ -206,6 +335,7 @@ mod tests {
     use super::*;
     use crate::config::LocalTrainConfig;
     use crate::strategy::AggregationOutcome;
+    use crate::telemetry::MemoryCollector;
     use fg_data::partition::{dirichlet_partition, partition_datasets};
     use fg_data::synth::generate_dataset;
     use fg_nn::models::ClassifierSpec;
@@ -242,12 +372,18 @@ mod tests {
             clients_per_round: 4,
             rounds,
             classifier: ClassifierSpec::Mlp { hidden: 24 },
-            local: LocalTrainConfig { epochs: 2, batch_size: 16, lr: 0.1, momentum: 0.9, prox_mu: 0.0 },
+            local: LocalTrainConfig {
+                epochs: 2,
+                batch_size: 16,
+                lr: 0.1,
+                momentum: 0.9,
+                prox_mu: 0.0,
+            },
             server_lr: 1.0,
             eval_batch: 64,
             seed,
         };
-        Federation::honest(config, datasets, test, Box::new(MeanStrategy), None)
+        Federation::builder(config).datasets(datasets).test_set(test).strategy(MeanStrategy).build()
     }
 
     #[test]
@@ -291,7 +427,10 @@ mod tests {
         let a1: Vec<f32> = h1.iter().map(|r| r.accuracy).collect();
         let a2: Vec<f32> = h2.iter().map(|r| r.accuracy).collect();
         assert_eq!(a1, a2);
-        assert_ne!(a1, smoke_federation(3, 12).run().iter().map(|r| r.accuracy).collect::<Vec<_>>());
+        assert_ne!(
+            a1,
+            smoke_federation(3, 12).run().iter().map(|r| r.accuracy).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -306,26 +445,33 @@ mod tests {
             clients_per_round: 2,
             rounds: 1,
             classifier: ClassifierSpec::Mlp { hidden: 8 },
-            local: LocalTrainConfig { epochs: 1, batch_size: 8, lr: 0.1, momentum: 0.0, prox_mu: 0.0 },
+            local: LocalTrainConfig {
+                epochs: 1,
+                batch_size: 8,
+                lr: 0.1,
+                momentum: 0.0,
+                prox_mu: 0.0,
+            },
             server_lr: 1.0,
             eval_batch: 32,
             seed: 3,
         };
 
-        let mut full = Federation::honest(
-            config,
-            datasets.clone(),
-            test.clone(),
-            Box::new(MeanStrategy),
-            None,
-        );
+        let mut full = Federation::builder(config)
+            .datasets(datasets.clone())
+            .test_set(test.clone())
+            .strategy(MeanStrategy)
+            .build();
         let start = full.global_params().to_vec();
         full.run();
         let full_move = fg_tensor::vecops::l2_distance(&start, full.global_params());
 
         config.server_lr = 0.3;
-        let mut damped =
-            Federation::honest(config, datasets, test, Box::new(MeanStrategy), None);
+        let mut damped = Federation::builder(config)
+            .datasets(datasets)
+            .test_set(test)
+            .strategy(MeanStrategy)
+            .build();
         damped.run();
         let damped_move = fg_tensor::vecops::l2_distance(&start, damped.global_params());
 
@@ -346,6 +492,48 @@ mod tests {
             eval_batch: 32,
             seed: 0,
         };
-        Federation::honest(config, vec![data.clone()], data, Box::new(MeanStrategy), None);
+        Federation::builder(config)
+            .datasets(vec![data.clone()])
+            .test_set(data)
+            .strategy(MeanStrategy)
+            .build();
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_strategy_rejected() {
+        let data = generate_dataset(5, 0);
+        let config = FederationConfig {
+            n_clients: 1,
+            clients_per_round: 1,
+            rounds: 1,
+            classifier: ClassifierSpec::Mlp { hidden: 8 },
+            local: LocalTrainConfig::default(),
+            server_lr: 1.0,
+            eval_batch: 32,
+            seed: 0,
+        };
+        Federation::builder(config).datasets(vec![data.clone()]).test_set(data).build();
+    }
+
+    #[test]
+    fn observers_receive_one_event_per_round() {
+        let collector = MemoryCollector::new();
+        let mut fed = smoke_federation(3, 21);
+        fed.add_observer(collector.clone());
+        fed.run();
+        let events = collector.events();
+        assert_eq!(events.len(), 3);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.round, i);
+            assert_eq!(e.strategy, "mean");
+            assert_eq!(e.sampled.len(), 4);
+            // MeanStrategy keeps everyone: no exclusions, no threshold.
+            assert!(e.excluded.is_empty());
+            assert!(e.threshold.is_none());
+            assert!(e.stages.local_training_secs > 0.0);
+            assert!(e.stages.evaluation_secs > 0.0);
+            assert!(e.wall_secs >= e.stages.total() * 0.5);
+        }
     }
 }

@@ -5,7 +5,8 @@
 //! holding Dirichlet-partitioned data, a server that samples `m` of them per
 //! round, local training (classifier always, CVAE when configured), pluggable
 //! aggregation strategies, an update-interception hook for poisoning attacks,
-//! byte-accurate communication accounting and per-round wall-time metering.
+//! byte-accurate communication accounting, and a structured per-round
+//! telemetry pipeline ([`telemetry`]) with composable observer sinks.
 //!
 //! The crate knows nothing about specific defenses or attacks; those live in
 //! `fg-agg`, `fg-defenses`, `fg-attacks` and `fedguard`, all plugging in via
@@ -17,12 +18,17 @@ pub mod config;
 pub mod federation;
 pub mod metrics;
 pub mod strategy;
+pub mod telemetry;
 pub mod update;
 
 pub use client::{Client, DataStream, UpdateInterceptor};
 pub use comm::CommStats;
 pub use config::{CvaeTrainConfig, FederationConfig, LocalTrainConfig};
-pub use federation::Federation;
+pub use federation::{Federation, FederationBuilder};
 pub use metrics::RoundRecord;
-pub use strategy::{AggregationContext, AggregationOutcome, AggregationStrategy};
+pub use strategy::{AggregationContext, AggregationOutcome, AggregationStrategy, StrategyTimings};
+pub use telemetry::{
+    read_jsonl, JsonlSink, MemoryCollector, RoundObserver, RoundTelemetry, StageTimings,
+    StderrProgress,
+};
 pub use update::ModelUpdate;

@@ -14,7 +14,22 @@ pub struct AggregationContext<'a> {
     pub rng: SeededRng,
 }
 
-/// What a strategy produced for the round.
+/// Wall-clock seconds a strategy spent in its internal phases, self-reported
+/// through [`AggregationOutcome::with_timings`]. The federation subtracts
+/// these from the measured `aggregate()` time to attribute the remainder to
+/// inner aggregation in the round's
+/// [`StageTimings`](crate::telemetry::StageTimings).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StrategyTimings {
+    /// Server-side synthesis of the audit dataset from client decoders.
+    pub synthesis_secs: f64,
+    /// Per-client scoring/auditing of the submitted updates.
+    pub audit_secs: f64,
+}
+
+/// What a strategy produced for the round: the aggregate itself plus the
+/// selection diagnostics that used to live in strategy-private state
+/// (formerly `FedGuardStrategy::last_trace()`).
 #[derive(Clone, Debug)]
 pub struct AggregationOutcome {
     /// The aggregated parameter vector (before the server learning rate is
@@ -26,12 +41,42 @@ pub struct AggregationOutcome {
     /// validation accuracy for FedGuard, reconstruction error for Spectral,
     /// Krum scores for Krum...).
     pub scores: Vec<(usize, f32)>,
+    /// The selection threshold the strategy applied to `scores`, when it
+    /// used one (FedGuard/Spectral: the round-mean score).
+    pub threshold: Option<f32>,
+    /// Self-reported internal phase timings (zero for strategies without a
+    /// synthesis/audit phase).
+    pub timings: StrategyTimings,
 }
 
 impl AggregationOutcome {
     /// Outcome with no diagnostics.
     pub fn new(params: Vec<f32>, selected: Vec<usize>) -> Self {
-        AggregationOutcome { params, selected, scores: Vec::new() }
+        AggregationOutcome {
+            params,
+            selected,
+            scores: Vec::new(),
+            threshold: None,
+            timings: StrategyTimings::default(),
+        }
+    }
+
+    /// Attach per-client diagnostic scores.
+    pub fn with_scores(mut self, scores: Vec<(usize, f32)>) -> Self {
+        self.scores = scores;
+        self
+    }
+
+    /// Attach the selection threshold applied to the scores.
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// Attach self-measured synthesis/audit timings.
+    pub fn with_timings(mut self, timings: StrategyTimings) -> Self {
+        self.timings = timings;
+        self
     }
 }
 
@@ -45,12 +90,37 @@ pub trait AggregationStrategy: Send {
     fn name(&self) -> &'static str;
 
     /// Combine the round's updates.
-    fn aggregate(&mut self, updates: &[ModelUpdate], ctx: &mut AggregationContext<'_>) -> AggregationOutcome;
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome;
 
     /// Whether this strategy consumes the clients' CVAE decoders (drives both
     /// client-side CVAE training and communication accounting).
     fn uses_decoders(&self) -> bool {
         false
+    }
+}
+
+/// Boxes forward, so `FederationBuilder::strategy` accepts either a plain
+/// strategy value or a `Box<dyn AggregationStrategy>` (as returned by
+/// `fedguard::experiment::build_strategy`).
+impl<S: AggregationStrategy + ?Sized> AggregationStrategy for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn aggregate(
+        &mut self,
+        updates: &[ModelUpdate],
+        ctx: &mut AggregationContext<'_>,
+    ) -> AggregationOutcome {
+        (**self).aggregate(updates, ctx)
+    }
+
+    fn uses_decoders(&self) -> bool {
+        (**self).uses_decoders()
     }
 }
 
@@ -89,5 +159,36 @@ mod tests {
         assert_eq!(out.params, vec![1.0, 2.0]);
         assert_eq!(out.selected, vec![7]);
         assert!(!s.uses_decoders());
+    }
+
+    #[test]
+    fn outcome_builders_attach_diagnostics() {
+        let out = AggregationOutcome::new(vec![0.0], vec![1])
+            .with_scores(vec![(1, 0.9), (2, 0.2)])
+            .with_threshold(0.55)
+            .with_timings(StrategyTimings { synthesis_secs: 0.1, audit_secs: 0.2 });
+        assert_eq!(out.scores.len(), 2);
+        assert_eq!(out.threshold, Some(0.55));
+        assert!((out.timings.audit_secs - 0.2).abs() < 1e-12);
+        // Plain new() carries no diagnostics.
+        let plain = AggregationOutcome::new(vec![0.0], vec![1]);
+        assert!(plain.scores.is_empty());
+        assert_eq!(plain.threshold, None);
+        assert_eq!(plain.timings, StrategyTimings::default());
+    }
+
+    #[test]
+    fn boxed_strategies_forward() {
+        let mut s = Box::new(TakeFirst);
+        assert_eq!(AggregationStrategy::name(&s), "take-first");
+        let updates = vec![ModelUpdate {
+            client_id: 1,
+            params: vec![3.0],
+            num_samples: 1,
+            decoder: None,
+            class_coverage: None,
+        }];
+        let mut ctx = AggregationContext { round: 0, global: &[0.0], rng: SeededRng::new(0) };
+        assert_eq!(s.aggregate(&updates, &mut ctx).selected, vec![1]);
     }
 }

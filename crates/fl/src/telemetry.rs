@@ -1,0 +1,371 @@
+//! Structured per-round telemetry and the composable observer pipeline.
+//!
+//! Every [`crate::Federation::run_round`] call emits exactly one
+//! [`RoundTelemetry`] event carrying per-stage wall times, the strategy's
+//! per-client audit scores and selection threshold, communication stats, and
+//! the selection/exclusion rosters. Consumers subscribe by implementing
+//! [`RoundObserver`] and registering through
+//! `Federation::builder(..).observer(..)` (or
+//! `Federation::add_observer`); any number of observers can be attached and
+//! each sees the same event stream.
+//!
+//! Three sinks cover the common cases:
+//! * [`MemoryCollector`] — in-process capture for tests and summaries;
+//! * [`JsonlSink`] — one JSON object per line, the replayable trail under
+//!   `results/telemetry/` that the bench binaries leave behind;
+//! * [`StderrProgress`] — a human-readable per-round progress line.
+
+use crate::comm::CommStats;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Wall-clock seconds spent in each stage of one federated round.
+///
+/// The six stages partition [`RoundTelemetry::wall_secs`]: `sampling` +
+/// `local_training` + `synthesis` + `audit` + `aggregation` + `evaluation`
+/// accounts for the round up to bookkeeping noise. For strategies without a
+/// synthesis/audit phase (FedAvg, Krum, ...) those two stages are zero and
+/// the whole `aggregate()` call is attributed to `aggregation`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Client sampling (Alg. 1 line 17).
+    pub sampling_secs: f64,
+    /// Parallel local training across the sampled clients, including attack
+    /// interception.
+    pub local_training_secs: f64,
+    /// Server-side decoder synthesis of `D_syn` (FedGuard only).
+    pub synthesis_secs: f64,
+    /// Per-client audit/scoring (FedGuard's synthetic-set evaluation,
+    /// Spectral's reconstruction errors).
+    pub audit_secs: f64,
+    /// Inner aggregation of the kept updates, plus strategy overhead not
+    /// covered by synthesis/audit.
+    pub aggregation_secs: f64,
+    /// Server-side evaluation of the new global model on the test set.
+    pub evaluation_secs: f64,
+}
+
+impl StageTimings {
+    /// Total time across all named stages.
+    pub fn total(&self) -> f64 {
+        self.sampling_secs
+            + self.local_training_secs
+            + self.synthesis_secs
+            + self.audit_secs
+            + self.aggregation_secs
+            + self.evaluation_secs
+    }
+
+    /// The stages as `(name, seconds)` pairs, in pipeline order.
+    pub fn named(&self) -> [(&'static str, f64); 6] {
+        [
+            ("sampling", self.sampling_secs),
+            ("local_training", self.local_training_secs),
+            ("synthesis", self.synthesis_secs),
+            ("audit", self.audit_secs),
+            ("aggregation", self.aggregation_secs),
+            ("evaluation", self.evaluation_secs),
+        ]
+    }
+
+    /// Element-wise accumulation (for averaging across rounds).
+    pub fn add(&mut self, other: &StageTimings) {
+        self.sampling_secs += other.sampling_secs;
+        self.local_training_secs += other.local_training_secs;
+        self.synthesis_secs += other.synthesis_secs;
+        self.audit_secs += other.audit_secs;
+        self.aggregation_secs += other.aggregation_secs;
+        self.evaluation_secs += other.evaluation_secs;
+    }
+
+    /// Element-wise scaling (for averaging across rounds).
+    pub fn scaled(&self, factor: f64) -> StageTimings {
+        StageTimings {
+            sampling_secs: self.sampling_secs * factor,
+            local_training_secs: self.local_training_secs * factor,
+            synthesis_secs: self.synthesis_secs * factor,
+            audit_secs: self.audit_secs * factor,
+            aggregation_secs: self.aggregation_secs * factor,
+            evaluation_secs: self.evaluation_secs * factor,
+        }
+    }
+}
+
+/// One federated round, fully described: the structured event emitted to
+/// every [`RoundObserver`] at the end of [`crate::Federation::run_round`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundTelemetry {
+    /// Round index (0-based, strictly increasing within a run).
+    pub round: usize,
+    /// Name of the aggregation strategy that produced the round.
+    pub strategy: String,
+    /// Test-set accuracy of the global model after the round.
+    pub accuracy: f32,
+    /// Per-stage wall times.
+    pub stages: StageTimings,
+    /// End-to-end wall time of the round.
+    pub wall_secs: f64,
+    /// Per-client `(client_id, score)` diagnostics from the strategy
+    /// (FedGuard: synthetic-set accuracy; Spectral: reconstruction error;
+    /// Krum: Krum score). Empty for strategies without per-client scores.
+    pub scores: Vec<(usize, f32)>,
+    /// The strategy's selection threshold for this round, if it applied one
+    /// (FedGuard: round-mean audit accuracy; Spectral: mean error).
+    pub threshold: Option<f32>,
+    /// Clients sampled into the round, ascending.
+    pub sampled: Vec<usize>,
+    /// Clients whose updates the strategy kept.
+    pub selected: Vec<usize>,
+    /// Sampled clients the strategy excluded (`sampled` minus `selected`).
+    pub excluded: Vec<usize>,
+    /// Ground-truth malicious clients among the sampled (from the attack
+    /// interceptor; empty for honest runs).
+    pub malicious_sampled: Vec<usize>,
+    /// Byte-accurate communication totals for the round.
+    pub comm: CommStats,
+}
+
+impl RoundTelemetry {
+    /// Number of sampled clients the strategy excluded.
+    pub fn excluded_count(&self) -> usize {
+        self.excluded.len()
+    }
+
+    /// Number of sampled clients the strategy kept.
+    pub fn selected_count(&self) -> usize {
+        self.selected.len()
+    }
+}
+
+/// A subscriber to the round event stream.
+///
+/// Observers receive every event in round order. `on_run_complete` fires
+/// once when `Federation::run` finishes (sinks flush there); observers
+/// driven round-by-round via `run_round` can be flushed by dropping them.
+pub trait RoundObserver: Send {
+    fn on_round(&mut self, event: &RoundTelemetry);
+
+    fn on_run_complete(&mut self) {}
+}
+
+/// In-memory collector. Cloning shares the underlying buffer, so a clone can
+/// be handed to the federation while the original is inspected afterwards.
+#[derive(Clone, Default)]
+pub struct MemoryCollector {
+    events: Arc<parking_lot::Mutex<Vec<RoundTelemetry>>>,
+}
+
+impl MemoryCollector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of all events captured so far.
+    pub fn events(&self) -> Vec<RoundTelemetry> {
+        self.events.lock().clone()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Mean per-stage wall times across the captured rounds.
+    pub fn mean_stages(&self) -> StageTimings {
+        let events = self.events.lock();
+        if events.is_empty() {
+            return StageTimings::default();
+        }
+        let mut acc = StageTimings::default();
+        for e in events.iter() {
+            acc.add(&e.stages);
+        }
+        acc.scaled(1.0 / events.len() as f64)
+    }
+}
+
+impl RoundObserver for MemoryCollector {
+    fn on_round(&mut self, event: &RoundTelemetry) {
+        self.events.lock().push(event.clone());
+    }
+}
+
+/// JSON-lines file sink: one `RoundTelemetry` object per line.
+///
+/// Parent directories are created on construction; the file is truncated.
+/// Events are buffered and flushed on `on_run_complete` and on drop.
+pub struct JsonlSink {
+    writer: BufWriter<fs::File>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Open (create/truncate) a sink at `path`, creating parent directories.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = fs::File::create(&path)?;
+        Ok(JsonlSink { writer: BufWriter::new(file), path })
+    }
+
+    /// The file this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl RoundObserver for JsonlSink {
+    fn on_round(&mut self, event: &RoundTelemetry) {
+        let line = serde_json::to_string(event).expect("telemetry event serializes");
+        // Telemetry must never abort a run; drop the line on I/O error.
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    fn on_run_complete(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// Read back a JSONL telemetry trail written by [`JsonlSink`].
+pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<RoundTelemetry>> {
+    let reader = BufReader::new(fs::File::open(path.as_ref())?);
+    let mut events = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = serde_json::from_str(&line).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("bad telemetry line: {e}"))
+        })?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// Human-readable progress sink writing one line per round to stderr.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrProgress {
+    /// Optional run label prefixed to every line.
+    label: Option<&'static str>,
+}
+
+impl StderrProgress {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn labeled(label: &'static str) -> Self {
+        StderrProgress { label: Some(label) }
+    }
+}
+
+impl RoundObserver for StderrProgress {
+    fn on_round(&mut self, event: &RoundTelemetry) {
+        let prefix = self.label.map(|l| format!("{l} ")).unwrap_or_default();
+        eprintln!(
+            "{prefix}[{} r{:03}] acc {:.4} | kept {}/{} | train {:.2}s agg {:.2}s | {:.2}s total",
+            event.strategy,
+            event.round,
+            event.accuracy,
+            event.selected_count(),
+            event.sampled.len(),
+            event.stages.local_training_secs,
+            event.stages.synthesis_secs + event.stages.audit_secs + event.stages.aggregation_secs,
+            event.wall_secs,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event(round: usize) -> RoundTelemetry {
+        RoundTelemetry {
+            round,
+            strategy: "FedGuard".to_string(),
+            accuracy: 0.75,
+            stages: StageTimings {
+                sampling_secs: 1e-6,
+                local_training_secs: 0.5,
+                synthesis_secs: 0.1,
+                audit_secs: 0.2,
+                aggregation_secs: 0.05,
+                evaluation_secs: 0.02,
+            },
+            wall_secs: 0.88,
+            scores: vec![(0, 0.8), (3, 0.1)],
+            threshold: Some(0.45),
+            sampled: vec![0, 3],
+            selected: vec![0],
+            excluded: vec![3],
+            malicious_sampled: vec![3],
+            comm: CommStats { upload_bytes: 1024, download_bytes: 2048 },
+        }
+    }
+
+    #[test]
+    fn stage_timings_total_and_names() {
+        let e = sample_event(0);
+        assert!((e.stages.total() - 0.870001).abs() < 1e-9);
+        let names: Vec<&str> = e.stages.named().iter().map(|&(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec!["sampling", "local_training", "synthesis", "audit", "aggregation", "evaluation"]
+        );
+    }
+
+    #[test]
+    fn memory_collector_shares_buffer_across_clones() {
+        let collector = MemoryCollector::new();
+        let mut handle = collector.clone();
+        handle.on_round(&sample_event(0));
+        handle.on_round(&sample_event(1));
+        assert_eq!(collector.len(), 2);
+        assert_eq!(collector.events()[1].round, 1);
+        let mean = collector.mean_stages();
+        assert!((mean.local_training_secs - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips() {
+        let path = std::env::temp_dir().join("fg_telemetry_test").join("trail.jsonl");
+        let events: Vec<RoundTelemetry> = (0..3).map(sample_event).collect();
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            for e in &events {
+                sink.on_round(e);
+            }
+            sink.on_run_complete();
+        }
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back, events);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn read_jsonl_rejects_corrupt_lines() {
+        let path = std::env::temp_dir().join("fg_telemetry_test").join("corrupt.jsonl");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, "{not json}\n").unwrap();
+        assert!(read_jsonl(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

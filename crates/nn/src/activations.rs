@@ -31,12 +31,8 @@ impl Layer for ReLU {
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("ReLU::backward before forward");
         assert_eq!(mask.len(), grad_output.numel());
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
+        let data =
+            grad_output.data().iter().zip(mask).map(|(&g, &m)| if m { g } else { 0.0 }).collect();
         Tensor::from_vec(data, grad_output.dims())
     }
 }
@@ -75,12 +71,8 @@ impl Layer for Sigmoid {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let out = self.cached_output.as_ref().expect("Sigmoid::backward before forward");
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(out.data())
-            .map(|(&g, &s)| g * s * (1.0 - s))
-            .collect();
+        let data =
+            grad_output.data().iter().zip(out.data()).map(|(&g, &s)| g * s * (1.0 - s)).collect();
         Tensor::from_vec(data, grad_output.dims())
     }
 }

@@ -22,7 +22,12 @@ impl Conv2d {
         let weight = Tensor::kaiming_uniform(&[out_ch, spec.patch_len()], fan_in, rng);
         let bound = 1.0 / (fan_in as f32).sqrt();
         let bias = Tensor::rand_uniform(&[out_ch], -bound, bound, rng);
-        Conv2d { weight: Parameter::new(weight), bias: Parameter::new(bias), spec, cached_input: None }
+        Conv2d {
+            weight: Parameter::new(weight),
+            bias: Parameter::new(bias),
+            spec,
+            cached_input: None,
+        }
     }
 
     pub fn spec(&self) -> &Conv2dSpec {

@@ -13,9 +13,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor
 
     let mut grad = Tensor::zeros(&[b, c]);
     let mut total = 0.0f64;
-    for r in 0..b {
+    for (r, &t) in targets.iter().enumerate() {
         let row = logits.row(r);
-        let t = targets[r];
         assert!(t < c, "target class {t} out of range");
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut denom = 0.0f32;
@@ -81,12 +80,8 @@ pub fn kl_gaussian(mu: &Tensor, logvar: &Tensor) -> (f32, Tensor, Tensor) {
     let mut d_mu = Tensor::zeros(mu.dims());
     let mut d_logvar = Tensor::zeros(logvar.dims());
     let mut total = 0.0f64;
-    for (((&m, &lv), dm), dl) in mu
-        .data()
-        .iter()
-        .zip(logvar.data())
-        .zip(d_mu.data_mut())
-        .zip(d_logvar.data_mut())
+    for (((&m, &lv), dm), dl) in
+        mu.data().iter().zip(logvar.data()).zip(d_mu.data_mut()).zip(d_logvar.data_mut())
     {
         let var = lv.exp();
         total += (-0.5 * (1.0 + lv - m * m - var)) as f64;

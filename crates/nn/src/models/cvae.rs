@@ -68,7 +68,8 @@ impl CvaeSpec {
 
     /// Scalar parameter count of the decoder (the `θ` clients ship).
     pub fn decoder_params(&self) -> usize {
-        (self.dec_in() * self.hidden + self.hidden) + (self.hidden * self.dec_out() + self.dec_out())
+        (self.dec_in() * self.hidden + self.hidden)
+            + (self.hidden * self.dec_out() + self.dec_out())
     }
 
     /// Scalar parameter count of the encoder.
@@ -139,7 +140,7 @@ impl CvaeDecoder {
         assert_eq!(z.dim(0), labels.len(), "one label per latent sample");
         assert_eq!(z.dim(1), self.spec.latent, "latent dim mismatch");
         let y = one_hot(labels, self.spec.n_classes);
-        let logits = self.logits(&z, &y, false);
+        let logits = self.logits(z, &y, false);
         let probs = self.sigmoid.forward(&logits, false);
         probs.slice_cols(0, self.spec.x_dim)
     }

@@ -116,13 +116,7 @@ impl Vae {
         let n = x.dim(1) as f32;
         (0..x.dim(0))
             .map(|r| {
-                recon
-                    .row(r)
-                    .iter()
-                    .zip(x.row(r))
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f32>()
-                    / n
+                recon.row(r).iter().zip(x.row(r)).map(|(a, b)| (a - b) * (a - b)).sum::<f32>() / n
             })
             .collect()
     }
@@ -169,8 +163,7 @@ mod tests {
         let mut rng = SeededRng::new(0);
         let mut vae = Vae::new(&spec, &mut rng);
         let x = blob_data(&mut rng, 64, 16);
-        let before: f32 =
-            vae.reconstruction_errors(&x).iter().sum::<f32>() / 64.0;
+        let before: f32 = vae.reconstruction_errors(&x).iter().sum::<f32>() / 64.0;
         let mut adam = Adam::new(1e-2);
         for _ in 0..200 {
             vae.train_batch(&x, 0.1, &mut adam, &mut rng);

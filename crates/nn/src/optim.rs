@@ -99,7 +99,9 @@ impl Optimizer for Adam {
             assert_eq!(m.len(), p.numel(), "optimizer state / parameter mismatch");
             let value = p.value.data_mut();
             let grad = p.grad.data();
-            for (((w, &g), mi), vi) in value.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut()) {
+            for (((w, &g), mi), vi) in
+                value.iter_mut().zip(grad).zip(m.iter_mut()).zip(v.iter_mut())
+            {
                 *mi = b1 * *mi + (1.0 - b1) * g;
                 *vi = b2 * *vi + (1.0 - b2) * g * g;
                 let m_hat = *mi / bc1;
@@ -114,9 +116,9 @@ impl Optimizer for Adam {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layer::Layer;
     use crate::linear::Linear;
     use crate::loss::softmax_cross_entropy;
-    use crate::layer::Layer;
     use crate::sequential::Sequential;
     use fg_tensor::rng::SeededRng;
     use fg_tensor::Tensor;

@@ -18,7 +18,13 @@ pub fn flatten(module: &dyn Module) -> Vec<f32> {
 /// Panics if the vector length does not match the module's parameter count.
 pub fn load(module: &mut dyn Module, flat: &[f32]) {
     let expected = module.num_params();
-    assert_eq!(flat.len(), expected, "parameter vector length {} != model size {}", flat.len(), expected);
+    assert_eq!(
+        flat.len(),
+        expected,
+        "parameter vector length {} != model size {}",
+        flat.len(),
+        expected
+    );
     let mut off = 0usize;
     module.visit_params_mut(&mut |p| {
         let n = p.numel();
@@ -51,15 +57,13 @@ mod tests {
     #[test]
     fn flatten_load_round_trip() {
         let mut rng = SeededRng::new(0);
-        let net = Sequential::new()
-            .push(Linear::new(3, 4, &mut rng))
-            .push(Linear::new(4, 2, &mut rng));
+        let net =
+            Sequential::new().push(Linear::new(3, 4, &mut rng)).push(Linear::new(4, 2, &mut rng));
         let flat = flatten(&net);
         assert_eq!(flat.len(), net.num_params());
 
-        let mut net2 = Sequential::new()
-            .push(Linear::new(3, 4, &mut rng))
-            .push(Linear::new(4, 2, &mut rng));
+        let mut net2 =
+            Sequential::new().push(Linear::new(3, 4, &mut rng)).push(Linear::new(4, 2, &mut rng));
         load(&mut net2, &flat);
         assert_eq!(flatten(&net2), flat);
     }

@@ -87,9 +87,8 @@ mod tests {
     #[test]
     fn num_params_sums_layers() {
         let mut rng = SeededRng::new(1);
-        let net = Sequential::new()
-            .push(Linear::new(4, 8, &mut rng))
-            .push(Linear::new(8, 2, &mut rng));
+        let net =
+            Sequential::new().push(Linear::new(4, 8, &mut rng)).push(Linear::new(8, 2, &mut rng));
         assert_eq!(net.num_params(), (4 * 8 + 8) + (8 * 2 + 2));
     }
 

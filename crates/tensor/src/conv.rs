@@ -162,7 +162,12 @@ pub struct Conv2dGrads {
 /// gradient `d_out` `(batch, out_ch, oh, ow)`, produce gradients for input,
 /// weight and bias. Weight gradient layout matches the forward flattened
 /// filter bank `(out_ch, in_ch*kh*kw)`.
-pub fn conv2d_backward(input: &Tensor, weight: &Tensor, d_out: &Tensor, spec: &Conv2dSpec) -> Conv2dGrads {
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    d_out: &Tensor,
+    spec: &Conv2dSpec,
+) -> Conv2dGrads {
     let dims = input.dims();
     let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
     let (oh, ow) = spec.out_size(h, w);
@@ -211,7 +216,13 @@ pub fn conv2d_backward(input: &Tensor, weight: &Tensor, d_out: &Tensor, spec: &C
             (bi, dimg, dw, Tensor::from_vec(db, &[spec.out_ch]))
         })
         .fold(
-            || (vec![0.0f32; b * img_len], Tensor::zeros(&[spec.out_ch, spec.patch_len()]), Tensor::zeros(&[spec.out_ch])),
+            || {
+                (
+                    vec![0.0f32; b * img_len],
+                    Tensor::zeros(&[spec.out_ch, spec.patch_len()]),
+                    Tensor::zeros(&[spec.out_ch]),
+                )
+            },
             |(mut din, mut dw_acc, mut db_acc), (bi, dimg, dw, db)| {
                 din[bi * img_len..(bi + 1) * img_len].copy_from_slice(&dimg);
                 dw_acc.add_assign(&dw);
@@ -220,7 +231,13 @@ pub fn conv2d_backward(input: &Tensor, weight: &Tensor, d_out: &Tensor, spec: &C
             },
         )
         .reduce(
-            || (vec![0.0f32; b * img_len], Tensor::zeros(&[spec.out_ch, spec.patch_len()]), Tensor::zeros(&[spec.out_ch])),
+            || {
+                (
+                    vec![0.0f32; b * img_len],
+                    Tensor::zeros(&[spec.out_ch, spec.patch_len()]),
+                    Tensor::zeros(&[spec.out_ch]),
+                )
+            },
             |(mut din1, mut dw1, mut db1), (din2, dw2, db2)| {
                 for (a, x) in din1.iter_mut().zip(&din2) {
                     *a += x;
@@ -262,7 +279,8 @@ mod tests {
                                     if sy < 0 || sy >= h as isize || sx < 0 || sx >= w as isize {
                                         continue;
                                     }
-                                    let wv = weight.at(&[oc, ic * spec.kh * spec.kw + ky * spec.kw + kx]);
+                                    let wv = weight
+                                        .at(&[oc, ic * spec.kh * spec.kw + ky * spec.kw + kx]);
                                     let xv = input.at(&[bi, ic, sy as usize, sx as usize]);
                                     s += wv * xv;
                                 }

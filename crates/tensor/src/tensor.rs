@@ -85,7 +85,12 @@ impl Tensor {
     }
 
     /// Xavier/Glorot-uniform initialization (sigmoid/tanh friendly).
-    pub fn xavier_uniform(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Self {
+    pub fn xavier_uniform(
+        dims: &[usize],
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
         let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
         Self::rand_uniform(dims, -bound, bound, rng)
     }

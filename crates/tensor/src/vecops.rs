@@ -87,10 +87,8 @@ pub fn lerp(a: &[f32], b: &[f32], t: f32) -> Vec<f32> {
 /// the O(m²) upper triangle. Entry `(i, j)` is `‖v_i − v_j‖²`.
 pub fn pairwise_squared_distances(vs: &[&[f32]]) -> Vec<Vec<f32>> {
     let m = vs.len();
-    let pairs: Vec<(usize, usize)> =
-        (0..m).flat_map(|i| (i + 1..m).map(move |j| (i, j))).collect();
-    let dists: Vec<f32> =
-        pairs.par_iter().map(|&(i, j)| squared_distance(vs[i], vs[j])).collect();
+    let pairs: Vec<(usize, usize)> = (0..m).flat_map(|i| (i + 1..m).map(move |j| (i, j))).collect();
+    let dists: Vec<f32> = pairs.par_iter().map(|&(i, j)| squared_distance(vs[i], vs[j])).collect();
     let mut mat = vec![vec![0.0f32; m]; m];
     for (&(i, j), &d) in pairs.iter().zip(&dists) {
         mat[i][j] = d;
@@ -152,10 +150,10 @@ mod tests {
         let vs: Vec<Vec<f32>> = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 2.0]];
         let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
         let m = pairwise_squared_distances(&refs);
-        for i in 0..3 {
-            assert_eq!(m[i][i], 0.0);
-            for j in 0..3 {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
             }
         }
         assert_eq!(m[0][1], 1.0);

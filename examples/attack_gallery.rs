@@ -11,14 +11,20 @@ use fedguard::experiment::{
 
 fn main() {
     let attacks = [
-        ("additive noise, 50% malicious", AttackScenario::AdditiveNoise { fraction: 0.5, sigma: 8.0 }),
+        (
+            "additive noise, 50% malicious",
+            AttackScenario::AdditiveNoise { fraction: 0.5, sigma: 8.0 },
+        ),
         ("label flipping, 30% malicious", AttackScenario::LabelFlip { fraction: 0.3 }),
         ("sign flipping, 50% malicious", AttackScenario::SignFlip { fraction: 0.5 }),
         ("same value, 50% malicious", AttackScenario::SameValue { fraction: 0.5, value: 1.0 }),
         ("no attack (reference)", AttackScenario::None),
     ];
 
-    println!("{:34} | {:>10} | {:>10} | {:>17}", "attack", "FedAvg", "FedGuard", "malicious dropped");
+    println!(
+        "{:34} | {:>10} | {:>10} | {:>17}",
+        "attack", "FedAvg", "FedGuard", "malicious dropped"
+    );
     println!("{}", "-".repeat(82));
     for (label, attack) in attacks {
         let fedavg = run_experiment(&ExperimentConfig::preset(

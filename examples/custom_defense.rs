@@ -14,7 +14,7 @@ use fedguard::data::partition::{dirichlet_partition, partition_datasets};
 use fedguard::data::synth::generate_dataset;
 use fedguard::fl::{
     AggregationContext, AggregationOutcome, AggregationStrategy, Federation, FederationConfig,
-    LocalTrainConfig, ModelUpdate,
+    LocalTrainConfig, ModelUpdate, StderrProgress,
 };
 use fedguard::nn::models::ClassifierSpec;
 use fedguard::tensor::rng::SeededRng;
@@ -76,8 +76,13 @@ fn main() {
     let interceptor =
         Arc::new(PoisoningInterceptor::new(malicious, ModelAttack::SameValue { value: 1.0 }, 5));
 
-    let mut federation =
-        Federation::new(config, datasets, test, Box::new(ClippedMedian), interceptor, None);
+    let mut federation = Federation::builder(config)
+        .datasets(datasets)
+        .test_set(test)
+        .strategy(ClippedMedian)
+        .interceptor(interceptor)
+        .observer(StderrProgress::labeled("custom_defense"))
+        .build();
     for record in federation.run() {
         println!(
             "round {} accuracy {:.1}% ({} malicious among {} sampled)",

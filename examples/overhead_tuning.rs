@@ -7,7 +7,9 @@
 //! cargo run --release -p fedguard --example overhead_tuning
 //! ```
 
-use fedguard::experiment::{run_experiment, AttackScenario, ExperimentConfig, Preset, StrategyKind};
+use fedguard::experiment::{
+    run_experiment, AttackScenario, ExperimentConfig, Preset, StrategyKind,
+};
 use fedguard::nn::models::{ClassifierSpec, CvaeSpec};
 use fedguard::synthesis::SynthesisBudget;
 
@@ -25,7 +27,10 @@ fn main() {
 
     // Part 2 — sweep the synthesis budget under a same-value attack.
     println!("Budget sweep (Smoke preset, 40% same-value attackers):");
-    println!("{:26} | {:>9} | {:>17} | {:>12}", "budget", "final", "malicious dropped", "secs/round");
+    println!(
+        "{:26} | {:>9} | {:>17} | {:>12}",
+        "budget", "final", "malicious dropped", "secs/round"
+    );
     println!("{}", "-".repeat(74));
     for budget in [
         SynthesisBudget::Total(10),

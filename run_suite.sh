@@ -1,7 +1,13 @@
 #!/bin/bash
-# Regenerates every table/figure of the paper at the fast preset.
+# Lint gate + regeneration of every table/figure of the paper at the fast
+# preset. Telemetry trails land under results/telemetry/ (one JSONL per run).
 set -x
 cd /root/repo
+
+# Lint stage: formatting and clippy must be clean before results count.
+cargo fmt --check || exit 1
+cargo clippy --workspace --all-targets -- -D warnings || exit 1
+
 B=target/release
 $B/fig4 --preset fast --seed 42 > results/fig4.csv 2> results/fig4.log
 $B/table4 --preset fast --seed 42 > results/table4.md 2> results/table4.log

@@ -1,0 +1,167 @@
+//! Offline shim for `criterion`: the API shape the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, `Bencher::iter`),
+//! backed by a simple best-of-N wall-clock timer printed to stdout.
+//!
+//! No statistics, plots, or baselines — just enough to keep `cargo bench`
+//! compiling and producing comparable per-iteration timings offline.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), sample_size: 10, _parent: self }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_benchmark(&id.to_string(), 10, &mut f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut best: Option<f64> = None;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { best: None };
+            f(&mut b, input);
+            if let Some(t) = b.best {
+                best = Some(best.map_or(t, |prev: f64| prev.min(t)));
+            }
+        }
+        report(&label, best);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    let mut best: Option<f64> = None;
+    for _ in 0..samples {
+        let mut b = Bencher { best: None };
+        f(&mut b);
+        if let Some(t) = b.best {
+            best = Some(best.map_or(t, |prev: f64| prev.min(t)));
+        }
+    }
+    report(label, best);
+}
+
+fn report(label: &str, best: Option<f64>) {
+    match best {
+        Some(secs) => println!("bench {label:<48} {:>12.3} us/iter", secs * 1e6),
+        None => println!("bench {label:<48} (no measurement)"),
+    }
+}
+
+/// Passed to the closure under test; `iter` times the routine.
+pub struct Bencher {
+    best: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then time a single call (workspace routines are
+        // milliseconds-scale, so per-call resolution is adequate).
+        black_box(routine());
+        let start = Instant::now();
+        black_box(routine());
+        let elapsed = start.elapsed().as_secs_f64();
+        self.best = Some(self.best.map_or(elapsed, |prev| prev.min(elapsed)));
+    }
+}
+
+/// Parameterized benchmark label.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Throughput annotation (accepted and ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim/demo");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(64));
+        g.bench_function("sum", |b| b.iter(|| (0..64u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| {
+            b.iter(|| (0..n).product::<usize>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(demo_group, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        demo_group();
+    }
+}

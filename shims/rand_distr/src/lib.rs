@@ -1,0 +1,206 @@
+//! Offline shim for `rand_distr` 0.4: `StandardNormal`, `Normal`, `Uniform`,
+//! and `Dirichlet` over the local `rand` shim.
+//!
+//! Normal variates use the Box–Muller transform (stateless, so `sample` can
+//! take `&self`); Dirichlet sampling draws Gamma(α, 1) variates with
+//! Marsaglia–Tsang squeeze plus the standard α < 1 boost, then normalizes.
+
+use rand::RngCore;
+
+/// Subset of `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct Error(&'static str);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[inline]
+fn unit_open_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Uniform in (0, 1]: avoids ln(0) in Box–Muller and Gamma sampling.
+    (((rng.next_u64() >> 11) + 1) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+#[inline]
+fn standard_normal_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = unit_open_f64(rng);
+    let u2 = unit_open_f64(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The standard normal distribution N(0, 1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f32> for StandardNormal {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        standard_normal_f64(rng) as f32
+    }
+}
+
+impl Distribution<f64> for StandardNormal {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        standard_normal_f64(rng)
+    }
+}
+
+/// The normal distribution N(mean, std²).
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f32,
+    std_dev: f32,
+}
+
+impl Normal {
+    pub fn new(mean: f32, std_dev: f32) -> Result<Self, Error> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error("Normal: standard deviation must be finite and >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f32> for Normal {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        self.mean + self.std_dev * standard_normal_f64(rng) as f32
+    }
+}
+
+/// The continuous uniform distribution over `[low, high)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform {
+    low: f32,
+    high: f32,
+}
+
+impl Uniform {
+    pub fn new(low: f32, high: f32) -> Self {
+        assert!(low < high, "Uniform::new called with low >= high");
+        Uniform { low, high }
+    }
+}
+
+impl Distribution<f32> for Uniform {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        self.low
+            + (self.high - self.low) * ((rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32))
+    }
+}
+
+/// Gamma(shape, 1) via Marsaglia–Tsang; for shape < 1 the α+1 boost is used.
+fn sample_gamma<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    if shape < 1.0 {
+        let boost = unit_open_f64(rng).powf(1.0 / shape);
+        return sample_gamma(shape + 1.0, rng) * boost;
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal_f64(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u = unit_open_f64(rng);
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// The symmetric Dirichlet distribution Dir(α, ..., α) over the simplex.
+#[derive(Clone, Debug)]
+pub struct Dirichlet {
+    alpha: Vec<f64>,
+}
+
+impl Dirichlet {
+    pub fn new(alpha: &[f32]) -> Result<Self, Error> {
+        if alpha.len() < 2 || alpha.iter().any(|&a| a <= 0.0 || !a.is_finite()) {
+            return Err(Error("Dirichlet: need >= 2 strictly positive finite concentrations"));
+        }
+        Ok(Dirichlet { alpha: alpha.iter().map(|&a| a as f64).collect() })
+    }
+
+    pub fn new_with_size(alpha: f32, size: usize) -> Result<Self, Error> {
+        if alpha <= 0.0 || !alpha.is_finite() {
+            return Err(Error("Dirichlet: concentration must be strictly positive and finite"));
+        }
+        if size < 2 {
+            return Err(Error("Dirichlet: need at least 2 categories"));
+        }
+        Ok(Dirichlet { alpha: vec![alpha as f64; size] })
+    }
+}
+
+impl Distribution<Vec<f32>> for Dirichlet {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> Vec<f32> {
+        let gammas: Vec<f64> = self.alpha.iter().map(|&a| sample_gamma(a, rng)).collect();
+        let total: f64 = gammas.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            // Degenerate draw (all gammas underflowed): fall back to uniform.
+            return vec![1.0 / self.alpha.len() as f32; self.alpha.len()];
+        }
+        gammas.iter().map(|&g| (g / total) as f32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Uniform::new(-0.5, 0.25);
+        for _ in 0..1000 {
+            let x: f32 = d.sample(&mut rng);
+            assert!((-0.5..0.25).contains(&x));
+        }
+    }
+
+    #[test]
+    fn dirichlet_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &alpha in &[0.3f32, 1.0, 10.0] {
+            let d = Dirichlet::new_with_size(alpha, 7).unwrap();
+            let w = d.sample(&mut rng);
+            assert_eq!(w.len(), 7);
+            assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            let s: f32 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "sum {s}");
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Dirichlet::new_with_size(0.0, 5).is_err());
+        assert!(Dirichlet::new_with_size(1.0, 1).is_err());
+    }
+}

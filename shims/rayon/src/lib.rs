@@ -1,0 +1,190 @@
+//! Offline shim for `rayon`: the parallel-iterator API surface used by this
+//! workspace, executed sequentially.
+//!
+//! The hermetic build environment has no crates.io access, so `rayon` is
+//! replaced by this crate. Call sites are unchanged: `par_iter`,
+//! `par_chunks(_mut)`, `into_par_iter`, and the rayon-specific
+//! `fold(identity, op).reduce(identity, op)` chain all compile against the
+//! same signatures and produce identical results (the workspace's kernels are
+//! order-insensitive or use per-item RNG streams precisely so that the
+//! parallel schedule does not affect output).
+//!
+//! [`ParIter`] implements [`Iterator`] by delegation, so std adapters
+//! (`collect`, `sum`, `max_by`, ...) keep working; the handful of adapters
+//! whose rayon signature differs from std's (`map`, `zip`, `enumerate`,
+//! `fold`, `reduce`, `for_each`) are provided as inherent methods, which take
+//! precedence over the `Iterator` trait methods of the same name.
+
+/// Sequential stand-in for every rayon parallel iterator type.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    #[inline]
+    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    #[inline]
+    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
+        ParIter(self.0.zip(other))
+    }
+
+    #[inline]
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    #[inline]
+    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> ParIter<std::iter::Filter<I, P>> {
+        ParIter(self.0.filter(p))
+    }
+
+    #[inline]
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    #[inline]
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Rayon-style fold: sequentially this produces a single accumulator,
+    /// exposed as a one-element parallel iterator (rayon produces one
+    /// accumulator per split).
+    #[inline]
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Rayon-style reduce with an identity constructor.
+    #[inline]
+    pub fn reduce<ID, OP>(self, identity: ID, mut op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        let mut acc = identity();
+        for item in self.0 {
+            acc = op(acc, item);
+        }
+        acc
+    }
+}
+
+/// `into_par_iter()` for any owned collection (rayon: `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<C: IntoIterator> IntoParallelIterator for C {
+    type Item = C::Item;
+    type Iter = C::IntoIter;
+
+    #[inline]
+    fn into_par_iter(self) -> ParIter<C::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// `par_iter()` / `par_chunks()` on slices (rayon: `IntoParallelRefIterator`
+/// + `ParallelSlice`).
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// `par_iter_mut()` / `par_chunks_mut()` on slices (rayon:
+/// `IntoParallelRefMutIterator` + `ParallelSliceMut`).
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let v: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(v, (0..10usize).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fold_reduce_rayon_signatures() {
+        let total = (1..=4usize)
+            .into_par_iter()
+            .map(|x| x as f32)
+            .fold(|| 0.0f32, |acc, x| acc + x)
+            .reduce(|| 0.0f32, |a, b| a + b);
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn chunks_zip_sum() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let b = [10.0f32, 20.0, 30.0, 40.0];
+        let s: f32 = a
+            .par_chunks(2)
+            .zip(b.par_chunks(2))
+            .map(|(x, y)| x.iter().zip(y).map(|(p, q)| p * q).sum::<f32>())
+            .sum();
+        assert_eq!(s, 10.0 + 40.0 + 90.0 + 160.0);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_for_each() {
+        let mut out = [0usize; 6];
+        out.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.iter_mut().for_each(|x| *x = i));
+        assert_eq!(out, [0, 0, 1, 1, 2, 2]);
+    }
+}

@@ -1,0 +1,410 @@
+//! Offline shim for `serde_derive`: dependency-free `#[derive(Serialize)]`
+//! and `#[derive(Deserialize)]` targeting the value-tree model of the local
+//! `serde` shim.
+//!
+//! The derive walks the raw token stream directly (no `syn`/`quote`, which
+//! are unavailable offline). It supports what this workspace declares:
+//! non-generic structs (named, newtype, tuple, unit) and non-generic enums
+//! with unit, tuple, and struct variants, rendered in upstream serde's
+//! default externally-tagged representation. Container/field attributes
+//! (`#[serde(...)]`) are not interpreted; generics are rejected with a
+//! compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => struct_serialize(name, fields),
+        Item::Enum { name, variants } => enum_serialize(name, variants),
+    };
+    code.parse().expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => struct_deserialize(name, fields),
+        Item::Enum { name, variants } => enum_deserialize(name, variants),
+    };
+    code.parse().expect("serde_derive shim: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+
+    // Header: outer attributes and visibility, then `struct`/`enum` + name.
+    let is_enum = loop {
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the bracketed group that follows.
+                toks.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            other => panic!("serde_derive shim: unexpected token in item header: {other:?}"),
+        }
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, found {other:?}"),
+    };
+    if matches!(&toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+
+    if is_enum {
+        let body = match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("serde_derive shim: expected enum body, found {other:?}"),
+        };
+        Item::Enum { name, variants: parse_variants(body.stream()) }
+    } else {
+        let fields = match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("serde_derive shim: expected struct body, found {other:?}"),
+        };
+        Item::Struct { name, fields }
+    }
+}
+
+/// Parse `name: Type, ...` lists, returning field names. Commas inside
+/// generic arguments are skipped by tracking `<`/`>` depth (delimiter groups
+/// are atomic token trees, so only angle brackets need counting).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    'fields: loop {
+        // Leading attributes (doc comments included) and visibility.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                Some(_) => break,
+                None => break 'fields,
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        names.push(name);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => break 'fields,
+            }
+        }
+    }
+    names
+}
+
+/// Count the fields of a tuple struct/variant: top-level commas + 1, minus a
+/// trailing comma; an empty stream is zero fields.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut last_was_comma = false;
+    let mut any = false;
+    for tok in stream {
+        any = true;
+        last_was_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                commas += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if !any {
+        0
+    } else if last_was_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    'variants: loop {
+        // Leading attributes.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(_) => break,
+                None => break 'variants,
+            }
+        }
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        let fields = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream());
+                toks.next();
+                Fields::Named(names)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Fields::Tuple(n)
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Skip an explicit discriminant (`= expr`) and the separating comma.
+        loop {
+            match toks.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+                None => break 'variants,
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (string templates parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn named_to_value_entries(names: &[String], prefix: &str) -> String {
+    names
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f})),"))
+        .collect()
+}
+
+fn named_from_value_fields(names: &[String]) -> String {
+    // A missing key deserializes from Null, which succeeds only for Option
+    // fields; the map_err keeps the field name in the error for the rest.
+    names
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match ::serde::obj_get(obj, \"{f}\") {{ \
+                   Some(v) => ::serde::Deserialize::from_value(v) \
+                     .map_err(|e| ::serde::Error::msg(format!(\"field `{f}`: {{e}}\")))?, \
+                   None => ::serde::Deserialize::from_value(&::serde::Value::Null) \
+                     .map_err(|_| ::serde::Error::msg(\"missing field `{f}`\"))?, \
+                 }},"
+            )
+        })
+        .collect()
+}
+
+fn struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: String =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i}),")).collect();
+            format!("::serde::Value::Arr(vec![{items}])")
+        }
+        Fields::Named(names) => {
+            let entries = named_to_value_entries(names, "self.");
+            format!("::serde::Value::Obj(vec![{entries}])")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("Ok({name})"),
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(value)?))"),
+        Fields::Tuple(n) => {
+            let items: String =
+                (0..*n).map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?,")).collect();
+            format!(
+                "let arr = value.as_arr() \
+                   .ok_or_else(|| ::serde::Error::msg(\"expected array for {name}\"))?; \
+                 if arr.len() != {n} {{ \
+                   return Err(::serde::Error::msg(\"wrong tuple length for {name}\")); \
+                 }} \
+                 Ok({name}({items}))"
+            )
+        }
+        Fields::Named(names) => {
+            let fields = named_from_value_fields(names);
+            format!(
+                "let obj = value.as_obj() \
+                   .ok_or_else(|| ::serde::Error::msg(\"expected object for {name}\"))?; \
+                 Ok({name} {{ {fields} }})"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|(v, fields)| match fields {
+            Fields::Unit => {
+                format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),")
+            }
+            Fields::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                let pat = binders.join(", ");
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(x0)".to_string()
+                } else {
+                    let items: String = binders
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                        .collect();
+                    format!("::serde::Value::Arr(vec![{items}])")
+                };
+                format!(
+                    "{name}::{v}({pat}) => ::serde::Value::Obj(vec![\
+                       (\"{v}\".to_string(), {inner})]),"
+                )
+            }
+            Fields::Named(fs) => {
+                let pat = fs.join(", ");
+                let entries = named_to_value_entries(fs, "");
+                format!(
+                    "{name}::{v} {{ {pat} }} => ::serde::Value::Obj(vec![\
+                       (\"{v}\".to_string(), ::serde::Value::Obj(vec![{entries}]))]),"
+                )
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }} \
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v}),"))
+        .collect();
+    let tagged_arms: String = variants
+        .iter()
+        .filter_map(|(v, fields)| match fields {
+            Fields::Unit => None,
+            Fields::Tuple(1) => Some(format!(
+                "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_value(inner)?)),"
+            )),
+            Fields::Tuple(n) => {
+                let items: String = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?,"))
+                    .collect();
+                Some(format!(
+                    "\"{v}\" => {{ \
+                       let arr = inner.as_arr() \
+                         .ok_or_else(|| ::serde::Error::msg(\"expected array for {name}::{v}\"))?; \
+                       if arr.len() != {n} {{ \
+                         return Err(::serde::Error::msg(\"wrong tuple length for {name}::{v}\")); \
+                       }} \
+                       return Ok({name}::{v}({items})); \
+                     }}"
+                ))
+            }
+            Fields::Named(fs) => {
+                let fields = named_from_value_fields(fs);
+                Some(format!(
+                    "\"{v}\" => {{ \
+                       let obj = inner.as_obj() \
+                         .ok_or_else(|| ::serde::Error::msg(\"expected object for {name}::{v}\"))?; \
+                       return Ok({name}::{v} {{ {fields} }}); \
+                     }}"
+                ))
+            }
+        })
+        .collect();
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn from_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ \
+             if let Some(tag) = value.as_str() {{ \
+               match tag {{ {unit_arms} _ => {{}} }} \
+             }} \
+             if let Some(obj) = value.as_obj() {{ \
+               if obj.len() == 1 {{ \
+                 let (tag, inner) = &obj[0]; \
+                 let _ = inner; \
+                 match tag.as_str() {{ {tagged_arms} _ => {{}} }} \
+               }} \
+             }} \
+             Err(::serde::Error::msg(\"unknown variant for {name}\")) \
+           }} \
+         }}"
+    )
+}

@@ -3,12 +3,12 @@
 //! undefended federation collapses under model poisoning; FedGuard's audit
 //! excludes the poisoned updates.
 
+use fedguard::data::synth::generate_dataset;
+use fedguard::data::LabelFlip;
 use fedguard::experiment::{
     run_experiment, AttackScenario, ExperimentConfig, Preset, StrategyKind,
 };
 use fedguard::nn::models::{Classifier, ClassifierSpec};
-use fedguard::data::synth::generate_dataset;
-use fedguard::data::LabelFlip;
 
 #[test]
 fn fedavg_collapses_under_same_value_majority() {
@@ -86,10 +86,7 @@ fn fedguard_defends_from_the_first_round() {
     let result = run_experiment(&cfg);
     let round0 = &result.history[0];
     if !round0.malicious_sampled.is_empty() {
-        assert!(
-            round0.malicious_excluded() > 0,
-            "no malicious update excluded in round 0"
-        );
+        assert!(round0.malicious_excluded() > 0, "no malicious update excluded in round 0");
     }
 }
 
@@ -124,12 +121,8 @@ fn label_flip_poisons_the_flipped_classes_specifically() {
 
     let acc_on = |clf: &mut Classifier, keep: &dyn Fn(usize) -> bool| {
         let preds = clf.predict(&x);
-        let pairs: Vec<(usize, usize)> = preds
-            .iter()
-            .zip(&y)
-            .filter(|(_, &t)| keep(t))
-            .map(|(&p, &t)| (p, t))
-            .collect();
+        let pairs: Vec<(usize, usize)> =
+            preds.iter().zip(&y).filter(|(_, &t)| keep(t)).map(|(&p, &t)| (p, t)).collect();
         pairs.iter().filter(|(p, t)| p == t).count() as f32 / pairs.len() as f32
     };
 
@@ -158,8 +151,20 @@ fn colluding_noise_is_coordinated_across_clients() {
     let interceptor =
         PoisoningInterceptor::new(vec![0, 1], ModelAttack::AdditiveNoise { sigma: 0.5 }, 99);
     let base = vec![0.25f32; 64];
-    let mut u0 = ModelUpdate { client_id: 0, params: base.clone(), num_samples: 1, decoder: None, class_coverage: None };
-    let mut u1 = ModelUpdate { client_id: 1, params: base.clone(), num_samples: 1, decoder: None, class_coverage: None };
+    let mut u0 = ModelUpdate {
+        client_id: 0,
+        params: base.clone(),
+        num_samples: 1,
+        decoder: None,
+        class_coverage: None,
+    };
+    let mut u1 = ModelUpdate {
+        client_id: 1,
+        params: base.clone(),
+        num_samples: 1,
+        decoder: None,
+        class_coverage: None,
+    };
     interceptor.intercept(&mut u0, 3);
     interceptor.intercept(&mut u1, 3);
     assert_eq!(u0.params, u1.params);

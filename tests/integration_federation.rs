@@ -37,7 +37,8 @@ fn every_strategy_learns_without_attack() {
 
 #[test]
 fn fedguard_comm_accounting_includes_decoders() {
-    let cfg = ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedGuard, AttackScenario::None, 6);
+    let cfg =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedGuard, AttackScenario::None, 6);
     let result = run_experiment(&cfg);
     let psi = cfg.fed.classifier.num_params() as u64 * 4;
     let theta = CvaeSpec::reduced(64, 8).decoder_params() as u64 * 4;
@@ -48,7 +49,8 @@ fn fedguard_comm_accounting_includes_decoders() {
     }
 
     // FedAvg moves no decoders.
-    let cfg2 = ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 6);
+    let cfg2 =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 6);
     let result2 = run_experiment(&cfg2);
     for r in &result2.history {
         assert_eq!(r.comm.download_bytes, psi * m);

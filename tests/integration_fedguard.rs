@@ -27,7 +27,12 @@ fn budget_variants_both_run_in_federation() {
     }
 }
 
-fn trained_update(id: usize, seed: u64, spec: &ClassifierSpec, cvae_spec: &CvaeSpec) -> ModelUpdate {
+fn trained_update(
+    id: usize,
+    seed: u64,
+    spec: &ClassifierSpec,
+    cvae_spec: &CvaeSpec,
+) -> ModelUpdate {
     let data = fedguard::data::synth::generate_dataset(15, seed);
     let mut rng = SeededRng::new(seed);
     let mut clf = Classifier::new(spec, &mut rng);
@@ -98,7 +103,7 @@ fn single_client_round_degenerates_to_that_client() {
         coverage_aware: false,
     });
     let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(1) };
-    let out = strategy.aggregate(&[update.clone()], &mut ctx);
+    let out = strategy.aggregate(std::slice::from_ref(&update), &mut ctx);
     assert_eq!(out.selected, vec![3]);
     assert_eq!(out.params, update.params);
 }
@@ -167,7 +172,8 @@ fn fedguard_survives_shard_heterogeneity_with_coverage_awareness() {
     use fedguard::fl::Federation;
     use std::sync::Arc;
 
-    let base = ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedGuard, AttackScenario::None, 31);
+    let base =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedGuard, AttackScenario::None, 31);
     let train = generate_dataset(base.per_class_train, 32);
     let test = generate_dataset(base.per_class_test, 33);
     let mut rng = SeededRng::new(34);
@@ -175,11 +181,8 @@ fn fedguard_survives_shard_heterogeneity_with_coverage_awareness() {
     let datasets = partition_datasets(&train, &parts);
 
     let malicious = choose_malicious(base.fed.n_clients, 0.3, 35);
-    let interceptor = Arc::new(PoisoningInterceptor::new(
-        malicious,
-        ModelAttack::SameValue { value: 1.0 },
-        36,
-    ));
+    let interceptor =
+        Arc::new(PoisoningInterceptor::new(malicious, ModelAttack::SameValue { value: 1.0 }, 36));
     let strategy = FedGuardStrategy::new(FedGuardConfig {
         classifier: base.fed.classifier,
         cvae: base.cvae.spec,
@@ -189,14 +192,13 @@ fn fedguard_survives_shard_heterogeneity_with_coverage_awareness() {
         inner: fedguard::InnerAggregator::FedAvg,
         coverage_aware: true,
     });
-    let mut fed = Federation::new(
-        base.fed,
-        datasets,
-        test,
-        Box::new(strategy),
-        interceptor,
-        Some(base.cvae),
-    );
+    let mut fed = Federation::builder(base.fed)
+        .datasets(datasets)
+        .test_set(test)
+        .strategy(strategy)
+        .interceptor(interceptor)
+        .cvae(base.cvae)
+        .build();
     let history = fed.run();
     let last = history.last().unwrap();
     assert!(last.accuracy > 0.25, "collapsed under shards: {:.3}", last.accuracy);

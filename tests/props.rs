@@ -9,10 +9,7 @@ use fedguard::tensor::vecops;
 use proptest::prelude::*;
 
 fn vecs_strategy(m: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-10.0f32..10.0, d),
-        m,
-    )
+    proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, d), m)
 }
 
 proptest! {
