@@ -25,25 +25,44 @@ pub fn fedavg(updates: &[&[f32]], num_samples: &[usize]) -> Vec<f32> {
 /// `max_iters` Weiszfeld iterations with convergence tolerance `tol` on the
 /// iterate movement. A singularity (iterate exactly on an input point) is
 /// resolved by nudging with the standard epsilon regularization.
+///
+/// Points with NaN/Inf coordinates are excluded from the iteration outright:
+/// zero-weighting is not enough, because `0 · ∞ = NaN` in the weighted sum
+/// and `f32::max(NaN, eps)` returns `eps`, so a single NaN distance would
+/// otherwise become the *largest* possible weight (the pre-total_cmp code
+/// panicked here instead). If every point is non-finite, the first is
+/// returned unchanged — garbage in, garbage out, but no panic.
 pub fn geometric_median(updates: &[&[f32]], max_iters: usize, tol: f32) -> Vec<f32> {
     assert!(!updates.is_empty(), "geometric median of zero updates");
-    if updates.len() == 1 {
+    let finite: Vec<&[f32]> =
+        updates.iter().copied().filter(|u| u.iter().all(|x| x.is_finite())).collect();
+    if finite.is_empty() {
         return updates[0].to_vec();
     }
-    let mut current = vecops::mean_vector(updates);
+    if finite.len() == 1 {
+        return finite[0].to_vec();
+    }
+    let mut current = vecops::mean_vector(&finite);
     let eps = 1e-8f32;
     for _ in 0..max_iters {
-        // w_i = 1 / max(||x_i - current||, eps)
-        let inv_dists: Vec<f32> = updates
+        // w_i = 1 / max(||x_i - current||, eps); 0 if the distance overflows.
+        let inv_dists: Vec<f32> = finite
             .par_iter()
             .map(|u| {
                 let d = vecops::l2_distance(u, &current);
-                1.0 / d.max(eps)
+                if d.is_finite() {
+                    1.0 / d.max(eps)
+                } else {
+                    0.0
+                }
             })
             .collect();
         let total: f32 = inv_dists.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            break;
+        }
         let weights: Vec<f32> = inv_dists.iter().map(|w| w / total).collect();
-        let next = vecops::weighted_sum(updates, &weights);
+        let next = vecops::weighted_sum(&finite, &weights);
         let movement = vecops::l2_distance(&next, &current);
         current = next;
         if movement < tol {
@@ -56,6 +75,11 @@ pub fn geometric_median(updates: &[&[f32]], max_iters: usize, tol: f32) -> Vec<f
 /// Krum scores (Blanchard et al.): for each update, the sum of squared
 /// distances to its `m - f - 2` nearest neighbours, where `f` is the assumed
 /// number of Byzantine clients. Lower is better.
+///
+/// NaN distances (from NaN/Inf-poisoned vectors) are ordered with
+/// [`f32::total_cmp`], which sorts NaN after +∞: a poisoned update's
+/// distances land at the *far* end of every neighbour list, so its own score
+/// goes to NaN/∞ and it is never preferred by the selection below.
 pub fn krum_scores(updates: &[&[f32]], f: usize) -> Vec<f32> {
     let m = updates.len();
     assert!(m >= 1, "krum of zero updates");
@@ -68,7 +92,7 @@ pub fn krum_scores(updates: &[&[f32]], f: usize) -> Vec<f32> {
                 return 0.0;
             }
             let mut row: Vec<f32> = (0..m).filter(|&j| j != i).map(|j| dist[i][j]).collect();
-            row.sort_by(|a, b| a.partial_cmp(b).expect("NaN distance in Krum"));
+            row.sort_by(f32::total_cmp);
             row.iter().take(k).sum()
         })
         .collect()
@@ -76,30 +100,34 @@ pub fn krum_scores(updates: &[&[f32]], f: usize) -> Vec<f32> {
 
 /// Krum selection: return the single update with the lowest Krum score (the
 /// paper's baseline uses plain Krum, not Multi-Krum) together with its index.
+/// NaN scores rank worst under the total order, so a NaN-poisoned update is
+/// only ever selected when *every* update is poisoned.
 pub fn krum(updates: &[&[f32]], f: usize) -> (Vec<f32>, usize) {
     let scores = krum_scores(updates, f);
     let best = scores
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN Krum score"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, _)| i)
         .expect("krum of zero updates");
     (updates[best].to_vec(), best)
 }
 
 /// Multi-Krum: average the `c` lowest-scoring updates. Returns the aggregate
-/// and the selected indices.
+/// and the selected indices. Like [`krum`], NaN scores sort last.
 pub fn multi_krum(updates: &[&[f32]], f: usize, c: usize) -> (Vec<f32>, Vec<usize>) {
     assert!(c >= 1 && c <= updates.len(), "multi-krum selection size out of range");
     let scores = krum_scores(updates, f);
     let mut order: Vec<usize> = (0..updates.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN Krum score"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let chosen: Vec<usize> = order.into_iter().take(c).collect();
     let selected: Vec<&[f32]> = chosen.iter().map(|&i| updates[i]).collect();
     (vecops::mean_vector(&selected), chosen)
 }
 
-/// Coordinate-wise median (Yin et al.).
+/// Coordinate-wise median (Yin et al.). NaNs sort last under
+/// [`f32::total_cmp`], so with an honest majority per coordinate the median
+/// element stays finite.
 pub fn coordinate_median(updates: &[&[f32]]) -> Vec<f32> {
     assert!(!updates.is_empty(), "median of zero updates");
     let n = updates[0].len();
@@ -111,7 +139,7 @@ pub fn coordinate_median(updates: &[&[f32]]) -> Vec<f32> {
         .into_par_iter()
         .map(|j| {
             let mut col: Vec<f32> = updates.iter().map(|u| u[j]).collect();
-            col.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median"));
+            col.sort_by(f32::total_cmp);
             if m % 2 == 1 {
                 col[m / 2]
             } else {
@@ -122,7 +150,9 @@ pub fn coordinate_median(updates: &[&[f32]]) -> Vec<f32> {
 }
 
 /// Coordinate-wise trimmed mean (Yin et al.): drop the `trim` smallest and
-/// largest values per coordinate, average the rest.
+/// largest values per coordinate, average the rest. NaN and +∞ sort to the
+/// top under [`f32::total_cmp`] and are trimmed away first, like any other
+/// extreme value.
 pub fn trimmed_mean_vectors(updates: &[&[f32]], trim: usize) -> Vec<f32> {
     assert!(!updates.is_empty(), "trimmed mean of zero updates");
     let m = updates.len();
@@ -132,7 +162,7 @@ pub fn trimmed_mean_vectors(updates: &[&[f32]], trim: usize) -> Vec<f32> {
         .into_par_iter()
         .map(|j| {
             let mut col: Vec<f32> = updates.iter().map(|u| u[j]).collect();
-            col.sort_by(|a, b| a.partial_cmp(b).expect("NaN in trimmed mean"));
+            col.sort_by(f32::total_cmp);
             let kept = &col[trim..m - trim];
             kept.iter().sum::<f32>() / kept.len() as f32
         })
@@ -315,6 +345,81 @@ mod tests {
     fn trimmed_mean_rejects_overtrim() {
         let vs = vec![vec![1.0f32], vec![2.0]];
         trimmed_mean_vectors(&refs(&vs), 1);
+    }
+
+    // ---- NaN/Inf robustness (regression: these used to panic) -------------
+
+    fn poisoned_mix() -> Vec<Vec<f32>> {
+        vec![
+            vec![0.0f32, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![0.1, 0.1],
+            vec![f32::NAN, 1.0],
+            vec![f32::INFINITY, f32::NEG_INFINITY],
+        ]
+    }
+
+    #[test]
+    fn krum_never_selects_nan_vector_with_honest_majority() {
+        let vs = poisoned_mix();
+        let (out, idx) = krum(&refs(&vs), 2);
+        assert!(idx < 4, "Krum selected a poisoned vector (index {idx})");
+        assert!(out.iter().all(|x| x.is_finite()));
+        // Poisoned vectors' scores rank strictly worst under the total order.
+        let scores = krum_scores(&refs(&vs), 2);
+        for honest in 0..4 {
+            for bad in 4..6 {
+                assert_eq!(
+                    scores[honest].total_cmp(&scores[bad]),
+                    std::cmp::Ordering::Less,
+                    "honest {honest} did not outrank poisoned {bad}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_krum_keeps_poisoned_vectors_out_of_selection() {
+        let vs = poisoned_mix();
+        let (agg, chosen) = multi_krum(&refs(&vs), 2, 3);
+        assert!(chosen.iter().all(|&i| i < 4), "{chosen:?}");
+        assert!(agg.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn coordinate_median_survives_nan_minority() {
+        let vs = vec![
+            vec![1.0f32, 1.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0],
+            vec![4.0, 4.0],
+            vec![f32::NAN, f32::INFINITY],
+        ];
+        // NaN and +Inf sort last; the middle element of each column is 3.0.
+        assert_eq!(coordinate_median(&refs(&vs)), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn trimmed_mean_trims_nan_and_inf_as_extremes() {
+        let vs = vec![vec![f32::NEG_INFINITY], vec![1.0f32], vec![2.0], vec![3.0], vec![f32::NAN]];
+        assert_eq!(trimmed_mean_vectors(&refs(&vs), 1), vec![2.0]);
+    }
+
+    #[test]
+    fn geomed_gives_non_finite_points_zero_weight() {
+        let mut vs = vec![vec![0.0f32, 0.0]; 4];
+        for (i, v) in vs.iter_mut().enumerate() {
+            v[0] = (i as f32) * 0.01;
+        }
+        vs.push(vec![f32::NAN, 0.0]);
+        vs.push(vec![f32::INFINITY, f32::INFINITY]);
+        let gm = geometric_median(&refs(&vs), 100, 1e-7);
+        // Regression: f32::max(NaN, eps) == eps meant a NaN distance became
+        // the largest weight (1/eps) and the iterate went NaN. The guard
+        // keeps the result finite and near the honest cluster.
+        assert!(gm.iter().all(|x| x.is_finite()), "{gm:?}");
+        assert!(gm[0].abs() < 1.0 && gm[1].abs() < 1.0, "{gm:?}");
     }
 
     // ---- Clipping ----------------------------------------------------------

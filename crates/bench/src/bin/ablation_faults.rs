@@ -1,0 +1,134 @@
+//! Ablation — **fault tolerance**: how the federation degrades as the
+//! network gets messier. The paper's evaluation assumes an ideal network;
+//! this bench reruns a FedGuard cell under increasing fault intensity
+//! (dropouts, NaN/Inf corruption, then the full chaotic mix of stragglers,
+//! truncation and duplicates) and reports tail accuracy alongside the
+//! fault-layer bookkeeping: submissions lost, sanitizer rejections, and
+//! rounds skipped for lack of quorum.
+//!
+//! ```text
+//! cargo run --release -p fg-bench --bin ablation_faults -- \
+//!     [--preset fast|smoke|paper] [--seed N] [--dropout P] [--corrupt P]
+//! ```
+//!
+//! `--dropout` / `--corrupt` add one extra row with those custom rates.
+
+use fedguard::experiment::{
+    run_experiment, AttackScenario, ExperimentConfig, Preset, StrategyKind,
+};
+use fedguard::fl::{read_jsonl, FaultConfig, FaultKind, ResiliencePolicy, RoundTelemetry};
+use fg_bench::{flag_value, preset_from_args, row, seed_from_args};
+use std::path::Path;
+
+struct FaultTally {
+    lost: usize,
+    rejected: usize,
+    skipped_rounds: usize,
+}
+
+fn tally(events: &[RoundTelemetry]) -> FaultTally {
+    FaultTally {
+        lost: events.iter().map(|e| e.lost_count()).sum(),
+        rejected: events
+            .iter()
+            .flat_map(|e| e.faults.iter())
+            .filter(|f| {
+                matches!(
+                    f.kind,
+                    FaultKind::RejectedNonFinite | FaultKind::RejectedWrongLength { .. }
+                )
+            })
+            .count(),
+        skipped_rounds: events.iter().filter(|e| !e.quorum_met).count(),
+    }
+}
+
+/// Run one cell through the experiment harness (which derives the fault
+/// plan from the federation seed) and recover the fault bookkeeping from
+/// the JSONL telemetry trail it leaves behind.
+fn run_cell(cfg: &ExperimentConfig) -> (f32, FaultTally) {
+    let dir = Path::new(fg_bench::telemetry_dir());
+    std::fs::create_dir_all(dir).expect("create telemetry dir");
+    let mut cfg = cfg.clone();
+    cfg.telemetry_dir = Some(dir.to_string_lossy().into_owned());
+    let result = run_experiment(&cfg);
+    // All rows share strategy/attack/seed, so each run rewrites this trail;
+    // read it back before the next row overwrites it.
+    let trail = dir.join(format!(
+        "{}-{}-s{}.jsonl",
+        cfg.strategy.name().to_lowercase(),
+        cfg.attack.name(),
+        cfg.fed.seed
+    ));
+    let events: Vec<RoundTelemetry> = read_jsonl(&trail).expect("read telemetry trail");
+    (result.tail_accuracy().mean, tally(&events))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset = preset_from_args(&args);
+    let seed = seed_from_args(&args);
+
+    let mut profiles: Vec<(String, Option<FaultConfig>)> = vec![
+        ("ideal network (paper setup)".into(), None),
+        ("30% dropout".into(), Some(FaultConfig { dropout_prob: 0.3, ..FaultConfig::default() })),
+        (
+            "30% dropout + 10% corrupt".into(),
+            Some(FaultConfig { dropout_prob: 0.3, corrupt_prob: 0.1, ..FaultConfig::default() }),
+        ),
+        ("chaotic mix".into(), Some(FaultConfig::chaotic())),
+    ];
+    let dropout = flag_value(&args, "--dropout")
+        .map(|s| s.parse::<f64>().expect("--dropout expects a probability"));
+    let corrupt = flag_value(&args, "--corrupt")
+        .map(|s| s.parse::<f64>().expect("--corrupt expects a probability"));
+    if dropout.is_some() || corrupt.is_some() {
+        let fc = FaultConfig {
+            dropout_prob: dropout.unwrap_or(0.0),
+            corrupt_prob: corrupt.unwrap_or(0.0),
+            ..FaultConfig::default()
+        };
+        profiles.push((
+            format!(
+                "custom ({:.0}% drop, {:.0}% corrupt)",
+                fc.dropout_prob * 100.0,
+                fc.corrupt_prob * 100.0
+            ),
+            Some(fc),
+        ));
+    }
+
+    println!("# Ablation — fault tolerance (FedGuard, no attack, quorum 2)");
+    println!(
+        "{}",
+        row(&[
+            "Fault profile".into(),
+            "Tail accuracy".into(),
+            "Lost submissions".into(),
+            "Sanitizer rejections".into(),
+            "Skipped rounds".into(),
+        ])
+    );
+    println!("{}", row(&vec!["---".to_string(); 5]));
+    for (label, faults) in profiles {
+        eprintln!("[run] {label}");
+        let mut cfg =
+            ExperimentConfig::preset(preset, StrategyKind::FedGuard, AttackScenario::None, seed);
+        cfg.faults = faults;
+        cfg.resilience = ResiliencePolicy::quorum(2);
+        let (tail, t) = run_cell(&cfg);
+        println!(
+            "{}",
+            row(&[
+                label,
+                format!("{:.2}%", tail * 100.0),
+                t.lost.to_string(),
+                t.rejected.to_string(),
+                t.skipped_rounds.to_string(),
+            ])
+        );
+    }
+    if preset == Preset::Paper {
+        eprintln!("note: paper preset cells are expensive; consider --preset fast");
+    }
+}

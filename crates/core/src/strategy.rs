@@ -118,17 +118,29 @@ impl AggregationStrategy for FedGuardStrategy {
         updates: &[ModelUpdate],
         ctx: &mut AggregationContext<'_>,
     ) -> AggregationOutcome {
+        // Degenerate round: a single survivor has no peers to be audited
+        // against (the mean-threshold selection would trivially keep it).
+        // Skip synthesis entirely and pass it through.
+        if updates.len() == 1 {
+            let u = &updates[0];
+            return AggregationOutcome::new(u.params.clone(), vec![u.client_id]);
+        }
+
         // (1) Gather decoders. Every FedGuard client ships one; tolerate
         // missing decoders (a malformed submission) by auditing with the
-        // rest.
+        // rest. Non-finite decoders would poison every synthesized sample
+        // they condition, so they are skipped too (the federation sanitizer
+        // strips them upstream; this guards standalone use).
         let decoders: Vec<DecoderSubmission<'_>> = updates
             .iter()
             .filter_map(|u| {
-                u.decoder.as_deref().map(|theta| DecoderSubmission {
-                    client_id: u.client_id,
-                    theta,
-                    coverage: u.class_coverage.as_deref(),
-                })
+                u.decoder.as_deref().filter(|theta| theta.iter().all(|x| x.is_finite())).map(
+                    |theta| DecoderSubmission {
+                        client_id: u.client_id,
+                        theta,
+                        coverage: u.class_coverage.as_deref(),
+                    },
+                )
             })
             .collect();
 
@@ -342,6 +354,38 @@ mod tests {
             assert_eq!(out.params.len(), global.len(), "{inner:?}");
             assert!(out.params.iter().all(|w| w.is_finite()), "{inner:?}");
         }
+    }
+
+    #[test]
+    fn single_update_round_passes_through_without_synthesis() {
+        let updates = vec![honest_update(4, 60)];
+        let global = vec![0.0f32; updates[0].params.len()];
+        let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(5) };
+        let mut s = FedGuardStrategy::new(config());
+        let out = s.aggregate(&updates, &mut ctx);
+        assert_eq!(out.params, updates[0].params);
+        assert_eq!(out.selected, vec![4]);
+        // No synthesis/audit phase ran.
+        assert_eq!(out.timings.synthesis_secs, 0.0);
+        assert_eq!(out.timings.audit_secs, 0.0);
+    }
+
+    #[test]
+    fn non_finite_decoders_are_excluded_from_synthesis() {
+        let mut updates: Vec<ModelUpdate> =
+            (0..3).map(|i| honest_update(i, 70 + i as u64)).collect();
+        // Client 2's decoder is poisoned; its (finite) classifier update must
+        // still be audited, and the synthetic set must stay usable.
+        if let Some(theta) = updates[2].decoder.as_mut() {
+            theta[0] = f32::NAN;
+        }
+        let global = vec![0.0f32; updates[0].params.len()];
+        let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(6) };
+        let mut s = FedGuardStrategy::new(config());
+        let out = s.aggregate(&updates, &mut ctx);
+        assert_eq!(out.scores.len(), 3, "every update is still audited");
+        assert!(out.params.iter().all(|w| w.is_finite()));
+        assert!(!out.selected.is_empty());
     }
 
     #[test]

@@ -52,6 +52,47 @@ impl CvaeTrainConfig {
     }
 }
 
+/// How the round loop degrades when submissions go missing or are rejected
+/// (dropouts, straggler timeouts, sanitizer rejections — see
+/// [`crate::fault`]).
+///
+/// The sanitizer always runs; this policy decides what happens *after* it:
+/// if fewer than `min_quorum` valid submissions survive, the aggregation
+/// strategy is not consulted and the global model is carried forward
+/// unchanged — unless `damped_partial_step` is set and at least one
+/// submission survived, in which case the server takes a partial step toward
+/// the survivors' unweighted mean, scaled by `survivors / min_quorum` on top
+/// of the server learning rate (a confidence-weighted step: the thinner the
+/// round, the smaller the move).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResiliencePolicy {
+    /// Minimum surviving submissions required to run the aggregation
+    /// strategy. The effective quorum is always at least 1: a strategy is
+    /// never invoked on an empty round.
+    pub min_quorum: usize,
+    /// Below quorum with ≥1 survivor: take a damped partial step instead of
+    /// freezing the model (off by default — pure carry-forward).
+    pub damped_partial_step: bool,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy { min_quorum: 1, damped_partial_step: false }
+    }
+}
+
+impl ResiliencePolicy {
+    /// Require `min_quorum` survivors, pure carry-forward below it.
+    pub fn quorum(min_quorum: usize) -> Self {
+        ResiliencePolicy { min_quorum, damped_partial_step: false }
+    }
+
+    /// The quorum actually enforced (never zero).
+    pub fn effective_quorum(&self) -> usize {
+        self.min_quorum.max(1)
+    }
+}
+
 /// Top-level federation parameters (the `Federation` procedure of Alg. 1).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FederationConfig {
@@ -146,6 +187,16 @@ mod tests {
         let mut c = FederationConfig::paper();
         c.server_lr = 0.0;
         c.validate();
+    }
+
+    #[test]
+    fn resilience_policy_defaults_and_quorum_floor() {
+        let p = ResiliencePolicy::default();
+        assert_eq!(p.min_quorum, 1);
+        assert!(!p.damped_partial_step);
+        // A zero quorum would let a strategy see an empty round; floored.
+        assert_eq!(ResiliencePolicy::quorum(0).effective_quorum(), 1);
+        assert_eq!(ResiliencePolicy::quorum(5).effective_quorum(), 5);
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use crate::client::{Client, NoAttack, UpdateInterceptor};
 use crate::comm::CommStats;
-use crate::config::{CvaeTrainConfig, FederationConfig};
+use crate::config::{CvaeTrainConfig, FederationConfig, ResiliencePolicy};
+use crate::fault::{sanitize_round, FaultEvent, FaultKind, FaultPlan, SubmissionFaults};
 use crate::metrics::RoundRecord;
-use crate::strategy::{AggregationContext, AggregationStrategy};
+use crate::strategy::{AggregationContext, AggregationStrategy, StrategyTimings};
 use crate::telemetry::{RoundObserver, RoundTelemetry, StageTimings};
 use crate::update::ModelUpdate;
 use fg_data::Dataset;
@@ -36,19 +37,30 @@ use std::time::Instant;
 /// Each round (cf. Alg. 1 lines 16-20):
 /// 1. uniformly sample `m` of the `N` clients,
 /// 2. train the sampled clients locally, in parallel (rayon), from the
-///    current global parameters,
+///    current global parameters — clients scheduled to drop out by the
+///    [fault plan](FederationBuilder::faults) never train,
 /// 3. let the attack interceptor corrupt the malicious clients' updates,
-/// 4. hand all updates to the aggregation strategy,
-/// 5. move the global model by the server learning rate toward the
-///    aggregate, and
+///    then inject any scheduled transit faults (straggler delay/timeout,
+///    NaN/Inf corruption, truncation, stale duplicates),
+/// 4. sanitize the arrived submissions ([`sanitize_round`]: reject
+///    non-finite / wrong-length vectors, strip bad decoders, dedup by
+///    client id) — this guard runs on every round, fault plan or not,
+/// 5. if the survivors meet the [`ResiliencePolicy`] quorum, hand them to
+///    the aggregation strategy and move the global model by the server
+///    learning rate toward the aggregate; otherwise skip aggregation and
+///    carry the global model forward (optionally taking a damped partial
+///    step toward the survivors' mean), and
 /// 6. evaluate on the held-out test set, record metrics, and emit one
-///    [`RoundTelemetry`] event to every registered observer.
+///    [`RoundTelemetry`] event — including the survivor roster and every
+///    [`FaultEvent`] — to every registered observer.
 pub struct Federation {
     config: FederationConfig,
     clients: Vec<Mutex<Client>>,
     test_set: Dataset,
     strategy: Box<dyn AggregationStrategy>,
     interceptor: Arc<dyn UpdateInterceptor>,
+    faults: Option<FaultPlan>,
+    resilience: ResiliencePolicy,
     global: Vec<f32>,
     history: Vec<RoundRecord>,
     rng: SeededRng,
@@ -64,6 +76,8 @@ pub struct FederationBuilder {
     test_set: Option<Dataset>,
     strategy: Option<Box<dyn AggregationStrategy>>,
     interceptor: Arc<dyn UpdateInterceptor>,
+    faults: Option<FaultPlan>,
+    resilience: ResiliencePolicy,
     cvae: Option<CvaeTrainConfig>,
     observers: Vec<Box<dyn RoundObserver>>,
 }
@@ -92,6 +106,23 @@ impl FederationBuilder {
     /// The attack interceptor. Defaults to [`NoAttack`] when omitted.
     pub fn interceptor(mut self, interceptor: Arc<dyn UpdateInterceptor>) -> Self {
         self.interceptor = interceptor;
+        self
+    }
+
+    /// A seeded fault-injection schedule (see [`crate::fault`]). When set,
+    /// each sampled submission may drop out, straggle, arrive corrupted or
+    /// truncated, or be duplicated, per the plan's deterministic draws.
+    /// Accepts a bare plan or an `Option`; defaults to no injection.
+    pub fn faults(mut self, plan: impl Into<Option<FaultPlan>>) -> Self {
+        self.faults = plan.into();
+        self
+    }
+
+    /// How the round degrades when too few valid submissions survive
+    /// sanitization. Defaults to [`ResiliencePolicy::default`] (quorum 1,
+    /// pure carry-forward below it).
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
         self
     }
 
@@ -155,6 +186,8 @@ impl FederationBuilder {
             test_set,
             strategy,
             interceptor: self.interceptor,
+            faults: self.faults,
+            resilience: self.resilience,
             global,
             history: Vec::new(),
             rng: master.fork(u64::MAX - 1),
@@ -172,6 +205,8 @@ impl Federation {
             test_set: None,
             strategy: None,
             interceptor: Arc::new(NoAttack),
+            faults: None,
+            resilience: ResiliencePolicy::default(),
             cvae: None,
             observers: Vec::new(),
         }
@@ -222,12 +257,32 @@ impl Federation {
         sampled.sort_unstable();
         let sampling_secs = stage.elapsed().as_secs_f64();
 
+        // (1b) Draw the round's fault schedule; dropouts never train. Draws
+        // are pure functions of (plan seed, round, client), so the schedule
+        // is identical across replays regardless of execution order.
+        let mut fault_events: Vec<FaultEvent> = Vec::new();
+        let schedule: Vec<(usize, SubmissionFaults)> = match &self.faults {
+            Some(plan) => sampled.iter().map(|&id| (id, plan.draw(round, id))).collect(),
+            None => sampled.iter().map(|&id| (id, SubmissionFaults::default())).collect(),
+        };
+        let active: Vec<usize> = schedule
+            .iter()
+            .filter_map(|&(id, f)| {
+                if f.dropout {
+                    fault_events.push(FaultEvent::new(id, FaultKind::Dropout));
+                    None
+                } else {
+                    Some(id)
+                }
+            })
+            .collect();
+
         // (2) Parallel local training; (3) attack interception.
         let stage = Instant::now();
         let global = &self.global;
         let interceptor = &self.interceptor;
         let clients = &self.clients;
-        let mut updates: Vec<ModelUpdate> = sampled
+        let mut updates: Vec<ModelUpdate> = active
             .par_iter()
             .map(|&id| {
                 let mut client = clients[id].lock();
@@ -239,25 +294,99 @@ impl Federation {
         updates.sort_by_key(|u| u.client_id);
         let local_training_secs = stage.elapsed().as_secs_f64();
 
-        // (4) Aggregate. The strategy reports its own synthesis/audit time;
-        // the remainder of the aggregate() call is inner aggregation.
-        let stage = Instant::now();
-        let mut ctx = AggregationContext {
-            round,
-            global: &self.global,
-            rng: self.rng.fork(0xA66 ^ round as u64),
-        };
-        let outcome = self.strategy.aggregate(&updates, &mut ctx);
-        let aggregate_total_secs = stage.elapsed().as_secs_f64();
-        assert_eq!(
-            outcome.params.len(),
-            self.global.len(),
-            "strategy {} returned wrong-size parameters",
-            self.strategy.name()
-        );
+        // (3b) Inject transit faults into the trained submissions: corrupt /
+        // truncate the vector, queue a stale duplicate, and apply the
+        // straggler deadline. Duplicates arrive after every original.
+        let deadline =
+            self.faults.as_ref().map_or(f64::INFINITY, |p| p.config().round_deadline_secs);
+        let faults_of: std::collections::HashMap<usize, SubmissionFaults> =
+            schedule.iter().copied().collect();
+        let mut arrived: Vec<ModelUpdate> = Vec::with_capacity(updates.len());
+        let mut duplicates: Vec<ModelUpdate> = Vec::new();
+        for mut update in updates {
+            let f = faults_of[&update.client_id];
+            if let Some(mode) = f.corrupt {
+                FaultPlan::corrupt_params(&mut update, mode);
+                fault_events.push(FaultEvent::new(update.client_id, FaultKind::Corrupted { mode }));
+            }
+            if let Some(frac) = f.truncate_fraction {
+                let kept = ((update.params.len() as f64 * frac) as usize).max(1);
+                update.params.truncate(kept);
+                fault_events.push(FaultEvent::new(update.client_id, FaultKind::Truncated { kept }));
+            }
+            if f.duplicate {
+                // A retransmission frozen at the round-start global model; it
+                // goes over the wire even if the original times out.
+                let mut dup = update.clone();
+                dup.params = self.global.clone();
+                duplicates.push(dup);
+                fault_events
+                    .push(FaultEvent::new(update.client_id, FaultKind::DuplicateSubmission));
+            }
+            if let Some(delay) = f.straggler_delay_secs {
+                if delay > deadline {
+                    fault_events.push(FaultEvent::new(
+                        update.client_id,
+                        FaultKind::StragglerTimeout { delay_secs: delay },
+                    ));
+                    continue;
+                }
+                fault_events.push(FaultEvent::new(
+                    update.client_id,
+                    FaultKind::StragglerLate { delay_secs: delay },
+                ));
+            }
+            arrived.push(update);
+        }
+        arrived.extend(duplicates);
+        // Download accounting covers what actually crossed the wire this
+        // round: corrupted/truncated/duplicate submissions included,
+        // dropouts and timeouts not.
+        let comm = CommStats::for_round(self.global.len(), sampled.len(), &arrived);
 
-        // (5) Server learning rate (§V-A): ψ₀ ← (1-η)ψ₀ + η·aggregate.
-        self.global = vecops::lerp(&self.global, &outcome.params, self.config.server_lr);
+        // (4) Sanitize: reject malformed vectors, strip bad decoders, dedup
+        // by client id. Runs on every round, fault plan or not.
+        let stage = Instant::now();
+        let survivors = sanitize_round(arrived, self.global.len(), &mut fault_events);
+        let survivor_ids: Vec<usize> = survivors.iter().map(|u| u.client_id).collect();
+        let sanitize_secs = stage.elapsed().as_secs_f64();
+
+        // (5) Aggregate if the survivors meet quorum; otherwise degrade per
+        // the resilience policy. The strategy reports its own synthesis /
+        // audit time; the remainder of aggregate() is inner aggregation.
+        let quorum = self.resilience.effective_quorum();
+        let quorum_met = survivors.len() >= quorum;
+        let stage = Instant::now();
+        let (selected, scores, threshold, strategy_timings) = if quorum_met {
+            let mut ctx = AggregationContext {
+                round,
+                global: &self.global,
+                rng: self.rng.fork(0xA66 ^ round as u64),
+            };
+            let outcome = self.strategy.aggregate(&survivors, &mut ctx);
+            assert_eq!(
+                outcome.params.len(),
+                self.global.len(),
+                "strategy {} returned wrong-size parameters",
+                self.strategy.name()
+            );
+            // Server learning rate (§V-A): ψ₀ ← (1-η)ψ₀ + η·aggregate.
+            self.global = vecops::lerp(&self.global, &outcome.params, self.config.server_lr);
+            (outcome.selected, outcome.scores, outcome.threshold, outcome.timings)
+        } else if self.resilience.damped_partial_step && !survivors.is_empty() {
+            // Below quorum but not empty: a confidence-weighted step toward
+            // the survivors' unweighted mean, damped by survivors/quorum on
+            // top of the server learning rate.
+            let refs: Vec<&[f32]> = survivors.iter().map(|u| u.params.as_slice()).collect();
+            let mean = vecops::mean_vector(&refs);
+            let scale = survivors.len() as f32 / quorum as f32;
+            self.global = vecops::lerp(&self.global, &mean, self.config.server_lr * scale);
+            (survivor_ids.clone(), Vec::new(), None, StrategyTimings::default())
+        } else {
+            // Carry the global model forward unchanged.
+            (Vec::new(), Vec::new(), None, StrategyTimings::default())
+        };
+        let aggregate_total_secs = stage.elapsed().as_secs_f64();
 
         // (6) Evaluate, record, and emit telemetry.
         let stage = Instant::now();
@@ -267,20 +396,20 @@ impl Federation {
         let malicious: HashSet<usize> = self.interceptor.malicious_clients().into_iter().collect();
         let malicious_sampled: Vec<usize> =
             sampled.iter().copied().filter(|c| malicious.contains(c)).collect();
-        let comm = CommStats::for_round(self.global.len(), sampled.len(), &updates);
 
-        let selected_set: HashSet<usize> = outcome.selected.iter().copied().collect();
+        let selected_set: HashSet<usize> = selected.iter().copied().collect();
         let excluded: Vec<usize> =
             sampled.iter().copied().filter(|c| !selected_set.contains(c)).collect();
 
         let stages = StageTimings {
             sampling_secs,
             local_training_secs,
-            synthesis_secs: outcome.timings.synthesis_secs,
-            audit_secs: outcome.timings.audit_secs,
+            sanitize_secs,
+            synthesis_secs: strategy_timings.synthesis_secs,
+            audit_secs: strategy_timings.audit_secs,
             aggregation_secs: (aggregate_total_secs
-                - outcome.timings.synthesis_secs
-                - outcome.timings.audit_secs)
+                - strategy_timings.synthesis_secs
+                - strategy_timings.audit_secs)
                 .max(0.0),
             evaluation_secs,
         };
@@ -289,7 +418,7 @@ impl Federation {
             round,
             accuracy,
             sampled,
-            selected: outcome.selected,
+            selected,
             malicious_sampled,
             wall_secs: start.elapsed().as_secs_f64(),
             comm,
@@ -301,11 +430,14 @@ impl Federation {
             accuracy,
             stages,
             wall_secs: record.wall_secs,
-            scores: outcome.scores,
-            threshold: outcome.threshold,
+            scores,
+            threshold,
             sampled: record.sampled.clone(),
+            survivors: survivor_ids,
             selected: record.selected.clone(),
             excluded,
+            faults: fault_events,
+            quorum_met,
             malicious_sampled: record.malicious_sampled.clone(),
             comm,
         };
@@ -361,7 +493,7 @@ mod tests {
         }
     }
 
-    fn smoke_federation(rounds: usize, seed: u64) -> Federation {
+    fn smoke_builder(rounds: usize, seed: u64) -> FederationBuilder {
         let data = generate_dataset(30, seed); // 300 samples
         let (test, train) = data.split_at(60);
         let mut rng = SeededRng::new(seed ^ 1);
@@ -383,7 +515,11 @@ mod tests {
             eval_batch: 64,
             seed,
         };
-        Federation::builder(config).datasets(datasets).test_set(test).strategy(MeanStrategy).build()
+        Federation::builder(config).datasets(datasets).test_set(test).strategy(MeanStrategy)
+    }
+
+    fn smoke_federation(rounds: usize, seed: u64) -> Federation {
+        smoke_builder(rounds, seed).build()
     }
 
     #[test]
@@ -514,6 +650,112 @@ mod tests {
             seed: 0,
         };
         Federation::builder(config).datasets(vec![data.clone()]).test_set(data).build();
+    }
+
+    #[test]
+    fn faulty_rounds_degrade_gracefully() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let collector = MemoryCollector::new();
+        let mut fed = smoke_builder(6, 31)
+            .faults(FaultPlan::new(FaultConfig::chaotic(), 77))
+            .observer(collector.clone())
+            .build();
+        let history = fed.run();
+        assert_eq!(history.len(), 6);
+        assert!(fed.global_params().iter().all(|x| x.is_finite()));
+
+        let events = collector.events();
+        assert_eq!(events.len(), 6);
+        let mut any_fault = false;
+        for e in &events {
+            any_fault |= !e.faults.is_empty();
+            let sampled: HashSet<usize> = e.sampled.iter().copied().collect();
+            let survivors: HashSet<usize> = e.survivors.iter().copied().collect();
+            // selected ⊆ survivors ⊆ sampled.
+            assert!(survivors.iter().all(|c| sampled.contains(c)));
+            assert!(e.selected.iter().all(|c| survivors.contains(c)));
+            // No dropped-out client ever reaches the survivor roster.
+            for f in &e.faults {
+                if f.kind == FaultKind::Dropout {
+                    assert!(!survivors.contains(&f.client_id));
+                }
+            }
+        }
+        assert!(any_fault, "chaotic plan injected nothing over 6 rounds");
+    }
+
+    #[test]
+    fn quorum_skip_carries_model_forward() {
+        use crate::config::ResiliencePolicy;
+        use crate::fault::{FaultConfig, FaultPlan};
+        // Everyone drops out: no round can meet quorum.
+        let plan = FaultPlan::new(FaultConfig { dropout_prob: 1.0, ..FaultConfig::default() }, 3);
+        let collector = MemoryCollector::new();
+        let mut fed = smoke_builder(2, 13)
+            .faults(plan)
+            .resilience(ResiliencePolicy::quorum(2))
+            .observer(collector.clone())
+            .build();
+        let start = fed.global_params().to_vec();
+        let baseline = fed.evaluate_global();
+        let history = fed.run();
+        assert_eq!(fed.global_params(), &start[..], "skip round must not move the model");
+        for (r, e) in history.iter().zip(collector.events().iter()) {
+            assert!(r.selected.is_empty());
+            assert!(!e.quorum_met);
+            assert!(e.survivors.is_empty());
+            assert_eq!(e.faults.len(), 4, "one Dropout event per sampled client");
+            assert_eq!(e.comm.download_bytes, 0, "nothing crossed the wire upstream");
+            assert!((r.accuracy - baseline).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn damped_partial_step_moves_below_quorum() {
+        use crate::config::ResiliencePolicy;
+        // No faults, but a quorum above the round size: every round is below
+        // quorum with 4 survivors.
+        let policy = ResiliencePolicy { min_quorum: 8, damped_partial_step: true };
+        let collector = MemoryCollector::new();
+        let mut fed = smoke_builder(1, 17).resilience(policy).observer(collector.clone()).build();
+        let start = fed.global_params().to_vec();
+        fed.run();
+        let moved = fg_tensor::vecops::l2_distance(&start, fed.global_params());
+        assert!(moved > 0.0, "damped partial step should still move the model");
+        let e = &collector.events()[0];
+        assert!(!e.quorum_met);
+        // The partial step credits the survivors as selected.
+        assert_eq!(e.selected, e.survivors);
+
+        // The same round with pure carry-forward moves not at all, and the
+        // full-quorum step moves further than the damped one.
+        let mut frozen = smoke_builder(1, 17).resilience(ResiliencePolicy::quorum(8)).build();
+        frozen.run();
+        assert_eq!(frozen.global_params(), &start[..]);
+        let mut full = smoke_federation(1, 17);
+        full.run();
+        let full_moved = fg_tensor::vecops::l2_distance(&start, full.global_params());
+        assert!(moved < full_moved, "damped {moved} vs full {full_moved}");
+    }
+
+    #[test]
+    fn duplicates_never_double_weight_a_client() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let plan = FaultPlan::new(FaultConfig { duplicate_prob: 1.0, ..FaultConfig::default() }, 5);
+        let collector = MemoryCollector::new();
+        let mut fed = smoke_builder(2, 19).faults(plan).observer(collector.clone()).build();
+        fed.run();
+        for e in &collector.events() {
+            // Every client re-sent a stale duplicate; the sanitizer's
+            // last-write-wins dedup keeps exactly one submission per id.
+            assert_eq!(e.survivors, e.sampled);
+            let dups = e.faults.iter().filter(|f| f.kind == FaultKind::DuplicateSubmission).count();
+            let discarded =
+                e.faults.iter().filter(|f| f.kind == FaultKind::DuplicateDiscarded).count();
+            assert_eq!(dups, e.sampled.len());
+            assert_eq!(discarded, e.sampled.len());
+            assert!(e.quorum_met);
+        }
     }
 
     #[test]

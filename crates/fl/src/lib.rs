@@ -5,8 +5,10 @@
 //! holding Dirichlet-partitioned data, a server that samples `m` of them per
 //! round, local training (classifier always, CVAE when configured), pluggable
 //! aggregation strategies, an update-interception hook for poisoning attacks,
-//! byte-accurate communication accounting, and a structured per-round
-//! telemetry pipeline ([`telemetry`]) with composable observer sinks.
+//! byte-accurate communication accounting, a structured per-round telemetry
+//! pipeline ([`telemetry`]) with composable observer sinks, and a seeded
+//! fault-injection layer ([`fault`]) with graceful round degradation
+//! (sanitization, quorum, carry-forward) for chaos testing.
 //!
 //! The crate knows nothing about specific defenses or attacks; those live in
 //! `fg-agg`, `fg-defenses`, `fg-attacks` and `fedguard`, all plugging in via
@@ -15,6 +17,7 @@
 pub mod client;
 pub mod comm;
 pub mod config;
+pub mod fault;
 pub mod federation;
 pub mod metrics;
 pub mod strategy;
@@ -23,7 +26,10 @@ pub mod update;
 
 pub use client::{Client, DataStream, UpdateInterceptor};
 pub use comm::CommStats;
-pub use config::{CvaeTrainConfig, FederationConfig, LocalTrainConfig};
+pub use config::{CvaeTrainConfig, FederationConfig, LocalTrainConfig, ResiliencePolicy};
+pub use fault::{
+    sanitize_round, CorruptionMode, FaultConfig, FaultEvent, FaultKind, FaultPlan, SubmissionFaults,
+};
 pub use federation::{Federation, FederationBuilder};
 pub use metrics::RoundRecord;
 pub use strategy::{AggregationContext, AggregationOutcome, AggregationStrategy, StrategyTimings};
@@ -31,4 +37,4 @@ pub use telemetry::{
     read_jsonl, JsonlSink, MemoryCollector, RoundObserver, RoundTelemetry, StageTimings,
     StderrProgress,
 };
-pub use update::ModelUpdate;
+pub use update::{ModelUpdate, UpdateRejection};

@@ -26,6 +26,13 @@ pub struct RoundRecord {
 }
 
 impl RoundRecord {
+    /// A copy with the wall-clock time zeroed: the view the chaos suite
+    /// compares across replays, since every other field is a deterministic
+    /// function of the seeds while `wall_secs` never is.
+    pub fn normalized(&self) -> RoundRecord {
+        RoundRecord { wall_secs: 0.0, ..self.clone() }
+    }
+
     /// True-positive count: malicious clients the strategy excluded.
     pub fn malicious_excluded(&self) -> usize {
         self.malicious_sampled.iter().filter(|c| !self.selected.contains(c)).count()
@@ -80,6 +87,21 @@ mod tests {
     fn series_extraction() {
         let rs = vec![record(vec![], vec![], vec![])];
         assert_eq!(accuracy_series(&rs), vec![0.9]);
+    }
+
+    #[test]
+    fn normalized_zeroes_only_wall_clock() {
+        let r = record(vec![1, 2], vec![1], vec![2]);
+        let n = r.normalized();
+        assert_eq!(n.wall_secs, 0.0);
+        assert_eq!(n.accuracy, r.accuracy);
+        assert_eq!(n.sampled, r.sampled);
+        assert_eq!(n.selected, r.selected);
+        // Two records differing only in wall time normalize equal.
+        let mut slow = r.clone();
+        slow.wall_secs = 99.0;
+        assert_ne!(slow, r);
+        assert_eq!(slow.normalized(), r.normalized());
     }
 
     #[test]

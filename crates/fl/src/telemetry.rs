@@ -16,6 +16,7 @@
 //! * [`StderrProgress`] — a human-readable per-round progress line.
 
 use crate::comm::CommStats;
+use crate::fault::FaultEvent;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -24,11 +25,12 @@ use std::sync::Arc;
 
 /// Wall-clock seconds spent in each stage of one federated round.
 ///
-/// The six stages partition [`RoundTelemetry::wall_secs`]: `sampling` +
-/// `local_training` + `synthesis` + `audit` + `aggregation` + `evaluation`
-/// accounts for the round up to bookkeeping noise. For strategies without a
-/// synthesis/audit phase (FedAvg, Krum, ...) those two stages are zero and
-/// the whole `aggregate()` call is attributed to `aggregation`.
+/// The seven stages partition [`RoundTelemetry::wall_secs`]: `sampling` +
+/// `local_training` + `sanitize` + `synthesis` + `audit` + `aggregation` +
+/// `evaluation` accounts for the round up to bookkeeping noise. For
+/// strategies without a synthesis/audit phase (FedAvg, Krum, ...) those two
+/// stages are zero and the whole `aggregate()` call is attributed to
+/// `aggregation`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct StageTimings {
     /// Client sampling (Alg. 1 line 17).
@@ -36,6 +38,9 @@ pub struct StageTimings {
     /// Parallel local training across the sampled clients, including attack
     /// interception.
     pub local_training_secs: f64,
+    /// Fault injection plus server-side sanitization (validation, decoder
+    /// stripping, duplicate resolution) of the round's submissions.
+    pub sanitize_secs: f64,
     /// Server-side decoder synthesis of `D_syn` (FedGuard only).
     pub synthesis_secs: f64,
     /// Per-client audit/scoring (FedGuard's synthetic-set evaluation,
@@ -53,6 +58,7 @@ impl StageTimings {
     pub fn total(&self) -> f64 {
         self.sampling_secs
             + self.local_training_secs
+            + self.sanitize_secs
             + self.synthesis_secs
             + self.audit_secs
             + self.aggregation_secs
@@ -60,10 +66,11 @@ impl StageTimings {
     }
 
     /// The stages as `(name, seconds)` pairs, in pipeline order.
-    pub fn named(&self) -> [(&'static str, f64); 6] {
+    pub fn named(&self) -> [(&'static str, f64); 7] {
         [
             ("sampling", self.sampling_secs),
             ("local_training", self.local_training_secs),
+            ("sanitize", self.sanitize_secs),
             ("synthesis", self.synthesis_secs),
             ("audit", self.audit_secs),
             ("aggregation", self.aggregation_secs),
@@ -75,6 +82,7 @@ impl StageTimings {
     pub fn add(&mut self, other: &StageTimings) {
         self.sampling_secs += other.sampling_secs;
         self.local_training_secs += other.local_training_secs;
+        self.sanitize_secs += other.sanitize_secs;
         self.synthesis_secs += other.synthesis_secs;
         self.audit_secs += other.audit_secs;
         self.aggregation_secs += other.aggregation_secs;
@@ -86,6 +94,7 @@ impl StageTimings {
         StageTimings {
             sampling_secs: self.sampling_secs * factor,
             local_training_secs: self.local_training_secs * factor,
+            sanitize_secs: self.sanitize_secs * factor,
             synthesis_secs: self.synthesis_secs * factor,
             audit_secs: self.audit_secs * factor,
             aggregation_secs: self.aggregation_secs * factor,
@@ -117,10 +126,20 @@ pub struct RoundTelemetry {
     pub threshold: Option<f32>,
     /// Clients sampled into the round, ascending.
     pub sampled: Vec<usize>,
+    /// Clients whose valid submissions reached the aggregation stage after
+    /// fault injection and sanitization, ascending. Without faults this
+    /// equals `sampled`; always `selected ⊆ survivors ⊆ sampled`.
+    pub survivors: Vec<usize>,
     /// Clients whose updates the strategy kept.
     pub selected: Vec<usize>,
     /// Sampled clients the strategy excluded (`sampled` minus `selected`).
     pub excluded: Vec<usize>,
+    /// Every fault incident of the round — injected (dropout, straggler,
+    /// corruption, ...) and observed (sanitizer rejections, dedup).
+    pub faults: Vec<FaultEvent>,
+    /// False when fewer than the resilience policy's quorum survived and the
+    /// aggregation strategy was skipped (global model carried forward).
+    pub quorum_met: bool,
     /// Ground-truth malicious clients among the sampled (from the attack
     /// interceptor; empty for honest runs).
     pub malicious_sampled: Vec<usize>,
@@ -137,6 +156,12 @@ impl RoundTelemetry {
     /// Number of sampled clients the strategy kept.
     pub fn selected_count(&self) -> usize {
         self.selected.len()
+    }
+
+    /// Number of sampled clients whose submission never reached aggregation
+    /// (dropouts, timeouts, sanitizer rejections).
+    pub fn lost_count(&self) -> usize {
+        self.sampled.len() - self.survivors.len()
     }
 }
 
@@ -297,6 +322,8 @@ impl RoundObserver for StderrProgress {
 mod tests {
     use super::*;
 
+    use crate::fault::{FaultEvent, FaultKind};
+
     fn sample_event(round: usize) -> RoundTelemetry {
         RoundTelemetry {
             round,
@@ -305,6 +332,7 @@ mod tests {
             stages: StageTimings {
                 sampling_secs: 1e-6,
                 local_training_secs: 0.5,
+                sanitize_secs: 0.003,
                 synthesis_secs: 0.1,
                 audit_secs: 0.2,
                 aggregation_secs: 0.05,
@@ -313,9 +341,15 @@ mod tests {
             wall_secs: 0.88,
             scores: vec![(0, 0.8), (3, 0.1)],
             threshold: Some(0.45),
-            sampled: vec![0, 3],
+            sampled: vec![0, 3, 5],
+            survivors: vec![0, 3],
             selected: vec![0],
-            excluded: vec![3],
+            excluded: vec![3, 5],
+            faults: vec![
+                FaultEvent::new(5, FaultKind::Dropout),
+                FaultEvent::new(3, FaultKind::StragglerLate { delay_secs: 0.2 }),
+            ],
+            quorum_met: true,
             malicious_sampled: vec![3],
             comm: CommStats { upload_bytes: 1024, download_bytes: 2048 },
         }
@@ -324,12 +358,28 @@ mod tests {
     #[test]
     fn stage_timings_total_and_names() {
         let e = sample_event(0);
-        assert!((e.stages.total() - 0.870001).abs() < 1e-9);
+        assert!((e.stages.total() - 0.873001).abs() < 1e-9);
         let names: Vec<&str> = e.stages.named().iter().map(|&(n, _)| n).collect();
         assert_eq!(
             names,
-            vec!["sampling", "local_training", "synthesis", "audit", "aggregation", "evaluation"]
+            vec![
+                "sampling",
+                "local_training",
+                "sanitize",
+                "synthesis",
+                "audit",
+                "aggregation",
+                "evaluation"
+            ]
         );
+    }
+
+    #[test]
+    fn roster_counts_are_consistent() {
+        let e = sample_event(0);
+        assert_eq!(e.lost_count(), 1);
+        assert_eq!(e.selected_count(), 1);
+        assert_eq!(e.excluded_count(), 2);
     }
 
     #[test]

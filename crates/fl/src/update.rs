@@ -22,6 +22,28 @@ pub struct ModelUpdate {
     pub class_coverage: Option<Vec<u32>>,
 }
 
+/// Why the server's sanitizer refused a submission
+/// (see [`ModelUpdate::validate`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateRejection {
+    /// The parameter vector contains NaN or infinite entries.
+    NonFinite,
+    /// The parameter vector does not match the global model's length
+    /// (truncated or padded in transit).
+    WrongLength { got: usize, expected: usize },
+}
+
+impl std::fmt::Display for UpdateRejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateRejection::NonFinite => write!(f, "non-finite parameters"),
+            UpdateRejection::WrongLength { got, expected } => {
+                write!(f, "wrong parameter count: got {got}, expected {expected}")
+            }
+        }
+    }
+}
+
 impl ModelUpdate {
     /// Bytes this update occupies on the simulated wire (f32 = 4 bytes).
     pub fn wire_bytes(&self) -> u64 {
@@ -32,6 +54,34 @@ impl ModelUpdate {
     /// True if the parameter vector contains NaN or infinite entries.
     pub fn is_non_finite(&self) -> bool {
         self.params.iter().any(|x| !x.is_finite())
+    }
+
+    /// Server-side admission check: the parameter vector must have the
+    /// global model's length (checked first — a truncated vector is
+    /// malformed regardless of its values) and contain only finite entries.
+    pub fn validate(&self, expected_len: usize) -> Result<(), UpdateRejection> {
+        if self.params.len() != expected_len {
+            return Err(UpdateRejection::WrongLength {
+                got: self.params.len(),
+                expected: expected_len,
+            });
+        }
+        if self.is_non_finite() {
+            return Err(UpdateRejection::NonFinite);
+        }
+        Ok(())
+    }
+
+    /// Drop the CVAE decoder (and its coverage) if it contains non-finite
+    /// entries; the classifier update itself stays usable. Returns true if a
+    /// decoder was stripped.
+    pub fn strip_non_finite_decoder(&mut self) -> bool {
+        let bad = self.decoder.as_ref().is_some_and(|d| d.iter().any(|x| !x.is_finite()));
+        if bad {
+            self.decoder = None;
+            self.class_coverage = None;
+        }
+        bad
     }
 }
 
@@ -65,5 +115,48 @@ mod tests {
         assert!(!u.is_non_finite());
         u.params[0] = f32::NAN;
         assert!(u.is_non_finite());
+    }
+
+    fn plain(params: Vec<f32>) -> ModelUpdate {
+        ModelUpdate { client_id: 0, params, num_samples: 1, decoder: None, class_coverage: None }
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_updates() {
+        assert_eq!(plain(vec![1.0, -2.0, 0.0]).validate(3), Ok(()));
+    }
+
+    #[test]
+    fn validate_checks_length_before_values() {
+        // A truncated vector that also carries a NaN reports the length
+        // problem: the shape mismatch is the more fundamental defect.
+        let u = plain(vec![f32::NAN]);
+        assert_eq!(u.validate(3), Err(UpdateRejection::WrongLength { got: 1, expected: 3 }));
+        let v = plain(vec![1.0, f32::NEG_INFINITY, 0.0]);
+        assert_eq!(v.validate(3), Err(UpdateRejection::NonFinite));
+    }
+
+    #[test]
+    fn decoder_stripping_keeps_params_and_drops_coverage() {
+        let mut u = plain(vec![1.0, 2.0]);
+        u.decoder = Some(vec![0.5, f32::INFINITY]);
+        u.class_coverage = Some(vec![3, 4]);
+        assert!(u.strip_non_finite_decoder());
+        assert!(u.decoder.is_none());
+        assert!(u.class_coverage.is_none());
+        assert_eq!(u.params, vec![1.0, 2.0]);
+        // A finite decoder is left alone.
+        let mut v = plain(vec![1.0]);
+        v.decoder = Some(vec![0.5]);
+        assert!(!v.strip_non_finite_decoder());
+        assert_eq!(v.decoder, Some(vec![0.5]));
+    }
+
+    #[test]
+    fn rejection_reasons_render_for_logs() {
+        assert_eq!(UpdateRejection::NonFinite.to_string(), "non-finite parameters");
+        assert!(UpdateRejection::WrongLength { got: 1, expected: 9 }
+            .to_string()
+            .contains("got 1, expected 9"));
     }
 }

@@ -8,6 +8,10 @@ cd /root/repo
 cargo fmt --check || exit 1
 cargo clippy --workspace --all-targets -- -D warnings || exit 1
 
+# Chaos stage: deterministic fault-replay + sanitizer property suites. Seeds
+# are fixed inside the tests, so failures here are reproducible verbatim.
+cargo test --release -q -p fedguard --test chaos --test props || exit 1
+
 B=target/release
 $B/fig4 --preset fast --seed 42 > results/fig4.csv 2> results/fig4.log
 $B/table4 --preset fast --seed 42 > results/table4.md 2> results/table4.log
@@ -16,4 +20,5 @@ $B/table5 --preset fast --seed 42 --rounds 6 > results/table5.md 2> results/tabl
 $B/ablation_budget --preset fast --seed 42 > results/ablation_budget.md 2> results/ablation_budget.log
 $B/ablation_inner --preset fast --seed 42 > results/ablation_inner.md 2> results/ablation_inner.log
 $B/ablation_heterogeneity --preset fast --seed 42 > results/ablation_heterogeneity.md 2> results/ablation_heterogeneity.log
+$B/ablation_faults --preset fast --seed 42 > results/ablation_faults.md 2> results/ablation_faults.log
 echo ALL_RESULTS_DONE

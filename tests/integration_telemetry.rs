@@ -7,7 +7,8 @@ use fedguard::data::partition::{dirichlet_partition, partition_datasets};
 use fedguard::data::synth::generate_dataset;
 use fedguard::experiment::{AttackScenario, ExperimentConfig, Preset, StrategyKind};
 use fedguard::fl::{
-    read_jsonl, Federation, JsonlSink, MemoryCollector, RoundTelemetry, StderrProgress,
+    read_jsonl, FaultConfig, FaultKind, FaultPlan, Federation, JsonlSink, MemoryCollector,
+    ResiliencePolicy, RoundTelemetry, StderrProgress,
 };
 use fedguard::tensor::rng::SeededRng;
 use fedguard::{FedGuardConfig, FedGuardStrategy};
@@ -107,6 +108,92 @@ fn telemetry_pipeline_end_to_end() {
     let replayed: Vec<RoundTelemetry> = read_jsonl(&path).expect("read trail back");
     assert_eq!(replayed, events);
     let _ = std::fs::remove_file(&path);
+}
+
+/// A fault-injected smoke FedAvg federation with the given observers.
+fn faulty_federation(
+    seed: u64,
+    faults: FaultConfig,
+    policy: ResiliencePolicy,
+    collector: MemoryCollector,
+    sink: Option<JsonlSink>,
+) -> Federation {
+    let cfg =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, seed);
+    let train = generate_dataset(cfg.per_class_train, seed ^ 1);
+    let test = generate_dataset(cfg.per_class_test, seed ^ 2);
+    let mut rng = SeededRng::new(seed ^ 3);
+    let parts = dirichlet_partition(&train, cfg.fed.n_clients, cfg.dirichlet_alpha, 10, &mut rng);
+    let mut builder = Federation::builder(cfg.fed)
+        .datasets(partition_datasets(&train, &parts))
+        .test_set(test)
+        .strategy(fedguard::agg::FedAvgStrategy)
+        .faults(FaultPlan::new(faults, seed ^ 4))
+        .resilience(policy)
+        .observer(collector);
+    if let Some(sink) = sink {
+        builder = builder.observer(sink);
+    }
+    builder.build()
+}
+
+#[test]
+fn fault_events_round_trip_through_jsonl() {
+    let collector = MemoryCollector::new();
+    let path = std::env::temp_dir().join("fg_integration_telemetry").join("faults.jsonl");
+    let sink = JsonlSink::create(&path).expect("create sink");
+    let mut fed = faulty_federation(
+        80,
+        FaultConfig::chaotic(),
+        ResiliencePolicy::quorum(2),
+        collector.clone(),
+        Some(sink),
+    );
+    fed.run();
+
+    let events = collector.events();
+    assert!(
+        events.iter().any(|e| !e.faults.is_empty()),
+        "chaotic plan produced no fault events to round-trip"
+    );
+
+    // The JSONL trail deserializes into the identical event stream — fault
+    // events (externally tagged enum variants with payloads) included.
+    let replayed: Vec<RoundTelemetry> = read_jsonl(&path).expect("read trail back");
+    assert_eq!(replayed, events);
+    for (e, r) in events.iter().zip(&replayed) {
+        assert_eq!(e.faults, r.faults);
+        assert_eq!(e.survivors, r.survivors);
+        assert_eq!(e.quorum_met, r.quorum_met);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn skipped_rounds_still_emit_one_event_each() {
+    // Total dropout: every round is below quorum and skips aggregation —
+    // the telemetry stream must still carry exactly one event per round.
+    let collector = MemoryCollector::new();
+    let mut fed = faulty_federation(
+        81,
+        FaultConfig { dropout_prob: 1.0, ..FaultConfig::default() },
+        ResiliencePolicy::default(),
+        collector.clone(),
+        None,
+    );
+    let history = fed.run();
+    let events = collector.events();
+    assert_eq!(events.len(), history.len());
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.round, i);
+        assert!(!e.quorum_met);
+        assert!(e.survivors.is_empty());
+        assert!(e.selected.is_empty());
+        assert_eq!(e.excluded, e.sampled, "skip round excludes the whole sample");
+        assert_eq!(e.lost_count(), e.sampled.len());
+        assert!(e.faults.iter().all(|f| f.kind == FaultKind::Dropout));
+        assert_eq!(e.faults.len(), e.sampled.len());
+    }
 }
 
 #[test]

@@ -3,6 +3,7 @@
 
 use fedguard::agg::ops;
 use fedguard::data::{Dataset, LabelFlip};
+use fedguard::fl::{sanitize_round, FaultKind, ModelUpdate};
 use fedguard::nn::models::{Classifier, ClassifierSpec};
 use fedguard::synthesis::SynthesisBudget;
 use fedguard::tensor::vecops;
@@ -10,6 +11,24 @@ use proptest::prelude::*;
 
 fn vecs_strategy(m: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f32>>> {
     proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, d), m)
+}
+
+/// Decode one `u64` into a possibly-faulty 4-parameter `ModelUpdate`: the
+/// low bits pick the client id, the next bits one of five transit outcomes
+/// (clean / NaN / Inf / truncated / padded), the rest seed the values.
+fn decode_update(code: u64) -> ModelUpdate {
+    let client_id = (code % 6) as usize;
+    let fault = (code >> 8) % 5;
+    let x = ((code >> 16) % 1000) as f32 / 100.0 - 5.0;
+    let mut params = vec![x, x + 1.0, x - 1.0, 0.5 * x];
+    match fault {
+        1 => params[(code >> 32) as usize % 4] = f32::NAN,
+        2 => params[(code >> 32) as usize % 4] = f32::NEG_INFINITY,
+        3 => params.truncate(1 + (code >> 32) as usize % 3),
+        4 => params.push(0.0),
+        _ => {}
+    }
+    ModelUpdate { client_id, params, num_samples: 1, decoder: None, class_coverage: None }
 }
 
 proptest! {
@@ -71,6 +90,101 @@ proptest! {
                 / (n * vecops::l2_norm(&clipped)).max(1e-9);
             prop_assert!(cos > 0.999, "direction changed: cos={cos}");
         }
+    }
+
+    // ---- submission sanitizer ---------------------------------------------
+
+    #[test]
+    fn sanitizer_output_is_always_aggregation_safe(codes in proptest::collection::vec(0u64..u64::MAX / 2, 0..14)) {
+        let arrived: Vec<ModelUpdate> = codes.iter().map(|&c| decode_update(c)).collect();
+        let mut events = Vec::new();
+        let survivors = sanitize_round(arrived.clone(), 4, &mut events);
+
+        // Every survivor is admissible: right length, all-finite.
+        for u in &survivors {
+            prop_assert!(u.validate(4).is_ok());
+        }
+        // Ids strictly increasing — unique and sorted, so no client can be
+        // double-weighted by FedAvg.
+        for w in survivors.windows(2) {
+            prop_assert!(w[0].client_id < w[1].client_id);
+        }
+        // Conservation: every input either survives or is accounted for by
+        // exactly one discarding event (DecoderStripped doesn't discard).
+        let discarded = events.iter().filter(|e| e.kind.discards_submission()).count();
+        prop_assert_eq!(survivors.len() + discarded, arrived.len());
+        // A FedAvg over the survivors (if any) stays finite.
+        if !survivors.is_empty() {
+            let refs: Vec<&[f32]> = survivors.iter().map(|u| u.params.as_slice()).collect();
+            let counts: Vec<usize> = survivors.iter().map(|u| u.num_samples).collect();
+            prop_assert!(ops::fedavg(&refs, &counts).iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn sanitizer_is_identity_on_clean_unique_rounds(xs in proptest::collection::vec(-5.0f32..5.0, 1..6)) {
+        // Well-formed, id-unique submissions pass through untouched — the
+        // honest-only fixed point of the sanitizer.
+        let arrived: Vec<ModelUpdate> = xs
+            .iter()
+            .enumerate()
+            .map(|(id, &x)| ModelUpdate {
+                client_id: id,
+                params: vec![x, -x, 2.0 * x, 0.0],
+                num_samples: 1 + id,
+                decoder: None,
+                class_coverage: None,
+            })
+            .collect();
+        let mut events = Vec::new();
+        let survivors = sanitize_round(arrived.clone(), 4, &mut events);
+        prop_assert!(events.is_empty(), "clean round produced events: {events:?}");
+        prop_assert_eq!(survivors, arrived);
+    }
+
+    #[test]
+    fn sanitizer_last_write_wins_on_duplicates(x in -5.0f32..5.0, y in -5.0f32..5.0, m in 2usize..5) {
+        // m copies of the same client id: exactly one survives, and it is
+        // the last arrival.
+        let arrived: Vec<ModelUpdate> = (0..m)
+            .map(|i| ModelUpdate {
+                client_id: 3,
+                params: vec![if i == m - 1 { y } else { x }; 4],
+                num_samples: 1,
+                decoder: None,
+                class_coverage: None,
+            })
+            .collect();
+        let mut events = Vec::new();
+        let survivors = sanitize_round(arrived, 4, &mut events);
+        prop_assert_eq!(survivors.len(), 1);
+        prop_assert_eq!(survivors[0].params[0], y);
+        let discards = events.iter().filter(|e| e.kind == FaultKind::DuplicateDiscarded).count();
+        prop_assert_eq!(discards, m - 1);
+    }
+
+    // ---- NaN-safe aggregation operators ------------------------------------
+
+    #[test]
+    fn krum_with_poisoned_minority_selects_honest(vs in vecs_strategy(5, 4), bad in 0usize..5) {
+        // Poison one vector with NaN; with f = 1 Krum must pick another.
+        let mut vs = vs;
+        vs[bad][0] = f32::NAN;
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let (out, idx) = ops::krum(&refs, 1);
+        prop_assert!(idx != bad, "Krum selected the NaN-poisoned vector");
+        prop_assert!(out.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn median_with_poisoned_minority_stays_finite(vs in vecs_strategy(7, 4), bad in 0usize..7) {
+        let mut vs = vs;
+        for w in vs[bad].iter_mut() {
+            *w = f32::INFINITY;
+        }
+        let refs: Vec<&[f32]> = vs.iter().map(|v| v.as_slice()).collect();
+        let out = ops::coordinate_median(&refs);
+        prop_assert!(out.iter().all(|x| x.is_finite()), "median leaked Inf: {out:?}");
     }
 
     // ---- model parameter plumbing -----------------------------------------
