@@ -1,0 +1,119 @@
+//! Micro-benchmark of the parallel substrate: the matmul/Krum workloads
+//! behind FedGuard's audit stage, timed at 1 thread and at N threads, with a
+//! bitwise equality check between the two schedules (the shim's determinism
+//! contract).
+//!
+//! Emits JSON to stdout — `run_suite.sh bench` redirects it to
+//! `results/bench_parallel.json` so later PRs have a perf trajectory to
+//! regress against. Fields include `physical_cores`: on a single-core host
+//! threads timeshare and no speedup is physically possible, so consumers
+//! should gate regressions on `physical_cores > 1`.
+//!
+//! ```text
+//! cargo run --release -p fg-bench --bin bench_parallel -- [--threads N] [--reps K]
+//! ```
+
+use fedguard::agg::ops::krum_scores;
+use fedguard::tensor::kernels::matmul;
+use fedguard::tensor::rng::SeededRng;
+use fedguard::tensor::Tensor;
+use fg_bench::flag_value;
+use rayon::with_threads;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct WorkloadReport {
+    shape: Vec<usize>,
+    secs_1_thread: f64,
+    secs_n_threads: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    threads: usize,
+    physical_cores: usize,
+    reps: usize,
+    matmul: WorkloadReport,
+    krum: WorkloadReport,
+    bitwise_identical: bool,
+}
+
+/// Best-of-`reps` wall time of `f`, plus the (identical across reps) result
+/// checksum used for the cross-schedule equality assertion.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T, digest: impl Fn(&T) -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut sum = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        sum = digest(&out);
+    }
+    (best, sum)
+}
+
+fn bits_digest(data: &[f32]) -> u64 {
+    // Order-sensitive FNV-1a over the raw bit patterns: any bitwise
+    // divergence between schedules changes the digest.
+    let mut h = 0xcbf29ce484222325u64;
+    for x in data {
+        h = (h ^ x.to_bits() as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize =
+        flag_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or_else(|| cores.max(4));
+    let reps: usize = flag_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
+
+    // Matmul shaped like one CVAE-classifier forward over a full audit batch:
+    // comfortably past PAR_THRESHOLD_MACS so rows split across the pool.
+    let mut rng = SeededRng::new(42);
+    let a = Tensor::randn(&[256, 784], &mut rng);
+    let b = Tensor::randn(&[784, 256], &mut rng);
+
+    // Krum at paper-adjacent scale: m clients, d-parameter updates — the
+    // O(m²·d) pairwise-distance workload the shim used to serialize.
+    let m = 16usize;
+    let d = 200_000usize;
+    let updates: Vec<Vec<f32>> =
+        (0..m).map(|_| (0..d).map(|_| rng.next_f32() * 2.0 - 1.0).collect()).collect();
+    let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+
+    let (mm_seq, mm_seq_digest) =
+        with_threads(1, || time_best(reps, || matmul(&a, &b), |t| bits_digest(t.data())));
+    let (mm_par, mm_par_digest) =
+        with_threads(threads, || time_best(reps, || matmul(&a, &b), |t| bits_digest(t.data())));
+    let (krum_seq, krum_seq_digest) =
+        with_threads(1, || time_best(reps, || krum_scores(&refs, 4), |s| bits_digest(s)));
+    let (krum_par, krum_par_digest) =
+        with_threads(threads, || time_best(reps, || krum_scores(&refs, 4), |s| bits_digest(s)));
+
+    assert_eq!(mm_seq_digest, mm_par_digest, "matmul diverged between 1 and {threads} threads");
+    assert_eq!(krum_seq_digest, krum_par_digest, "krum diverged between 1 and {threads} threads");
+
+    let report = BenchReport {
+        threads,
+        physical_cores: cores,
+        reps,
+        matmul: WorkloadReport {
+            shape: vec![256, 784, 256],
+            secs_1_thread: mm_seq,
+            secs_n_threads: mm_par,
+            speedup: mm_seq / mm_par,
+        },
+        krum: WorkloadReport {
+            shape: vec![m, d],
+            secs_1_thread: krum_seq,
+            secs_n_threads: krum_par,
+            speedup: krum_seq / krum_par,
+        },
+        bitwise_identical: true,
+    };
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+}

@@ -75,8 +75,11 @@ impl<'a> DecoderSubmission<'a> {
 /// was actually trained on (its `coverage` histogram, intersected with
 /// `class_probs`) — the server-side mitigation §VI-B proposes for highly
 /// heterogeneous clients whose decoders would otherwise be asked to
-/// hallucinate classes they never saw. Decoders with no usable class are
-/// skipped.
+/// hallucinate classes they never saw. A decoder with no usable class is
+/// skipped, and its share of the budget is redistributed round-robin over the
+/// decoders that do have usable classes, so the validation set never shrinks
+/// below the configured budget (the paper's `2m`) as long as at least one
+/// decoder is usable.
 pub fn synthesize_validation_set(
     decoders: &[DecoderSubmission<'_>],
     spec: &CvaeSpec,
@@ -90,37 +93,68 @@ pub fn synthesize_validation_set(
     let probs = class_probs.unwrap_or(&uniform);
     assert_eq!(probs.len(), spec.n_classes, "class_probs length mismatch");
 
-    let counts = budget.per_decoder_counts(decoders.len());
-    let mut images: Vec<f32> = Vec::new();
-    let mut labels: Vec<u8> = Vec::new();
+    let mut counts = budget.per_decoder_counts(decoders.len());
 
-    for (submission, &count) in decoders.iter().zip(&counts) {
-        if count == 0 {
-            continue;
-        }
-        // Per-decoder conditioning distribution.
-        let mut dec_probs = probs.to_vec();
-        if coverage_aware {
-            if let Some(cov) = submission.coverage {
-                assert_eq!(cov.len(), spec.n_classes, "coverage length mismatch");
-                for (p, &c) in dec_probs.iter_mut().zip(cov) {
-                    if c == 0 {
-                        *p = 0.0;
+    // Resolve each decoder's conditioning distribution up front so that the
+    // budget of unusable decoders (coverage masking zeroed every class) can
+    // be redistributed instead of silently dropped.
+    let dec_probs: Vec<Vec<f32>> = decoders
+        .iter()
+        .map(|submission| {
+            let mut p = probs.to_vec();
+            if coverage_aware {
+                if let Some(cov) = submission.coverage {
+                    assert_eq!(cov.len(), spec.n_classes, "coverage length mismatch");
+                    for (pi, &c) in p.iter_mut().zip(cov) {
+                        if c == 0 {
+                            *pi = 0.0;
+                        }
                     }
                 }
             }
+            p
+        })
+        .collect();
+    let usable: Vec<usize> =
+        (0..decoders.len()).filter(|&i| dec_probs[i].iter().sum::<f32>() > 0.0).collect();
+
+    if usable.is_empty() {
+        // No decoder saw any requested class; there is nothing to condition
+        // on, so the round yields an empty validation set.
+        return Dataset::new(Vec::new(), Vec::new());
+    }
+
+    // Hand each unusable decoder's allocation to the usable ones round-robin
+    // (deterministic in decoder order), preserving the total budget.
+    let mut next = 0usize;
+    for i in 0..decoders.len() {
+        if dec_probs[i].iter().sum::<f32>() <= 0.0 {
+            let moved = std::mem::take(&mut counts[i]);
+            for _ in 0..moved {
+                counts[usable[next % usable.len()]] += 1;
+                next += 1;
+            }
         }
-        if dec_probs.iter().sum::<f32>() <= 0.0 {
-            continue; // decoder saw none of the requested classes
+    }
+    let expected: usize = counts.iter().sum();
+
+    let mut images: Vec<f32> = Vec::new();
+    let mut labels: Vec<u8> = Vec::new();
+
+    for (i, submission) in decoders.iter().enumerate() {
+        let count = counts[i];
+        if count == 0 {
+            continue;
         }
         let mut decoder = CvaeDecoder::from_params(spec, submission.theta);
         let z = Tensor::randn(&[count, spec.latent], rng);
-        let y: Vec<usize> = (0..count).map(|_| rng.sample_categorical(&dec_probs)).collect();
+        let y: Vec<usize> = (0..count).map(|_| rng.sample_categorical(&dec_probs[i])).collect();
         let generated = decoder.generate(&z, &y);
         images.extend_from_slice(generated.data());
         labels.extend(y.iter().map(|&l| l as u8));
     }
 
+    assert_eq!(labels.len(), expected, "synthesis lost samples during redistribution");
     Dataset::new(images, labels)
 }
 
@@ -280,7 +314,7 @@ mod tests {
     }
 
     #[test]
-    fn zero_coverage_decoder_is_skipped() {
+    fn zero_coverage_decoder_budget_is_redistributed() {
         let spec = CvaeSpec::reduced(16, 4);
         let t1 = toy_decoder(10);
         let t2 = toy_decoder(11);
@@ -298,8 +332,54 @@ mod tests {
             true,
             &mut SeededRng::new(6),
         );
-        // Only the second decoder's half of the budget materializes.
-        assert_eq!(ds.len(), 5);
+        // The unusable decoder's half of the budget moves to the usable one;
+        // the validation set keeps the full `t` samples.
+        assert_eq!(ds.len(), 10);
+    }
+
+    #[test]
+    fn redistribution_preserves_budget_across_many_decoders() {
+        let spec = CvaeSpec::reduced(16, 4);
+        let thetas: Vec<Vec<f32>> = (20..25).map(toy_decoder).collect();
+        let empty = vec![0u32; 10];
+        let full: Vec<u32> = vec![1; 10];
+        // Decoders 0, 2, 4 are unusable; 1 and 3 absorb their budget.
+        let decoders: Vec<DecoderSubmission<'_>> = thetas
+            .iter()
+            .enumerate()
+            .map(|(i, t)| DecoderSubmission {
+                client_id: i,
+                theta: t,
+                coverage: Some(if i % 2 == 0 { &empty } else { &full }),
+            })
+            .collect();
+        let ds = synthesize_validation_set(
+            &decoders,
+            &spec,
+            &SynthesisBudget::Total(23),
+            None,
+            true,
+            &mut SeededRng::new(7),
+        );
+        assert_eq!(ds.len(), 23);
+    }
+
+    #[test]
+    fn all_decoders_unusable_yields_empty_set() {
+        let spec = CvaeSpec::reduced(16, 4);
+        let theta = toy_decoder(12);
+        let empty = vec![0u32; 10];
+        let decoders =
+            vec![DecoderSubmission { client_id: 0, theta: &theta, coverage: Some(&empty) }];
+        let ds = synthesize_validation_set(
+            &decoders,
+            &spec,
+            &SynthesisBudget::Total(10),
+            None,
+            true,
+            &mut SeededRng::new(8),
+        );
+        assert_eq!(ds.len(), 0);
     }
 
     #[test]

@@ -36,9 +36,11 @@ use std::time::Instant;
 ///
 /// Each round (cf. Alg. 1 lines 16-20):
 /// 1. uniformly sample `m` of the `N` clients,
-/// 2. train the sampled clients locally, in parallel (rayon), from the
-///    current global parameters — clients scheduled to drop out by the
-///    [fault plan](FederationBuilder::faults) never train,
+/// 2. train the sampled clients locally from the current global parameters,
+///    in parallel across the rayon-shim worker pool (`FG_THREADS` threads;
+///    each client trains from its own forked RNG stream, so the round is
+///    bit-identical at any thread count) — clients scheduled to drop out by
+///    the [fault plan](FederationBuilder::faults) never train,
 /// 3. let the attack interceptor corrupt the malicious clients' updates,
 ///    then inject any scheduled transit faults (straggler delay/timeout,
 ///    NaN/Inf corruption, truncation, stale duplicates),

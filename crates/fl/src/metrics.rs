@@ -2,6 +2,7 @@
 
 use crate::comm::CommStats;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 
 /// Everything the harness records about one federated round — the raw
 /// material for Fig. 4/5 (accuracy series), Table IV (mean ± std over the
@@ -35,15 +36,15 @@ impl RoundRecord {
 
     /// True-positive count: malicious clients the strategy excluded.
     pub fn malicious_excluded(&self) -> usize {
-        self.malicious_sampled.iter().filter(|c| !self.selected.contains(c)).count()
+        let selected: HashSet<usize> = self.selected.iter().copied().collect();
+        self.malicious_sampled.iter().filter(|c| !selected.contains(c)).count()
     }
 
     /// False-positive count: benign clients the strategy excluded.
     pub fn benign_excluded(&self) -> usize {
-        self.sampled
-            .iter()
-            .filter(|c| !self.malicious_sampled.contains(c) && !self.selected.contains(c))
-            .count()
+        let selected: HashSet<usize> = self.selected.iter().copied().collect();
+        let malicious: HashSet<usize> = self.malicious_sampled.iter().copied().collect();
+        self.sampled.iter().filter(|c| !malicious.contains(c) && !selected.contains(c)).count()
     }
 }
 

@@ -15,8 +15,10 @@
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
-/// Below this many multiply-accumulates we stay single-threaded: the fork
-/// cost dwarfs the work.
+/// Below this many multiply-accumulates we stay single-threaded: a real
+/// fork now costs a queue round-trip per split (up to ~32 splits per
+/// region), so a parallel matmul must carry at least ~1M MACs — a few
+/// hundred microseconds of arithmetic — before the pool pays for itself.
 const PAR_THRESHOLD_MACS: usize = 1 << 20;
 
 /// `C = A · B` for row-major matrices.

@@ -8,8 +8,13 @@
 //! The crate is deliberately small and dependency-light: it is the substrate
 //! that replaces the role PyTorch plays in the original paper. Kernels are
 //! written so the inner loops operate on contiguous slices (letting LLVM
-//! auto-vectorize) and the outer loops are parallelized with rayon where the
-//! problem size warrants it.
+//! auto-vectorize) and the outer loops are parallelized where the problem
+//! size warrants it, via the workspace's rayon shim — a real fork-join
+//! worker pool sized by `FG_THREADS` (default: all cores). The shim's split
+//! tree and combine order depend only on the input size, never the thread
+//! count, so every kernel here is bit-identical at `FG_THREADS=1` and
+//! `FG_THREADS=N`; parallelism thresholds (`PAR_LEN`,
+//! `PAR_THRESHOLD_MACS`) gate when work is worth the fork cost.
 //!
 //! ## Quick example
 //!

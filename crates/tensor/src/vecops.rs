@@ -7,7 +7,10 @@
 
 use rayon::prelude::*;
 
-/// Below this length the rayon overhead exceeds the work; stay sequential.
+/// Below this length the fork-join overhead exceeds the work; stay
+/// sequential. Each `join` costs a queue push plus (worst case) a couple of
+/// hundred microseconds of latch wait, so a parallel block must carry at
+/// least ~10⁵ float ops to pay for itself now that the pool is real.
 const PAR_LEN: usize = 1 << 16;
 
 /// Euclidean distance between two equal-length vectors.
@@ -44,12 +47,30 @@ pub fn weighted_sum(vs: &[&[f32]], weights: &[f32]) -> Vec<f32> {
         assert_eq!(v.len(), n, "weighted_sum: ragged input");
     }
     let mut out = vec![0.0f32; n];
-    for (v, &w) in vs.iter().zip(weights) {
-        if w == 0.0 {
-            continue;
-        }
-        for (o, &x) in out.iter_mut().zip(*v) {
-            *o += w * x;
+    if n >= PAR_LEN {
+        // Parallel over disjoint output blocks; each block accumulates its
+        // input slices in the same order as the sequential loop, so every
+        // output element sees the identical add sequence (bit-identical).
+        out.par_chunks_mut(PAR_LEN).enumerate().for_each(|(ci, block)| {
+            let start = ci * PAR_LEN;
+            let end = start + block.len();
+            for (v, &w) in vs.iter().zip(weights) {
+                if w == 0.0 {
+                    continue;
+                }
+                for (o, &x) in block.iter_mut().zip(&v[start..end]) {
+                    *o += w * x;
+                }
+            }
+        });
+    } else {
+        for (v, &w) in vs.iter().zip(weights) {
+            if w == 0.0 {
+                continue;
+            }
+            for (o, &x) in out.iter_mut().zip(*v) {
+                *o += w * x;
+            }
         }
     }
     out
@@ -64,15 +85,31 @@ pub fn mean_vector(vs: &[&[f32]]) -> Vec<f32> {
 /// In-place `a += alpha * b`.
 pub fn axpy(a: &mut [f32], alpha: f32, b: &[f32]) {
     assert_eq!(a.len(), b.len(), "axpy: length mismatch");
-    for (x, &y) in a.iter_mut().zip(b) {
-        *x += alpha * y;
+    if a.len() >= PAR_LEN {
+        a.par_chunks_mut(PAR_LEN).zip(b.par_chunks(PAR_LEN)).for_each(|(ca, cb)| {
+            for (x, &y) in ca.iter_mut().zip(cb) {
+                *x += alpha * y;
+            }
+        });
+    } else {
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x += alpha * y;
+        }
     }
 }
 
 /// In-place scale.
 pub fn scale(a: &mut [f32], alpha: f32) {
-    for x in a.iter_mut() {
-        *x *= alpha;
+    if a.len() >= PAR_LEN {
+        a.par_chunks_mut(PAR_LEN).for_each(|c| {
+            for x in c.iter_mut() {
+                *x *= alpha;
+            }
+        });
+    } else {
+        for x in a.iter_mut() {
+            *x *= alpha;
+        }
     }
 }
 
@@ -80,7 +117,19 @@ pub fn scale(a: &mut [f32], alpha: f32) {
 /// update rule of FedGuard (§V-A): `t = 1` is the standard full step.
 pub fn lerp(a: &[f32], b: &[f32], t: f32) -> Vec<f32> {
     assert_eq!(a.len(), b.len(), "lerp: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+    if a.len() >= PAR_LEN {
+        let mut out = vec![0.0f32; a.len()];
+        out.par_chunks_mut(PAR_LEN).zip(a.par_chunks(PAR_LEN)).zip(b.par_chunks(PAR_LEN)).for_each(
+            |((co, ca), cb)| {
+                for ((o, x), y) in co.iter_mut().zip(ca).zip(cb) {
+                    *o = (1.0 - t) * x + t * y;
+                }
+            },
+        );
+        out
+    } else {
+        a.iter().zip(b).map(|(x, y)| (1.0 - t) * x + t * y).collect()
+    }
 }
 
 /// Full pairwise squared-distance matrix of `m` vectors, parallelized over
@@ -179,6 +228,43 @@ mod tests {
         assert_eq!(a, vec![3.0, 4.0]);
         scale(&mut a, 0.5);
         assert_eq!(a, vec![1.5, 2.0]);
+    }
+
+    #[test]
+    fn parallel_weighted_sum_matches_sequential_bitwise() {
+        let n = (1 << 16) + 13; // crosses PAR_LEN with a ragged tail block
+        let a: Vec<f32> = (0..n).map(|i| ((i % 31) as f32 - 15.0) * 0.1).collect();
+        let b: Vec<f32> = (0..n).map(|i| ((i % 17) as f32 - 8.0) * 0.2).collect();
+        let c: Vec<f32> = (0..n).map(|i| (i % 5) as f32).collect();
+        let w = [0.5f32, 0.0, 0.3];
+        let par = weighted_sum(&[&a, &b, &c], &w);
+        // Reference: the pre-parallel accumulation order.
+        let mut seq = vec![0.0f32; n];
+        for (v, &wi) in [&a, &b, &c].iter().zip(&w) {
+            if wi == 0.0 {
+                continue;
+            }
+            for (o, &x) in seq.iter_mut().zip(v.iter()) {
+                *o += wi * x;
+            }
+        }
+        assert!(par.iter().zip(&seq).all(|(p, s)| p.to_bits() == s.to_bits()));
+    }
+
+    #[test]
+    fn parallel_axpy_and_lerp_match_sequential_bitwise() {
+        let n = (1 << 17) + 3;
+        let base: Vec<f32> = (0..n).map(|i| (i % 101) as f32 * 0.03).collect();
+        let delta: Vec<f32> = (0..n).map(|i| ((i % 41) as f32 - 20.0) * 0.07).collect();
+
+        let mut par = base.clone();
+        axpy(&mut par, 1.5, &delta);
+        let seq: Vec<f32> = base.iter().zip(&delta).map(|(x, y)| x + 1.5 * y).collect();
+        assert!(par.iter().zip(&seq).all(|(p, s)| p.to_bits() == s.to_bits()));
+
+        let par_l = lerp(&base, &delta, 0.25);
+        let seq_l: Vec<f32> = base.iter().zip(&delta).map(|(x, y)| 0.75 * x + 0.25 * y).collect();
+        assert!(par_l.iter().zip(&seq_l).all(|(p, s)| p.to_bits() == s.to_bits()));
     }
 
     #[test]

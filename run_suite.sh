@@ -12,7 +12,17 @@ cargo clippy --workspace --all-targets -- -D warnings || exit 1
 # are fixed inside the tests, so failures here are reproducible verbatim.
 cargo test --release -q -p fedguard --test chaos --test props || exit 1
 
+# Schedule-invariance stage: same federation at 1 vs 4 threads must be
+# bit-identical (the rayon shim's determinism contract).
+cargo test --release -q -p fedguard --test schedule_invariance || exit 1
+
 B=target/release
+
+# Bench stage: matmul/Krum micro-bench at 1 vs N threads. Records the
+# measured parallel speedup (and the host's core count — timesharing a
+# single core cannot speed up) for later PRs to regress against.
+cargo build --release -p fg-bench --bin bench_parallel || exit 1
+$B/bench_parallel > results/bench_parallel.json 2> results/bench_parallel.log || exit 1
 $B/fig4 --preset fast --seed 42 > results/fig4.csv 2> results/fig4.log
 $B/table4 --preset fast --seed 42 > results/table4.md 2> results/table4.log
 $B/fig5 --preset fast --seed 42 > results/fig5.csv 2> results/fig5.log

@@ -1,157 +1,643 @@
 //! Offline shim for `rayon`: the parallel-iterator API surface used by this
-//! workspace, executed sequentially.
+//! workspace, executed on a real fork-join worker pool.
 //!
 //! The hermetic build environment has no crates.io access, so `rayon` is
 //! replaced by this crate. Call sites are unchanged: `par_iter`,
-//! `par_chunks(_mut)`, `into_par_iter`, and the rayon-specific
-//! `fold(identity, op).reduce(identity, op)` chain all compile against the
-//! same signatures and produce identical results (the workspace's kernels are
-//! order-insensitive or use per-item RNG streams precisely so that the
-//! parallel schedule does not affect output).
+//! `par_iter_mut`, `par_chunks(_mut)`, `into_par_iter`, and the
+//! rayon-specific `fold(identity, op).reduce(identity, op)` chain all
+//! compile against the same signatures — but unlike the old pass-through
+//! shim they now actually run across threads (see [`mod@pool`]).
 //!
-//! [`ParIter`] implements [`Iterator`] by delegation, so std adapters
-//! (`collect`, `sum`, `max_by`, ...) keep working; the handful of adapters
-//! whose rayon signature differs from std's (`map`, `zip`, `enumerate`,
-//! `fold`, `reduce`, `for_each`) are provided as inherent methods, which take
-//! precedence over the `Iterator` trait methods of the same name.
+//! ## Execution model
+//!
+//! An iterator chain is a tree of splittable [`Producer`]s (ranges, slices,
+//! chunk views, and the `map`/`zip`/`enumerate`/`filter` adapters over
+//! them). A consuming operation (`for_each`, `collect`, `sum`, `fold`,
+//! `reduce`) recursively halves the producer into segments and executes the
+//! segments via [`join`], then combines the per-segment results **in index
+//! order**.
+//!
+//! ## Determinism contract
+//!
+//! The segment tree is a pure function of the input length (and
+//! `with_min_len`), never of the thread count, and segment results are
+//! always combined left-to-right in the fixed tree shape. The thread count
+//! (`FG_THREADS`, or a scoped [`with_threads`] override) therefore changes
+//! only *which thread* runs a segment, not what is computed or in what
+//! order results are folded — so every consumer, including
+//! order-sensitive `f32` reductions, is bit-identical at any thread count.
+//! `FG_THREADS=1` runs the same tree inline on the calling thread.
 
-/// Sequential stand-in for every rayon parallel iterator type.
-pub struct ParIter<I>(I);
+mod pool;
 
-impl<I: Iterator> Iterator for ParIter<I> {
-    type Item = I::Item;
+pub use pool::{current_num_threads, join, with_threads};
 
-    #[inline]
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
+/// Number of segments a parallel consumption splits its input into. A fixed
+/// constant — deliberately *not* derived from the thread count, so the
+/// reduction tree (and therefore every floating-point result) is identical
+/// no matter how many workers execute it. 32 segments keep up to 32 threads
+/// busy while costing only ~5 levels of split recursion.
+const MAX_SEGMENTS: usize = 32;
+
+/// Smallest segment the driver will produce for an input of `len` items:
+/// `len / MAX_SEGMENTS`, floored by the iterator's `with_min_len`.
+fn segment_floor(len: usize, min_len: usize) -> usize {
+    min_len.max(len.div_ceil(MAX_SEGMENTS)).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Producers: splittable sources
+// ---------------------------------------------------------------------------
+
+/// A splittable, exactly-sized source of items — the shim's equivalent of
+/// rayon's internal `Producer`. Consumers split producers at deterministic
+/// indices and iterate the leaves sequentially.
+#[allow(clippy::len_without_is_empty)]
+pub trait Producer: Sized + Send {
+    type Item: Send;
+    type IntoIter: Iterator<Item = Self::Item>;
+
+    /// Number of items (an upper bound for `filter`, exact otherwise); used
+    /// only to shape the split tree.
+    fn len(&self) -> usize;
+
+    /// Split into `[0, index)` and `[index, len)`.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Sequential iterator over a leaf segment.
+    fn into_seq(self) -> Self::IntoIter;
+}
+
+/// Producer over `Range<usize>`.
+pub struct RangeProducer {
+    start: usize,
+    end: usize,
+}
+
+impl Producer for RangeProducer {
+    type Item = usize;
+    type IntoIter = std::ops::Range<usize>;
+
+    fn len(&self) -> usize {
+        self.end - self.start
     }
 
-    #[inline]
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.start + index;
+        (RangeProducer { start: self.start, end: mid }, RangeProducer { start: mid, end: self.end })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.start..self.end
     }
 }
 
-impl<I: Iterator> ParIter<I> {
-    #[inline]
-    pub fn map<B, F: FnMut(I::Item) -> B>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
+/// Producer over an owned `Vec` (splits via `split_off`, a shallow move).
+pub struct VecProducer<T>(Vec<T>);
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
     }
 
-    #[inline]
-    pub fn zip<J: IntoIterator>(self, other: J) -> ParIter<std::iter::Zip<I, J::IntoIter>> {
-        ParIter(self.0.zip(other))
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.0.split_off(index);
+        (self, VecProducer(tail))
     }
 
-    #[inline]
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+/// Producer over `&[T]` (the `par_iter` source).
+pub struct SliceProducer<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
     }
 
-    #[inline]
-    pub fn filter<P: FnMut(&I::Item) -> bool>(self, p: P) -> ParIter<std::iter::Filter<I, P>> {
-        ParIter(self.0.filter(p))
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(index);
+        (SliceProducer(l), SliceProducer(r))
     }
 
-    #[inline]
-    pub fn with_min_len(self, _min: usize) -> Self {
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+/// Producer over `&mut [T]` (the `par_iter_mut` source).
+pub struct SliceMutProducer<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at_mut(index);
+        (SliceMutProducer(l), SliceMutProducer(r))
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.0.iter_mut()
+    }
+}
+
+/// Producer over `chunks(size)` of a slice; items are whole chunks, so a
+/// split at chunk `i` is a split at element `i * size`.
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(elems);
+        (ChunksProducer { slice: l, size: self.size }, ChunksProducer { slice: r, size: self.size })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Producer over `chunks_mut(size)` of a slice.
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let elems = (index * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(elems);
+        (
+            ChunksMutProducer { slice: l, size: self.size },
+            ChunksMutProducer { slice: r, size: self.size },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// `map` adapter. The mapping closure is cloned per split — cheap, since
+/// parallel closures capture by shared reference or `Copy`.
+pub struct MapProducer<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, B> Producer for MapProducer<P, F>
+where
+    P: Producer,
+    F: Fn(P::Item) -> B + Clone + Send,
+    B: Send,
+{
+    type Item = B;
+    type IntoIter = std::iter::Map<P::IntoIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (MapProducer { base: l, f: self.f.clone() }, MapProducer { base: r, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// `zip` adapter; both sides split at the same index.
+pub struct ZipProducer<P, Q> {
+    a: P,
+    b: Q,
+}
+
+impl<P: Producer, Q: Producer> Producer for ZipProducer<P, Q> {
+    type Item = (P::Item, Q::Item);
+    type IntoIter = std::iter::Zip<P::IntoIter, Q::IntoIter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(index);
+        let (bl, br) = self.b.split_at(index);
+        (ZipProducer { a: al, b: bl }, ZipProducer { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+}
+
+/// Sequential tail of [`EnumerateProducer`]: `enumerate` offset by the
+/// segment's position in the original input.
+pub struct OffsetEnumerate<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for OffsetEnumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.inner.next()?;
+        let idx = self.next;
+        self.next += 1;
+        Some((idx, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+/// `enumerate` adapter; indices stay global across splits.
+pub struct EnumerateProducer<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for EnumerateProducer<P> {
+    type Item = (usize, P::Item);
+    type IntoIter = OffsetEnumerate<P::IntoIter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (
+            EnumerateProducer { base: l, offset: self.offset },
+            EnumerateProducer { base: r, offset: self.offset + index },
+        )
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        OffsetEnumerate { inner: self.base.into_seq(), next: self.offset }
+    }
+}
+
+/// `filter` adapter. `len()` is the pre-filter upper bound, which only
+/// shapes the split tree; order is preserved because segments are combined
+/// in index order.
+pub struct FilterProducer<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F> Producer for FilterProducer<P, F>
+where
+    P: Producer,
+    F: Fn(&P::Item) -> bool + Clone + Send,
+{
+    type Item = P::Item;
+    type IntoIter = std::iter::Filter<P::IntoIter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(index);
+        (FilterProducer { base: l, f: self.f.clone() }, FilterProducer { base: r, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::IntoIter {
+        self.base.into_seq().filter(self.f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The driver: deterministic split tree, work distributed via join
+// ---------------------------------------------------------------------------
+
+/// Recursively halve `p` down to segments of at most `floor` items, run
+/// `leaf` on each segment, and `combine` the results in left-to-right tree
+/// order. `parallel` gates whether halves are offered to the pool; it never
+/// affects the tree shape or combine order, which is the determinism
+/// contract of the whole shim.
+fn drive<P, T, L, C>(p: P, floor: usize, parallel: bool, leaf: &L, combine: &C) -> T
+where
+    P: Producer,
+    T: Send,
+    L: Fn(P) -> T + Sync,
+    C: Fn(T, T) -> T + Sync,
+{
+    let len = p.len();
+    if len <= floor {
+        return leaf(p);
+    }
+    let (l, r) = p.split_at(len / 2);
+    let (tl, tr) = if parallel {
+        join(
+            || drive(l, floor, parallel, leaf, combine),
+            || drive(r, floor, parallel, leaf, combine),
+        )
+    } else {
+        (drive(l, floor, parallel, leaf, combine), drive(r, floor, parallel, leaf, combine))
+    };
+    combine(tl, tr)
+}
+
+// ---------------------------------------------------------------------------
+// ParIter: the user-facing parallel iterator
+// ---------------------------------------------------------------------------
+
+/// Stand-in for every rayon parallel-iterator type: a splittable producer
+/// plus the `with_min_len` granularity floor.
+pub struct ParIter<P> {
+    p: P,
+    min_len: usize,
+}
+
+fn par<P>(p: P) -> ParIter<P> {
+    ParIter { p, min_len: 1 }
+}
+
+impl<P: Producer> ParIter<P> {
+    fn floor(&self) -> usize {
+        segment_floor(self.p.len(), self.min_len)
+    }
+
+    fn parallel() -> bool {
+        current_num_threads() > 1
+    }
+
+    // ---- adapters --------------------------------------------------------
+
+    pub fn map<B, F>(self, f: F) -> ParIter<MapProducer<P, F>>
+    where
+        B: Send,
+        F: Fn(P::Item) -> B + Clone + Send,
+    {
+        ParIter { p: MapProducer { base: self.p, f }, min_len: self.min_len }
+    }
+
+    pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<ZipProducer<P, J::Producer>> {
+        ParIter { p: ZipProducer { a: self.p, b: other.into_par_iter().p }, min_len: self.min_len }
+    }
+
+    pub fn enumerate(self) -> ParIter<EnumerateProducer<P>> {
+        ParIter { p: EnumerateProducer { base: self.p, offset: 0 }, min_len: self.min_len }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<FilterProducer<P, F>>
+    where
+        F: Fn(&P::Item) -> bool + Clone + Send,
+    {
+        ParIter { p: FilterProducer { base: self.p, f }, min_len: self.min_len }
+    }
+
+    /// Lower bound on segment size; raises the granularity floor exactly
+    /// like rayon's `with_min_len`.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = self.min_len.max(min.max(1));
         self
     }
 
-    #[inline]
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
+    // ---- consumers -------------------------------------------------------
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Sync,
+    {
+        let floor = self.floor();
+        drive(
+            self.p,
+            floor,
+            Self::parallel(),
+            &|leaf: P| {
+                for item in leaf.into_seq() {
+                    f(item)
+                }
+            },
+            &|(), ()| (),
+        );
     }
 
-    /// Rayon-style fold: sequentially this produces a single accumulator,
-    /// exposed as a one-element parallel iterator (rayon produces one
-    /// accumulator per split).
-    #[inline]
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
-    where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
-    {
-        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    fn collect_vec(self) -> Vec<P::Item> {
+        let floor = self.floor();
+        drive(
+            self.p,
+            floor,
+            Self::parallel(),
+            &|leaf: P| leaf.into_seq().collect::<Vec<_>>(),
+            &|mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        )
     }
 
-    /// Rayon-style reduce with an identity constructor.
-    #[inline]
-    pub fn reduce<ID, OP>(self, identity: ID, mut op: OP) -> I::Item
+    /// Collect into a container, preserving input order.
+    pub fn collect<C: FromParallelIterator<P::Item>>(self) -> C {
+        C::from_par_vec(self.collect_vec())
+    }
+
+    /// Parallel sum. Per-segment sums combine in index order, so the result
+    /// is identical at any thread count.
+    pub fn sum<S>(self) -> S
     where
-        ID: Fn() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
+        S: Send + std::iter::Sum<P::Item> + std::iter::Sum<S>,
     {
-        let mut acc = identity();
-        for item in self.0 {
-            acc = op(acc, item);
-        }
-        acc
+        let floor = self.floor();
+        drive(self.p, floor, Self::parallel(), &|leaf: P| leaf.into_seq().sum::<S>(), &|a, b| {
+            [a, b].into_iter().sum::<S>()
+        })
+    }
+
+    pub fn count(self) -> usize {
+        let floor = self.floor();
+        drive(self.p, floor, Self::parallel(), &|leaf: P| leaf.into_seq().count(), &|a, b| a + b)
+    }
+
+    /// Rayon-style fold: one accumulator **per segment** of the fixed split
+    /// tree (not per thread), exposed as a parallel iterator over the
+    /// per-segment accumulators in index order.
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<VecProducer<T>>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync,
+        F: Fn(T, P::Item) -> T + Sync,
+    {
+        let floor = self.floor();
+        let accs = drive(
+            self.p,
+            floor,
+            Self::parallel(),
+            &|leaf: P| vec![leaf.into_seq().fold(identity(), &fold_op)],
+            &|mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        );
+        par(VecProducer(accs))
+    }
+
+    /// Rayon-style reduce with an identity constructor. Segments reduce
+    /// internally left-to-right and segment results combine in fixed tree
+    /// order, so the reduction is deterministic for any (even non-associative
+    /// floating-point) `op` at any thread count.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> P::Item
+    where
+        ID: Fn() -> P::Item + Sync,
+        OP: Fn(P::Item, P::Item) -> P::Item + Sync,
+    {
+        let floor = self.floor();
+        drive(
+            self.p,
+            floor,
+            Self::parallel(),
+            &|leaf: P| leaf.into_seq().fold(identity(), &op),
+            &|a, b| op(a, b),
+        )
     }
 }
 
-/// `into_par_iter()` for any owned collection (rayon: `IntoParallelIterator`).
+// ---------------------------------------------------------------------------
+// Entry-point traits
+// ---------------------------------------------------------------------------
+
+/// `collect()` target; order of `v` is the input order.
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// `into_par_iter()` (rayon: `IntoParallelIterator`).
 pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    type Item: Send;
+    type Producer: Producer<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Producer>;
 }
 
-impl<C: IntoIterator> IntoParallelIterator for C {
-    type Item = C::Item;
-    type Iter = C::IntoIter;
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Producer = RangeProducer;
 
-    #[inline]
-    fn into_par_iter(self) -> ParIter<C::IntoIter> {
-        ParIter(self.into_iter())
+    fn into_par_iter(self) -> ParIter<RangeProducer> {
+        par(RangeProducer { start: self.start, end: self.end })
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Producer = VecProducer<T>;
+
+    fn into_par_iter(self) -> ParIter<VecProducer<T>> {
+        par(VecProducer(self))
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Producer = SliceProducer<'a, T>;
+
+    fn into_par_iter(self) -> ParIter<SliceProducer<'a, T>> {
+        par(SliceProducer(self))
+    }
+}
+
+/// A `ParIter` is trivially "into" itself — this is what lets `zip` accept
+/// the result of another `par_chunks`/`par_iter` call.
+impl<P: Producer> IntoParallelIterator for ParIter<P> {
+    type Item = P::Item;
+    type Producer = P;
+
+    fn into_par_iter(self) -> ParIter<P> {
+        self
     }
 }
 
 /// `par_iter()` / `par_chunks()` on slices (rayon: `IntoParallelRefIterator`
 /// + `ParallelSlice`).
-pub trait ParallelSlice<T> {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>>;
 }
 
-impl<T> ParallelSlice<T> for [T] {
-    #[inline]
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceProducer<'_, T>> {
+        par(SliceProducer(self))
     }
 
-    #[inline]
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(chunk_size))
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksProducer<'_, T>> {
+        assert!(chunk_size > 0, "par_chunks: chunk size must be non-zero");
+        par(ChunksProducer { slice: self, size: chunk_size })
     }
 }
 
 /// `par_iter_mut()` / `par_chunks_mut()` on slices (rayon:
 /// `IntoParallelRefMutIterator` + `ParallelSliceMut`).
-pub trait ParallelSliceMut<T> {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>>;
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    #[inline]
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter(self.iter_mut())
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutProducer<'_, T>> {
+        par(SliceMutProducer(self))
     }
 
-    #[inline]
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(chunk_size))
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutProducer<'_, T>> {
+        assert!(chunk_size > 0, "par_chunks_mut: chunk size must be non-zero");
+        par(ChunksMutProducer { slice: self, size: chunk_size })
     }
 }
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, join, with_threads};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn map_collect_matches_sequential() {
@@ -160,8 +646,16 @@ mod tests {
     }
 
     #[test]
+    fn collect_preserves_order_across_threads() {
+        let v: Vec<usize> =
+            with_threads(4, || (0..10_000).into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(v, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn fold_reduce_rayon_signatures() {
         let total = (1..=4usize)
+            .collect::<Vec<_>>()
             .into_par_iter()
             .map(|x| x as f32)
             .fold(|| 0.0f32, |acc, x| acc + x)
@@ -186,5 +680,149 @@ mod tests {
         let mut out = [0usize; 6];
         out.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.iter_mut().for_each(|x| *x = i));
         assert_eq!(out, [0, 0, 1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn filter_keeps_order() {
+        let v: Vec<usize> =
+            with_threads(4, || (0..1000usize).into_par_iter().filter(|x| x % 3 == 0).collect());
+        assert_eq!(v, (0..1000usize).filter(|x| x % 3 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = with_threads(4, || join(|| 1 + 1, || "two"));
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_nests() {
+        // A 3-level join tree summing 0..8 — exercises workers calling join
+        // and stealing back / helping while blocked.
+        fn tree_sum(lo: usize, hi: usize) -> usize {
+            if hi - lo <= 1 {
+                return lo;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = join(|| tree_sum(lo, mid), || tree_sum(mid, hi));
+            a + b
+        }
+        let total = with_threads(4, || tree_sum(0, 8));
+        assert_eq!(total, (0..8).sum::<usize>());
+    }
+
+    #[test]
+    fn join_propagates_panic_from_first_closure() {
+        let res =
+            catch_unwind(AssertUnwindSafe(|| with_threads(4, || join(|| panic!("boom-a"), || 7))));
+        let payload = res.expect_err("panic in a must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom-a");
+    }
+
+    #[test]
+    fn join_propagates_panic_from_second_closure() {
+        let res =
+            catch_unwind(AssertUnwindSafe(|| with_threads(4, || join(|| 7, || panic!("boom-b")))));
+        let payload = res.expect_err("panic in b must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "boom-b");
+    }
+
+    #[test]
+    fn for_each_propagates_worker_panic() {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                (0..1024usize).into_par_iter().for_each(|i| {
+                    if i == 777 {
+                        panic!("poisoned item")
+                    }
+                });
+            })
+        }));
+        assert!(res.is_err(), "panic inside a parallel closure must reach the caller");
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        // An adversarial sequence where summation order visibly matters.
+        let xs: Vec<f32> = (0..100_000).map(|i| ((i * 37 % 1000) as f32 - 499.5) * 1e-3).collect();
+        let s1: f32 = with_threads(1, || xs.par_iter().map(|&x| x * x - 0.1).sum());
+        let s4: f32 = with_threads(4, || xs.par_iter().map(|&x| x * x - 0.1).sum());
+        let s8: f32 = with_threads(8, || xs.par_iter().map(|&x| x * x - 0.1).sum());
+        assert_eq!(s1.to_bits(), s4.to_bits());
+        assert_eq!(s1.to_bits(), s8.to_bits());
+    }
+
+    #[test]
+    fn fold_reduce_is_bit_identical_across_thread_counts() {
+        let xs: Vec<f32> = (0..50_000).map(|i| (i as f32).sin()).collect();
+        let run = |n: usize| {
+            with_threads(n, || {
+                xs.par_iter()
+                    .fold(|| 0.0f32, |acc, &x| acc + x * 1.0001)
+                    .reduce(|| 0.0f32, |a, b| a + b)
+            })
+        };
+        assert_eq!(run(1).to_bits(), run(4).to_bits());
+    }
+
+    #[test]
+    fn work_actually_lands_on_pool_threads() {
+        // With >1 threads requested, at least one segment of a large enough
+        // for_each should execute off the calling thread.
+        let caller = std::thread::current().id();
+        let off_thread = AtomicUsize::new(0);
+        with_threads(4, || {
+            (0..64usize).into_par_iter().for_each(|_| {
+                if std::thread::current().id() != caller {
+                    off_thread.fetch_add(1, Ordering::Relaxed);
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        });
+        assert!(
+            off_thread.load(Ordering::Relaxed) > 0,
+            "no work was executed by pool workers at 4 threads"
+        );
+    }
+
+    #[test]
+    fn with_threads_scopes_and_restores() {
+        let outer = current_num_threads();
+        with_threads(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_threads(1, || assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn with_min_len_coarsens_but_preserves_results() {
+        let a: Vec<f32> = (0..4_000).map(|i| i as f32).collect();
+        let fine: f32 = with_threads(4, || a.par_iter().map(|&x| x).sum());
+        let coarse: f32 = with_threads(4, || a.par_iter().with_min_len(4_000).map(|&x| x).sum());
+        // The total stays below 2^24, so every partial is exact in f32 and
+        // the two tree shapes must agree bitwise.
+        assert_eq!(fine, coarse);
+    }
+
+    #[test]
+    fn par_iter_mut_writes_every_slot() {
+        let mut v = vec![0usize; 5000];
+        with_threads(4, || v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i * 3));
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn count_and_empty_inputs() {
+        assert_eq!((0..0usize).into_par_iter().count(), 0);
+        let empty: Vec<f32> = Vec::new();
+        let s: f32 = empty.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0.0);
+        let r = (0..0usize).into_par_iter().map(|x| x as f32).reduce(|| 0.0, |a, b| a + b);
+        assert_eq!(r, 0.0);
     }
 }

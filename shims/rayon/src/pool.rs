@@ -1,0 +1,313 @@
+//! The fork-join worker pool behind the parallel iterators.
+//!
+//! A single process-global pool of detached `std::thread` workers pulls
+//! type-erased jobs from a shared injector queue. Everything the iterator
+//! layer does is built on one primitive, [`join`]: run two closures,
+//! potentially in parallel, and return both results.
+//!
+//! ## Thread-count knob
+//!
+//! The pool sizes itself from the `FG_THREADS` environment variable, falling
+//! back to [`std::thread::available_parallelism`]. `FG_THREADS=1` disables
+//! the pool entirely: every `join` runs both closures inline on the calling
+//! thread, reproducing the sequential schedule. Tests and benchmarks can
+//! override the count for a scope with [`with_threads`], which wins over the
+//! environment on the calling thread (worker threads always execute whatever
+//! is queued, so the override gates only where *new* parallelism is minted).
+//!
+//! ## Why blocking on a job cannot deadlock
+//!
+//! `join` pushes the second closure to the queue, runs the first inline, and
+//! then either *steals the second back* (if no worker claimed it yet) and
+//! runs it inline, or waits for the claiming worker to finish it. A thread
+//! therefore only ever blocks on a job that another thread is actively
+//! executing, and the waits-on graph follows the join tree — acyclic — so at
+//! least one thread is always making progress. While waiting, a thread helps
+//! by draining other queued jobs instead of spinning.
+//!
+//! ## Panic propagation
+//!
+//! A worker executes every job under `catch_unwind`; the payload is stored
+//! in the job and re-thrown by `resume_unwind` on the thread that called
+//! `join`, so a panic inside a parallel closure surfaces in the caller
+//! exactly as it would have sequentially (both halves are always resolved
+//! before unwinding, keeping borrowed stack data alive until no worker can
+//! touch it).
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Backstop on pool growth; far above any sane `FG_THREADS`.
+const MAX_THREADS: usize = 256;
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to a [`StackJob`] living on the frame of the `join`
+/// call that created it.
+///
+/// Soundness: that `join` frame never returns (or unwinds) before the job is
+/// resolved — stolen back and run inline, or awaited via its latch — so the
+/// pointee strictly outlives every access through this reference.
+struct JobRef {
+    ptr: *const (),
+    execute: unsafe fn(*const ()),
+}
+
+unsafe impl Send for JobRef {}
+
+/// One-shot completion flag a caller can block on.
+struct Latch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn set(&self) {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    fn probe(&self) -> bool {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Block until set, or until `timeout` elapses (so a helping waiter can
+    /// re-check the queue for newly injected jobs).
+    fn wait_timeout(&self, timeout: Duration) {
+        let guard = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        if !*guard {
+            let _ = self.cv.wait_timeout(guard, timeout).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// The closure + result slot of one half of a `join`, allocated on the
+/// caller's stack and handed to the pool by reference.
+struct StackJob<F, R> {
+    f: Mutex<Option<F>>,
+    result: Mutex<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(f: F) -> Self {
+        StackJob { f: Mutex::new(Some(f)), result: Mutex::new(None), latch: Latch::new() }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef { ptr: self as *const Self as *const (), execute: Self::execute }
+    }
+
+    /// Run the closure, catching any panic into the result slot, and release
+    /// the latch. Called exactly once, by whichever thread claims the job.
+    unsafe fn execute(ptr: *const ()) {
+        let job = &*(ptr as *const Self);
+        let f = job
+            .f
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("StackJob executed twice");
+        let res = panic::catch_unwind(AssertUnwindSafe(f));
+        *job.result.lock().unwrap_or_else(|e| e.into_inner()) = Some(res);
+        job.latch.set();
+    }
+
+    fn take_result(&self) -> std::thread::Result<R> {
+        self.result
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("StackJob resolved without a result")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool
+// ---------------------------------------------------------------------------
+
+struct Pool {
+    queue: Mutex<VecDeque<JobRef>>,
+    jobs_cv: Condvar,
+    /// Workers spawned so far; grows on demand up to the requested count.
+    spawned: Mutex<usize>,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool {
+        queue: Mutex::new(VecDeque::new()),
+        jobs_cv: Condvar::new(),
+        spawned: Mutex::new(0),
+    })
+}
+
+fn worker_loop() {
+    let p = pool();
+    loop {
+        let job = {
+            let mut q = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break j;
+                }
+                q = p.jobs_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        unsafe { (job.execute)(job.ptr) };
+    }
+}
+
+/// Grow the pool so at least `n` workers exist (idempotent, lazy).
+fn ensure_workers(n: usize) {
+    let p = pool();
+    let mut spawned = p.spawned.lock().unwrap_or_else(|e| e.into_inner());
+    while *spawned < n.min(MAX_THREADS) {
+        std::thread::Builder::new()
+            .name(format!("fg-rayon-{}", *spawned))
+            .spawn(worker_loop)
+            .expect("failed to spawn pool worker");
+        *spawned += 1;
+    }
+}
+
+fn push_job(job: JobRef) {
+    let p = pool();
+    p.queue.lock().unwrap_or_else(|e| e.into_inner()).push_back(job);
+    p.jobs_cv.notify_one();
+}
+
+/// Remove `job` from the queue if no worker has claimed it yet. Identity is
+/// the stack address, unique while the owning `join` frame is alive.
+fn try_steal_back(job: &JobRef) -> bool {
+    let p = pool();
+    let mut q = p.queue.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(pos) = q.iter().position(|j| std::ptr::eq(j.ptr, job.ptr)) {
+        q.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Block until `latch` is set, executing other queued jobs in the meantime
+/// so a waiting thread keeps contributing instead of idling.
+fn wait_while_helping(latch: &Latch) {
+    let p = pool();
+    loop {
+        if latch.probe() {
+            return;
+        }
+        let job = p.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
+        match job {
+            Some(j) => unsafe { (j.execute)(j.ptr) },
+            None => latch.wait_timeout(Duration::from_micros(200)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Scoped override installed by [`with_threads`].
+    static THREAD_LIMIT: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// `FG_THREADS`, parsed once, defaulting to the machine's parallelism.
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("FG_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+            .min(MAX_THREADS)
+    })
+}
+
+/// The thread count parallel regions started from this thread will target:
+/// the innermost [`with_threads`] override, else `FG_THREADS`, else
+/// [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    THREAD_LIMIT.with(|l| l.get()).unwrap_or_else(env_threads)
+}
+
+/// Run `f` with parallel regions minted on this thread targeting `n`
+/// threads. `n = 1` forces the fully sequential schedule; results are
+/// bit-identical either way because the split tree and combine order never
+/// depend on the thread count — only the schedule does.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "with_threads requires at least one thread");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_LIMIT.with(|l| l.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_LIMIT.with(|l| l.replace(Some(n.min(MAX_THREADS)))));
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, and return both
+/// results. Mirrors `rayon::join`: `oper_b` is offered to the pool while the
+/// calling thread runs `oper_a`; if no worker picks it up in time the caller
+/// steals it back and runs it inline, so the pair never waits on an idle
+/// queue. Panics from either closure propagate to the caller after both
+/// halves have been resolved.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let threads = current_num_threads();
+    if threads <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    ensure_workers(threads - 1);
+
+    let job_b = StackJob::new(oper_b);
+    let job_ref = job_b.as_job_ref();
+    push_job(job_b.as_job_ref());
+
+    // Run `a` under catch_unwind: even if it panics, `b` may be running on a
+    // worker that borrows this frame, so unwinding must wait for it.
+    let ra = panic::catch_unwind(AssertUnwindSafe(oper_a));
+
+    if try_steal_back(&job_ref) {
+        unsafe { (job_ref.execute)(job_ref.ptr) };
+    } else {
+        wait_while_helping(&job_b.latch);
+    }
+    let rb = job_b.take_result();
+
+    match (ra, rb) {
+        (Ok(ra), Ok(rb)) => (ra, rb),
+        (Err(payload), _) => panic::resume_unwind(payload),
+        (_, Err(payload)) => panic::resume_unwind(payload),
+    }
+}

@@ -1,0 +1,130 @@
+//! Schedule-invariance suite: the determinism contract of the parallel
+//! substrate, end to end.
+//!
+//! The rayon shim promises that thread count changes only *scheduling*,
+//! never results: the split tree and combine order are pure functions of the
+//! input, so every reduction — including order-sensitive `f32` arithmetic —
+//! must be bit-identical at `FG_THREADS=1` and `FG_THREADS=4`. These tests
+//! pin that promise at three levels: raw kernels, robust-aggregation ops,
+//! and a full seeded federation run.
+
+use fedguard::agg::ops::{
+    coordinate_median, fedavg, geometric_median, krum, krum_scores, trimmed_mean_vectors,
+};
+use fedguard::experiment::{
+    run_experiment, AttackScenario, ExperimentConfig, ExperimentResult, Preset, StrategyKind,
+};
+use fedguard::tensor::kernels::matmul;
+use fedguard::tensor::rng::SeededRng;
+use fedguard::tensor::vecops::{axpy, lerp, weighted_sum};
+use fedguard::tensor::Tensor;
+use rayon::with_threads;
+
+/// Random update vectors shaped like a robust-aggregation workload: `m`
+/// clients, `d` parameters each.
+fn random_updates(m: usize, d: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SeededRng::new(seed);
+    (0..m).map(|_| (0..d).map(|_| rng.next_f32() * 2.0 - 1.0).collect()).collect()
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+#[test]
+fn aggregation_ops_are_bit_identical_across_thread_counts() {
+    // Large enough that par_iter paths actually split (PAR_LEN = 1 << 16).
+    let updates = random_updates(12, (1 << 16) + 41, 11);
+    let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+    let samples: Vec<usize> = (0..refs.len()).map(|i| 10 + i).collect();
+
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let avg = fedavg(&refs, &samples);
+            let gm = geometric_median(&refs, 8, 1e-6);
+            let ks = krum_scores(&refs, 3);
+            let (kr, ki) = krum(&refs, 3);
+            let med = coordinate_median(&refs);
+            let tm = trimmed_mean_vectors(&refs, 2);
+            (bits(&avg), bits(&gm), bits(&ks), bits(&kr), ki, bits(&med), bits(&tm))
+        })
+    };
+
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(seq.0, par.0, "fedavg diverged across thread counts");
+    assert_eq!(seq.1, par.1, "geometric_median diverged across thread counts");
+    assert_eq!(seq.2, par.2, "krum_scores diverged across thread counts");
+    assert_eq!(seq.3, par.3, "krum vector diverged across thread counts");
+    assert_eq!(seq.4, par.4, "krum pick diverged across thread counts");
+    assert_eq!(seq.5, par.5, "coordinate_median diverged across thread counts");
+    assert_eq!(seq.6, par.6, "trimmed_mean diverged across thread counts");
+}
+
+#[test]
+fn tensor_kernels_are_bit_identical_across_thread_counts() {
+    let mut rng = SeededRng::new(21);
+    // 160×1024 · 1024×64 clears PAR_THRESHOLD_MACS so rows split.
+    let a = Tensor::randn(&[160, 1024], &mut rng);
+    let b = Tensor::randn(&[1024, 64], &mut rng);
+    let seq = with_threads(1, || matmul(&a, &b));
+    let par = with_threads(4, || matmul(&a, &b));
+    assert_eq!(bits(seq.data()), bits(par.data()), "matmul diverged across thread counts");
+}
+
+#[test]
+fn vecops_are_bit_identical_across_thread_counts() {
+    let updates = random_updates(3, (1 << 17) + 9, 31);
+    let refs: Vec<&[f32]> = updates.iter().map(|u| u.as_slice()).collect();
+    let w = [0.2f32, 0.5, 0.3];
+
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let ws = weighted_sum(&refs, &w);
+            let mut ax = updates[0].clone();
+            axpy(&mut ax, -0.7, &updates[1]);
+            let le = lerp(&updates[1], &updates[2], 0.3);
+            (bits(&ws), bits(&ax), bits(&le))
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn seeded_federation_history_is_bit_identical_across_thread_counts() {
+    let run_fed = |strategy: StrategyKind, threads: usize| -> ExperimentResult {
+        with_threads(threads, || {
+            let mut cfg = ExperimentConfig::preset(
+                Preset::Smoke,
+                strategy,
+                AttackScenario::SignFlip { fraction: 0.3 },
+                42,
+            );
+            cfg.fed.rounds = 3;
+            run_experiment(&cfg)
+        })
+    };
+
+    for strategy in [StrategyKind::FedAvg, StrategyKind::Krum, StrategyKind::FedGuard] {
+        let seq = run_fed(strategy, 1);
+        let par = run_fed(strategy, 4);
+        assert_eq!(
+            seq.malicious_clients,
+            par.malicious_clients,
+            "{}: malicious roster diverged",
+            strategy.name()
+        );
+        assert_eq!(seq.history.len(), par.history.len());
+        for (rs, rp) in seq.history.iter().zip(&par.history) {
+            // normalized() zeroes wall_secs, the only nondeterministic field;
+            // accuracy is f32 and compared exactly, so this is bitwise.
+            assert_eq!(
+                rs.normalized(),
+                rp.normalized(),
+                "{}: round {} diverged between 1 and 4 threads",
+                strategy.name(),
+                rs.round
+            );
+        }
+    }
+}
