@@ -240,6 +240,12 @@ where
 }
 
 /// `zip` adapter; both sides split at the same index.
+///
+/// Both producers must report **exact** lengths: segments are paired purely
+/// by index, so a side whose `len()` is only an upper bound (notably
+/// [`FilterProducer`]) would silently mispair or drop items. Real rayon
+/// forbids this by making filtered iterators unindexed; here the contract is
+/// only documented, so do not `zip` a filtered iterator.
 pub struct ZipProducer<P, Q> {
     a: P,
     b: Q,
@@ -315,7 +321,9 @@ impl<P: Producer> Producer for EnumerateProducer<P> {
 
 /// `filter` adapter. `len()` is the pre-filter upper bound, which only
 /// shapes the split tree; order is preserved because segments are combined
-/// in index order.
+/// in index order. Because `len()` is inexact, a filtered iterator must not
+/// feed adapters that treat `Producer::len()` as exact — see the
+/// [`ZipProducer`] contract.
 pub struct FilterProducer<P, F> {
     base: P,
     f: F,
@@ -409,6 +417,8 @@ impl<P: Producer> ParIter<P> {
         ParIter { p: MapProducer { base: self.p, f }, min_len: self.min_len }
     }
 
+    /// Pair items by index. Both sides must be exact-length iterators — see
+    /// the [`ZipProducer`] contract; do not zip a `filter`ed iterator.
     pub fn zip<J: IntoParallelIterator>(self, other: J) -> ParIter<ZipProducer<P, J::Producer>> {
         ParIter { p: ZipProducer { a: self.p, b: other.into_par_iter().p }, min_len: self.min_len }
     }
@@ -742,6 +752,22 @@ mod tests {
             })
         }));
         assert!(res.is_err(), "panic inside a parallel closure must reach the caller");
+    }
+
+    #[test]
+    fn with_threads_override_propagates_to_workers() {
+        // Queued jobs carry the minting scope's limit, so a closure running
+        // on a pool worker still sees the override when it mints nested
+        // parallelism.
+        let mismatches = AtomicUsize::new(0);
+        with_threads(5, || {
+            (0..256usize).into_par_iter().for_each(|_| {
+                if current_num_threads() != 5 {
+                    mismatches.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert_eq!(mismatches.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -12,8 +12,18 @@
 //! the pool entirely: every `join` runs both closures inline on the calling
 //! thread, reproducing the sequential schedule. Tests and benchmarks can
 //! override the count for a scope with [`with_threads`], which wins over the
-//! environment on the calling thread (worker threads always execute whatever
-//! is queued, so the override gates only where *new* parallelism is minted).
+//! environment on the calling thread; each queued job carries its minting
+//! thread's limit, so parallel regions nested inside a job inherit the
+//! scope's override no matter which worker runs it.
+//!
+//! ## Scalability limits (deliberate)
+//!
+//! The pool uses a single injector queue behind one mutex; steal-back is an
+//! O(queue) scan and waiters poll their latch on a 200µs timeout. That is
+//! plenty for the handful of coarse-grained splits this workspace mints, but
+//! it will contend at high thread counts over deep join trees. If pool
+//! scalability ever matters, move to per-worker deques with LIFO steal-back
+//! and a proper wakeup path.
 //!
 //! ## Why blocking on a job cannot deadlock
 //!
@@ -56,9 +66,28 @@ const MAX_THREADS: usize = 256;
 struct JobRef {
     ptr: *const (),
     execute: unsafe fn(*const ()),
+    /// Thread-count target of the thread that minted this job, captured at
+    /// creation so nested parallel regions inside the job inherit the
+    /// [`with_threads`] scope that spawned it rather than the executing
+    /// worker's default.
+    limit: usize,
 }
 
 unsafe impl Send for JobRef {}
+
+/// Execute a job with the minting thread's limit installed, so `join`/
+/// `par_iter` calls inside the closure size themselves from the scope that
+/// created the job (restored afterwards even if the job panics).
+fn run_job(job: &JobRef) {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_LIMIT.with(|l| l.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_LIMIT.with(|l| l.replace(Some(job.limit))));
+    unsafe { (job.execute)(job.ptr) };
+}
 
 /// One-shot completion flag a caller can block on.
 struct Latch {
@@ -71,8 +100,13 @@ impl Latch {
         Latch { done: Mutex::new(false), cv: Condvar::new() }
     }
 
+    /// Mark the latch set. The lock is held across `notify_all`: the instant
+    /// `probe` can observe `done == true`, the owning `join` frame may return
+    /// and free this latch, so notifying after unlocking would touch a
+    /// potentially-freed `Condvar`.
     fn set(&self) {
-        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        *done = true;
         self.cv.notify_all();
     }
 
@@ -108,7 +142,11 @@ where
     }
 
     fn as_job_ref(&self) -> JobRef {
-        JobRef { ptr: self as *const Self as *const (), execute: Self::execute }
+        JobRef {
+            ptr: self as *const Self as *const (),
+            execute: Self::execute,
+            limit: current_num_threads(),
+        }
     }
 
     /// Run the closure, catching any panic into the result slot, and release
@@ -168,7 +206,7 @@ fn worker_loop() {
                 q = p.jobs_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
-        unsafe { (job.execute)(job.ptr) };
+        run_job(&job);
     }
 }
 
@@ -214,7 +252,7 @@ fn wait_while_helping(latch: &Latch) {
         }
         let job = p.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
         match job {
-            Some(j) => unsafe { (j.execute)(j.ptr) },
+            Some(j) => run_job(&j),
             None => latch.wait_timeout(Duration::from_micros(200)),
         }
     }
@@ -253,6 +291,11 @@ pub fn current_num_threads() -> usize {
 /// threads. `n = 1` forces the fully sequential schedule; results are
 /// bit-identical either way because the split tree and combine order never
 /// depend on the thread count — only the schedule does.
+///
+/// The override follows the work: jobs queued from inside `f` carry this
+/// limit with them, so nested `join`/`par_iter` calls executed on pool
+/// workers target `n` as well. In particular `with_threads(1, ..)` runs the
+/// whole scope sequentially on the calling thread.
 pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     assert!(n >= 1, "with_threads requires at least one thread");
     struct Restore(Option<usize>);
@@ -299,7 +342,7 @@ where
     let ra = panic::catch_unwind(AssertUnwindSafe(oper_a));
 
     if try_steal_back(&job_ref) {
-        unsafe { (job_ref.execute)(job_ref.ptr) };
+        run_job(&job_ref);
     } else {
         wait_while_helping(&job_b.latch);
     }
