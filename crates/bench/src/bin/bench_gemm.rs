@@ -1,0 +1,150 @@
+//! Micro-benchmark of the blocked, panel-packed GEMM against the previous
+//! naive i-k-j kernel, over the shapes the FedGuard experiments actually
+//! run: the Table II MNIST-CNN layers (as im2col GEMMs), the server-side
+//! scoring GEMM (a large validation batch through the classifier's big
+//! linear layer), and the canonical 512³ square multiply the perf gate is
+//! defined on.
+//!
+//! Emits JSON to stdout — `run_suite.sh` redirects it to
+//! `results/bench_gemm.json` — in the same spirit as `bench_parallel.json`:
+//! `physical_cores` is recorded so multicore hosts can gate on parallel
+//! speedup (a single-core host timeshares and cannot speed up), and every
+//! shape carries a 1-thread-vs-N-thread bitwise cross-check of the blocked
+//! kernel (the determinism contract).
+//!
+//! ```text
+//! cargo run --release -p fg-bench --bin bench_gemm -- [--threads N] [--reps K]
+//! ```
+
+use fedguard::tensor::kernels::matmul;
+use fedguard::tensor::rng::SeededRng;
+use fedguard::tensor::Tensor;
+use fg_bench::flag_value;
+use rayon::with_threads;
+use serde::Serialize;
+use std::time::Instant;
+
+/// The pre-blocking kernel, kept verbatim (minus the NaN-dropping zero
+/// skip) as the "old" baseline: i-k-j ordering, `B` row streamed linearly,
+/// no packing, no register tiling.
+fn matmul_old(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = (a.dim(0), a.dim(1));
+    let n = b.dim(1);
+    let mut out = vec![0.0f32; m * n];
+    let a_data = a.data();
+    let b_data = b.data();
+    for (row, out_row) in out.chunks_mut(n).enumerate() {
+        let a_row = &a_data[row * k..(row + 1) * k];
+        for (kk, &a_v) in a_row.iter().enumerate() {
+            let b_row = &b_data[kk * n..(kk + 1) * n];
+            for (o, &b_v) in out_row.iter_mut().zip(b_row) {
+                *o += a_v * b_v;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[m, n])
+}
+
+#[derive(Serialize)]
+struct ShapeReport {
+    name: &'static str,
+    /// `[m, k, n]` of the (M,K)·(K,N) product.
+    shape: Vec<usize>,
+    gflops_old_1_thread: f64,
+    gflops_new_1_thread: f64,
+    gflops_new_n_threads: f64,
+    /// Single-thread GFLOP/s ratio, new blocked kernel over the old one —
+    /// the number the ≥1.5× acceptance gate reads on the 512³ row.
+    speedup_new_vs_old_1_thread: f64,
+    /// New kernel, N threads over 1 thread (≈1 on a single-core host).
+    speedup_parallel: f64,
+    /// Blocked kernel, 1 thread vs N threads: bit-identical results.
+    bitwise_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    threads: usize,
+    physical_cores: usize,
+    reps: usize,
+    shapes: Vec<ShapeReport>,
+}
+
+/// Best-of-`reps` wall time of `f`, plus the digest of its (rep-invariant)
+/// result for the cross-schedule equality assertion.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T, digest: impl Fn(&T) -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut sum = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        sum = digest(&out);
+    }
+    (best, sum)
+}
+
+fn bits_digest(data: &[f32]) -> u64 {
+    // Order-sensitive FNV-1a over the raw bit patterns: any bitwise
+    // divergence between schedules changes the digest.
+    let mut h = 0xcbf29ce484222325u64;
+    for x in data {
+        h = (h ^ x.to_bits() as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize =
+        flag_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or_else(|| cores.max(4));
+    let reps: usize = flag_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
+
+    // (name, m, k, n): C(m×n) = A(m×k)·B(k×n).
+    //  * conv GEMMs use the im2col orientation (out_ch × patch)·(patch ×
+    //    out_plane) of the per-image forward;
+    //  * fc1 is one training batch through the 3136→512 linear layer;
+    //  * scoring is the server auditing a classifier update on a 1024-sample
+    //    slice of the synthetic validation set (the per-round 100-update ×
+    //    2m-sample workload is this GEMM repeated);
+    //  * square512 is the ≥1.5×-single-thread acceptance shape.
+    let shapes: [(&'static str, usize, usize, usize); 5] = [
+        ("conv1_im2col", 32, 25, 784),
+        ("conv2_im2col", 64, 800, 196),
+        ("fc1_batch64", 64, 3136, 512),
+        ("scoring_fc1_batch1024", 1024, 3136, 512),
+        ("square512", 512, 512, 512),
+    ];
+
+    let mut rng = SeededRng::new(42);
+    let mut reports = Vec::new();
+    for (name, m, k, n) in shapes {
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let flops = 2.0 * (m as f64) * (k as f64) * (n as f64);
+
+        let (old_1t, _) =
+            with_threads(1, || time_best(reps, || matmul_old(&a, &b), |t| bits_digest(t.data())));
+        let (new_1t, digest_1t) =
+            with_threads(1, || time_best(reps, || matmul(&a, &b), |t| bits_digest(t.data())));
+        let (new_nt, digest_nt) =
+            with_threads(threads, || time_best(reps, || matmul(&a, &b), |t| bits_digest(t.data())));
+
+        assert_eq!(digest_1t, digest_nt, "{name}: matmul diverged between 1 and {threads} threads");
+
+        reports.push(ShapeReport {
+            name,
+            shape: vec![m, k, n],
+            gflops_old_1_thread: flops / old_1t / 1e9,
+            gflops_new_1_thread: flops / new_1t / 1e9,
+            gflops_new_n_threads: flops / new_nt / 1e9,
+            speedup_new_vs_old_1_thread: old_1t / new_1t,
+            speedup_parallel: new_1t / new_nt,
+            bitwise_identical: true,
+        });
+    }
+
+    let report = BenchReport { threads, physical_cores: cores, reps, shapes: reports };
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+}

@@ -1,7 +1,7 @@
 //! Convolution layer wrapping the im2col kernels of `fg-tensor`.
 
-use crate::layer::{Layer, Module, Parameter};
-use fg_tensor::conv::{conv2d_backward, conv2d_forward, Conv2dSpec};
+use crate::layer::{cache_tensor, Layer, Module, Parameter};
+use fg_tensor::conv::{conv2d_backward_acc, conv2d_forward, Conv2dSpec};
 use fg_tensor::rng::SeededRng;
 use fg_tensor::Tensor;
 
@@ -51,17 +51,23 @@ impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let out = conv2d_forward(input, &self.weight.value, &self.bias.value, &self.spec);
         if train {
-            self.cached_input = Some(input.clone());
+            cache_tensor(&mut self.cached_input, input);
         }
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("Conv2d::backward before forward");
-        let grads = conv2d_backward(input, &self.weight.value, grad_output, &self.spec);
-        self.weight.grad.add_assign(&grads.d_weight);
-        self.bias.grad.add_assign(&grads.d_bias);
-        grads.d_input
+        // Weight/bias gradients accumulate straight into the parameter
+        // gradients — no temporary gradient tensors.
+        conv2d_backward_acc(
+            input,
+            &self.weight.value,
+            grad_output,
+            &self.spec,
+            &mut self.weight.grad,
+            &mut self.bias.grad,
+        )
     }
 }
 

@@ -52,6 +52,16 @@ pub trait Module {
     }
 }
 
+/// Refresh a layer's cached forward tensor, reusing the existing buffer when
+/// the shape is unchanged — the steady-state training case — so repeated
+/// forward passes allocate nothing for their caches.
+pub fn cache_tensor(slot: &mut Option<Tensor>, value: &Tensor) {
+    match slot {
+        Some(t) if t.dims() == value.dims() => t.copy_from(value),
+        _ => *slot = Some(value.clone()),
+    }
+}
+
 /// A differentiable computation step with cached state for backprop.
 ///
 /// `forward` caches whatever it needs (inputs, masks, argmax indices);

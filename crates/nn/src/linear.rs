@@ -1,7 +1,7 @@
 //! Fully connected layer.
 
-use crate::layer::{Layer, Module, Parameter};
-use fg_tensor::kernels::{matmul, matmul_at, matmul_bt};
+use crate::layer::{cache_tensor, Layer, Module, Parameter};
+use fg_tensor::kernels::{matmul, matmul_at_acc, matmul_bt_bias};
 use fg_tensor::rng::SeededRng;
 use fg_tensor::Tensor;
 
@@ -54,25 +54,19 @@ impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().rank(), 2, "Linear expects (batch, features)");
         assert_eq!(input.dim(1), self.in_features, "Linear: feature dim mismatch");
-        let mut out = matmul_bt(input, &self.weight.value);
-        let bias = self.bias.value.data();
-        for r in 0..out.dim(0) {
-            let row = out.row_mut(r);
-            for (o, &b) in row.iter_mut().zip(bias) {
-                *o += b;
-            }
-        }
+        // Bias is folded into the GEMM epilogue; no separate bias pass.
+        let out = matmul_bt_bias(input, &self.weight.value, &self.bias.value);
         if train {
-            self.cached_input = Some(input.clone());
+            cache_tensor(&mut self.cached_input, input);
         }
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("Linear::backward before forward");
-        // dW += gᵀ · x   (out, in); db += column sums of g; dx = g · W.
-        let dw = matmul_at(grad_output, input);
-        self.weight.grad.add_assign(&dw);
+        // dW += gᵀ · x   (out, in), accumulated straight into the gradient
+        // tensor; db += column sums of g; dx = g · W.
+        matmul_at_acc(grad_output, input, &mut self.weight.grad);
         let db = self.bias.grad.data_mut();
         for r in 0..grad_output.dim(0) {
             for (d, &g) in db.iter_mut().zip(grad_output.row(r)) {

@@ -1,0 +1,92 @@
+//! Steady-state allocation-freedom of the conv/linear hot paths.
+//!
+//! The blocked GEMM and the im2col convolution draw all scratch — packed
+//! panels, lowered patch matrices, gradient staging — from the thread-local
+//! [`fg_tensor::workspace`] pool, and the layers recycle their cached-input
+//! tensors via `cache_tensor`. After one warm-up iteration populates the
+//! pool, further train iterations on the same shapes must never touch the
+//! allocator for scratch: the instrumented [`workspace::alloc_events`]
+//! counter has to stay flat.
+//!
+//! (Output tensors returned to the caller are per-call allocations by API
+//! design and are not counted; the contract covers workspace scratch.)
+
+use fg_nn::conv_layer::Conv2d;
+use fg_nn::linear::Linear;
+use fg_nn::{Layer, Module};
+use fg_tensor::rng::SeededRng;
+use fg_tensor::workspace;
+use fg_tensor::Tensor;
+use rayon::with_threads;
+
+/// One full train step through a conv → linear stack: forward with caching,
+/// loss-less synthetic gradient, backward with gradient accumulation.
+fn train_step(conv: &mut Conv2d, fc: &mut Linear, x: &Tensor, batch: usize) {
+    conv.zero_grad();
+    fc.zero_grad();
+    let y = conv.forward(x, true);
+    let flat = y.clone().reshape(&[batch, fc.in_features()]);
+    let logits = fc.forward(&flat, true);
+    let d_logits = Tensor::ones(logits.dims());
+    let d_flat = fc.backward(&d_logits);
+    let d_y = d_flat.clone().reshape(y.dims());
+    conv.backward(&d_y);
+}
+
+#[test]
+fn conv_and_linear_hot_paths_are_allocation_free_after_warmup() {
+    // One thread so every workspace request hits the same thread-local pool;
+    // multi-thread runs are covered by the schedule-invariance suite.
+    with_threads(1, || {
+        let mut rng = SeededRng::new(99);
+        let batch = 4;
+        let mut conv = Conv2d::new(1, 8, 3, 1, &mut rng);
+        let mut fc = Linear::new(8 * 12 * 12, 10, &mut rng);
+        let x = Tensor::randn(&[batch, 1, 12, 12], &mut rng);
+
+        // Warm-up: populates the workspace pool and the layer input caches.
+        for _ in 0..2 {
+            train_step(&mut conv, &mut fc, &x, batch);
+        }
+
+        let before = workspace::alloc_events();
+        for _ in 0..8 {
+            train_step(&mut conv, &mut fc, &x, batch);
+        }
+        assert_eq!(
+            workspace::alloc_events(),
+            before,
+            "steady-state conv/linear train steps must perform zero workspace allocations"
+        );
+    });
+}
+
+#[test]
+fn shape_change_repopulates_then_settles() {
+    with_threads(1, || {
+        let mut rng = SeededRng::new(100);
+        let mut conv = Conv2d::new(1, 4, 3, 1, &mut rng);
+        let mut fc = Linear::new(4 * 10 * 10, 5, &mut rng);
+
+        let small = Tensor::randn(&[2, 1, 10, 10], &mut rng);
+        let big = Tensor::randn(&[6, 1, 10, 10], &mut rng);
+
+        train_step(&mut conv, &mut fc, &small, 2);
+        // A bigger batch may grow buffers once, and the first alternating
+        // cycles may still shuffle the pool population...
+        train_step(&mut conv, &mut fc, &big, 6);
+        for _ in 0..2 {
+            train_step(&mut conv, &mut fc, &big, 6);
+            train_step(&mut conv, &mut fc, &small, 2);
+        }
+        let before = workspace::alloc_events();
+        // ...but after that, alternating between already-seen shapes stays
+        // allocation-free: the pool holds the larger buffers and best-fit
+        // serves the smaller shape from them or from its own entries.
+        for _ in 0..4 {
+            train_step(&mut conv, &mut fc, &big, 6);
+            train_step(&mut conv, &mut fc, &small, 2);
+        }
+        assert_eq!(workspace::alloc_events(), before, "re-seen shapes must hit the pool");
+    });
+}

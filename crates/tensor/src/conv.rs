@@ -10,8 +10,9 @@
 //! `(out_h*out_w, in_ch*kh*kw)` patch matrix and the convolution becomes a
 //! matrix multiply, reusing the optimized kernels in [`crate::kernels`].
 
-use crate::kernels::{matmul, matmul_at, matmul_bt};
+use crate::kernels::{self, MatRef};
 use crate::tensor::Tensor;
+use crate::workspace;
 use rayon::prelude::*;
 
 /// Static description of a convolution (stride 1, zero padding `pad`).
@@ -116,6 +117,14 @@ pub fn col2im(cols: &[f32], h: usize, w: usize, spec: &Conv2dSpec, image_grad: &
 /// `input` is `(batch, in_ch, h, w)`, `weight` `(out_ch, in_ch*kh*kw)` (the
 /// flattened filter bank), `bias` `(out_ch)`. Returns
 /// `(batch, out_ch, out_h, out_w)`.
+///
+/// Per image, the patch matrix is lowered into a workspace buffer and the
+/// product `W · colsᵀ` is computed directly in the `(out_ch, out_plane)`
+/// output layout (the packing step absorbs the transpose, replacing the old
+/// strided transpose scatter), with the bias folded into the GEMM epilogue
+/// by seeding each output channel's row. Parallelism is over batch images
+/// (disjoint output planes), so results are bit-identical at any thread
+/// count; steady-state calls allocate nothing but the returned tensor.
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
     let dims = input.dims();
     assert_eq!(dims.len(), 4, "conv2d input must be (B,C,H,W)");
@@ -125,27 +134,33 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Con
     let (oh, ow) = spec.out_size(h, w);
     let img_len = c * h * w;
     let out_plane = oh * ow;
+    let patch = spec.patch_len();
 
     let mut out = vec![0.0f32; b * spec.out_ch * out_plane];
     let in_data = input.data();
+    let w_data = weight.data();
     let bias_data = bias.data();
 
     out.par_chunks_mut(spec.out_ch * out_plane).enumerate().for_each(|(bi, out_img)| {
         let image = &in_data[bi * img_len..(bi + 1) * img_len];
-        let mut cols = vec![0.0f32; out_plane * spec.patch_len()];
+        let mut cols = workspace::take_uninit(out_plane * patch);
         im2col(image, h, w, spec, &mut cols);
-        let cols_t = Tensor::from_vec(cols, &[out_plane, spec.patch_len()]);
-        // (out_plane, patch) x (out_ch, patch)^T -> (out_plane, out_ch)
-        let prod = matmul_bt(&cols_t, weight);
-        // Transpose into (out_ch, out_plane) with bias.
-        let prod_data = prod.data();
-        for oc in 0..spec.out_ch {
-            let bias_v = bias_data[oc];
-            let dst = &mut out_img[oc * out_plane..(oc + 1) * out_plane];
-            for (pos, d) in dst.iter_mut().enumerate() {
-                *d = prod_data[pos * spec.out_ch + oc] + bias_v;
-            }
+        // Seed each output row with its channel bias (the fused epilogue)…
+        for (dst, &bv) in out_img.chunks_exact_mut(out_plane).zip(bias_data) {
+            dst.fill(bv);
         }
+        // …then C(out_ch × out_plane) += W(out_ch × patch) · colsᵀ. The
+        // per-image GEMM stays sequential: batch images are the parallel
+        // grain here.
+        kernels::gemm(
+            false,
+            spec.out_ch,
+            out_plane,
+            patch,
+            MatRef { data: w_data, rs: patch, cs: 1 },
+            MatRef { data: &cols, rs: 1, cs: patch },
+            out_img,
+        );
     });
 
     Tensor::from_vec(out, &[b, spec.out_ch, oh, ow])
@@ -168,91 +183,119 @@ pub fn conv2d_backward(
     d_out: &Tensor,
     spec: &Conv2dSpec,
 ) -> Conv2dGrads {
+    let mut d_weight = Tensor::zeros(&[spec.out_ch, spec.patch_len()]);
+    let mut d_bias = Tensor::zeros(&[spec.out_ch]);
+    let d_input = conv2d_backward_acc(input, weight, d_out, spec, &mut d_weight, &mut d_bias);
+    Conv2dGrads { d_input, d_weight, d_bias }
+}
+
+/// Backward convolution with in-place gradient accumulation: adds the batch
+/// weight/bias gradients into `d_weight`/`d_bias` (the layer's `Parameter`
+/// grads) and returns the input gradient — the training hot path.
+///
+/// Every image gets one task: the input gradient is written directly into
+/// that image's disjoint slice, while the weight/bias gradients accumulate
+/// through the shim's fixed fold/reduce tree over batch indices — combine
+/// order depends only on the batch size, never the thread count, so the
+/// result is bit-identical at any `FG_THREADS`. All per-image scratch (the
+/// patch matrix, the upstream-gradient staging, the column gradient, and
+/// the fold accumulators) comes from the thread-local workspace pool, so
+/// steady-state calls allocate nothing beyond the returned tensor.
+pub fn conv2d_backward_acc(
+    input: &Tensor,
+    weight: &Tensor,
+    d_out: &Tensor,
+    spec: &Conv2dSpec,
+    d_weight: &mut Tensor,
+    d_bias: &mut Tensor,
+) -> Tensor {
     let dims = input.dims();
     let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
     let (oh, ow) = spec.out_size(h, w);
     let out_plane = oh * ow;
     let img_len = c * h * w;
-    assert_eq!(d_out.dims(), &[b, spec.out_ch, oh, ow]);
+    let patch = spec.patch_len();
+    let out_ch = spec.out_ch;
+    assert_eq!(d_out.dims(), &[b, out_ch, oh, ow]);
+    assert_eq!(d_weight.dims(), &[out_ch, patch], "conv2d_backward_acc: d_weight shape");
+    assert_eq!(d_bias.dims(), &[out_ch], "conv2d_backward_acc: d_bias shape");
 
     let in_data = input.data();
+    let w_data = weight.data();
     let dout_data = d_out.data();
 
-    // Per-batch partial results folded together; keeps rayon tasks free of
-    // shared mutable state.
-    let (d_input_vec, d_weight_t, d_bias_t) = (0..b)
-        .into_par_iter()
-        .map(|bi| {
-            let image = &in_data[bi * img_len..(bi + 1) * img_len];
-            let mut cols = vec![0.0f32; out_plane * spec.patch_len()];
-            im2col(image, h, w, spec, &mut cols);
-            let cols_t = Tensor::from_vec(cols, &[out_plane, spec.patch_len()]);
-
-            // Upstream grad reshaped to (out_plane, out_ch).
-            let mut g = vec![0.0f32; out_plane * spec.out_ch];
-            let src = &dout_data[bi * spec.out_ch * out_plane..(bi + 1) * spec.out_ch * out_plane];
-            for oc in 0..spec.out_ch {
-                for pos in 0..out_plane {
-                    g[pos * spec.out_ch + oc] = src[oc * out_plane + pos];
-                }
-            }
-            let g_t = Tensor::from_vec(g, &[out_plane, spec.out_ch]);
-
-            // dW = g^T (out_ch, out_plane) x cols (out_plane, patch)
-            let dw = matmul_at(&g_t, &cols_t);
-            // db = column sums of g
-            let mut db = vec![0.0f32; spec.out_ch];
-            for pos in 0..out_plane {
-                let row = &g_t.data()[pos * spec.out_ch..(pos + 1) * spec.out_ch];
-                for (d, &v) in db.iter_mut().zip(row) {
-                    *d += v;
-                }
-            }
-            // dcols = g (out_plane, out_ch) x W (out_ch, patch)
-            let dcols = matmul(&g_t, weight);
-            let mut dimg = vec![0.0f32; img_len];
-            col2im(dcols.data(), h, w, spec, &mut dimg);
-
-            (bi, dimg, dw, Tensor::from_vec(db, &[spec.out_ch]))
-        })
+    let mut d_input_vec = vec![0.0f32; b * img_len];
+    let (dw, db) = d_input_vec
+        .par_chunks_mut(img_len)
+        .enumerate()
         .fold(
-            || {
-                (
-                    vec![0.0f32; b * img_len],
-                    Tensor::zeros(&[spec.out_ch, spec.patch_len()]),
-                    Tensor::zeros(&[spec.out_ch]),
-                )
-            },
-            |(mut din, mut dw_acc, mut db_acc), (bi, dimg, dw, db)| {
-                din[bi * img_len..(bi + 1) * img_len].copy_from_slice(&dimg);
-                dw_acc.add_assign(&dw);
-                db_acc.add_assign(&db);
-                (din, dw_acc, db_acc)
+            || (workspace::take_zeroed(out_ch * patch), workspace::take_zeroed(out_ch)),
+            |(mut dw, mut db), (bi, dimg)| {
+                let image = &in_data[bi * img_len..(bi + 1) * img_len];
+                let mut cols = workspace::take_uninit(out_plane * patch);
+                im2col(image, h, w, spec, &mut cols);
+
+                // Upstream grad staged as g(out_plane × out_ch).
+                let mut g = workspace::take_uninit(out_plane * out_ch);
+                let src = &dout_data[bi * out_ch * out_plane..(bi + 1) * out_ch * out_plane];
+                for (oc, plane) in src.chunks_exact(out_plane).enumerate() {
+                    for (pos, &v) in plane.iter().enumerate() {
+                        g[pos * out_ch + oc] = v;
+                    }
+                }
+
+                // dW += gᵀ(out_ch × out_plane) · cols(out_plane × patch).
+                kernels::gemm(
+                    false,
+                    out_ch,
+                    patch,
+                    out_plane,
+                    MatRef { data: &g, rs: 1, cs: out_ch },
+                    MatRef { data: &cols, rs: patch, cs: 1 },
+                    &mut dw,
+                );
+                // db += column sums of g.
+                for row in g.chunks_exact(out_ch) {
+                    for (d, &v) in db.iter_mut().zip(row) {
+                        *d += v;
+                    }
+                }
+                // dcols = g(out_plane × out_ch) · W(out_ch × patch), scattered
+                // back into this image's (pre-zeroed) input-gradient slice.
+                let mut dcols = workspace::take_zeroed(out_plane * patch);
+                kernels::gemm(
+                    false,
+                    out_plane,
+                    patch,
+                    out_ch,
+                    MatRef { data: &g, rs: out_ch, cs: 1 },
+                    MatRef { data: w_data, rs: patch, cs: 1 },
+                    &mut dcols,
+                );
+                col2im(&dcols, h, w, spec, dimg);
+                (dw, db)
             },
         )
         .reduce(
-            || {
-                (
-                    vec![0.0f32; b * img_len],
-                    Tensor::zeros(&[spec.out_ch, spec.patch_len()]),
-                    Tensor::zeros(&[spec.out_ch]),
-                )
-            },
-            |(mut din1, mut dw1, mut db1), (din2, dw2, db2)| {
-                for (a, x) in din1.iter_mut().zip(&din2) {
+            || (workspace::take_zeroed(out_ch * patch), workspace::take_zeroed(out_ch)),
+            |(mut dw1, mut db1), (dw2, db2)| {
+                for (a, &x) in dw1.iter_mut().zip(dw2.iter()) {
                     *a += x;
                 }
-                dw1.add_assign(&dw2);
-                db1.add_assign(&db2);
-                (din1, dw1, db1)
+                for (a, &x) in db1.iter_mut().zip(db2.iter()) {
+                    *a += x;
+                }
+                (dw1, db1)
             },
         );
 
-    Conv2dGrads {
-        d_input: Tensor::from_vec(d_input_vec, &[b, c, h, w]),
-        d_weight: d_weight_t,
-        d_bias: d_bias_t,
+    for (d, &v) in d_weight.data_mut().iter_mut().zip(dw.iter()) {
+        *d += v;
     }
+    for (d, &v) in d_bias.data_mut().iter_mut().zip(db.iter()) {
+        *d += v;
+    }
+    Tensor::from_vec(d_input_vec, &[b, c, h, w])
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Matrix-multiplication kernels.
+//! Matrix-multiplication kernels: a cache-blocked, panel-packed GEMM family.
 //!
 //! Three layouts cover every need of the layer library without materializing
 //! transposes on hot paths:
@@ -7,19 +7,288 @@
 //! * [`matmul_bt`]   — `C = A · Bᵀ`       (M,K)·(N,K) → (M,N)
 //! * [`matmul_at`]   — `C = Aᵀ · B`       (K,M)·(K,N) → (M,N)
 //!
-//! The inner loops are written over contiguous slices so LLVM can
-//! auto-vectorize; the `A·B` kernel uses the classic i-k-j ordering with the
-//! `B` row streamed linearly. Row blocks are distributed over rayon when the
-//! problem is large enough to amortize the fork-join cost.
+//! plus two fused variants for the layer hot paths: [`matmul_bt_bias`] (the
+//! linear/conv forward epilogue folds the bias into the output
+//! initialization) and [`matmul_at_acc`] (the weight-gradient accumulation
+//! `dW += Aᵀ·B` writes straight into the gradient tensor, no temporary).
+//!
+//! ## Blocking & packing
+//!
+//! All layouts route through one driver, [`gemm`], structured like a
+//! classic BLIS kernel (see DESIGN.md §7.2):
+//!
+//! * the output is tiled into `MC`-row × `NC`-column macro-blocks with the
+//!   shared dimension cut into `KC`-deep slabs;
+//! * for each `(KC, NC)` slab, `B` is packed **once** into `NR`-wide column
+//!   panels (paying any transpose/stride cost a single time), and each
+//!   `MC`-row block packs its slice of `A` into `MR`-tall row panels;
+//! * an `MR`×`NR` register-tile microkernel walks the packed panels with all
+//!   `MR*NR` accumulators live in registers, so each loaded element is used
+//!   `MR` (resp. `NR`) times instead of once.
+//!
+//! Packed panels and all other scratch come from the thread-local
+//! [`crate::workspace`] pool, so steady-state calls perform no heap
+//! allocation beyond the returned output tensor.
+//!
+//! ## Determinism
+//!
+//! Rayon parallelism is over `MC` row-blocks only: every output element is
+//! produced by exactly one task, the `KC` slabs are consumed left-to-right in
+//! increasing-`k` order by the sequential outer loop, and the microkernel
+//! accumulates each element along a single fixed chain. The arithmetic —
+//! including its rounding — therefore depends only on the shapes, never on
+//! the thread count: results are **bit-identical at any `FG_THREADS`**
+//! (`tests/schedule_invariance.rs`). The microkernel itself is selected per
+//! CPU (AVX2+FMA when the hardware has it, a portable scalar tile
+//! otherwise), so bits are fixed per machine; only thread-count invariance
+//! is promised across machines.
+//!
+//! Unlike the pre-blocking kernels there is no `a == 0.0` skip: zeros are
+//! multiplied like any other value, so non-finite payloads propagate exactly
+//! as IEEE 754 demands (`0 × ∞ = NaN`), matching [`matmul_reference`].
 
 use crate::tensor::Tensor;
+use crate::workspace;
 use rayon::prelude::*;
 
 /// Below this many multiply-accumulates we stay single-threaded: a real
-/// fork now costs a queue round-trip per split (up to ~32 splits per
-/// region), so a parallel matmul must carry at least ~1M MACs — a few
-/// hundred microseconds of arithmetic — before the pool pays for itself.
+/// fork costs a queue round-trip per split (up to ~32 splits per region), so
+/// a parallel matmul must carry at least ~1M MACs — a few hundred
+/// microseconds of arithmetic — before the pool pays for itself.
 const PAR_THRESHOLD_MACS: usize = 1 << 20;
+
+/// Microkernel tile height (rows of `A` per register tile).
+pub const MR: usize = 4;
+/// Microkernel tile width (columns of `B` per register tile); 16 f32 lanes =
+/// two AVX vectors, four SSE vectors.
+pub const NR: usize = 16;
+/// Rows of `A` per macro-block; the packed `MC×KC` block (32 KiB) sits in
+/// L1/L2. Must be a multiple of `MR`. Also the unit of rayon row-parallelism.
+pub const MC: usize = 32;
+/// Depth of the shared-dimension slab; an `MR×KC` packed panel is 4 KiB.
+/// `KC` fixes the write-back boundaries and is part of the numeric contract:
+/// changing it changes rounding (never correctness).
+pub const KC: usize = 256;
+/// Columns of `B` per packed slab; a `KC×NC` packed panel is 512 KiB.
+/// Must be a multiple of `NR`.
+pub const NC: usize = 512;
+
+/// A strided read-only matrix view: element `(r, c)` lives at
+/// `data[r * rs + c * cs]`. The three public layouts differ only in strides,
+/// so packing — and therefore the whole driver — is layout-agnostic.
+#[derive(Clone, Copy)]
+pub(crate) struct MatRef<'a> {
+    pub data: &'a [f32],
+    pub rs: usize,
+    pub cs: usize,
+}
+
+impl MatRef<'_> {
+    #[inline(always)]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.rs + c * self.cs]
+    }
+}
+
+/// Pack rows `[row0, row0+mc)` × columns `[col0, col0+kc)` of `a` into
+/// `MR`-tall row panels: panel `ip`, depth `p`, lane `r` lands at
+/// `out[(ip*kc + p)*MR + r]`. Rows past `mc` are zero-filled; the zero lanes
+/// feed accumulators that are never written back, so padding cannot leak.
+fn pack_a(a: MatRef<'_>, row0: usize, mc: usize, col0: usize, kc: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), mc.div_ceil(MR) * kc * MR);
+    for (ip, panel) in out.chunks_exact_mut(kc * MR).enumerate() {
+        let rows = (mc - ip * MR).min(MR);
+        for (p, dst) in panel.chunks_exact_mut(MR).enumerate() {
+            for (r, d) in dst.iter_mut().enumerate() {
+                *d = if r < rows { a.at(row0 + ip * MR + r, col0 + p) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// Pack rows `[row0, row0+kc)` × columns `[col0, col0+nc)` of `b` into
+/// `NR`-wide column panels: panel `jp`, depth `p`, lane `c` lands at
+/// `out[(jp*kc + p)*NR + c]`. Columns past `nc` are zero-filled.
+fn pack_b(b: MatRef<'_>, row0: usize, kc: usize, col0: usize, nc: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), nc.div_ceil(NR) * kc * NR);
+    for (jp, panel) in out.chunks_exact_mut(kc * NR).enumerate() {
+        let cols = (nc - jp * NR).min(NR);
+        for (p, dst) in panel.chunks_exact_mut(NR).enumerate() {
+            for (c, d) in dst.iter_mut().enumerate() {
+                *d = if c < cols { b.at(row0 + p, col0 + jp * NR + c) } else { 0.0 };
+            }
+        }
+    }
+}
+
+/// AVX2+FMA variant of the register-tile microkernel, selected at runtime on
+/// CPUs that support it. Per output element the accumulation chain is still
+/// one multiply-add per `k` step in increasing-`k` order, so thread-count
+/// invariance is untouched. The *fused* rounding does differ from the scalar
+/// path — which is why kernel selection depends only on the CPU, never on the
+/// call site or thread count: a given machine always computes the same bits.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use super::{MR, NR};
+    use core::arch::x86_64::{_mm256_fmadd_ps, _mm256_loadu_ps, _mm256_set1_ps, _mm256_storeu_ps};
+
+    /// Whether the running CPU supports the AVX2+FMA microkernel. The
+    /// detection macro caches, so this is a couple of loads per call.
+    #[inline]
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    /// `acc[r][c] += Σ_p ap[p][r] * bp[p][c]`, 4×16 tile: 8 vector
+    /// accumulators, one broadcast per `A` lane, two `B` loads per `k` step.
+    ///
+    /// # Safety
+    /// Caller must have checked [`available`].
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn microkernel(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+        let kc = bp.len() / NR;
+        debug_assert_eq!(ap.len(), kc * MR);
+        let mut c0 = [_mm256_loadu_ps(acc[0].as_ptr()); MR];
+        let mut c1 = [_mm256_loadu_ps(acc[0].as_ptr().add(8)); MR];
+        for r in 1..MR {
+            c0[r] = _mm256_loadu_ps(acc[r].as_ptr());
+            c1[r] = _mm256_loadu_ps(acc[r].as_ptr().add(8));
+        }
+        let mut ap_ptr = ap.as_ptr();
+        let mut bp_ptr = bp.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm256_loadu_ps(bp_ptr);
+            let b1 = _mm256_loadu_ps(bp_ptr.add(8));
+            for r in 0..MR {
+                let a = _mm256_set1_ps(*ap_ptr.add(r));
+                c0[r] = _mm256_fmadd_ps(a, b0, c0[r]);
+                c1[r] = _mm256_fmadd_ps(a, b1, c1[r]);
+            }
+            ap_ptr = ap_ptr.add(MR);
+            bp_ptr = bp_ptr.add(NR);
+        }
+        for r in 0..MR {
+            _mm256_storeu_ps(acc[r].as_mut_ptr(), c0[r]);
+            _mm256_storeu_ps(acc[r].as_mut_ptr().add(8), c1[r]);
+        }
+    }
+}
+
+/// The portable register-tile microkernel: `acc[r][c] += Σ_p ap[p][r] *
+/// bp[p][c]` over one packed `A` panel (`kc × MR`) and one packed `B` panel
+/// (`kc × NR`). Each accumulator is a single sequential chain over `p`, fixed
+/// by construction — the unit of the determinism contract.
+#[inline(always)]
+fn microkernel_scalar(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let a: &[f32; MR] = a.try_into().expect("packed A panel stride");
+        let b: &[f32; NR] = b.try_into().expect("packed B panel stride");
+        for (r, row) in acc.iter_mut().enumerate() {
+            let ar = a[r];
+            for (o, &bv) in row.iter_mut().zip(b) {
+                *o += ar * bv;
+            }
+        }
+    }
+}
+
+/// Run the best microkernel for this CPU (AVX2+FMA when available, the
+/// portable scalar tile otherwise). The choice is a pure function of the
+/// hardware, so every call on a given machine takes the same path.
+#[inline(always)]
+fn microkernel(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::available() {
+        // SAFETY: `available` verified AVX2 and FMA support.
+        unsafe { simd::microkernel(ap, bp, acc) };
+        return;
+    }
+    microkernel_scalar(ap, bp, acc)
+}
+
+/// One `MC`-row block against one packed `(KC, NC)` slab of `B`: pack the
+/// `A` block, run the microkernel over every tile, and accumulate the valid
+/// region of each register tile into `out_rows` (rows of `C` at full width
+/// `n`, starting at global row `row0`).
+#[allow(clippy::too_many_arguments)]
+fn gemm_row_block(
+    out_rows: &mut [f32],
+    n: usize,
+    a: MatRef<'_>,
+    row0: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    packed_b: &[f32],
+) {
+    let mut packed_a = workspace::take_uninit(mc.div_ceil(MR) * kc * MR);
+    pack_a(a, row0, mc, pc, kc, &mut packed_a);
+    for (jp, bp) in packed_b.chunks_exact(kc * NR).enumerate() {
+        let cols = (nc - jp * NR).min(NR);
+        for (ip, apan) in packed_a.chunks_exact(kc * MR).enumerate() {
+            let mut acc = [[0.0f32; NR]; MR];
+            microkernel(apan, bp, &mut acc);
+            let rows = (mc - ip * MR).min(MR);
+            for (row, acc_row) in acc.iter().enumerate().take(rows) {
+                let dst = &mut out_rows[(ip * MR + row) * n + jc + jp * NR..][..cols];
+                for (o, &v) in dst.iter_mut().zip(acc_row) {
+                    *o += v;
+                }
+            }
+        }
+    }
+}
+
+/// Blocked GEMM driver: `out += A · B` for strided views of `A` (m×k) and
+/// `B` (k×n), with `out` a row-major m×n buffer whose initial contents act
+/// as the additive epilogue (zeros for a plain product, a broadcast bias for
+/// the fused layer forward, existing gradients for accumulation).
+///
+/// `parallel` gates rayon fan-out over `MC` row-blocks; it never changes the
+/// arithmetic (each output element is owned by one task and the `KC` slabs
+/// are consumed in increasing-`k` order either way).
+pub(crate) fn gemm(
+    parallel: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: MatRef<'_>,
+    b: MatRef<'_>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let fan_out = parallel && m > MC;
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            let mut packed_b = workspace::take_uninit(nc.div_ceil(NR) * kc * NR);
+            pack_b(b, pc, kc, jc, nc, &mut packed_b);
+            let pb = &packed_b[..];
+            let body = |ib: usize, rows: &mut [f32]| {
+                let row0 = ib * MC;
+                let mc = MC.min(m - row0);
+                gemm_row_block(rows, n, a, row0, mc, pc, kc, jc, nc, pb);
+            };
+            if fan_out {
+                out.par_chunks_mut(MC * n).enumerate().for_each(|(ib, rows)| body(ib, rows));
+            } else {
+                out.chunks_mut(MC * n).enumerate().for_each(|(ib, rows)| body(ib, rows));
+            }
+        }
+    }
+}
+
+/// True when a problem is worth offering to the pool.
+#[inline]
+fn worth_forking(m: usize, n: usize, k: usize) -> bool {
+    m.saturating_mul(n).saturating_mul(k) >= PAR_THRESHOLD_MACS
+}
 
 /// `C = A · B` for row-major matrices.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -30,35 +299,23 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul: inner dims mismatch ({k} vs {k2})");
 
     let mut out = vec![0.0f32; m * n];
-    let a_data = a.data();
-    let b_data = b.data();
-
-    let body = |row: usize, out_row: &mut [f32]| {
-        let a_row = &a_data[row * k..(row + 1) * k];
-        for (kk, &a_v) in a_row.iter().enumerate() {
-            if a_v == 0.0 {
-                continue;
-            }
-            let b_row = &b_data[kk * n..(kk + 1) * n];
-            for (o, &b_v) in out_row.iter_mut().zip(b_row) {
-                *o += a_v * b_v;
-            }
-        }
-    };
-
-    if m * n * k >= PAR_THRESHOLD_MACS {
-        out.par_chunks_mut(n).enumerate().for_each(|(row, out_row)| body(row, out_row));
-    } else {
-        out.chunks_mut(n).enumerate().for_each(|(row, out_row)| body(row, out_row));
-    }
+    gemm(
+        worth_forking(m, n, k),
+        m,
+        n,
+        k,
+        MatRef { data: a.data(), rs: k, cs: 1 },
+        MatRef { data: b.data(), rs: n, cs: 1 },
+        &mut out,
+    );
     Tensor::from_vec(out, &[m, n])
 }
 
 /// `C = A · Bᵀ` where `A` is (M,K) and `B` is (N,K).
 ///
 /// This is the natural layout for a linear layer forward pass with weights
-/// stored (out_features, in_features): each output element is a dot product
-/// of two contiguous rows.
+/// stored (out_features, in_features); the packing step absorbs the
+/// transpose, paying the strided reads once per `(KC, NC)` slab.
 pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.shape().rank(), 2, "matmul_bt: A must be rank-2");
     assert_eq!(b.shape().rank(), 2, "matmul_bt: B must be rank-2");
@@ -67,22 +324,43 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "matmul_bt: inner dims mismatch ({k} vs {k2})");
 
     let mut out = vec![0.0f32; m * n];
-    let a_data = a.data();
-    let b_data = b.data();
+    gemm(
+        worth_forking(m, n, k),
+        m,
+        n,
+        k,
+        MatRef { data: a.data(), rs: k, cs: 1 },
+        MatRef { data: b.data(), rs: 1, cs: k },
+        &mut out,
+    );
+    Tensor::from_vec(out, &[m, n])
+}
 
-    let body = |row: usize, out_row: &mut [f32]| {
-        let a_row = &a_data[row * k..(row + 1) * k];
-        for (j, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b_data[j * k..(j + 1) * k];
-            *o = dot(a_row, b_row);
-        }
-    };
+/// `C = A · Bᵀ + bias` with the bias row folded into the output
+/// initialization — the fused linear-forward epilogue. `bias` must have
+/// length N; it seeds every output row before the product accumulates on
+/// top, so the bias add costs no separate pass.
+pub fn matmul_bt_bias(a: &Tensor, b: &Tensor, bias: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_bt_bias: A must be rank-2");
+    assert_eq!(b.shape().rank(), 2, "matmul_bt_bias: B must be rank-2");
+    let (m, k) = (a.dim(0), a.dim(1));
+    let (n, k2) = (b.dim(0), b.dim(1));
+    assert_eq!(k, k2, "matmul_bt_bias: inner dims mismatch ({k} vs {k2})");
+    assert_eq!(bias.numel(), n, "matmul_bt_bias: bias length mismatch");
 
-    if m * n * k >= PAR_THRESHOLD_MACS {
-        out.par_chunks_mut(n).enumerate().for_each(|(row, out_row)| body(row, out_row));
-    } else {
-        out.chunks_mut(n).enumerate().for_each(|(row, out_row)| body(row, out_row));
+    let mut out = vec![0.0f32; m * n];
+    for row in out.chunks_exact_mut(n) {
+        row.copy_from_slice(bias.data());
     }
+    gemm(
+        worth_forking(m, n, k),
+        m,
+        n,
+        k,
+        MatRef { data: a.data(), rs: k, cs: 1 },
+        MatRef { data: b.data(), rs: 1, cs: k },
+        &mut out,
+    );
     Tensor::from_vec(out, &[m, n])
 }
 
@@ -91,30 +369,30 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
 /// This is the weight-gradient layout: `dW = Xᵀ · dY` accumulated over the
 /// batch dimension K.
 pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    let mut out = Tensor::zeros(&[a.dim(1), b.dim(1)]);
+    matmul_at_acc(a, b, &mut out);
+    out
+}
+
+/// `out += Aᵀ · B` accumulated in place — the weight-gradient hot path
+/// (`dW += Xᵀ · dY`) without a temporary gradient tensor.
+pub fn matmul_at_acc(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     assert_eq!(a.shape().rank(), 2, "matmul_at: A must be rank-2");
     assert_eq!(b.shape().rank(), 2, "matmul_at: B must be rank-2");
     let (k, m) = (a.dim(0), a.dim(1));
     let (k2, n) = (b.dim(0), b.dim(1));
     assert_eq!(k, k2, "matmul_at: outer dims mismatch ({k} vs {k2})");
+    assert_eq!(out.dims(), &[m, n], "matmul_at_acc: output shape mismatch");
 
-    // Accumulate rank-1 updates; out[i][j] += a[kk][i] * b[kk][j].
-    let a_data = a.data();
-    let b_data = b.data();
-    let mut out = vec![0.0f32; m * n];
-    for kk in 0..k {
-        let a_row = &a_data[kk * m..(kk + 1) * m];
-        let b_row = &b_data[kk * n..(kk + 1) * n];
-        for (i, &a_v) in a_row.iter().enumerate() {
-            if a_v == 0.0 {
-                continue;
-            }
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (o, &b_v) in out_row.iter_mut().zip(b_row) {
-                *o += a_v * b_v;
-            }
-        }
-    }
-    Tensor::from_vec(out, &[m, n])
+    gemm(
+        worth_forking(m, n, k),
+        m,
+        n,
+        k,
+        MatRef { data: a.data(), rs: 1, cs: m },
+        MatRef { data: b.data(), rs: n, cs: 1 },
+        out.data_mut(),
+    );
 }
 
 /// Dot product over contiguous slices, with a 4-way unrolled accumulator so
@@ -193,6 +471,35 @@ mod tests {
     }
 
     #[test]
+    fn matmul_bt_bias_folds_bias_into_epilogue() {
+        let mut rng = SeededRng::new(9);
+        let a = Tensor::randn(&[5, 7], &mut rng);
+        let b = Tensor::randn(&[6, 7], &mut rng);
+        let bias = Tensor::randn(&[6], &mut rng);
+        let fused = matmul_bt_bias(&a, &b, &bias);
+        let mut manual = matmul_bt(&a, &b);
+        for r in 0..manual.dim(0) {
+            for (o, &bv) in manual.row_mut(r).iter_mut().zip(bias.data()) {
+                *o += bv;
+            }
+        }
+        // Bias seeds the accumulator rather than being added last, so allow
+        // one rounding step of slack.
+        assert_close(&fused, &manual, 1e-6);
+    }
+
+    #[test]
+    fn matmul_at_acc_accumulates_in_place() {
+        let mut rng = SeededRng::new(10);
+        let a = Tensor::randn(&[8, 3], &mut rng);
+        let b = Tensor::randn(&[8, 5], &mut rng);
+        let mut acc = Tensor::ones(&[3, 5]);
+        matmul_at_acc(&a, &b, &mut acc);
+        let expect = matmul_at(&a, &b).add(&Tensor::ones(&[3, 5]));
+        assert_close(&acc, &expect, 1e-5);
+    }
+
+    #[test]
     fn identity_is_neutral() {
         let mut rng = SeededRng::new(4);
         let a = Tensor::randn(&[5, 5], &mut rng);
@@ -210,6 +517,26 @@ mod tests {
     }
 
     #[test]
+    fn blocking_edges_match_reference() {
+        // Shapes straddling every blocking boundary: below/at/above the
+        // microkernel tile, the MC row block, and the KC slab.
+        let mut rng = SeededRng::new(6);
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (1, 7, 1),
+            (MR, KC, NR),
+            (MR - 1, KC + 1, NR + 1),
+            (MC, 2 * KC + 3, NR * 2 + 5),
+            (MC + 1, 3, 1),
+            (2 * MC + 5, KC - 1, 33),
+        ] {
+            let a = Tensor::randn(&[m, k], &mut rng);
+            let b = Tensor::randn(&[k, n], &mut rng);
+            assert_close(&matmul(&a, &b), &matmul_reference(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
     fn dot_handles_remainders() {
         let a: Vec<f32> = (0..7).map(|x| x as f32).collect();
         let b = vec![1.0f32; 7];
@@ -223,11 +550,41 @@ mod tests {
     }
 
     #[test]
-    fn zero_rows_short_circuit_is_correct() {
-        // Exercise the `a_v == 0.0` fast path.
+    fn zero_rows_still_produce_exact_zeros() {
+        // With finite inputs, rows of zeros must yield exactly 0 outputs.
         let a = Tensor::from_vec(vec![0.0, 1.0, 0.0, 0.0], &[2, 2]);
         let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
         let c = matmul(&a, &b);
         assert_eq!(c.data(), &[7.0, 8.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn non_finite_values_propagate_like_the_reference() {
+        // Regression for the old `a == 0.0` fast path, which skipped the
+        // multiply and silently turned 0 × ∞ into 0 instead of NaN.
+        let a = Tensor::from_vec(vec![0.0, 0.0, 1.0, 2.0], &[2, 2]);
+        let mut b = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        b.data_mut()[0] = f32::INFINITY;
+        b.data_mut()[3] = f32::NAN;
+
+        for (kernel, name) in [
+            (matmul(&a, &b), "matmul"),
+            (matmul_at(&a.transpose(), &b), "matmul_at"),
+            (matmul_bt(&a, &b.transpose()), "matmul_bt"),
+        ] {
+            let reference = matmul_reference(&a, &b);
+            for (i, (x, y)) in kernel.data().iter().zip(reference.data()).enumerate() {
+                assert_eq!(
+                    x.is_nan(),
+                    y.is_nan(),
+                    "{name}[{i}]: NaN propagation diverged ({x} vs {y})"
+                );
+                if !x.is_nan() {
+                    assert_eq!(x, y, "{name}[{i}]: {x} vs {y}");
+                }
+            }
+            // The first output row hits both 0 × ∞ and 0 × NaN: it must be NaN.
+            assert!(kernel.data()[0].is_nan(), "{name}: 0 × ∞ must produce NaN");
+        }
     }
 }

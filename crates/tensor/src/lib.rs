@@ -6,14 +6,18 @@
 //! parameter slices, and deterministic seeded random-number utilities.
 //!
 //! The crate is deliberately small and dependency-light: it is the substrate
-//! that replaces the role PyTorch plays in the original paper. Kernels are
-//! written so the inner loops operate on contiguous slices (letting LLVM
-//! auto-vectorize) and the outer loops are parallelized where the problem
-//! size warrants it, via the workspace's rayon shim — a real fork-join
-//! worker pool sized by `FG_THREADS` (default: all cores). The shim's split
-//! tree and combine order depend only on the input size, never the thread
-//! count, so every kernel here is bit-identical at `FG_THREADS=1` and
-//! `FG_THREADS=N`; parallelism thresholds (`PAR_LEN`,
+//! that replaces the role PyTorch plays in the original paper. The GEMM
+//! family is a cache-blocked, panel-packed kernel (MC/KC/NC blocking with an
+//! MR×NR register-tile microkernel — see [`kernels`]); all per-call scratch
+//! — packed panels, im2col patch matrices, gradient staging — comes from a
+//! thread-local [`workspace`] pool, so the conv/linear hot paths perform no
+//! heap allocation in steady state beyond their returned tensors. Outer
+//! loops are parallelized where the problem size warrants it, via the
+//! repo's rayon shim — a real fork-join worker pool sized by `FG_THREADS`
+//! (default: all cores). Parallelism is only ever over disjoint output
+//! blocks and the shim's split tree depends only on the input size, never
+//! the thread count, so every kernel here is bit-identical at
+//! `FG_THREADS=1` and `FG_THREADS=N`; parallelism thresholds (`PAR_LEN`,
 //! `PAR_THRESHOLD_MACS`) gate when work is worth the fork cost.
 //!
 //! ## Quick example
@@ -35,6 +39,7 @@ pub mod shape;
 pub mod stats;
 pub mod tensor;
 pub mod vecops;
+pub mod workspace;
 
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -29,25 +29,46 @@ pub fn sample_variance(xs: &[f32]) -> f32 {
 }
 
 /// Median (average of middle two for even lengths). Panics on empty input.
+///
+/// Uses `select_nth_unstable_by` partial selection — O(n) rather than the
+/// O(n log n) of a full sort — under the NaN-safe [`f32::total_cmp`] order
+/// (NaNs rank above `+∞`, so they are treated as extreme values rather than
+/// poisoning the comparison).
 pub fn median(xs: &[f32]) -> f32 {
     assert!(!xs.is_empty(), "median of empty slice");
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median: NaN in input"));
-    let n = sorted.len();
+    let mut buf = xs.to_vec();
+    let n = buf.len();
+    let (left, &mut upper, _) = buf.select_nth_unstable_by(n / 2, f32::total_cmp);
     if n % 2 == 1 {
-        sorted[n / 2]
+        upper
     } else {
-        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        // The lower middle element is the maximum of the left partition.
+        let lower = left.iter().copied().max_by(f32::total_cmp).expect("even length ≥ 2");
+        0.5 * (lower + upper)
     }
 }
 
 /// Trimmed mean: drop the `trim` smallest and `trim` largest values, average
 /// the rest. Panics if `2*trim >= len`.
+///
+/// Two `select_nth_unstable_by` selections (under the NaN-safe
+/// [`f32::total_cmp`] order) partition off the tails in O(n); the kept middle
+/// is averaged unsorted, so the summation order — and thus the last-bit
+/// rounding — can differ from a sort-then-mean implementation.
 pub fn trimmed_mean(xs: &[f32], trim: usize) -> f32 {
     assert!(2 * trim < xs.len(), "trimmed_mean would drop everything");
-    let mut sorted = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("trimmed_mean: NaN in input"));
-    mean(&sorted[trim..sorted.len() - trim])
+    if trim == 0 {
+        return mean(xs);
+    }
+    let mut buf = xs.to_vec();
+    let n = buf.len();
+    // Partition the `trim` smallest into buf[..trim] ...
+    buf.select_nth_unstable_by(trim, f32::total_cmp);
+    // ... then the `trim` largest of the remainder into rest[n-2*trim..].
+    let rest = &mut buf[trim..];
+    let keep = n - 2 * trim;
+    rest.select_nth_unstable_by(keep, f32::total_cmp);
+    mean(&rest[..keep])
 }
 
 /// Summary of a series: mean and population standard deviation, the format
@@ -105,6 +126,59 @@ mod tests {
     #[should_panic]
     fn trimmed_mean_rejects_overtrim() {
         trimmed_mean(&[1.0, 2.0], 1);
+    }
+
+    /// The sorted implementations the selection-based versions replaced,
+    /// kept as the test oracle.
+    fn median_sorted(xs: &[f32]) -> f32 {
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f32::total_cmp);
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        }
+    }
+
+    fn trimmed_mean_sorted(xs: &[f32], trim: usize) -> f32 {
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f32::total_cmp);
+        mean(&sorted[trim..sorted.len() - trim])
+    }
+
+    #[test]
+    fn selection_matches_full_sort() {
+        let mut rng = crate::rng::SeededRng::new(7);
+        for len in [1usize, 2, 3, 4, 5, 10, 31, 100, 101] {
+            let mut xs: Vec<f32> = (0..len).map(|_| rng.next_f32() * 10.0 - 5.0).collect();
+            // Inject duplicates and signed zeros to stress tie handling.
+            if len >= 4 {
+                xs[1] = xs[0];
+                xs[2] = 0.0;
+                xs[3] = -0.0;
+            }
+            assert_eq!(median(&xs), median_sorted(&xs), "median diverged at len {len}");
+            for trim in 0..(len / 2).min(4) {
+                let sel = trimmed_mean(&xs, trim);
+                let srt = trimmed_mean_sorted(&xs, trim);
+                // Same kept multiset, different summation order: allow
+                // last-bit slack.
+                assert!(
+                    (sel - srt).abs() <= 1e-6 * (1.0 + srt.abs()),
+                    "trimmed_mean diverged at len {len} trim {trim}: {sel} vs {srt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_cmp_ranks_nan_as_extreme() {
+        // NaN sorts above +∞ under total_cmp, so it is trimmed/out-voted
+        // like any other outlier instead of panicking or poisoning the sort.
+        assert_eq!(median(&[1.0, f32::NAN, 2.0]), 2.0);
+        assert_eq!(median(&[1.0, f32::INFINITY, 2.0]), 2.0);
+        assert_eq!(trimmed_mean(&[1.0, f32::NAN, 2.0, 3.0, -8.0], 1), 2.0);
     }
 
     #[test]

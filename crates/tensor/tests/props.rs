@@ -1,13 +1,28 @@
 //! Property-based tests on the tensor substrate's algebraic invariants.
 
-use fg_tensor::kernels::{dot, matmul, matmul_at, matmul_bt};
+use fg_tensor::kernels::{dot, matmul, matmul_at, matmul_bt, matmul_reference};
+use fg_tensor::rng::SeededRng;
 use fg_tensor::stats;
 use fg_tensor::Tensor;
 use proptest::prelude::*;
+use rayon::with_threads;
 
 fn tensor_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
     proptest::collection::vec(-5.0f32..5.0, rows * cols)
         .prop_map(move |v| Tensor::from_vec(v, &[rows, cols]))
+}
+
+/// A random GEMM problem derived from one seed: `(m, k, n)` spanning the
+/// blocking boundaries (`m` past `MC`=32, `k` past `KC`=256, `n` past
+/// `NR`=16), with each dim independently collapsed to the degenerate 1 every
+/// few cases.
+fn gemm_case(seed: u64) -> (Tensor, Tensor) {
+    let mut rng = SeededRng::new(seed);
+    let mut dim = |hi: usize| if rng.next_below(8) == 0 { 1 } else { 1 + rng.next_below(hi) };
+    let (m, k, n) = (dim(70), dim(300), dim(40));
+    let a = Tensor::randn(&[m, k], &mut rng);
+    let b = Tensor::randn(&[k, n], &mut rng);
+    (a, b)
 }
 
 fn close(a: &Tensor, b: &Tensor, tol: f32) -> bool {
@@ -46,6 +61,31 @@ proptest! {
     #[test]
     fn matmul_at_equals_explicit_transpose(a in tensor_strategy(7, 3), b in tensor_strategy(7, 4)) {
         prop_assert!(close(&matmul_at(&a, &b), &matmul(&a.transpose(), &b), 1e-4));
+    }
+
+    #[test]
+    fn blocked_gemm_matches_reference_on_random_shapes(seed in 0u64..1 << 32) {
+        let (a, b) = gemm_case(seed);
+        let reference = matmul_reference(&a, &b);
+        prop_assert!(close(&matmul(&a, &b), &reference, 2e-4), "matmul vs reference");
+        prop_assert!(
+            close(&matmul_bt(&a, &b.transpose()), &reference, 2e-4),
+            "matmul_bt vs reference"
+        );
+        prop_assert!(
+            close(&matmul_at(&a.transpose(), &b), &reference, 2e-4),
+            "matmul_at vs reference"
+        );
+    }
+
+    #[test]
+    fn blocked_gemm_is_bitwise_thread_invariant(seed in 0u64..1 << 32) {
+        let (a, b) = gemm_case(seed);
+        let seq = with_threads(1, || matmul(&a, &b));
+        let par = with_threads(4, || matmul(&a, &b));
+        let seq_bits: Vec<u32> = seq.data().iter().map(|x| x.to_bits()).collect();
+        let par_bits: Vec<u32> = par.data().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(seq_bits, par_bits, "matmul bits diverged between 1 and 4 threads");
     }
 
     #[test]

@@ -23,6 +23,13 @@ B=target/release
 # single core cannot speed up) for later PRs to regress against.
 cargo build --release -p fg-bench --bin bench_parallel || exit 1
 $B/bench_parallel > results/bench_parallel.json 2> results/bench_parallel.log || exit 1
+
+# GEMM stage: blocked, panel-packed kernel vs the old naive one over the
+# MNIST-CNN / server-scoring shapes, 1 vs N threads, with a bitwise
+# cross-check between schedules. The 512³ row carries the ≥1.5×
+# single-thread acceptance gate.
+cargo build --release -p fg-bench --bin bench_gemm || exit 1
+$B/bench_gemm > results/bench_gemm.json 2> results/bench_gemm.log || exit 1
 $B/fig4 --preset fast --seed 42 > results/fig4.csv 2> results/fig4.log
 $B/table4 --preset fast --seed 42 > results/table4.md 2> results/table4.log
 $B/fig5 --preset fast --seed 42 > results/fig5.csv 2> results/fig5.log

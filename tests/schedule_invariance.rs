@@ -14,7 +14,8 @@ use fedguard::agg::ops::{
 use fedguard::experiment::{
     run_experiment, AttackScenario, ExperimentConfig, ExperimentResult, Preset, StrategyKind,
 };
-use fedguard::tensor::kernels::matmul;
+use fedguard::tensor::conv::{conv2d_backward_acc, conv2d_forward, Conv2dSpec};
+use fedguard::tensor::kernels::{matmul, matmul_at, matmul_bt};
 use fedguard::tensor::rng::SeededRng;
 use fedguard::tensor::vecops::{axpy, lerp, weighted_sum};
 use fedguard::tensor::Tensor;
@@ -70,6 +71,51 @@ fn tensor_kernels_are_bit_identical_across_thread_counts() {
     let seq = with_threads(1, || matmul(&a, &b));
     let par = with_threads(4, || matmul(&a, &b));
     assert_eq!(bits(seq.data()), bits(par.data()), "matmul diverged across thread counts");
+}
+
+#[test]
+fn transposed_gemm_layouts_are_bit_identical_across_thread_counts() {
+    let mut rng = SeededRng::new(22);
+    // Both layouts clear PAR_THRESHOLD_MACS so the MC row-blocks fan out.
+    let a = Tensor::randn(&[160, 1024], &mut rng);
+    let bt = Tensor::randn(&[64, 1024], &mut rng);
+    let seq = with_threads(1, || matmul_bt(&a, &bt));
+    let par = with_threads(4, || matmul_bt(&a, &bt));
+    assert_eq!(bits(seq.data()), bits(par.data()), "matmul_bt diverged across thread counts");
+
+    let at = Tensor::randn(&[1024, 160], &mut rng);
+    let b = Tensor::randn(&[1024, 64], &mut rng);
+    let seq = with_threads(1, || matmul_at(&at, &b));
+    let par = with_threads(4, || matmul_at(&at, &b));
+    assert_eq!(bits(seq.data()), bits(par.data()), "matmul_at diverged across thread counts");
+}
+
+#[test]
+fn conv_forward_and_backward_are_bit_identical_across_thread_counts() {
+    let mut rng = SeededRng::new(23);
+    let spec = Conv2dSpec { in_ch: 3, out_ch: 8, kh: 3, kw: 3, pad: 1 };
+    // Batch of 8 so the per-image parallel loops actually split.
+    let x = Tensor::randn(&[8, 3, 14, 14], &mut rng);
+    let w = Tensor::randn(&[8, spec.patch_len()], &mut rng);
+    let bias = Tensor::randn(&[8], &mut rng);
+    let d_out = Tensor::randn(&[8, 8, 14, 14], &mut rng);
+
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let y = conv2d_forward(&x, &w, &bias, &spec);
+            let mut dw = Tensor::zeros(w.dims());
+            let mut db = Tensor::zeros(bias.dims());
+            let dx = conv2d_backward_acc(&x, &w, &d_out, &spec, &mut dw, &mut db);
+            (bits(y.data()), bits(dx.data()), bits(dw.data()), bits(db.data()))
+        })
+    };
+
+    let seq = run(1);
+    let par = run(4);
+    assert_eq!(seq.0, par.0, "conv2d_forward diverged across thread counts");
+    assert_eq!(seq.1, par.1, "conv2d d_input diverged across thread counts");
+    assert_eq!(seq.2, par.2, "conv2d d_weight diverged across thread counts");
+    assert_eq!(seq.3, par.3, "conv2d d_bias diverged across thread counts");
 }
 
 #[test]
