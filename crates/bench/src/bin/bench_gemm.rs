@@ -6,7 +6,10 @@
 //! defined on.
 //!
 //! Emits JSON to stdout — `run_suite.sh` redirects it to
-//! `results/bench_gemm.json` — in the same spirit as `bench_parallel.json`:
+//! `results/bench_gemm.json` — and one progress line per shape to stderr,
+//! which the suite captures as `results/bench_gemm.log` (previously empty:
+//! nothing was ever written to stderr). The JSON follows the same spirit as
+//! `bench_parallel.json`:
 //! `physical_cores` is recorded so multicore hosts can gate on parallel
 //! speedup (a single-core host timeshares and cannot speed up), and every
 //! shape carries a 1-thread-vs-N-thread bitwise cross-check of the blocked
@@ -119,6 +122,11 @@ fn main() {
 
     let mut rng = SeededRng::new(42);
     let mut reports = Vec::new();
+    eprintln!(
+        "[bench_gemm] {} shapes, best of {reps} reps, 1 vs {threads} threads \
+         ({cores} cores visible)",
+        shapes.len()
+    );
     for (name, m, k, n) in shapes {
         let a = Tensor::randn(&[m, k], &mut rng);
         let b = Tensor::randn(&[k, n], &mut rng);
@@ -133,6 +141,15 @@ fn main() {
 
         assert_eq!(digest_1t, digest_nt, "{name}: matmul diverged between 1 and {threads} threads");
 
+        eprintln!(
+            "[bench_gemm] {name} ({m}x{k}x{n}): old 1t {:.2} GF/s | new 1t {:.2} GF/s \
+             ({:.2}x) | new {threads}t {:.2} GF/s ({:.2}x parallel)",
+            flops / old_1t / 1e9,
+            flops / new_1t / 1e9,
+            old_1t / new_1t,
+            flops / new_nt / 1e9,
+            new_1t / new_nt,
+        );
         reports.push(ShapeReport {
             name,
             shape: vec![m, k, n],

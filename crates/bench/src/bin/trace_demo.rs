@@ -1,0 +1,123 @@
+//! Traced two-round FedGuard demo: runs the smoke-preset federation with
+//! span tracing on and leaves a loadable profile behind:
+//!
+//! * `results/trace/fedguard_2round.json` — Chrome Trace Event Format; open
+//!   in <https://ui.perfetto.dev> or `chrome://tracing`;
+//! * `results/trace/fedguard_2round_collapsed.txt` — collapsed stacks for
+//!   `flamegraph.pl` / speedscope.
+//!
+//! The run is self-validating: it re-parses the exported JSON and checks
+//! that all seven round-stage spans made it into the trace, exiting non-zero
+//! otherwise — `run_suite.sh` uses this as its trace gate.
+//!
+//! ```text
+//! FG_TRACE=1 cargo run --release -p fg-bench --bin trace_demo -- \
+//!     [--threads N] [--rounds R] [--seed S] [--out DIR]
+//! ```
+
+use fedguard::experiment::{AttackScenario, ExperimentConfig, Preset, StrategyKind};
+use fedguard::fl::{Federation, StderrProgress};
+use fedguard::{FedGuardConfig, FedGuardStrategy};
+use fg_bench::flag_value;
+use rayon::with_threads;
+use std::path::Path;
+
+const STAGE_SPANS: [&str; 7] = [
+    "round.sampling",
+    "round.local_training",
+    "round.sanitize",
+    "round.synthesis",
+    "round.audit",
+    "round.aggregation",
+    "round.evaluation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threads: usize = flag_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let rounds: usize = flag_value(&args, "--rounds").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let seed: u64 = flag_value(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let out_dir = flag_value(&args, "--out").unwrap_or_else(|| "results/trace".to_string());
+
+    // Honor the FG_TRACE kill switch if the caller set it; otherwise enable
+    // explicitly — an untraced trace demo has nothing to demonstrate.
+    if !fg_obs::enabled() {
+        eprintln!("[trace_demo] FG_TRACE not set; enabling tracing programmatically");
+        fg_obs::set_enabled(true);
+    }
+
+    let base =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedGuard, AttackScenario::None, seed);
+    let mut fed_cfg = base.fed;
+    fed_cfg.rounds = rounds;
+
+    let train = fedguard::data::synth::generate_dataset(base.per_class_train, seed ^ 1);
+    let test = fedguard::data::synth::generate_dataset(base.per_class_test, seed ^ 2);
+    let mut part_rng = fedguard::tensor::rng::SeededRng::new(seed ^ 3);
+    let parts = fedguard::data::partition::dirichlet_partition(
+        &train,
+        fed_cfg.n_clients,
+        base.dirichlet_alpha,
+        10,
+        &mut part_rng,
+    );
+    let datasets = fedguard::data::partition::partition_datasets(&train, &parts);
+    let strategy = FedGuardStrategy::new(FedGuardConfig {
+        classifier: fed_cfg.classifier,
+        cvae: base.cvae.spec,
+        budget: base.budget,
+        class_probs: None,
+        eval_batch: fed_cfg.eval_batch,
+        inner: fedguard::InnerAggregator::FedAvg,
+        coverage_aware: false,
+    });
+    let mut federation = Federation::builder(fed_cfg)
+        .datasets(datasets)
+        .test_set(test)
+        .strategy(strategy)
+        .cvae(base.cvae)
+        .observer(StderrProgress::labeled("trace_demo"))
+        .build();
+
+    let _ = fg_obs::span::take_spans();
+    with_threads(threads, || {
+        federation.run();
+    });
+    fg_obs::set_enabled(false);
+    let spans = fg_obs::span::take_spans();
+    let dropped = fg_obs::span::dropped_spans();
+
+    let trace_path = Path::new(&out_dir).join(format!("fedguard_{rounds}round.json"));
+    let folded_path = Path::new(&out_dir).join(format!("fedguard_{rounds}round_collapsed.txt"));
+    fg_obs::export::write_chrome_trace(&trace_path, &spans).expect("write chrome trace");
+    std::fs::write(&folded_path, fg_obs::export::collapsed_stacks(&spans))
+        .expect("write collapsed stacks");
+
+    // Validate what was just written: the JSON must re-parse and contain
+    // every round stage, or the profile is not worth shipping.
+    let raw = std::fs::read_to_string(&trace_path).expect("read trace back");
+    let value: serde::Value = serde_json::from_str(&raw).expect("trace JSON parses");
+    let events = serde::obj_get(value.as_obj().expect("trace root object"), "traceEvents")
+        .and_then(serde::Value::as_arr)
+        .expect("traceEvents array");
+    assert_eq!(events.len(), spans.len(), "export lost spans");
+    for name in STAGE_SPANS {
+        let count = spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(count, rounds, "expected {rounds} {name} spans, found {count}");
+    }
+    assert_eq!(dropped, 0, "ring buffers overflowed; profile is incomplete");
+
+    let totals = fg_obs::export::totals_by_name(&spans);
+    eprintln!(
+        "[trace_demo] {} spans over {} rounds -> {} ({:.1} KiB) + {}",
+        spans.len(),
+        rounds,
+        trace_path.display(),
+        raw.len() as f64 / 1024.0,
+        folded_path.display(),
+    );
+    for name in STAGE_SPANS {
+        eprintln!("[trace_demo]   {name}: {:.4}s", totals.get(name).copied().unwrap_or(0.0));
+    }
+    println!("{}", trace_path.display());
+}

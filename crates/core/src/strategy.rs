@@ -7,10 +7,10 @@ use fg_fl::{
     AggregationContext, AggregationOutcome, AggregationStrategy, ModelUpdate, StrategyTimings,
 };
 use fg_nn::models::{Classifier, ClassifierSpec, CvaeSpec};
+use fg_obs::span::timed_span;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use std::time::Instant;
 
 /// The aggregation operator FedGuard applies to the *selected* updates
 /// (Alg. 1 line 7 uses FedAvg; §VI-C proposes swapping in more robust
@@ -156,7 +156,7 @@ impl AggregationStrategy for FedGuardStrategy {
         }
 
         // (2) Synthesize D_syn.
-        let stage = Instant::now();
+        let stage = timed_span("round.synthesis");
         let d_syn = synthesize_validation_set(
             &decoders,
             &self.config.cvae,
@@ -167,11 +167,11 @@ impl AggregationStrategy for FedGuardStrategy {
         );
         let x = d_syn.to_tensor();
         let y = d_syn.labels_usize();
-        let synthesis_secs = stage.elapsed().as_secs_f64();
+        let synthesis_secs = stage.close();
 
         // (3) Audit every client on the identical synthetic set, in
         // parallel (model reconstruction + forward passes dominate).
-        let stage = Instant::now();
+        let stage = timed_span("round.audit");
         let eval_batch = self.config.eval_batch;
         let classifier = self.config.classifier;
         let accuracies: Vec<(usize, f32)> = updates
@@ -187,7 +187,7 @@ impl AggregationStrategy for FedGuardStrategy {
                 (u.client_id, acc)
             })
             .collect();
-        let audit_secs = stage.elapsed().as_secs_f64();
+        let audit_secs = stage.close();
 
         // (4) Selection threshold: the round-mean accuracy.
         let mean_acc = accuracies.iter().map(|&(_, a)| a).sum::<f32>() / accuracies.len() as f32;

@@ -196,10 +196,10 @@ impl AggregationStrategy for SpectralDefense {
         updates: &[ModelUpdate],
         ctx: &mut AggregationContext<'_>,
     ) -> AggregationOutcome {
-        let audit_start = std::time::Instant::now();
+        let audit_span = fg_obs::span::timed_span("round.audit");
         let errors = self.scores(updates, ctx.global);
         let threshold = errors.iter().sum::<f32>() / errors.len() as f32;
-        let audit_secs = audit_start.elapsed().as_secs_f64();
+        let audit_secs = audit_span.close();
         let mut keep: Vec<usize> = (0..updates.len()).filter(|&i| errors[i] <= threshold).collect();
         if keep.is_empty() {
             // Degenerate round (all errors identical / NaN): keep everything

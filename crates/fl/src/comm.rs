@@ -9,7 +9,13 @@
 //! decoder).
 
 use crate::update::ModelUpdate;
+use fg_obs::metrics::Counter;
 use serde::{Deserialize, Serialize};
+
+/// Cumulative wire traffic across all rounds (the per-round figures live in
+/// each `RoundTelemetry::comm`; these feed the process-wide snapshot).
+static UPLOAD_BYTES: Counter = Counter::new("fl.comm.upload_bytes");
+static DOWNLOAD_BYTES: Counter = Counter::new("fl.comm.download_bytes");
 
 /// Bytes moved through the server in one round (or accumulated over many).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -24,10 +30,13 @@ impl CommStats {
     /// Account one round: the server sent `global_params` floats to each of
     /// `m` clients and received the given updates.
     pub fn for_round(global_params: usize, m: usize, updates: &[ModelUpdate]) -> CommStats {
-        CommStats {
+        let stats = CommStats {
             upload_bytes: (global_params as u64 * 4) * m as u64,
             download_bytes: updates.iter().map(ModelUpdate::wire_bytes).sum(),
-        }
+        };
+        UPLOAD_BYTES.add(stats.upload_bytes);
+        DOWNLOAD_BYTES.add(stats.download_bytes);
+        stats
     }
 
     /// Total bytes in both directions.

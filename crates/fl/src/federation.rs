@@ -6,17 +6,21 @@ use crate::config::{CvaeTrainConfig, FederationConfig, ResiliencePolicy};
 use crate::fault::{sanitize_round, FaultEvent, FaultKind, FaultPlan, SubmissionFaults};
 use crate::metrics::RoundRecord;
 use crate::strategy::{AggregationContext, AggregationStrategy, StrategyTimings};
-use crate::telemetry::{RoundObserver, RoundTelemetry, StageTimings};
+use crate::telemetry::{RoundObserver, RoundTelemetry, StageTimings, SCHEMA_VERSION};
 use crate::update::ModelUpdate;
 use fg_data::Dataset;
 use fg_nn::models::Classifier;
+use fg_obs::metrics::Counter;
+use fg_obs::span::timed_span;
 use fg_tensor::rng::SeededRng;
 use fg_tensor::vecops;
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Instant;
+
+/// Completed federated rounds, across all `Federation` instances.
+static ROUNDS: Counter = Counter::new("fl.rounds");
 
 /// A complete federated-learning simulation: `N` clients, a server-side test
 /// set, an aggregation strategy, and an optional attack interceptor.
@@ -248,16 +252,21 @@ impl Federation {
 
     /// Run one round; returns the new record and emits one
     /// [`RoundTelemetry`] event to every observer.
+    ///
+    /// Stage timing comes from `fg-obs` timed spans: each stage's seconds in
+    /// [`StageTimings`] are derived from the same clock readings that land
+    /// in the exported trace, so the round telemetry and a profile of the
+    /// run can never disagree about where time went.
     pub fn run_round(&mut self) -> RoundRecord {
         let round = self.history.len();
-        let start = Instant::now();
+        let round_span = timed_span("round");
 
         // (1) Sample m participants uniformly (Alg. 1 line 17).
-        let stage = Instant::now();
+        let stage = timed_span("round.sampling");
         let mut sampled =
             self.rng.sample_distinct(self.config.n_clients, self.config.clients_per_round);
         sampled.sort_unstable();
-        let sampling_secs = stage.elapsed().as_secs_f64();
+        let sampling_secs = stage.close();
 
         // (1b) Draw the round's fault schedule; dropouts never train. Draws
         // are pure functions of (plan seed, round, client), so the schedule
@@ -280,13 +289,14 @@ impl Federation {
             .collect();
 
         // (2) Parallel local training; (3) attack interception.
-        let stage = Instant::now();
+        let stage = timed_span("round.local_training");
         let global = &self.global;
         let interceptor = &self.interceptor;
         let clients = &self.clients;
         let mut updates: Vec<ModelUpdate> = active
             .par_iter()
             .map(|&id| {
+                let _span = fg_obs::span::span("client.train");
                 let mut client = clients[id].lock();
                 let mut update = client.train_round(global, round);
                 interceptor.intercept(&mut update, round);
@@ -294,7 +304,7 @@ impl Federation {
             })
             .collect();
         updates.sort_by_key(|u| u.client_id);
-        let local_training_secs = stage.elapsed().as_secs_f64();
+        let local_training_secs = stage.close();
 
         // (3b) Inject transit faults into the trained submissions: corrupt /
         // truncate the vector, queue a stale duplicate, and apply the
@@ -348,17 +358,17 @@ impl Federation {
 
         // (4) Sanitize: reject malformed vectors, strip bad decoders, dedup
         // by client id. Runs on every round, fault plan or not.
-        let stage = Instant::now();
+        let stage = timed_span("round.sanitize");
         let survivors = sanitize_round(arrived, self.global.len(), &mut fault_events);
         let survivor_ids: Vec<usize> = survivors.iter().map(|u| u.client_id).collect();
-        let sanitize_secs = stage.elapsed().as_secs_f64();
+        let sanitize_secs = stage.close();
 
         // (5) Aggregate if the survivors meet quorum; otherwise degrade per
         // the resilience policy. The strategy reports its own synthesis /
         // audit time; the remainder of aggregate() is inner aggregation.
         let quorum = self.resilience.effective_quorum();
         let quorum_met = survivors.len() >= quorum;
-        let stage = Instant::now();
+        let stage = timed_span("round.aggregation");
         let (selected, scores, threshold, strategy_timings) = if quorum_met {
             let mut ctx = AggregationContext {
                 round,
@@ -388,12 +398,12 @@ impl Federation {
             // Carry the global model forward unchanged.
             (Vec::new(), Vec::new(), None, StrategyTimings::default())
         };
-        let aggregate_total_secs = stage.elapsed().as_secs_f64();
+        let aggregate_total_secs = stage.close();
 
         // (6) Evaluate, record, and emit telemetry.
-        let stage = Instant::now();
+        let stage = timed_span("round.evaluation");
         let accuracy = self.evaluate_global();
-        let evaluation_secs = stage.elapsed().as_secs_f64();
+        let evaluation_secs = stage.close();
 
         let malicious: HashSet<usize> = self.interceptor.malicious_clients().into_iter().collect();
         let malicious_sampled: Vec<usize> =
@@ -422,11 +432,13 @@ impl Federation {
             sampled,
             selected,
             malicious_sampled,
-            wall_secs: start.elapsed().as_secs_f64(),
+            wall_secs: round_span.close(),
             comm,
         };
+        ROUNDS.incr();
 
         let event = RoundTelemetry {
+            schema_version: SCHEMA_VERSION,
             round,
             strategy: self.strategy.name().to_string(),
             accuracy,
@@ -442,6 +454,14 @@ impl Federation {
             quorum_met,
             malicious_sampled: record.malicious_sampled.clone(),
             comm,
+            // Cumulative process-wide metrics, folded in only while tracing
+            // is on: profiled runs get the numbers, deterministic test runs
+            // keep bit-comparable events.
+            metrics: if fg_obs::enabled() {
+                fg_obs::metrics::snapshot()
+            } else {
+                fg_obs::metrics::MetricsSnapshot::default()
+            },
         };
         for obs in &mut self.observers {
             obs.on_round(&event);

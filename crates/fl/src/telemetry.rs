@@ -17,11 +17,21 @@
 
 use crate::comm::CommStats;
 use crate::fault::FaultEvent;
+use fg_obs::metrics::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Version stamped into every emitted [`RoundTelemetry`] event.
+///
+/// History: v1 (implicit, unstamped) — the pre-observability schema; v2 —
+/// adds `schema_version` and `metrics`. Readers are forward-compatible:
+/// unknown fields are ignored by the deserializer and fields added after v1
+/// carry `#[serde(default)]`, so old trails parse (with `schema_version` 0)
+/// and new trails survive old readers.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Wall-clock seconds spent in each stage of one federated round.
 ///
@@ -107,6 +117,10 @@ impl StageTimings {
 /// every [`RoundObserver`] at the end of [`crate::Federation::run_round`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RoundTelemetry {
+    /// Schema version of the emitting writer ([`SCHEMA_VERSION`]); 0 when
+    /// read back from a pre-versioning (v1) trail.
+    #[serde(default)]
+    pub schema_version: u32,
     /// Round index (0-based, strictly increasing within a run).
     pub round: usize,
     /// Name of the aggregation strategy that produced the round.
@@ -145,6 +159,12 @@ pub struct RoundTelemetry {
     pub malicious_sampled: Vec<usize>,
     /// Byte-accurate communication totals for the round.
     pub comm: CommStats,
+    /// Cumulative process-wide metrics at the end of the round (GEMM FLOPs,
+    /// workspace pool traffic, pool job counts, ...), captured only while
+    /// `fg_obs` tracing is enabled — empty otherwise, keeping events
+    /// comparable across runs.
+    #[serde(default)]
+    pub metrics: MetricsSnapshot,
 }
 
 impl RoundTelemetry {
@@ -304,13 +324,16 @@ impl StderrProgress {
 impl RoundObserver for StderrProgress {
     fn on_round(&mut self, event: &RoundTelemetry) {
         let prefix = self.label.map(|l| format!("{l} ")).unwrap_or_default();
+        let thr = event.threshold.map_or_else(|| "-".to_string(), |t| format!("{t:.3}"));
         eprintln!(
-            "{prefix}[{} r{:03}] acc {:.4} | kept {}/{} | train {:.2}s agg {:.2}s | {:.2}s total",
+            "{prefix}[{} r{:03}] acc {:.4} | kept {}/{} excl {} thr {} | train {:.2}s agg {:.2}s | {:.2}s total",
             event.strategy,
             event.round,
             event.accuracy,
             event.selected_count(),
             event.sampled.len(),
+            event.excluded_count(),
+            thr,
             event.stages.local_training_secs,
             event.stages.synthesis_secs + event.stages.audit_secs + event.stages.aggregation_secs,
             event.wall_secs,
@@ -326,6 +349,7 @@ mod tests {
 
     fn sample_event(round: usize) -> RoundTelemetry {
         RoundTelemetry {
+            schema_version: SCHEMA_VERSION,
             round,
             strategy: "FedGuard".to_string(),
             accuracy: 0.75,
@@ -352,6 +376,7 @@ mod tests {
             quorum_met: true,
             malicious_sampled: vec![3],
             comm: CommStats { upload_bytes: 1024, download_bytes: 2048 },
+            metrics: MetricsSnapshot::default(),
         }
     }
 

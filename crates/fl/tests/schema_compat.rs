@@ -1,0 +1,105 @@
+//! Forward/backward compatibility of the `RoundTelemetry` JSONL schema.
+//!
+//! v1 trails predate `schema_version` and `metrics`; readers must accept them
+//! (defaulting the missing fields) and must ignore fields emitted by writers
+//! newer than themselves.
+
+use fg_fl::comm::CommStats;
+use fg_fl::telemetry::{read_jsonl, RoundTelemetry, StageTimings, SCHEMA_VERSION};
+use fg_obs::metrics::MetricsSnapshot;
+use serde::{Serialize, Value};
+
+fn sample_event(round: usize) -> RoundTelemetry {
+    RoundTelemetry {
+        schema_version: SCHEMA_VERSION,
+        round,
+        strategy: "FedGuard".to_string(),
+        accuracy: 0.75,
+        stages: StageTimings {
+            sampling_secs: 1e-6,
+            local_training_secs: 0.5,
+            sanitize_secs: 0.003,
+            synthesis_secs: 0.1,
+            audit_secs: 0.2,
+            aggregation_secs: 0.05,
+            evaluation_secs: 0.02,
+        },
+        wall_secs: 0.88,
+        scores: vec![(0, 0.8), (3, 0.1)],
+        threshold: Some(0.45),
+        sampled: vec![0, 3, 5],
+        survivors: vec![0, 3],
+        selected: vec![0],
+        excluded: vec![3, 5],
+        faults: Vec::new(),
+        quorum_met: true,
+        malicious_sampled: vec![3],
+        comm: CommStats { upload_bytes: 1024, download_bytes: 2048 },
+        metrics: MetricsSnapshot::default(),
+    }
+}
+
+/// Serialize an event and strip the given top-level keys, producing the JSON
+/// an older writer would have emitted.
+fn without_keys(event: &RoundTelemetry, keys: &[&str]) -> String {
+    let value = event.to_value();
+    let Value::Obj(fields) = value else { panic!("event serializes to an object") };
+    let pruned: Vec<(String, Value)> =
+        fields.into_iter().filter(|(k, _)| !keys.contains(&k.as_str())).collect();
+    serde_json::to_string(&Value::Obj(pruned)).unwrap()
+}
+
+#[test]
+fn v1_trail_without_versioned_fields_still_parses() {
+    let event = sample_event(4);
+    let v1_line = without_keys(&event, &["schema_version", "metrics"]);
+    assert!(!v1_line.contains("schema_version"));
+
+    let back: RoundTelemetry = serde_json::from_str(&v1_line).unwrap();
+    assert_eq!(back.schema_version, 0, "missing version defaults to 0 (pre-versioning)");
+    assert_eq!(back.metrics, MetricsSnapshot::default());
+    assert_eq!(back.round, 4);
+    assert_eq!(back.stages, event.stages);
+}
+
+#[test]
+fn unknown_future_fields_are_ignored() {
+    let event = sample_event(7);
+    let Value::Obj(mut fields) = event.to_value() else { panic!("object") };
+    fields.push(("future_field".to_string(), Value::Str("from v3".to_string())));
+    fields.push(("future_nested".to_string(), Value::Obj(vec![("x".to_string(), Value::U64(1))])));
+    let line = serde_json::to_string(&Value::Obj(fields)).unwrap();
+
+    let back: RoundTelemetry = serde_json::from_str(&line).unwrap();
+    assert_eq!(back, event, "unknown fields must not disturb known ones");
+}
+
+#[test]
+fn read_jsonl_accepts_mixed_version_trail() {
+    let new_event = sample_event(0);
+    let old_event = sample_event(1);
+    let path = std::env::temp_dir().join("fg_schema_compat").join("mixed.jsonl");
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    let mixed = format!(
+        "{}\n{}\n",
+        serde_json::to_string(&new_event).unwrap(),
+        without_keys(&old_event, &["schema_version", "metrics"]),
+    );
+    std::fs::write(&path, mixed).unwrap();
+
+    let back = read_jsonl(&path).unwrap();
+    assert_eq!(back.len(), 2);
+    assert_eq!(back[0].schema_version, SCHEMA_VERSION);
+    assert_eq!(back[1].schema_version, 0);
+    assert_eq!(back[1].round, 1);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn current_writer_stamps_schema_version() {
+    let line = serde_json::to_string(&sample_event(0)).unwrap();
+    let value: Value = serde_json::from_str(&line).unwrap();
+    let Value::Obj(fields) = value else { panic!("object") };
+    let version = serde::obj_get(&fields, "schema_version").and_then(Value::as_u64);
+    assert_eq!(version, Some(SCHEMA_VERSION as u64));
+}

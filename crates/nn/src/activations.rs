@@ -21,6 +21,10 @@ impl Module for ReLU {
 }
 
 impl Layer for ReLU {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         if train {
             self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
@@ -61,6 +65,10 @@ impl Module for Sigmoid {
 }
 
 impl Layer for Sigmoid {
+    fn name(&self) -> &'static str {
+        "sigmoid"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let out = input.map(Sigmoid::apply);
         if train {

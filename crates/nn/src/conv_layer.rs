@@ -48,6 +48,10 @@ impl Module for Conv2d {
 }
 
 impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let out = conv2d_forward(input, &self.weight.value, &self.bias.value, &self.spec);
         if train {

@@ -74,6 +74,12 @@ pub trait Layer: Module + Send {
 
     /// Propagate the upstream gradient, accumulating parameter gradients.
     fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Stable kind label used for trace spans and the per-layer
+    /// `nn.layer.fwd_ns` / `nn.layer.bwd_ns` timing metrics.
+    fn name(&self) -> &'static str {
+        "layer"
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,10 @@ impl Module for Linear {
 }
 
 impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().rank(), 2, "Linear expects (batch, features)");
         assert_eq!(input.dim(1), self.in_features, "Linear: feature dim mismatch");

@@ -23,6 +23,10 @@ impl Module for MaxPool2d {
 }
 
 impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let out = maxpool2d_forward(input, &self.spec);
         if train {
@@ -57,6 +61,10 @@ impl Module for Flatten {
 }
 
 impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let batch = input.dim(0);
         let features = input.numel() / batch;

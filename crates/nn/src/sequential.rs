@@ -1,7 +1,13 @@
 //! A stack of layers executed in order.
 
 use crate::layer::{Layer, Module, Parameter};
+use fg_obs::metrics::HistogramFamily;
 use fg_tensor::Tensor;
+
+/// Per-layer-kind wall time of forward/backward passes (label =
+/// [`Layer::name`]); recorded only while tracing is enabled.
+static LAYER_FWD_NS: HistogramFamily = HistogramFamily::new("nn.layer.fwd_ns");
+static LAYER_BWD_NS: HistogramFamily = HistogramFamily::new("nn.layer.bwd_ns");
 
 /// An ordered stack of layers; forward runs front-to-back, backward
 /// back-to-front.
@@ -45,18 +51,42 @@ impl Module for Sequential {
 }
 
 impl Layer for Sequential {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let _pass = fg_obs::span::span("nn.forward");
         let mut x = input.clone();
         for l in &mut self.layers {
-            x = l.forward(&x, train);
+            if fg_obs::enabled() {
+                let name = l.name();
+                let t0 = fg_obs::now_ns();
+                let layer_span = fg_obs::span::span(name);
+                x = l.forward(&x, train);
+                drop(layer_span);
+                LAYER_FWD_NS.record(name, fg_obs::now_ns().saturating_sub(t0));
+            } else {
+                x = l.forward(&x, train);
+            }
         }
         x
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let _pass = fg_obs::span::span("nn.backward");
         let mut g = grad_output.clone();
         for l in self.layers.iter_mut().rev() {
-            g = l.backward(&g);
+            if fg_obs::enabled() {
+                let name = l.name();
+                let t0 = fg_obs::now_ns();
+                let layer_span = fg_obs::span::span(name);
+                g = l.backward(&g);
+                drop(layer_span);
+                LAYER_BWD_NS.record(name, fg_obs::now_ns().saturating_sub(t0));
+            } else {
+                g = l.backward(&g);
+            }
         }
         g
     }

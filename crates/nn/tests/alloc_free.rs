@@ -10,6 +10,13 @@
 //!
 //! (Output tensors returned to the caller are per-call allocations by API
 //! design and are not counted; the contract covers workspace scratch.)
+//!
+//! `alloc_events` is process-global while the pools are per-thread, so a
+//! sibling test allocating concurrently would move the counter between our
+//! reads and fail the assertion spuriously. [`alloc_delta`] takes a global
+//! lock around the measured region: every measured section runs alone, and
+//! `with_threads(1)` inside it keeps all workspace traffic on the locked
+//! thread.
 
 use fg_nn::conv_layer::Conv2d;
 use fg_nn::linear::Linear;
@@ -18,6 +25,20 @@ use fg_tensor::rng::SeededRng;
 use fg_tensor::workspace;
 use fg_tensor::Tensor;
 use rayon::with_threads;
+use std::sync::Mutex;
+
+/// Serializes every region measured against the global `alloc_events`
+/// counter (shared by all tests in this binary).
+static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with exclusive ownership of the allocation counter and return
+/// how many workspace allocations it performed.
+fn alloc_delta(f: impl FnOnce()) -> u64 {
+    let _guard = COUNTER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let before = workspace::alloc_events();
+    f();
+    workspace::alloc_events() - before
+}
 
 /// One full train step through a conv → linear stack: forward with caching,
 /// loss-less synthetic gradient, backward with gradient accumulation.
@@ -49,13 +70,13 @@ fn conv_and_linear_hot_paths_are_allocation_free_after_warmup() {
             train_step(&mut conv, &mut fc, &x, batch);
         }
 
-        let before = workspace::alloc_events();
-        for _ in 0..8 {
-            train_step(&mut conv, &mut fc, &x, batch);
-        }
+        let delta = alloc_delta(|| {
+            for _ in 0..8 {
+                train_step(&mut conv, &mut fc, &x, batch);
+            }
+        });
         assert_eq!(
-            workspace::alloc_events(),
-            before,
+            delta, 0,
             "steady-state conv/linear train steps must perform zero workspace allocations"
         );
     });
@@ -79,14 +100,15 @@ fn shape_change_repopulates_then_settles() {
             train_step(&mut conv, &mut fc, &big, 6);
             train_step(&mut conv, &mut fc, &small, 2);
         }
-        let before = workspace::alloc_events();
         // ...but after that, alternating between already-seen shapes stays
         // allocation-free: the pool holds the larger buffers and best-fit
         // serves the smaller shape from them or from its own entries.
-        for _ in 0..4 {
-            train_step(&mut conv, &mut fc, &big, 6);
-            train_step(&mut conv, &mut fc, &small, 2);
-        }
-        assert_eq!(workspace::alloc_events(), before, "re-seen shapes must hit the pool");
+        let delta = alloc_delta(|| {
+            for _ in 0..4 {
+                train_step(&mut conv, &mut fc, &big, 6);
+                train_step(&mut conv, &mut fc, &small, 2);
+            }
+        });
+        assert_eq!(delta, 0, "re-seen shapes must hit the pool");
     });
 }

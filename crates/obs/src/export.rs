@@ -1,0 +1,182 @@
+//! Exporters: Chrome-trace/Perfetto JSON and collapsed-stack text.
+//!
+//! Both operate on a drained `Vec<SpanRecord>` (see [`crate::span::take_spans`])
+//! and are pure functions of it — they can run long after tracing stopped.
+//!
+//! * [`chrome_trace_json`] emits the Trace Event Format (`ph: "X"` complete
+//!   events, microsecond timestamps) that <https://ui.perfetto.dev> and
+//!   `chrome://tracing` load directly. Span ids and logical parents ride in
+//!   `args` so cross-thread nesting survives even though the viewer lays
+//!   events out per-tid.
+//! * [`collapsed_stacks`] emits one `root;child;leaf <self-µs>` line per
+//!   logical stack — the format `flamegraph.pl` and speedscope consume.
+//!   Self time is the span's duration minus its direct children's, so the
+//!   flamegraph's widths add up instead of double-counting.
+
+use crate::span::SpanRecord;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+fn us(ns: u64) -> Value {
+    Value::F64(ns as f64 / 1e3)
+}
+
+/// Build the Chrome Trace Event Format tree for `spans`.
+pub fn chrome_trace_value(spans: &[SpanRecord]) -> Value {
+    let events: Vec<Value> = spans
+        .iter()
+        .map(|s| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(s.name.into())),
+                ("cat".into(), Value::Str("fg".into())),
+                ("ph".into(), Value::Str("X".into())),
+                ("ts".into(), us(s.start_ns)),
+                ("dur".into(), us(s.dur_ns())),
+                ("pid".into(), Value::U64(1)),
+                ("tid".into(), Value::U64(s.tid as u64)),
+                (
+                    "args".into(),
+                    Value::Obj(vec![
+                        ("id".into(), Value::U64(s.id)),
+                        ("parent".into(), Value::U64(s.parent)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("traceEvents".into(), Value::Arr(events)),
+        ("displayTimeUnit".into(), Value::Str("ms".into())),
+    ])
+}
+
+/// Chrome-trace JSON for `spans` (load in Perfetto or `chrome://tracing`).
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    serde_json::to_string(&chrome_trace_value(spans)).expect("trace tree serializes")
+}
+
+/// Write the Chrome trace to `path`, creating parent directories.
+pub fn write_chrome_trace(path: &Path, spans: &[SpanRecord]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, chrome_trace_json(spans))
+}
+
+/// Collapsed-stack lines (`a;b;c <self-time-µs>`), aggregated over identical
+/// logical stacks, sorted lexicographically. Spans whose parent fell out of
+/// the ring buffer are rooted at their own name.
+pub fn collapsed_stacks(spans: &[SpanRecord]) -> String {
+    let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+    // Direct-children time, to subtract from each parent for self time.
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in spans {
+        if s.parent != 0 {
+            *child_ns.entry(s.parent).or_insert(0) += s.dur_ns();
+        }
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for s in spans {
+        let mut path = vec![s.name];
+        let mut cur = s.parent;
+        while cur != 0 {
+            match by_id.get(&cur) {
+                Some(p) => {
+                    path.push(p.name);
+                    cur = p.parent;
+                }
+                None => break, // parent record lost to ring overflow
+            }
+        }
+        path.reverse();
+        let self_ns = s.dur_ns().saturating_sub(child_ns.get(&s.id).copied().unwrap_or(0));
+        *folded.entry(path.join(";")).or_insert(0) += self_ns / 1_000;
+    }
+    let mut out = String::new();
+    for (stack, micros) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&micros.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Total wall seconds per span name (every span counted, nesting ignored) —
+/// what the trace-vs-`StageTimings` agreement check sums.
+pub fn totals_by_name(spans: &[SpanRecord]) -> BTreeMap<&'static str, f64> {
+    let mut totals = BTreeMap::new();
+    for s in spans {
+        *totals.entry(s.name).or_insert(0.0) += s.dur_ns() as f64 / 1e9;
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64, name: &'static str, tid: u32, t0: u64, t1: u64) -> SpanRecord {
+        SpanRecord { id, parent, name, tid, start_ns: t0, end_ns: t1 }
+    }
+
+    fn sample() -> Vec<SpanRecord> {
+        vec![
+            rec(1, 0, "round", 0, 0, 10_000_000),
+            rec(2, 1, "round.local_training", 0, 1_000_000, 6_000_000),
+            rec(3, 2, "client.train", 1, 1_500_000, 4_000_000),
+            rec(4, 1, "round.aggregation", 0, 6_000_000, 9_000_000),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_parses_back_and_keeps_parents() {
+        let json = chrome_trace_json(&sample());
+        let v: Value = serde_json::from_str(&json).unwrap();
+        let obj = v.as_obj().unwrap();
+        let events = serde::obj_get(obj, "traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 4);
+        let ev = events[2].as_obj().unwrap();
+        assert_eq!(serde::obj_get(ev, "name").unwrap().as_str(), Some("client.train"));
+        assert_eq!(serde::obj_get(ev, "ph").unwrap().as_str(), Some("X"));
+        assert_eq!(serde::obj_get(ev, "ts").unwrap().as_f64(), Some(1500.0));
+        assert_eq!(serde::obj_get(ev, "dur").unwrap().as_f64(), Some(2500.0));
+        let args = serde::obj_get(ev, "args").unwrap().as_obj().unwrap();
+        assert_eq!(serde::obj_get(args, "parent").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn collapsed_stacks_self_time_adds_up() {
+        let out = collapsed_stacks(&sample());
+        let lines: BTreeMap<&str, u64> = out
+            .lines()
+            .map(|l| {
+                let (stack, n) = l.rsplit_once(' ').unwrap();
+                (stack, n.parse().unwrap())
+            })
+            .collect();
+        // round: 10ms total − 5ms training − 3ms aggregation = 2ms self.
+        assert_eq!(lines["round"], 2_000);
+        assert_eq!(lines["round;round.local_training"], 2_500);
+        assert_eq!(lines["round;round.local_training;client.train"], 2_500);
+        assert_eq!(lines["round;round.aggregation"], 3_000);
+        // Widths sum back to the root's wall time.
+        assert_eq!(lines.values().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn orphaned_spans_root_at_their_own_name() {
+        let spans = vec![rec(9, 777, "lost.parent", 0, 0, 1_000_000)];
+        let out = collapsed_stacks(&spans);
+        assert_eq!(out, "lost.parent 1000\n");
+    }
+
+    #[test]
+    fn totals_accumulate_per_name() {
+        let totals = totals_by_name(&sample());
+        assert!((totals["round"] - 0.01).abs() < 1e-12);
+        assert!((totals["round.local_training"] - 0.005).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,104 @@
+//! `fg-obs` — cross-layer observability for the FedGuard workspace.
+//!
+//! Two independent facilities share this crate (DESIGN.md §10):
+//!
+//! * **Hierarchical span tracing** ([`span`]): thread-local span stacks over
+//!   one process-wide monotonic clock, buffered in per-thread ring buffers.
+//!   The `shims/rayon` pool propagates the minting thread's span context
+//!   into every queued job, so spans opened inside stolen jobs nest under
+//!   their *logical* parent no matter which worker executes them. Exporters
+//!   ([`export`]) turn the drained records into Chrome-trace/Perfetto JSON
+//!   and collapsed-stack text for flamegraphs.
+//!
+//! * **A metrics registry** ([`metrics`]): named lock-free counters, gauges
+//!   and log₂-bucketed histograms, registered lazily on first touch and
+//!   folded into a serializable [`metrics::MetricsSnapshot`] (the federation
+//!   attaches one to every `RoundTelemetry` event while tracing is on).
+//!
+//! ## The kill switch
+//!
+//! Tracing is off unless the `FG_TRACE` environment variable is set to a
+//! non-empty value other than `0` (or [`set_enabled`] is called). While off,
+//! opening a span costs one relaxed atomic load and a branch — cheap enough
+//! for the GEMM driver and the pool's job hot path. Building `fg-obs`
+//! without the default `trace` feature turns that branch into a compile-time
+//! constant `false`. Metric counters are *not* gated: a relaxed `fetch_add`
+//! per event is in the noise at the granularity this workspace counts
+//! (per GEMM call, per pool job, per round), and the cost model is asserted
+//! by `crates/tensor/tests/trace_overhead.rs`. Timing-derived metrics (the
+//! histogram families fed by `Instant` pairs) are recorded only while
+//! tracing is enabled.
+//!
+//! ## Determinism
+//!
+//! Nothing in this crate feeds back into computation: spans and metrics
+//! observe, they never steer. Enabling tracing changes wall time, not one
+//! bit of any result.
+
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Tri-state runtime switch: 0 = not yet read from the environment,
+/// 1 = disabled, 2 = enabled.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Is span tracing currently enabled? This is the branch every disabled
+/// span reduces to: one relaxed atomic load (the environment is consulted
+/// once, on the first call).
+#[inline(always)]
+pub fn enabled() -> bool {
+    if !cfg!(feature = "trace") {
+        return false;
+    }
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("FG_TRACE").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    let _ = epoch();
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Programmatically force tracing on or off, overriding `FG_TRACE` (tests
+/// and the bench harness use this; spans already open are unaffected).
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The process-wide trace epoch; every timestamp is relative to this.
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the trace epoch (first touch of the crate).
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,365 @@
+//! Process-wide registry of named lock-free metrics.
+//!
+//! Metrics are declared as `static` items and register themselves into the
+//! global registry on first touch (a `std::sync::Once` per metric), so a
+//! metric that is never hit never appears in a snapshot and costs nothing
+//! at startup. Updates are relaxed atomic operations — no locks on any hot
+//! path; the registry mutex is taken only during registration and snapshot.
+//!
+//! Three shapes:
+//!
+//! * [`Counter`] — monotonically increasing `u64` (`tensor.gemm.flops`,
+//!   `pool.jobs_worker`, …).
+//! * [`Gauge`] — settable `i64` level (`pool.workers`).
+//! * [`Histogram`] — log₂-bucketed distribution with exact count/sum/min/max
+//!   and bucket-resolution percentiles (`pool.queue_wait_ns`,
+//!   `tensor.gemm.shape_ns.*`). [`HistogramFamily`] mints label-keyed
+//!   histograms at runtime (per GEMM shape, per layer name) by leaking the
+//!   composed name — label cardinality in this workspace is tiny and fixed
+//!   per run.
+//!
+//! [`snapshot`] folds everything registered so far into a serializable
+//! [`MetricsSnapshot`], sorted by name; the federation attaches one to each
+//! `RoundTelemetry` event while tracing is enabled.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+
+#[derive(Clone, Copy)]
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<Vec<Metric>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn register(m: Metric) {
+    registry().lock().unwrap_or_else(|e| e.into_inner()).push(m);
+}
+
+/// Monotonically increasing counter. Declare as a `static`; updates are a
+/// relaxed `fetch_add` (plus a one-time registration on first touch).
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    reg: Once,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: AtomicU64::new(0), reg: Once::new() }
+    }
+
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        self.reg.call_once(|| register(Metric::Counter(self)));
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// Settable signed level (worker count, pool depth).
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicI64,
+    reg: Once,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str) -> Self {
+        Gauge { name, value: AtomicI64::new(0), reg: Once::new() }
+    }
+
+    #[inline]
+    pub fn set(&'static self, v: i64) {
+        self.reg.call_once(|| register(Metric::Gauge(self)));
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&'static self, d: i64) {
+        self.reg.call_once(|| register(Metric::Gauge(self)));
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count: index `i` holds values whose bit length is `i`, i.e.
+/// `[2^(i-1), 2^i)` for `i ≥ 1` and the single value 0 at index 0. u64
+/// values need 64 + 1 indices.
+const BUCKETS: usize = 65;
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Upper bound (inclusive) of bucket `i` — the percentile resolution.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// Log₂-bucketed distribution. Exact `count`/`sum`/`min`/`max`; percentiles
+/// resolve to a bucket upper bound (≤ 2× relative error), which is plenty
+/// for "where did the nanoseconds go".
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    reg: Once,
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str) -> Self {
+        Histogram {
+            name,
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            reg: Once::new(),
+        }
+    }
+
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        self.reg.call_once(|| register(Metric::Histogram(self)));
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot_data(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = if count == 0 { 0 } else { self.min.load(Ordering::Relaxed) };
+        let max = self.max.load(Ordering::Relaxed);
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let pct = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= target {
+                    return bucket_upper(i).clamp(min, max);
+                }
+            }
+            max
+        };
+        HistogramSnapshot {
+            name: self.name.to_string(),
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min,
+            max,
+            p50: pct(0.50),
+            p90: pct(0.90),
+            p99: pct(0.99),
+        }
+    }
+}
+
+/// Label-keyed histograms sharing a family name: `family.label`. Labels are
+/// interned (leaked) on first use; cardinality is expected to stay small
+/// (GEMM shapes seen in a run, layer names of one model).
+pub struct HistogramFamily {
+    name: &'static str,
+    map: OnceLock<Mutex<BTreeMap<String, &'static Histogram>>>,
+}
+
+impl HistogramFamily {
+    pub const fn new(name: &'static str) -> Self {
+        HistogramFamily { name, map: OnceLock::new() }
+    }
+
+    /// Record `v` under `label`, minting the histogram if unseen.
+    pub fn record(&'static self, label: &str, v: u64) {
+        let map = self.map.get_or_init(|| Mutex::new(BTreeMap::new()));
+        let mut map = map.lock().unwrap_or_else(|e| e.into_inner());
+        let hist = map.entry(label.to_string()).or_insert_with(|| {
+            let full: &'static str = Box::leak(format!("{}.{}", self.name, label).into_boxed_str());
+            &*Box::leak(Box::new(Histogram::new(full)))
+        });
+        hist.record(v);
+    }
+}
+
+/// Point-in-time copy of one histogram, bucket detail collapsed to summary
+/// statistics (counts stay in the live registry; snapshots ride telemetry
+/// events and should stay small).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+/// Point-in-time copy of every registered metric, sorted by name so two
+/// snapshots of identical state compare equal.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Snapshot every metric registered so far. Values are read with relaxed
+/// loads while writers may be running; each individual metric is internally
+/// consistent enough for profiling (counters monotone, histogram count may
+/// trail its buckets by in-flight updates).
+pub fn snapshot() -> MetricsSnapshot {
+    let metrics: Vec<Metric> = registry().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut snap = MetricsSnapshot::default();
+    for m in metrics {
+        match m {
+            Metric::Counter(c) => snap.counters.push((c.name.to_string(), c.get())),
+            Metric::Gauge(g) => snap.gauges.push((g.name.to_string(), g.get())),
+            Metric::Histogram(h) => snap.histograms.push(h.snapshot_data()),
+        }
+    }
+    snap.counters.sort();
+    snap.gauges.sort();
+    snap.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_registers_once_and_accumulates() {
+        static C: Counter = Counter::new("test.counter.accumulate");
+        C.add(3);
+        C.incr();
+        assert_eq!(C.get(), 4);
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.counter.accumulate"), Some(4));
+        assert_eq!(
+            snap.counters.iter().filter(|(n, _)| n == "test.counter.accumulate").count(),
+            1,
+            "registered exactly once"
+        );
+    }
+
+    #[test]
+    fn untouched_metrics_stay_out_of_snapshots() {
+        static NEVER: Counter = Counter::new("test.counter.untouched");
+        let _ = &NEVER;
+        assert_eq!(snapshot().counter("test.counter.untouched"), None);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        static G: Gauge = Gauge::new("test.gauge");
+        G.set(7);
+        G.add(-2);
+        assert_eq!(G.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        static H: Histogram = Histogram::new("test.hist");
+        for v in [0u64, 1, 1, 3, 100, 1000] {
+            H.record(v);
+        }
+        let snap = H.snapshot_data();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 1105);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 1000);
+        assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99);
+        assert!(snap.p99 <= snap.max && snap.p50 >= snap.min);
+    }
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn family_mints_per_label() {
+        static F: HistogramFamily = HistogramFamily::new("test.family");
+        F.record("axb", 10);
+        F.record("axb", 20);
+        F.record("cxd", 5);
+        let snap = snapshot();
+        let axb = snap.histograms.iter().find(|h| h.name == "test.family.axb").unwrap();
+        assert_eq!(axb.count, 2);
+        assert_eq!(axb.sum, 30);
+        let cxd = snap.histograms.iter().find(|h| h.name == "test.family.cxd").unwrap();
+        assert_eq!(cxd.count, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        static C: Counter = Counter::new("test.counter.roundtrip");
+        C.add(42);
+        static H: Histogram = Histogram::new("test.hist.roundtrip");
+        H.record(9);
+        let snap = snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

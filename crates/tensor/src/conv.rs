@@ -13,7 +13,11 @@
 use crate::kernels::{self, MatRef};
 use crate::tensor::Tensor;
 use crate::workspace;
+use fg_obs::metrics::Counter;
 use rayon::prelude::*;
+
+static CONV_FWD_CALLS: Counter = Counter::new("tensor.conv2d.forward_calls");
+static CONV_BWD_CALLS: Counter = Counter::new("tensor.conv2d.backward_calls");
 
 /// Static description of a convolution (stride 1, zero padding `pad`).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -126,6 +130,8 @@ pub fn col2im(cols: &[f32], h: usize, w: usize, spec: &Conv2dSpec, image_grad: &
 /// (disjoint output planes), so results are bit-identical at any thread
 /// count; steady-state calls allocate nothing but the returned tensor.
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Conv2dSpec) -> Tensor {
+    CONV_FWD_CALLS.incr();
+    let _span = fg_obs::span::span("tensor.conv2d.forward");
     let dims = input.dims();
     assert_eq!(dims.len(), 4, "conv2d input must be (B,C,H,W)");
     let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
@@ -209,6 +215,8 @@ pub fn conv2d_backward_acc(
     d_weight: &mut Tensor,
     d_bias: &mut Tensor,
 ) -> Tensor {
+    CONV_BWD_CALLS.incr();
+    let _span = fg_obs::span::span("tensor.conv2d.backward");
     let dims = input.dims();
     let (b, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
     let (oh, ow) = spec.out_size(h, w);

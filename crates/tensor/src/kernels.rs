@@ -49,7 +49,17 @@
 
 use crate::tensor::Tensor;
 use crate::workspace;
+use fg_obs::metrics::{Counter, HistogramFamily};
 use rayon::prelude::*;
+
+/// Driver invocations (all five layout entry points route through it).
+static GEMM_CALLS: Counter = Counter::new("tensor.gemm.calls");
+/// Useful work: `2·m·n·k` FLOPs per call, so FLOP/s falls out of any span.
+static GEMM_FLOPS: Counter = Counter::new("tensor.gemm.flops");
+/// Per-shape kernel time (label `MxKxN`), recorded only while tracing is
+/// enabled — the clock reads and label formatting stay off the disabled
+/// hot path.
+static GEMM_SHAPE_NS: HistogramFamily = HistogramFamily::new("tensor.gemm.shape_ns");
 
 /// Below this many multiply-accumulates we stay single-threaded: a real
 /// fork costs a queue round-trip per split (up to ~32 splits per region), so
@@ -262,6 +272,9 @@ pub(crate) fn gemm(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    GEMM_CALLS.incr();
+    GEMM_FLOPS.add(2 * (m as u64) * (n as u64) * (k as u64));
+    let trace = fg_obs::enabled().then(|| (fg_obs::span::span("tensor.gemm"), fg_obs::now_ns()));
     let fan_out = parallel && m > MC;
     for jc in (0..n).step_by(NC) {
         let nc = NC.min(n - jc);
@@ -281,6 +294,10 @@ pub(crate) fn gemm(
                 out.chunks_mut(MC * n).enumerate().for_each(|(ib, rows)| body(ib, rows));
             }
         }
+    }
+    if let Some((span, t0)) = trace {
+        GEMM_SHAPE_NS.record(&format!("{m}x{k}x{n}"), fg_obs::now_ns().saturating_sub(t0));
+        drop(span);
     }
 }
 

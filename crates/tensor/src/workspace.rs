@@ -12,10 +12,10 @@
 //!   only touch the allocator otherwise.
 //! * Dropping the guard returns the buffer to the current thread's pool
 //!   (guards may migrate across pool workers; buffers simply change homes).
-//! * Every allocator hit — a fresh buffer or a capacity grow — bumps a global
-//!   [`alloc_events`] counter, so tests can assert that a steady-state
-//!   training loop performs **zero** workspace allocations after warm-up
-//!   (`crates/nn/tests/alloc_free.rs`).
+//! * Pool traffic feeds the `fg-obs` metrics `tensor.workspace.hits` /
+//!   `.misses` / `.evictions`; [`alloc_events`] (the misses counter) lets
+//!   tests assert that a steady-state training loop performs **zero**
+//!   workspace allocations after warm-up (`crates/nn/tests/alloc_free.rs`).
 //!
 //! The pool is deliberately simple: a best-fit scan over at most
 //! [`MAX_POOLED`] buffers per thread. Hot paths request the same handful of
@@ -28,9 +28,9 @@
 //! is computed, so the bit-exactness contract of the kernels is unaffected by
 //! pool state.
 
+use fg_obs::metrics::Counter;
 use std::cell::RefCell;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Upper bound on buffers retained per thread; excess buffers are freed on
 /// return rather than hoarded. Sized for the deepest hot path: a conv
@@ -38,9 +38,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// leaves) on top of the per-image staging and packing buffers.
 const MAX_POOLED: usize = 96;
 
-/// Global count of workspace allocator hits (fresh buffers or grows), across
-/// all threads, since process start.
-static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+/// Non-empty takes served from a recycled buffer.
+static HITS: Counter = Counter::new("tensor.workspace.hits");
+/// Non-empty takes that had to touch the allocator — the value
+/// [`alloc_events`] reports, and the one steady-state hot paths must not
+/// move.
+static MISSES: Counter = Counter::new("tensor.workspace.misses");
+/// Buffers freed on return because the per-thread pool was full.
+static EVICTIONS: Counter = Counter::new("tensor.workspace.evictions");
 
 thread_local! {
     static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
@@ -94,6 +99,7 @@ impl Drop for Scratch {
                     .min_by_key(|(_, b)| b.capacity())
                     .expect("pool is non-empty");
                 pool.swap_remove(idx);
+                EVICTIONS.incr();
             }
         });
     }
@@ -113,12 +119,20 @@ fn take_raw(len: usize) -> Vec<f32> {
         }
         best.map(|i| pool.swap_remove(i))
     });
-    recycled.unwrap_or_else(|| {
-        if len > 0 {
-            ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+    match recycled {
+        Some(buf) => {
+            if len > 0 {
+                HITS.incr();
+            }
+            buf
         }
-        Vec::with_capacity(len)
-    })
+        None => {
+            if len > 0 {
+                MISSES.incr();
+            }
+            Vec::with_capacity(len)
+        }
+    }
 }
 
 /// A scratch buffer of length `len` with **unspecified contents** (possibly
@@ -139,10 +153,11 @@ pub fn take_zeroed(len: usize) -> Scratch {
     s
 }
 
-/// Number of workspace allocator hits since process start. Steady-state hot
-/// paths must not move this counter; see `crates/nn/tests/alloc_free.rs`.
+/// Number of workspace allocator hits since process start (the
+/// `tensor.workspace.misses` metric). Steady-state hot paths must not move
+/// this counter; see `crates/nn/tests/alloc_free.rs`.
 pub fn alloc_events() -> u64 {
-    ALLOC_EVENTS.load(Ordering::Relaxed)
+    MISSES.get()
 }
 
 #[cfg(test)]

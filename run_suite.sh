@@ -27,9 +27,25 @@ $B/bench_parallel > results/bench_parallel.json 2> results/bench_parallel.log ||
 # GEMM stage: blocked, panel-packed kernel vs the old naive one over the
 # MNIST-CNN / server-scoring shapes, 1 vs N threads, with a bitwise
 # cross-check between schedules. The 512³ row carries the ≥1.5×
-# single-thread acceptance gate.
+# single-thread acceptance gate. bench_gemm writes per-shape progress to
+# stderr, so the .log actually has content now.
 cargo build --release -p fg-bench --bin bench_gemm || exit 1
 $B/bench_gemm > results/bench_gemm.json 2> results/bench_gemm.log || exit 1
+test -s results/bench_gemm.log || exit 1
+
+# Trace stage: (a) span totals must agree with StageTimings on a traced
+# 2-round FedGuard run, and stolen-job spans must nest under their logical
+# parents; (b) disabled tracing must stay within the overhead budget;
+# (c) trace_demo leaves a loadable Chrome-trace profile under results/trace/
+# and self-validates it (all seven round stages present, no ring overflow).
+cargo test --release -q -p fedguard --test trace || exit 1
+cargo test --release -q -p fg-tensor --test trace_overhead || exit 1
+cargo build --release -p fg-bench --bin trace_demo || exit 1
+mkdir -p results/trace
+FG_TRACE=1 $B/trace_demo --threads 4 --rounds 2 --seed 42 \
+    > results/trace/trace_demo.out 2> results/trace/trace_demo.log || exit 1
+test -s results/trace/fedguard_2round.json || exit 1
+grep -q 'round.local_training' results/trace/fedguard_2round_collapsed.txt || exit 1
 $B/fig4 --preset fast --seed 42 > results/fig4.csv 2> results/fig4.log
 $B/table4 --preset fast --seed 42 > results/table4.md 2> results/table4.log
 $B/fig5 --preset fast --seed 42 > results/fig5.csv 2> results/fig5.log

@@ -43,7 +43,18 @@
 //! exactly as it would have sequentially (both halves are always resolved
 //! before unwinding, keeping borrowed stack data alive until no worker can
 //! touch it).
+//!
+//! ## Observability
+//!
+//! Every [`JobRef`] carries the minting thread's open `fg-obs` span id, and
+//! [`run_job`] installs it around execution — so a span opened inside a
+//! stolen job nests under the span that was live where the job was created,
+//! not under whatever the executing worker happened to be doing. The pool
+//! also maintains `pool.jobs_worker` / `pool.jobs_helped` /
+//! `pool.steal_backs` counters, a `pool.workers` gauge, and (while tracing
+//! is enabled) a `pool.queue_wait_ns` histogram of injector-queue latency.
 
+use fg_obs::metrics::{Counter, Gauge, Histogram};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
@@ -52,6 +63,19 @@ use std::time::Duration;
 
 /// Backstop on pool growth; far above any sane `FG_THREADS`.
 const MAX_THREADS: usize = 256;
+
+/// Jobs executed by dedicated pool workers (vs. threads helping while they
+/// wait on a latch of their own).
+static JOBS_WORKER: Counter = Counter::new("pool.jobs_worker");
+/// Jobs drained by a waiting thread inside [`wait_while_helping`].
+static JOBS_HELPED: Counter = Counter::new("pool.jobs_helped");
+/// `join` calls whose queued half was reclaimed before any worker took it.
+static STEAL_BACKS: Counter = Counter::new("pool.steal_backs");
+/// Dedicated worker threads spawned so far.
+static WORKERS: Gauge = Gauge::new("pool.workers");
+/// Nanoseconds a job sat in the injector queue before executing; recorded
+/// only while tracing is enabled (mint timestamps are skipped otherwise).
+static QUEUE_WAIT_NS: Histogram = Histogram::new("pool.queue_wait_ns");
 
 // ---------------------------------------------------------------------------
 // Jobs
@@ -71,6 +95,13 @@ struct JobRef {
     /// [`with_threads`] scope that spawned it rather than the executing
     /// worker's default.
     limit: usize,
+    /// Trace span open on the minting thread when the job was queued; spans
+    /// opened inside the job nest under it regardless of which worker (or
+    /// helping waiter) executes the job. 0 = no enclosing span.
+    parent_span: u64,
+    /// Queue-entry timestamp for the queue-wait histogram; 0 when tracing
+    /// was disabled at mint time (skips the clock read on the hot path).
+    mint_ns: u64,
 }
 
 unsafe impl Send for JobRef {}
@@ -86,6 +117,10 @@ fn run_job(job: &JobRef) {
         }
     }
     let _restore = Restore(THREAD_LIMIT.with(|l| l.replace(Some(job.limit))));
+    if job.mint_ns != 0 {
+        QUEUE_WAIT_NS.record(fg_obs::now_ns().saturating_sub(job.mint_ns));
+    }
+    let _span_ctx = fg_obs::span::enter_remote_parent(job.parent_span);
     unsafe { (job.execute)(job.ptr) };
 }
 
@@ -146,6 +181,8 @@ where
             ptr: self as *const Self as *const (),
             execute: Self::execute,
             limit: current_num_threads(),
+            parent_span: fg_obs::span::current_span_id(),
+            mint_ns: if fg_obs::enabled() { fg_obs::now_ns() } else { 0 },
         }
     }
 
@@ -206,6 +243,7 @@ fn worker_loop() {
                 q = p.jobs_cv.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
+        JOBS_WORKER.incr();
         run_job(&job);
     }
 }
@@ -220,6 +258,7 @@ fn ensure_workers(n: usize) {
             .spawn(worker_loop)
             .expect("failed to spawn pool worker");
         *spawned += 1;
+        WORKERS.set(*spawned as i64);
     }
 }
 
@@ -252,7 +291,10 @@ fn wait_while_helping(latch: &Latch) {
         }
         let job = p.queue.lock().unwrap_or_else(|e| e.into_inner()).pop_front();
         match job {
-            Some(j) => run_job(&j),
+            Some(j) => {
+                JOBS_HELPED.incr();
+                run_job(&j);
+            }
             None => latch.wait_timeout(Duration::from_micros(200)),
         }
     }
@@ -342,6 +384,7 @@ where
     let ra = panic::catch_unwind(AssertUnwindSafe(oper_a));
 
     if try_steal_back(&job_ref) {
+        STEAL_BACKS.incr();
         run_job(&job_ref);
     } else {
         wait_while_helping(&job_b.latch);

@@ -6,15 +6,23 @@
 //! are unavailable offline). It supports what this workspace declares:
 //! non-generic structs (named, newtype, tuple, unit) and non-generic enums
 //! with unit, tuple, and struct variants, rendered in upstream serde's
-//! default externally-tagged representation. Container/field attributes
-//! (`#[serde(...)]`) are not interpreted; generics are rejected with a
-//! compile error.
+//! default externally-tagged representation. Of the field attributes, only
+//! `#[serde(default)]` is interpreted (a missing key deserializes to
+//! `Default::default()`, upstream's behavior — the forward-compat knob the
+//! telemetry schema relies on); other `#[serde(...)]` forms are ignored.
+//! Generics are rejected with a compile error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier and whether `#[serde(default)]` was set.
+struct Field {
+    name: String,
+    default: bool,
+}
+
 enum Fields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -99,19 +107,39 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Parse `name: Type, ...` lists, returning field names. Commas inside
-/// generic arguments are skipped by tracking `<`/`>` depth (delimiter groups
-/// are atomic token trees, so only angle brackets need counting).
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// True for the token stream of a `[serde(.., default, ..)]` attribute.
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let mut toks = stream.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Parse `name: Type, ...` lists, returning field names and their
+/// `#[serde(default)]` flags. Commas inside generic arguments are skipped by
+/// tracking `<`/`>` depth (delimiter groups are atomic token trees, so only
+/// angle brackets need counting).
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut toks = stream.into_iter().peekable();
     let mut names = Vec::new();
     'fields: loop {
         // Leading attributes (doc comments included) and visibility.
+        let mut default = false;
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
-                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        default |= attr_is_serde_default(g.stream());
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     toks.next();
@@ -135,7 +163,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
                 panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
             }
         }
-        names.push(name);
+        names.push(Field { name, default });
         // Skip the type up to the next top-level comma.
         let mut angle_depth = 0i32;
         loop {
@@ -229,25 +257,37 @@ fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
 // Code generation (string templates parsed back into a TokenStream)
 // ---------------------------------------------------------------------------
 
-fn named_to_value_entries(names: &[String], prefix: &str) -> String {
-    names
-        .iter()
-        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f})),"))
-        .collect()
-}
-
-fn named_from_value_fields(names: &[String]) -> String {
-    // A missing key deserializes from Null, which succeeds only for Option
-    // fields; the map_err keeps the field name in the error for the rest.
+fn named_to_value_entries(names: &[Field], prefix: &str) -> String {
     names
         .iter()
         .map(|f| {
+            let f = &f.name;
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f})),")
+        })
+        .collect()
+}
+
+fn named_from_value_fields(names: &[Field]) -> String {
+    // A missing key falls back to `Default::default()` for `#[serde(default)]`
+    // fields; otherwise it deserializes from Null, which succeeds only for
+    // Option fields. The map_err keeps the field name in the error.
+    names
+        .iter()
+        .map(|field| {
+            let f = &field.name;
+            let missing = if field.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "::serde::Deserialize::from_value(&::serde::Value::Null) \
+                       .map_err(|_| ::serde::Error::msg(\"missing field `{f}`\"))?"
+                )
+            };
             format!(
                 "{f}: match ::serde::obj_get(obj, \"{f}\") {{ \
                    Some(v) => ::serde::Deserialize::from_value(v) \
                      .map_err(|e| ::serde::Error::msg(format!(\"field `{f}`: {{e}}\")))?, \
-                   None => ::serde::Deserialize::from_value(&::serde::Value::Null) \
-                     .map_err(|_| ::serde::Error::msg(\"missing field `{f}`\"))?, \
+                   None => {missing}, \
                  }},"
             )
         })
@@ -333,7 +373,7 @@ fn enum_serialize(name: &str, variants: &[(String, Fields)]) -> String {
                 )
             }
             Fields::Named(fs) => {
-                let pat = fs.join(", ");
+                let pat = fs.iter().map(|f| f.name.as_str()).collect::<Vec<_>>().join(", ");
                 let entries = named_to_value_entries(fs, "");
                 format!(
                     "{name}::{v} {{ {pat} }} => ::serde::Value::Obj(vec![\
