@@ -1,0 +1,39 @@
+//! `fed_client` — one federated worker process.
+//!
+//! Connects to a running `fed_server`, receives the experiment configuration
+//! in the `Welcome` frame, reconstructs its data partition (and, when the
+//! client is on the malicious roster, its attack) deterministically from
+//! that config, and serves training rounds until the server shuts the
+//! session down.
+//!
+//! ```text
+//! fed_client --connect 127.0.0.1:7878 --id 3
+//! ```
+
+use fedguard::experiment::{build_client, ExperimentConfig};
+use fg_bench::flag_value;
+use fg_fl::{run_federated_client, NetConfig, TcpClientChannel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag_value(&args, "--connect").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let id: usize = flag_value(&args, "--id")
+        .expect("--id <client id> is required")
+        .parse()
+        .expect("--id expects an integer");
+
+    let mut channel = TcpClientChannel::connect(addr.as_str(), id, NetConfig::default())
+        .unwrap_or_else(|e| panic!("client {id}: failed to join {addr}: {e:?}"));
+    let cfg: ExperimentConfig = serde_json::from_str(channel.welcome_blob())
+        .expect("Welcome blob parses as ExperimentConfig");
+    eprintln!("[fed_client {id}] joined {addr} for {}", cfg.label());
+
+    let (mut client, interceptor) = build_client(&cfg, id);
+    let report = run_federated_client(&mut channel, &mut client, interceptor.as_ref())
+        .unwrap_or_else(|e| panic!("client {id}: session failed: {e:?}"));
+    let stats = channel.stats();
+    eprintln!(
+        "[fed_client {id}] done: {} rounds trained, {} declined, {} B sent / {} B received",
+        report.rounds_participated, report.rounds_declined, stats.bytes_tx, stats.bytes_rx
+    );
+}

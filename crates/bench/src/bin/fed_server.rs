@@ -1,0 +1,180 @@
+//! `fed_server` — the server half of a networked FedGuard deployment.
+//!
+//! Binds a TCP endpoint, waits for every client process to join, then runs
+//! the configured experiment cell with rounds exchanged over the wire
+//! protocol instead of in-process clients. The experiment configuration is
+//! shipped to every client inside the `Welcome` frame, so the worker
+//! processes need nothing but `--connect` and `--id`.
+//!
+//! ```text
+//! fed_server --bind 127.0.0.1:7878 --preset smoke --strategy fedguard \
+//!            --attack none --seed 42 [--rounds N] [--check-oracle] \
+//!            [--out results/bench_net.json]
+//! ```
+//!
+//! With `--check-oracle` the server additionally replays the identical
+//! config through the in-process `LocalTransport` oracle and asserts the
+//! two deployments are bit-identical (accuracy series, audit scores and the
+//! final global model).
+
+use fedguard::experiment::{
+    run_experiment_full, run_served_experiment, AttackScenario, ExperimentConfig, StrategyKind,
+};
+use fg_bench::{flag_value, preset_from_args, seed_from_args};
+use fg_fl::{CommStats, NetConfig, TcpTransport, WireStats};
+use fg_nn::models::Classifier;
+use fg_tensor::rng::SeededRng;
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+fn strategy_from_args(args: &[String]) -> StrategyKind {
+    match flag_value(args, "--strategy").as_deref().map(str::to_lowercase).as_deref() {
+        Some("fedavg") => StrategyKind::FedAvg,
+        Some("geomed") => StrategyKind::GeoMed,
+        Some("krum") => StrategyKind::Krum,
+        Some("median") => StrategyKind::Median,
+        Some("trimmedmean") | Some("trimmed-mean") => StrategyKind::TrimmedMean,
+        Some("spectral") => StrategyKind::Spectral,
+        Some("fedguard") | None => StrategyKind::FedGuard,
+        Some(other) => panic!("unknown strategy {other:?}"),
+    }
+}
+
+fn attack_from_args(args: &[String]) -> AttackScenario {
+    match flag_value(args, "--attack").as_deref().map(str::to_lowercase).as_deref() {
+        Some("none") | None => AttackScenario::None,
+        Some(name) => *AttackScenario::paper_set()
+            .iter()
+            .find(|a| a.name() == name)
+            .unwrap_or_else(|| panic!("unknown attack {name:?} (paper-set names or 'none')")),
+    }
+}
+
+/// What the `net` suite stage consumes: per-round latency and wire traffic,
+/// the comm-accounting cross-check and (optionally) the oracle equivalence
+/// verdict.
+#[derive(Serialize)]
+struct NetBenchReport {
+    strategy: String,
+    attack: String,
+    seed: u64,
+    rounds: usize,
+    n_clients: usize,
+    clients_per_round: usize,
+    transport: String,
+    accuracy: Vec<f32>,
+    round_latency_secs: Vec<f64>,
+    comm: CommStats,
+    wire: Vec<WireStats>,
+    /// Wire model-parameter bytes equal the simulation's `CommStats`
+    /// accounting on every fault-free round.
+    wire_matches_comm: bool,
+    oracle_checked: bool,
+    /// `Some(true)` when `--check-oracle` confirmed bit-identity.
+    equivalent: Option<bool>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bind = flag_value(&args, "--bind").unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "results/bench_net.json".to_string());
+    let check_oracle = args.iter().any(|a| a == "--check-oracle");
+
+    let mut cfg = ExperimentConfig::preset(
+        preset_from_args(&args),
+        strategy_from_args(&args),
+        attack_from_args(&args),
+        seed_from_args(&args),
+    );
+    if let Some(rounds) = flag_value(&args, "--rounds") {
+        cfg.fed.rounds = rounds.parse().expect("--rounds expects an integer");
+    }
+
+    // The Welcome payload: the full config, so every worker reconstructs the
+    // identical partition/roster/attack state from one source of truth.
+    let blob = serde_json::to_string(&cfg).expect("config serializes");
+    let param_len =
+        Classifier::new(&cfg.fed.classifier, &mut SeededRng::new(0)).get_params().len() as u64;
+
+    let mut transport =
+        TcpTransport::bind(&bind, cfg.fed.n_clients, param_len, blob, NetConfig::default())
+            .expect("bind fed_server endpoint");
+    let addr = transport.local_addr().expect("bound address");
+    let wire_log = transport.wire_log();
+    eprintln!(
+        "[fed_server] {} on {addr}, waiting for {} clients...",
+        cfg.label(),
+        cfg.fed.n_clients
+    );
+    transport.wait_for_clients().expect("all clients joined");
+    eprintln!("[fed_server] all clients joined; running {} rounds", cfg.fed.rounds);
+
+    let served = run_served_experiment(&cfg, Box::new(transport));
+
+    // Cross-check the wire traffic against the simulation's byte accounting:
+    // on fault-free rounds they must agree exactly (DESIGN.md §12).
+    let wire: Vec<WireStats> =
+        wire_log.lock().iter().filter(|w| w.round != usize::MAX).copied().collect();
+    let wire_matches_comm = served.telemetry.iter().all(|event| {
+        if !event.faults.is_empty() {
+            return true; // dropouts shift wire traffic; accounting is simulated
+        }
+        wire.iter().find(|w| w.round == event.round).is_some_and(|w| {
+            w.model_bytes_tx == event.comm.upload_bytes
+                && w.model_bytes_rx == event.comm.download_bytes
+        })
+    });
+
+    let equivalent = check_oracle.then(|| {
+        eprintln!("[fed_server] replaying in-process oracle for equivalence check...");
+        let oracle = run_experiment_full(&cfg);
+        let acc_ok = oracle.result.accuracy_series() == served.result.accuracy_series();
+        let global_ok = oracle.final_global == served.final_global;
+        let scores_ok = oracle
+            .telemetry
+            .iter()
+            .zip(&served.telemetry)
+            .all(|(a, b)| a.scores == b.scores && a.threshold == b.threshold);
+        eprintln!(
+            "[fed_server] oracle check: accuracy {} | global {} | scores {}",
+            acc_ok, global_ok, scores_ok
+        );
+        acc_ok && global_ok && scores_ok
+    });
+
+    let mut comm = CommStats::default();
+    for r in &served.result.history {
+        comm.add(&r.comm);
+    }
+    let report = NetBenchReport {
+        strategy: served.result.strategy.clone(),
+        attack: served.result.attack.clone(),
+        seed: cfg.fed.seed,
+        rounds: served.result.history.len(),
+        n_clients: cfg.fed.n_clients,
+        clients_per_round: cfg.fed.clients_per_round,
+        transport: "tcp".to_string(),
+        accuracy: served.result.accuracy_series(),
+        round_latency_secs: served.telemetry.iter().map(|e| e.wall_secs).collect(),
+        comm,
+        wire,
+        wire_matches_comm,
+        oracle_checked: check_oracle,
+        equivalent,
+    };
+    if let Some(dir) = Path::new(&out).parent() {
+        fs::create_dir_all(dir).expect("create output dir");
+    }
+    fs::write(&out, serde_json::to_string_pretty(&report).expect("report serializes"))
+        .expect("write bench_net.json");
+    eprintln!(
+        "[fed_server] done: final acc {:.4}, wire/comm match {}, report at {out}",
+        served.result.final_accuracy(),
+        wire_matches_comm
+    );
+
+    if !wire_matches_comm || equivalent == Some(false) {
+        std::process::exit(1);
+    }
+}

@@ -8,13 +8,14 @@ use fg_agg::{FedAvgStrategy, GeoMedStrategy, KrumStrategy, MedianStrategy, Trimm
 use fg_attacks::{choose_malicious, poison_datasets, ModelAttack, PoisoningInterceptor};
 use fg_data::partition::{dirichlet_partition, partition_datasets};
 use fg_data::synth::generate_dataset;
+use fg_data::Dataset;
 use fg_data::LabelFlip;
 use fg_defenses::{SpectralConfig, SpectralDefense};
 use fg_fl::client::NoAttack;
 use fg_fl::{
-    AggregationStrategy, CommStats, CvaeTrainConfig, FaultConfig, FaultPlan, Federation,
-    FederationConfig, JsonlSink, LocalTrainConfig, ResiliencePolicy, RoundRecord,
-    UpdateInterceptor,
+    AggregationStrategy, Client, CommStats, CvaeTrainConfig, FaultConfig, FaultPlan, Federation,
+    FederationConfig, JsonlSink, LocalTrainConfig, MemoryCollector, ResiliencePolicy, RoundRecord,
+    RoundTelemetry, Transport, UpdateInterceptor,
 };
 use fg_nn::models::{ClassifierSpec, CvaeSpec};
 use fg_tensor::rng::{derive_seed, SeededRng};
@@ -47,6 +48,15 @@ impl StrategyKind {
             StrategyKind::Spectral => "Spectral",
             StrategyKind::FedGuard => "FedGuard",
         }
+    }
+
+    /// Whether clients must train a CVAE alongside the classifier (i.e. the
+    /// strategy consumes their decoders). Mirrors
+    /// [`AggregationStrategy::uses_decoders`] without having to build the
+    /// (possibly pretraining) strategy — `fed_client` worker processes
+    /// decide from this flag alone.
+    pub fn uses_decoders(&self) -> bool {
+        matches!(self, StrategyKind::FedGuard)
     }
 
     /// The paper's baseline set (Table IV rows, in order).
@@ -415,10 +425,24 @@ fn build_strategy(cfg: &ExperimentConfig) -> Box<dyn AggregationStrategy> {
     }
 }
 
-/// Run one experiment cell end to end: generate data, partition, install the
-/// attack, build the strategy, run the federation, summarize.
-pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
-    cfg.fed.validate();
+/// Data, roster and attack state shared by every deployment mode: the
+/// Dirichlet partitions (poisoned where the scenario says so), the server
+/// test set, the ground-truth malicious roster and the installed
+/// interceptor. [`prepare_setup`] is a pure function of the config, so the
+/// in-process oracle and out-of-process `fed_client` workers reconstruct
+/// byte-identical state from the same `ExperimentConfig`.
+pub struct FederationSetup {
+    pub datasets: Vec<Dataset>,
+    pub test: Dataset,
+    pub malicious: Vec<usize>,
+    pub interceptor: Arc<dyn UpdateInterceptor>,
+}
+
+/// Generate data, partition it, pick the malicious roster and install the
+/// attack. Every derived seed stream (train 1, test 2, partition 3,
+/// roster 4, attack 5) is fixed: changing this ordering breaks the
+/// bit-identity contract between deployment modes.
+pub fn prepare_setup(cfg: &ExperimentConfig) -> FederationSetup {
     let seed = cfg.fed.seed;
 
     // Data: train / test / (Spectral aux handled in build_strategy).
@@ -460,16 +484,60 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
         )),
     };
 
+    FederationSetup { datasets, test, malicious, interceptor }
+}
+
+/// Build the local state of client `id` exactly as the in-process oracle
+/// does: same partition, same poisoning, same derived training seed, same
+/// attack interceptor. `fed_client` worker processes call this, which is
+/// what makes a TCP deployment bit-identical to its in-process twin.
+pub fn build_client(cfg: &ExperimentConfig, id: usize) -> (Client, Arc<dyn UpdateInterceptor>) {
+    assert!(
+        id < cfg.fed.n_clients,
+        "client id {id} out of range (n_clients = {})",
+        cfg.fed.n_clients
+    );
+    let setup = prepare_setup(cfg);
+    let data = setup.datasets.into_iter().nth(id).expect("partition for every client id");
+    let cvae = cfg.strategy.uses_decoders().then_some(cfg.cvae);
+    (Client::for_federation(&cfg.fed, id, data, cvae), setup.interceptor)
+}
+
+/// The full output of a run: the summary result, the final global model and
+/// the per-round telemetry trail — everything the networked equivalence
+/// checks compare bit-for-bit.
+#[derive(Clone, Debug)]
+pub struct RunArtifacts {
+    pub result: ExperimentResult,
+    /// Global parameter vector after the final round.
+    pub final_global: Vec<f32>,
+    /// One event per round, as captured by an in-memory collector.
+    pub telemetry: Vec<RoundTelemetry>,
+}
+
+/// Shared runner behind every entry point. `transport = None` assembles
+/// in-process clients (the deterministic oracle); `Some(transport)` serves
+/// rounds over the given transport and the builder must not also own local
+/// clients or CVAE configs — those live in the worker processes.
+fn run_with(cfg: &ExperimentConfig, transport: Option<Box<dyn Transport>>) -> RunArtifacts {
+    cfg.fed.validate();
+    let seed = cfg.fed.seed;
+    let setup = prepare_setup(cfg);
+
     let strategy = build_strategy(cfg);
     let cvae = strategy.uses_decoders().then_some(cfg.cvae);
+    let collector = MemoryCollector::new();
     let mut builder = Federation::builder(cfg.fed)
-        .datasets(datasets)
-        .test_set(test)
+        .test_set(setup.test)
         .strategy(strategy)
-        .interceptor(interceptor)
+        .interceptor(Arc::clone(&setup.interceptor))
         .faults(cfg.faults.map(|fc| FaultPlan::new(fc, derive_seed(seed, 0xFA))))
         .resilience(cfg.resilience)
-        .cvae(cvae);
+        .observer(collector.clone());
+    builder = match transport {
+        Some(t) => builder.transport(t),
+        None => builder.datasets(setup.datasets).cvae(cvae),
+    };
     if let Some(dir) = &cfg.telemetry_dir {
         let path = std::path::Path::new(dir).join(format!(
             "{}-{}-s{}.jsonl",
@@ -481,14 +549,44 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
     }
     let mut federation = builder.build();
     let history = federation.run();
+    let final_global = federation.global_params().to_vec();
 
-    ExperimentResult {
-        strategy: cfg.strategy.name().to_string(),
-        attack: cfg.attack.name().to_string(),
-        malicious_clients: malicious,
-        history,
-        tail_fraction: cfg.tail_fraction,
+    RunArtifacts {
+        result: ExperimentResult {
+            strategy: cfg.strategy.name().to_string(),
+            attack: cfg.attack.name().to_string(),
+            malicious_clients: setup.malicious,
+            history,
+            tail_fraction: cfg.tail_fraction,
+        },
+        final_global,
+        telemetry: collector.events(),
     }
+}
+
+/// Run one experiment cell end to end in-process: generate data, partition,
+/// install the attack, build the strategy, run the federation, summarize.
+pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
+    run_with(cfg, None).result
+}
+
+/// [`run_experiment`], keeping the final global model and telemetry trail —
+/// the oracle side of the networked equivalence checks.
+pub fn run_experiment_full(cfg: &ExperimentConfig) -> RunArtifacts {
+    run_with(cfg, None)
+}
+
+/// Run the server half of a networked deployment: same data generation,
+/// strategy, fault plan, telemetry and evaluation as
+/// [`run_experiment_full`], but rounds are exchanged through the supplied
+/// [`Transport`] (e.g. a bound [`fg_fl::TcpTransport`]) instead of
+/// in-process clients. The matching worker processes are built with
+/// [`build_client`] from the same config.
+pub fn run_served_experiment(
+    cfg: &ExperimentConfig,
+    transport: Box<dyn Transport>,
+) -> RunArtifacts {
+    run_with(cfg, Some(transport))
 }
 
 /// Interceptor for label-flip scenarios: mutates nothing (the poisoning
@@ -605,6 +703,65 @@ mod tests {
         // Fault schedules derive from the federation seed: replays agree.
         let again = run_experiment(&cfg);
         assert_eq!(result.accuracy_series(), again.accuracy_series());
+    }
+
+    #[test]
+    fn strategy_kind_decoder_flag_matches_built_strategies() {
+        // `build_client` trusts StrategyKind::uses_decoders (it cannot
+        // afford to build a pretraining strategy); the two must agree.
+        for strategy in [
+            StrategyKind::FedAvg,
+            StrategyKind::GeoMed,
+            StrategyKind::Krum,
+            StrategyKind::Median,
+            StrategyKind::TrimmedMean,
+            StrategyKind::Spectral,
+            StrategyKind::FedGuard,
+        ] {
+            let cfg = ExperimentConfig::preset(Preset::Smoke, strategy, AttackScenario::None, 11);
+            assert_eq!(
+                strategy.uses_decoders(),
+                build_strategy(&cfg).uses_decoders(),
+                "{}",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn full_run_artifacts_expose_global_and_telemetry() {
+        let cfg =
+            ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 8);
+        let artifacts = run_experiment_full(&cfg);
+        assert_eq!(artifacts.telemetry.len(), artifacts.result.history.len());
+        assert!(!artifacts.final_global.is_empty());
+        for (event, record) in artifacts.telemetry.iter().zip(&artifacts.result.history) {
+            assert_eq!(event.round, record.round);
+            assert_eq!(event.accuracy, record.accuracy);
+            assert_eq!(event.transport, fg_fl::TransportKind::Local);
+        }
+        // The refactored runner must reproduce the pre-refactor pipeline
+        // bit-for-bit: the plain entry point is the same code path.
+        let plain = run_experiment(&cfg);
+        assert_eq!(plain.accuracy_series(), artifacts.result.accuracy_series());
+    }
+
+    #[test]
+    fn build_client_reconstructs_the_oracle_partition() {
+        let cfg = ExperimentConfig::preset(
+            Preset::Smoke,
+            StrategyKind::FedAvg,
+            AttackScenario::LabelFlip { fraction: 0.3 },
+            4,
+        );
+        let setup = prepare_setup(&cfg);
+        let (client, interceptor) = build_client(&cfg, 3);
+        assert_eq!(client.id(), 3);
+        assert_eq!(interceptor.malicious_clients(), setup.malicious);
+        // Same config → same roster on every reconstruction (workers and
+        // server must agree on who is malicious).
+        let (_, again) = build_client(&cfg, 0);
+        assert_eq!(again.malicious_clients(), interceptor.malicious_clients());
     }
 
     #[test]

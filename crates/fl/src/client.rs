@@ -1,6 +1,6 @@
 //! The federated client (Alg. 1, `Client` function).
 
-use crate::config::{CvaeTrainConfig, LocalTrainConfig};
+use crate::config::{CvaeTrainConfig, FederationConfig, LocalTrainConfig};
 use crate::update::ModelUpdate;
 use fg_data::Dataset;
 use fg_nn::models::{Classifier, ClassifierSpec, Cvae};
@@ -76,7 +76,11 @@ pub struct Client {
 }
 
 impl Client {
-    pub fn new(
+    /// Crate-internal positional constructor. Public construction goes
+    /// through [`Client::for_federation`], which derives the seed the same
+    /// way `Federation`'s builder does — the only construction path that
+    /// keeps out-of-process clients bit-identical to in-process ones.
+    pub(crate) fn new(
         id: usize,
         data: Dataset,
         classifier_spec: ClassifierSpec,
@@ -95,6 +99,28 @@ impl Client {
             stream: None,
             last_cvae_round: None,
         }
+    }
+
+    /// Construct client `id` exactly as a federation built for `config`
+    /// would: same classifier spec, same local-training config, and —
+    /// critically — the same derived seed (`fork(id)` of the federation's
+    /// master RNG). An out-of-process `fed_client` built through here is
+    /// bit-identical to its in-process twin, which is what makes the
+    /// loopback-equivalence oracle hold.
+    pub fn for_federation(
+        config: &FederationConfig,
+        id: usize,
+        data: Dataset,
+        cvae: Option<CvaeTrainConfig>,
+    ) -> Self {
+        Client::new(
+            id,
+            data,
+            config.classifier,
+            config.local,
+            cvae,
+            SeededRng::new(config.seed).fork(id as u64).seed(),
+        )
     }
 
     /// Install a data stream (§VI-C "dynamic datasets"). The static `data`

@@ -232,6 +232,12 @@ pub enum FaultKind {
     DuplicateDiscarded,
     /// Sanitizer stripped a non-finite CVAE decoder but kept the update.
     DecoderStripped,
+    /// A networked client's frame failed to decode (bad magic, unknown kind,
+    /// truncated or structurally invalid payload); the submission is lost.
+    FrameMalformed { detail: String },
+    /// A networked client declared a frame larger than the transport's
+    /// configured cap; rejected before allocation, the submission is lost.
+    FrameOversized { declared: u64, cap: u64 },
 }
 
 impl FaultKind {
@@ -246,6 +252,8 @@ impl FaultKind {
                 | FaultKind::RejectedNonFinite
                 | FaultKind::RejectedWrongLength { .. }
                 | FaultKind::DuplicateDiscarded
+                | FaultKind::FrameMalformed { .. }
+                | FaultKind::FrameOversized { .. }
         )
     }
 }
@@ -426,6 +434,8 @@ mod tests {
             FaultEvent::new(5, FaultKind::DuplicateSubmission),
             FaultEvent::new(6, FaultKind::RejectedWrongLength { got: 1, expected: 2 }),
             FaultEvent::new(7, FaultKind::DuplicateDiscarded),
+            FaultEvent::new(8, FaultKind::FrameMalformed { detail: "bad magic".to_string() }),
+            FaultEvent::new(9, FaultKind::FrameOversized { declared: 1 << 40, cap: 1 << 26 }),
         ];
         let json = serde_json::to_string(&events).unwrap();
         let back: Vec<FaultEvent> = serde_json::from_str(&json).unwrap();

@@ -7,6 +7,7 @@ use crate::fault::{sanitize_round, FaultEvent, FaultKind, FaultPlan, SubmissionF
 use crate::metrics::RoundRecord;
 use crate::strategy::{AggregationContext, AggregationStrategy, StrategyTimings};
 use crate::telemetry::{RoundObserver, RoundTelemetry, StageTimings, SCHEMA_VERSION};
+use crate::transport::{LocalTransport, RoundOffer, Transport};
 use crate::update::ModelUpdate;
 use fg_data::Dataset;
 use fg_nn::models::Classifier;
@@ -14,8 +15,6 @@ use fg_obs::metrics::Counter;
 use fg_obs::span::timed_span;
 use fg_tensor::rng::SeededRng;
 use fg_tensor::vecops;
-use parking_lot::Mutex;
-use rayon::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -40,11 +39,14 @@ static ROUNDS: Counter = Counter::new("fl.rounds");
 ///
 /// Each round (cf. Alg. 1 lines 16-20):
 /// 1. uniformly sample `m` of the `N` clients,
-/// 2. train the sampled clients locally from the current global parameters,
-///    in parallel across the rayon-shim worker pool (`FG_THREADS` threads;
-///    each client trains from its own forked RNG stream, so the round is
-///    bit-identical at any thread count) — clients scheduled to drop out by
-///    the [fault plan](FederationBuilder::faults) never train,
+/// 2. run the exchange through the [`Transport`]: deliver the global
+///    parameters to the sampled clients and collect their trained updates.
+///    The default [`LocalTransport`] trains in-process, in parallel across
+///    the rayon-shim worker pool (`FG_THREADS` threads; each client trains
+///    from its own forked RNG stream, so the round is bit-identical at any
+///    thread count); [`crate::net::TcpTransport`] drives remote client
+///    processes over the wire instead. Clients scheduled to drop out by the
+///    [fault plan](FederationBuilder::faults) never train,
 /// 3. let the attack interceptor corrupt the malicious clients' updates,
 ///    then inject any scheduled transit faults (straggler delay/timeout,
 ///    NaN/Inf corruption, truncation, stale duplicates),
@@ -61,7 +63,7 @@ static ROUNDS: Counter = Counter::new("fl.rounds");
 ///    [`FaultEvent`] — to every registered observer.
 pub struct Federation {
     config: FederationConfig,
-    clients: Vec<Mutex<Client>>,
+    transport: Box<dyn Transport>,
     test_set: Dataset,
     strategy: Box<dyn AggregationStrategy>,
     interceptor: Arc<dyn UpdateInterceptor>,
@@ -86,6 +88,7 @@ pub struct FederationBuilder {
     resilience: ResiliencePolicy,
     cvae: Option<CvaeTrainConfig>,
     observers: Vec<Box<dyn RoundObserver>>,
+    transport: Option<Box<dyn Transport>>,
 }
 
 impl FederationBuilder {
@@ -145,6 +148,16 @@ impl FederationBuilder {
         self
     }
 
+    /// Install a custom [`Transport`] (e.g. [`crate::net::TcpTransport`])
+    /// instead of the in-process default. With a custom transport the
+    /// clients live elsewhere: `datasets(..)`/`cvae(..)` must not be set —
+    /// each client process assembles its own partition from the shared
+    /// experiment configuration.
+    pub fn transport(mut self, transport: impl Transport + 'static) -> Self {
+        self.transport = Some(Box::new(transport));
+        self
+    }
+
     /// Validate the assembled configuration and construct the federation.
     ///
     /// Panics when a required component is missing, the partition count does
@@ -153,42 +166,67 @@ impl FederationBuilder {
     pub fn build(self) -> Federation {
         let config = self.config;
         config.validate();
-        let client_datasets = self.datasets.expect("FederationBuilder: datasets(..) not set");
         let test_set = self.test_set.expect("FederationBuilder: test_set(..) not set");
         let strategy = self.strategy.expect("FederationBuilder: strategy(..) not set");
-        assert_eq!(
-            client_datasets.len(),
-            config.n_clients,
-            "expected {} client partitions, got {}",
-            config.n_clients,
-            client_datasets.len()
-        );
         let needs_cvae = strategy.uses_decoders();
-        if needs_cvae {
-            assert!(self.cvae.is_some(), "strategy {} needs a CVAE config", strategy.name());
-        }
         let master = SeededRng::new(config.seed);
-        let clients = client_datasets
-            .into_iter()
-            .enumerate()
-            .map(|(id, data)| {
-                Mutex::new(Client::new(
-                    id,
-                    data,
-                    config.classifier,
-                    config.local,
-                    if needs_cvae { self.cvae } else { None },
-                    master.fork(id as u64).seed(),
-                ))
-            })
-            .collect();
+
+        let transport: Box<dyn Transport> = match self.transport {
+            Some(transport) => {
+                // Remote clients assemble themselves from the shared config;
+                // server-side partitions/CVAE settings would be dead weight
+                // and almost certainly a configuration mistake.
+                assert!(
+                    self.datasets.is_none(),
+                    "datasets(..) belong to the in-process transport; a custom transport's \
+                     clients hold their own partitions"
+                );
+                assert!(
+                    self.cvae.is_none(),
+                    "cvae(..) belongs to the in-process transport; a custom transport's \
+                     clients configure their own CVAE"
+                );
+                transport
+            }
+            None => {
+                let client_datasets =
+                    self.datasets.expect("FederationBuilder: datasets(..) not set");
+                assert_eq!(
+                    client_datasets.len(),
+                    config.n_clients,
+                    "expected {} client partitions, got {}",
+                    config.n_clients,
+                    client_datasets.len()
+                );
+                if needs_cvae {
+                    assert!(
+                        self.cvae.is_some(),
+                        "strategy {} needs a CVAE config",
+                        strategy.name()
+                    );
+                }
+                let clients: Vec<Client> = client_datasets
+                    .into_iter()
+                    .enumerate()
+                    .map(|(id, data)| {
+                        Client::for_federation(
+                            &config,
+                            id,
+                            data,
+                            if needs_cvae { self.cvae } else { None },
+                        )
+                    })
+                    .collect();
+                Box::new(LocalTransport::new(clients, Arc::clone(&self.interceptor)))
+            }
+        };
 
         let mut init_rng = master.fork(u64::MAX);
         let global = Classifier::new(&config.classifier, &mut init_rng).get_params();
 
         Federation {
             config,
-            clients,
+            transport,
             test_set,
             strategy,
             interceptor: self.interceptor,
@@ -215,6 +253,7 @@ impl Federation {
             resilience: ResiliencePolicy::default(),
             cvae: None,
             observers: Vec::new(),
+            transport: None,
         }
     }
 
@@ -233,8 +272,20 @@ impl Federation {
     }
 
     /// Mutable access to a client (e.g. to install a poisoned dataset).
+    ///
+    /// Panics unless the federation runs on the in-process
+    /// [`LocalTransport`] — remote clients are other processes.
     pub fn client_mut(&mut self, id: usize) -> &mut Client {
-        self.clients[id].get_mut()
+        self.transport
+            .as_any_mut()
+            .downcast_mut::<LocalTransport>()
+            .expect("client_mut requires the in-process LocalTransport")
+            .client_mut(id)
+    }
+
+    /// Which transport carries the rounds.
+    pub fn transport_kind(&self) -> crate::transport::TransportKind {
+        self.transport.kind()
     }
 
     /// Register a telemetry observer after construction.
@@ -288,22 +339,19 @@ impl Federation {
             })
             .collect();
 
-        // (2) Parallel local training; (3) attack interception.
+        // (2) + (3) The transport runs the exchange: deliver the global
+        // model, collect the trained (and attack-intercepted) submissions of
+        // the active clients, sorted by client id. In-process this is the
+        // parallel training pass; over TCP it is RoundStart/Upload framing —
+        // either way the same offers must yield the same updates.
         let stage = timed_span("round.local_training");
-        let global = &self.global;
-        let interceptor = &self.interceptor;
-        let clients = &self.clients;
-        let mut updates: Vec<ModelUpdate> = active
-            .par_iter()
-            .map(|&id| {
-                let _span = fg_obs::span::span("client.train");
-                let mut client = clients[id].lock();
-                let mut update = client.train_round(global, round);
-                interceptor.intercept(&mut update, round);
-                update
-            })
-            .collect();
-        updates.sort_by_key(|u| u.client_id);
+        let offer = RoundOffer { round, global: &self.global, sampled: &sampled, active: &active };
+        let exchange = self.transport.exchange_round(&offer);
+        let updates = exchange.updates;
+        let sessions = exchange.sessions;
+        // Transport-observed losses (TCP disconnects, malformed frames)
+        // degrade exactly like scheduled faults.
+        fault_events.extend(exchange.faults);
         let local_training_secs = stage.close();
 
         // (3b) Inject transit faults into the trained submissions: corrupt /
@@ -454,6 +502,8 @@ impl Federation {
             quorum_met,
             malicious_sampled: record.malicious_sampled.clone(),
             comm,
+            transport: self.transport.kind(),
+            sessions,
             // Cumulative process-wide metrics, folded in only while tracing
             // is on: profiled runs get the numbers, deterministic test runs
             // keep bit-comparable events.
@@ -477,6 +527,9 @@ impl Federation {
         for _ in 0..self.config.rounds {
             self.run_round();
         }
+        // Release the clients (a TCP transport sends Shutdown and drains the
+        // orderly Leaves) before the sinks flush.
+        self.transport.finish();
         for obs in &mut self.observers {
             obs.on_run_complete();
         }

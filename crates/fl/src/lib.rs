@@ -6,9 +6,13 @@
 //! round, local training (classifier always, CVAE when configured), pluggable
 //! aggregation strategies, an update-interception hook for poisoning attacks,
 //! byte-accurate communication accounting, a structured per-round telemetry
-//! pipeline ([`telemetry`]) with composable observer sinks, and a seeded
+//! pipeline ([`telemetry`]) with composable observer sinks, a seeded
 //! fault-injection layer ([`fault`]) with graceful round degradation
-//! (sanitization, quorum, carry-forward) for chaos testing.
+//! (sanitization, quorum, carry-forward) for chaos testing, and a pluggable
+//! [`transport`] layer: the same round loop runs in-process
+//! ([`transport::LocalTransport`], the deterministic oracle) or against
+//! separate client processes over TCP ([`net`], speaking the length-prefixed
+//! [`wire`] protocol).
 //!
 //! The crate knows nothing about specific defenses or attacks; those live in
 //! `fg-agg`, `fg-defenses`, `fg-attacks` and `fedguard`, all plugging in via
@@ -20,9 +24,12 @@ pub mod config;
 pub mod fault;
 pub mod federation;
 pub mod metrics;
+pub mod net;
 pub mod strategy;
 pub mod telemetry;
+pub mod transport;
 pub mod update;
+pub mod wire;
 
 pub use client::{Client, DataStream, UpdateInterceptor};
 pub use comm::CommStats;
@@ -32,9 +39,17 @@ pub use fault::{
 };
 pub use federation::{Federation, FederationBuilder};
 pub use metrics::RoundRecord;
+pub use net::{
+    run_federated_client, ClientRunReport, NetConfig, TcpClientChannel, TcpTransport, WireStats,
+};
 pub use strategy::{AggregationContext, AggregationOutcome, AggregationStrategy, StrategyTimings};
 pub use telemetry::{
     read_jsonl, JsonlSink, MemoryCollector, RoundObserver, RoundTelemetry, StageTimings,
     StderrProgress,
 };
+pub use transport::{
+    ClientChannel, Directive, LocalTransport, RoundExchange, RoundOffer, SessionEvent,
+    SessionEventKind, Transport, TransportKind,
+};
 pub use update::{ModelUpdate, UpdateRejection};
+pub use wire::{Message, WireConfig, WireError};

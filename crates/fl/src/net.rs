@@ -1,0 +1,831 @@
+//! The TCP deployment: `TcpTransport` (server side) and `TcpClientChannel`
+//! (client side), speaking the [`crate::wire`] protocol over `std::net`.
+//!
+//! ## Session lifecycle
+//!
+//! A client connects, sends `Join`, and receives `Welcome` (carrying the
+//! serialized experiment configuration, so one config — the server's —
+//! drives every process). Each round the server sends `RoundStart` to every
+//! *sampled* session; active clients train and `Upload`, scheduled dropouts
+//! receive `participate = false` and answer `Decline` without training
+//! (preserving decoder-cache parity with the in-process oracle). While idle
+//! between rounds a client emits `Heartbeat`s; the server records them as
+//! [`SessionEvent`]s when it next reads that session. `Shutdown`/`Leave`
+//! close the run.
+//!
+//! ## Fault mapping
+//!
+//! Wire trouble degrades exactly like the PR-2 chaos layer, so the round
+//! loop's sanitize/quorum/carry-forward machinery carries over unchanged:
+//! a disconnect or read timeout is a [`FaultKind::Dropout`], a frame that
+//! fails to decode is a [`FaultKind::FrameMalformed`], and a frame whose
+//! declared length exceeds the cap is a [`FaultKind::FrameOversized`] —
+//! all reported through [`RoundExchange::faults`].
+//!
+//! ## Determinism and byte accounting
+//!
+//! The transport adds no randomness: sessions are processed in client-id
+//! order, parameters travel as raw f32 bits, and training/interception run
+//! client-side from the same seeds the oracle uses — a seeded loopback run
+//! is bit-identical to the in-process run. Per-round [`WireStats`] report
+//! actual frames/bytes; their `model_bytes_*` fields match
+//! [`CommStats`](crate::comm::CommStats) accounting exactly on fault-free
+//! rounds (injected transit faults are simulated server-side after receipt,
+//! so they never touch the wire).
+
+use crate::client::Client;
+use crate::fault::{FaultEvent, FaultKind};
+use crate::transport::{
+    ClientChannel, Directive, RoundExchange, RoundOffer, SessionEvent, SessionEventKind, Transport,
+    TransportKind,
+};
+use crate::update::ModelUpdate;
+use crate::wire::{
+    encode, encode_round_start, encode_upload, read_frame, Message, WireConfig, WireError,
+    PROTOCOL_VERSION,
+};
+use fg_obs::metrics::Counter;
+use fg_obs::span::span;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::{BTreeMap, HashSet};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+static NET_FRAMES_TX: Counter = Counter::new("fl.net.frames_tx");
+static NET_FRAMES_RX: Counter = Counter::new("fl.net.frames_rx");
+static NET_BYTES_TX: Counter = Counter::new("fl.net.bytes_tx");
+static NET_BYTES_RX: Counter = Counter::new("fl.net.bytes_rx");
+static NET_MODEL_BYTES_TX: Counter = Counter::new("fl.net.model_bytes_tx");
+static NET_MODEL_BYTES_RX: Counter = Counter::new("fl.net.model_bytes_rx");
+
+/// Timeouts and codec limits for one endpoint.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Server: how long to wait for one client's round response (must cover
+    /// a full local training pass — a busy client cannot heartbeat). Client:
+    /// overall patience for the next directive before giving the server up.
+    pub read_timeout: Duration,
+    /// Per-frame write deadline on either side.
+    pub write_timeout: Duration,
+    /// Server: how long [`TcpTransport::wait_for_clients`] waits for the
+    /// expected session count. Client: connect-retry window (the server may
+    /// not be listening yet).
+    pub join_timeout: Duration,
+    /// Client: emit a `Heartbeat` after this much idle waiting.
+    pub heartbeat_interval: Duration,
+    /// Frame codec limits (the length cap).
+    pub wire: WireConfig,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            read_timeout: Duration::from_secs(120),
+            write_timeout: Duration::from_secs(30),
+            join_timeout: Duration::from_secs(30),
+            heartbeat_interval: Duration::from_secs(2),
+            wire: WireConfig::default(),
+        }
+    }
+}
+
+/// Actual wire traffic of one round (or of one client session, cumulatively):
+/// every frame in both directions, split into model-parameter payload bytes —
+/// the quantity [`CommStats`](crate::comm::CommStats) accounts — and total
+/// frame bytes including protocol overhead.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireStats {
+    pub round: usize,
+    pub frames_tx: u64,
+    pub frames_rx: u64,
+    pub bytes_tx: u64,
+    pub bytes_rx: u64,
+    /// Model-parameter bytes sent (server: `RoundStart` globals; this is the
+    /// networked realization of `CommStats::upload_bytes`).
+    pub model_bytes_tx: u64,
+    /// Model-parameter bytes received (server: `Upload` payloads; the
+    /// networked realization of `CommStats::download_bytes`).
+    pub model_bytes_rx: u64,
+    /// Heartbeat frames observed among the received frames.
+    pub heartbeats: u64,
+}
+
+impl WireStats {
+    pub fn add(&mut self, other: &WireStats) {
+        self.frames_tx += other.frames_tx;
+        self.frames_rx += other.frames_rx;
+        self.bytes_tx += other.bytes_tx;
+        self.bytes_rx += other.bytes_rx;
+        self.model_bytes_tx += other.model_bytes_tx;
+        self.model_bytes_rx += other.model_bytes_rx;
+        self.heartbeats += other.heartbeats;
+    }
+}
+
+fn tx_raw(
+    stream: &mut TcpStream,
+    frame: &[u8],
+    model_bytes: u64,
+    stats: &mut WireStats,
+) -> Result<(), WireError> {
+    let _span = span("net.frame.tx");
+    stream.write_all(frame)?;
+    stream.flush()?;
+    stats.frames_tx += 1;
+    stats.bytes_tx += frame.len() as u64;
+    stats.model_bytes_tx += model_bytes;
+    NET_FRAMES_TX.incr();
+    NET_BYTES_TX.add(frame.len() as u64);
+    NET_MODEL_BYTES_TX.add(model_bytes);
+    Ok(())
+}
+
+fn rx_frame(
+    stream: &mut TcpStream,
+    wire: &WireConfig,
+    stats: &mut WireStats,
+) -> Result<Message, WireError> {
+    let _span = span("net.frame.rx");
+    let (msg, bytes) = read_frame(stream, wire)?;
+    stats.frames_rx += 1;
+    stats.bytes_rx += bytes;
+    stats.model_bytes_rx += msg.model_bytes();
+    NET_FRAMES_RX.incr();
+    NET_BYTES_RX.add(bytes);
+    NET_MODEL_BYTES_RX.add(msg.model_bytes());
+    if matches!(msg, Message::Heartbeat { .. }) {
+        stats.heartbeats += 1;
+    }
+    Ok(msg)
+}
+
+// ---------------------------------------------------------------------------
+// Server side
+// ---------------------------------------------------------------------------
+
+/// The networked [`Transport`]: client processes connect over TCP, join, and
+/// are driven through the rounds by the same offers the in-process oracle
+/// sees. Accepts happen via non-blocking polls (at construction, inside
+/// [`wait_for_clients`](TcpTransport::wait_for_clients), and at each round
+/// start) — no background threads, so the worker pool stays free for the
+/// server's own synthesis/audit work.
+pub struct TcpTransport {
+    listener: TcpListener,
+    cfg: NetConfig,
+    expected: usize,
+    welcome_param_len: u64,
+    welcome_blob: String,
+    sessions: BTreeMap<usize, TcpStream>,
+    /// Session events observed outside a round (setup joins, finish leaves);
+    /// drained into the next exchange / the finish result.
+    pending_events: Vec<SessionEvent>,
+    wire_log: Arc<Mutex<Vec<WireStats>>>,
+}
+
+impl TcpTransport {
+    /// Bind `addr` and start accepting sessions for `expected` clients.
+    /// `param_len` and `blob` (typically the serialized `ExperimentConfig`)
+    /// are shipped to every client in `Welcome`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        expected: usize,
+        param_len: u64,
+        blob: String,
+        cfg: NetConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(TcpTransport {
+            listener,
+            cfg,
+            expected,
+            welcome_param_len: param_len,
+            welcome_blob: blob,
+            sessions: BTreeMap::new(),
+            pending_events: Vec::new(),
+            wire_log: Arc::new(Mutex::new(Vec::new())),
+        })
+    }
+
+    /// The bound address (use with port 0 to discover the ephemeral port).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Handle to the per-round wire statistics; clone it **before** handing
+    /// the transport to a `Federation` (rounds push as they complete).
+    pub fn wire_log(&self) -> Arc<Mutex<Vec<WireStats>>> {
+        Arc::clone(&self.wire_log)
+    }
+
+    /// Currently joined client ids.
+    pub fn joined(&self) -> Vec<usize> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Accept and handshake every connection currently pending. A connection
+    /// that fails the handshake (bad first frame, wrong protocol version) is
+    /// dropped silently — it never had a client id to attribute events to.
+    pub fn poll_joins(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if let Some(id) = self.handshake(stream) {
+                        self.pending_events.push(SessionEvent::new(id, SessionEventKind::Join));
+                    }
+                }
+                Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn handshake(&mut self, mut stream: TcpStream) -> Option<usize> {
+        let _span = span("net.handshake");
+        stream.set_read_timeout(Some(self.cfg.read_timeout)).ok()?;
+        stream.set_write_timeout(Some(self.cfg.write_timeout)).ok()?;
+        stream.set_nodelay(true).ok();
+        let mut stats = WireStats::default();
+        let msg = rx_frame(&mut stream, &self.cfg.wire, &mut stats).ok()?;
+        let Message::Join { client_id, protocol } = msg else { return None };
+        if protocol != PROTOCOL_VERSION {
+            return None;
+        }
+        let welcome = encode(&Message::Welcome {
+            param_len: self.welcome_param_len,
+            blob: self.welcome_blob.clone(),
+        });
+        tx_raw(&mut stream, &welcome, 0, &mut stats).ok()?;
+        let id = client_id as usize;
+        self.sessions.insert(id, stream);
+        Some(id)
+    }
+
+    /// Poll for joins until the expected session count is reached or the
+    /// join timeout expires (then errors with the ids still missing).
+    pub fn wait_for_clients(&mut self) -> std::io::Result<()> {
+        let deadline = Instant::now() + self.cfg.join_timeout;
+        loop {
+            self.poll_joins();
+            if self.sessions.len() >= self.expected {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!(
+                        "only {}/{} clients joined within {:?}",
+                        self.sessions.len(),
+                        self.expected,
+                        self.cfg.join_timeout
+                    ),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Read one session's round response, skipping heartbeats. Returns the
+    /// accepted update (if any); pushes faults/session events as they arise.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_response(
+        stream: &mut TcpStream,
+        id: usize,
+        round: usize,
+        active: bool,
+        wire: &WireConfig,
+        stats: &mut WireStats,
+        faults: &mut Vec<FaultEvent>,
+        sessions: &mut Vec<SessionEvent>,
+    ) -> (Option<ModelUpdate>, bool) {
+        // Returns (update, session_still_alive).
+        loop {
+            match rx_frame(stream, wire, stats) {
+                Ok(Message::Heartbeat { .. }) => {
+                    sessions.push(SessionEvent::new(id, SessionEventKind::Heartbeat));
+                }
+                Ok(Message::Upload { round: r, update }) if r as usize == round => {
+                    if update.client_id != id {
+                        faults.push(FaultEvent::new(
+                            id,
+                            FaultKind::FrameMalformed {
+                                detail: format!(
+                                    "upload claims client {} on session {id}",
+                                    update.client_id
+                                ),
+                            },
+                        ));
+                        return (None, true);
+                    }
+                    if !active {
+                        // A scheduled dropout that trained anyway would break
+                        // oracle parity; refuse the submission.
+                        faults.push(FaultEvent::new(
+                            id,
+                            FaultKind::FrameMalformed {
+                                detail: "upload from non-participating client".to_string(),
+                            },
+                        ));
+                        return (None, true);
+                    }
+                    return (Some(update), true);
+                }
+                Ok(Message::Decline { round: r }) if r as usize == round => {
+                    if active {
+                        // An active client refusing to train is, from the
+                        // round's perspective, a dropout.
+                        faults.push(FaultEvent::new(id, FaultKind::Dropout));
+                    }
+                    return (None, true);
+                }
+                Ok(Message::Leave { .. }) => {
+                    sessions.push(SessionEvent::new(id, SessionEventKind::Leave));
+                    if active {
+                        faults.push(FaultEvent::new(id, FaultKind::Dropout));
+                    }
+                    return (None, false);
+                }
+                Ok(other) => {
+                    faults.push(FaultEvent::new(
+                        id,
+                        FaultKind::FrameMalformed {
+                            detail: format!("unexpected {} frame in round {round}", other.name()),
+                        },
+                    ));
+                    return (None, true);
+                }
+                Err(e) => {
+                    if active {
+                        faults.push(FaultEvent::new(id, e.to_fault_kind()));
+                    }
+                    sessions.push(SessionEvent::new(id, SessionEventKind::Drop));
+                    return (None, false);
+                }
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::Tcp
+    }
+
+    fn exchange_round(&mut self, offer: &RoundOffer<'_>) -> RoundExchange {
+        let _span = span("net.exchange_round");
+        self.poll_joins();
+        let mut stats = WireStats { round: offer.round, ..WireStats::default() };
+        let mut exchange = RoundExchange::default();
+        exchange.sessions.append(&mut self.pending_events);
+        let active: HashSet<usize> = offer.active.iter().copied().collect();
+
+        // Fan the work order out to every sampled session. Both frame
+        // variants are encoded once; the global model is never cloned.
+        let frame_active = encode_round_start(offer.round as u64, true, offer.global);
+        let frame_idle = encode_round_start(offer.round as u64, false, offer.global);
+        let model_bytes = offer.global.len() as u64 * 4;
+        let mut notified: Vec<usize> = Vec::with_capacity(offer.sampled.len());
+        for &id in offer.sampled {
+            let participate = active.contains(&id);
+            let Some(stream) = self.sessions.get_mut(&id) else {
+                // Never joined (or already gone). The round loop has already
+                // recorded scheduled dropouts; only an *active* client going
+                // missing is transport-observed loss.
+                if participate {
+                    exchange.faults.push(FaultEvent::new(id, FaultKind::Dropout));
+                }
+                continue;
+            };
+            let frame = if participate { &frame_active } else { &frame_idle };
+            match tx_raw(stream, frame, model_bytes, &mut stats) {
+                Ok(()) => notified.push(id),
+                Err(_) => {
+                    if participate {
+                        exchange.faults.push(FaultEvent::new(id, FaultKind::Dropout));
+                    }
+                    exchange.sessions.push(SessionEvent::new(id, SessionEventKind::Drop));
+                    self.sessions.remove(&id);
+                }
+            }
+        }
+
+        // Collect responses in client-id order — the canonical arrival order
+        // the oracle produces. Uploads from other sessions simply wait in
+        // their kernel buffers until their turn.
+        for id in notified {
+            let Some(stream) = self.sessions.get_mut(&id) else { continue };
+            let (update, alive) = Self::collect_response(
+                stream,
+                id,
+                offer.round,
+                active.contains(&id),
+                &self.cfg.wire,
+                &mut stats,
+                &mut exchange.faults,
+                &mut exchange.sessions,
+            );
+            if let Some(update) = update {
+                exchange.updates.push(update);
+            }
+            if !alive {
+                self.sessions.remove(&id);
+            }
+        }
+        exchange.updates.sort_by_key(|u| u.client_id);
+        self.wire_log.lock().push(stats);
+        exchange
+    }
+
+    fn finish(&mut self) -> Vec<SessionEvent> {
+        let _span = span("net.finish");
+        let mut events = std::mem::take(&mut self.pending_events);
+        let mut stats = WireStats { round: usize::MAX, ..WireStats::default() };
+        let shutdown = encode(&Message::Shutdown);
+        let sessions = std::mem::take(&mut self.sessions);
+        for (id, mut stream) in sessions {
+            if tx_raw(&mut stream, &shutdown, 0, &mut stats).is_err() {
+                events.push(SessionEvent::new(id, SessionEventKind::Drop));
+                continue;
+            }
+            // Drain until the orderly Leave (skipping piled-up heartbeats).
+            loop {
+                match rx_frame(&mut stream, &self.cfg.wire, &mut stats) {
+                    Ok(Message::Heartbeat { .. }) => {
+                        events.push(SessionEvent::new(id, SessionEventKind::Heartbeat));
+                    }
+                    Ok(Message::Leave { .. }) => {
+                        events.push(SessionEvent::new(id, SessionEventKind::Leave));
+                        break;
+                    }
+                    Ok(_) | Err(_) => {
+                        events.push(SessionEvent::new(id, SessionEventKind::Drop));
+                        break;
+                    }
+                }
+            }
+        }
+        if stats.frames_tx > 0 || stats.frames_rx > 0 {
+            self.wire_log.lock().push(stats);
+        }
+        events
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client side
+// ---------------------------------------------------------------------------
+
+/// A remote client's session with the server: the TCP [`ClientChannel`].
+pub struct TcpClientChannel {
+    stream: TcpStream,
+    client_id: usize,
+    cfg: NetConfig,
+    welcome_param_len: u64,
+    welcome_blob: String,
+    stats: WireStats,
+}
+
+impl TcpClientChannel {
+    /// Connect to `addr` (retrying until the join timeout — the server may
+    /// not be listening yet) and complete the `Join`/`Welcome` handshake.
+    pub fn connect(
+        addr: impl ToSocketAddrs + Clone,
+        client_id: usize,
+        cfg: NetConfig,
+    ) -> Result<Self, WireError> {
+        let deadline = Instant::now() + cfg.join_timeout;
+        let mut stream = loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(WireError::Io(e.kind()));
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        };
+        stream.set_read_timeout(Some(cfg.read_timeout))?;
+        stream.set_write_timeout(Some(cfg.write_timeout))?;
+        stream.set_nodelay(true).ok();
+        let mut stats = WireStats::default();
+        let join =
+            encode(&Message::Join { client_id: client_id as u64, protocol: PROTOCOL_VERSION });
+        tx_raw(&mut stream, &join, 0, &mut stats)?;
+        match rx_frame(&mut stream, &cfg.wire, &mut stats)? {
+            Message::Welcome { param_len, blob } => Ok(TcpClientChannel {
+                stream,
+                client_id,
+                cfg,
+                welcome_param_len: param_len,
+                welcome_blob: blob,
+                stats,
+            }),
+            _ => Err(WireError::Malformed("expected Welcome after Join")),
+        }
+    }
+
+    /// The global parameter count announced by the server.
+    pub fn param_len(&self) -> u64 {
+        self.welcome_param_len
+    }
+
+    /// The server's opaque welcome payload (the serialized experiment
+    /// configuration in the shipped bins).
+    pub fn welcome_blob(&self) -> &str {
+        &self.welcome_blob
+    }
+
+    /// Cumulative wire traffic of this session so far.
+    pub fn stats(&self) -> WireStats {
+        self.stats
+    }
+
+    fn send(&mut self, frame: &[u8], model_bytes: u64) -> Result<(), WireError> {
+        tx_raw(&mut self.stream, frame, model_bytes, &mut self.stats)
+    }
+}
+
+impl ClientChannel for TcpClientChannel {
+    fn request_round(&mut self) -> Result<Directive, WireError> {
+        // Idle loop: wait in heartbeat-sized slices so the server sees
+        // liveness, up to the overall read deadline. (A timeout can only
+        // fire between frames here — the server writes each directive as one
+        // uninterrupted frame, so a mid-frame stall means a dead peer and
+        // the resulting desync error is the right outcome.)
+        self.stream.set_read_timeout(Some(self.cfg.heartbeat_interval))?;
+        let deadline = Instant::now() + self.cfg.read_timeout;
+        let result = loop {
+            match rx_frame(&mut self.stream, &self.cfg.wire, &mut self.stats) {
+                Ok(Message::RoundStart { round, participate, global }) => {
+                    break Ok(Directive::Round { round: round as usize, participate, global });
+                }
+                Ok(Message::Shutdown) => break Ok(Directive::Shutdown),
+                Ok(_) => break Err(WireError::Malformed("unexpected frame while awaiting round")),
+                Err(ref e) if e.is_timeout() => {
+                    if Instant::now() >= deadline {
+                        break Err(WireError::Io(std::io::ErrorKind::TimedOut));
+                    }
+                    let hb = encode(&Message::Heartbeat { client_id: self.client_id as u64 });
+                    if let Err(e) = self.send(&hb, 0) {
+                        break Err(e);
+                    }
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        self.stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+        result
+    }
+
+    fn upload_update(&mut self, round: usize, update: &ModelUpdate) -> Result<(), WireError> {
+        let frame = encode_upload(round as u64, update);
+        self.send(&frame, update.wire_bytes())
+    }
+
+    fn decline_round(&mut self, round: usize) -> Result<(), WireError> {
+        let frame = encode(&Message::Decline { round: round as u64 });
+        self.send(&frame, 0)
+    }
+
+    fn leave(&mut self) -> Result<(), WireError> {
+        let frame = encode(&Message::Leave { client_id: self.client_id as u64 });
+        self.send(&frame, 0)
+    }
+}
+
+/// Outcome of one remote client's full run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientRunReport {
+    /// Rounds this client trained and uploaded for.
+    pub rounds_participated: usize,
+    /// Rounds this client was told to sit out (scheduled dropout).
+    pub rounds_declined: usize,
+}
+
+/// Drive one client through a full federated run: request directives, train
+/// and upload (applying `interceptor` exactly where the oracle's
+/// `LocalTransport` applies it), decline scheduled dropouts, leave on
+/// shutdown. This is the loop `fed_client` runs.
+pub fn run_federated_client(
+    channel: &mut dyn ClientChannel,
+    client: &mut Client,
+    interceptor: &dyn crate::client::UpdateInterceptor,
+) -> Result<ClientRunReport, WireError> {
+    let mut report = ClientRunReport::default();
+    loop {
+        match channel.request_round()? {
+            Directive::Round { round, participate: true, global } => {
+                let mut update = {
+                    let _span = span("client.train");
+                    client.train_round(&global, round)
+                };
+                interceptor.intercept(&mut update, round);
+                channel.upload_update(round, &update)?;
+                report.rounds_participated += 1;
+            }
+            Directive::Round { round, participate: false, .. } => {
+                channel.decline_round(round)?;
+                report.rounds_declined += 1;
+            }
+            Directive::Shutdown => {
+                channel.leave()?;
+                return Ok(report);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::NoAttack;
+    use crate::config::LocalTrainConfig;
+    use fg_data::synth::generate_dataset;
+    use fg_nn::models::ClassifierSpec;
+    use fg_tensor::rng::SeededRng;
+
+    fn fast_cfg() -> NetConfig {
+        NetConfig {
+            read_timeout: Duration::from_secs(20),
+            write_timeout: Duration::from_secs(10),
+            join_timeout: Duration::from_secs(10),
+            heartbeat_interval: Duration::from_secs(5),
+            wire: WireConfig::default(),
+        }
+    }
+
+    fn toy_client(id: usize) -> Client {
+        Client::new(
+            id,
+            generate_dataset(3, 40 + id as u64),
+            ClassifierSpec::Mlp { hidden: 8 },
+            LocalTrainConfig { epochs: 1, batch_size: 8, lr: 0.05, momentum: 0.0, prox_mu: 0.0 },
+            None,
+            SeededRng::new(7).fork(id as u64).seed(),
+        )
+    }
+
+    fn bind_server(expected: usize) -> (TcpTransport, SocketAddr) {
+        let t = TcpTransport::bind("127.0.0.1:0", expected, 13, "cfg-blob".to_string(), fast_cfg())
+            .expect("bind loopback");
+        let addr = t.local_addr().unwrap();
+        (t, addr)
+    }
+
+    #[test]
+    fn loopback_round_trip_with_two_clients() {
+        let (mut server, addr) = bind_server(2);
+        let workers: Vec<_> = (0..2)
+            .map(|id| {
+                std::thread::spawn(move || {
+                    let mut ch = TcpClientChannel::connect(addr, id, fast_cfg()).expect("connect");
+                    assert_eq!(ch.param_len(), 13);
+                    assert_eq!(ch.welcome_blob(), "cfg-blob");
+                    let mut client = toy_client(id);
+                    run_federated_client(&mut ch, &mut client, &NoAttack).expect("client run")
+                })
+            })
+            .collect();
+
+        server.wait_for_clients().expect("both clients join");
+        assert_eq!(server.joined(), vec![0, 1]);
+        let wire_log = server.wire_log();
+
+        let psi = fg_nn::models::Classifier::new(
+            &ClassifierSpec::Mlp { hidden: 8 },
+            &mut SeededRng::new(0),
+        )
+        .get_params()
+        .len();
+        let global = vec![0.25f32; psi];
+
+        let sampled = vec![0usize, 1];
+        let active = vec![0usize]; // client 1 is a scheduled dropout
+        let offer = RoundOffer { round: 0, global: &global, sampled: &sampled, active: &active };
+        let exchange = server.exchange_round(&offer);
+        assert_eq!(exchange.updates.len(), 1);
+        assert_eq!(exchange.updates[0].client_id, 0);
+        assert_eq!(exchange.updates[0].params.len(), psi);
+        assert!(exchange.faults.is_empty(), "{:?}", exchange.faults);
+        // Both clients joined during setup.
+        let joins = exchange.sessions.iter().filter(|e| e.kind == SessionEventKind::Join).count();
+        assert_eq!(joins, 2);
+
+        // Round 2: everyone trains.
+        let active = vec![0usize, 1];
+        let offer = RoundOffer { round: 1, global: &global, sampled: &sampled, active: &active };
+        let exchange = server.exchange_round(&offer);
+        let ids: Vec<usize> = exchange.updates.iter().map(|u| u.client_id).collect();
+        assert_eq!(ids, vec![0, 1]);
+
+        let finish_events = server.finish();
+        let leaves = finish_events.iter().filter(|e| e.kind == SessionEventKind::Leave).count();
+        assert_eq!(leaves, 2);
+
+        let reports: Vec<ClientRunReport> =
+            workers.into_iter().map(|w| w.join().expect("client thread")).collect();
+        assert_eq!(reports[0], ClientRunReport { rounds_participated: 2, rounds_declined: 0 });
+        assert_eq!(reports[1], ClientRunReport { rounds_participated: 1, rounds_declined: 1 });
+
+        // Wire accounting: round 0 sent the global to both sampled clients
+        // (dropout included — that is how the paper counts uploads) and
+        // received exactly one model update.
+        let log = wire_log.lock();
+        let r0 = log.iter().find(|s| s.round == 0).expect("round 0 stats");
+        assert_eq!(r0.model_bytes_tx, psi as u64 * 4 * 2);
+        assert_eq!(r0.model_bytes_rx, psi as u64 * 4);
+        let r1 = log.iter().find(|s| s.round == 1).expect("round 1 stats");
+        assert_eq!(r1.model_bytes_rx, psi as u64 * 4 * 2);
+    }
+
+    #[test]
+    fn malformed_frame_becomes_a_fault_not_a_panic() {
+        let (mut server, addr) = bind_server(1);
+        let evil = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let join = encode(&Message::Join { client_id: 0, protocol: PROTOCOL_VERSION });
+            s.write_all(&join).unwrap();
+            let wire_cfg = fast_cfg().wire;
+            let _welcome = read_frame(&mut s, &wire_cfg).unwrap();
+            // Await the round start, then answer with garbage bytes dressed
+            // as a huge frame.
+            let _round_start = read_frame(&mut s, &wire_cfg).unwrap();
+            let mut bad = Vec::new();
+            bad.extend_from_slice(&crate::wire::MAGIC.to_le_bytes());
+            bad.push(4); // Upload kind
+            bad.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+            s.write_all(&bad).unwrap();
+            // Server should cut us off; swallow whatever happens next.
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let _ = read_frame(&mut s, &wire_cfg);
+        });
+
+        server.wait_for_clients().unwrap();
+        let global = vec![0.0f32; 4];
+        let sampled = vec![0usize];
+        let offer = RoundOffer { round: 0, global: &global, sampled: &sampled, active: &sampled };
+        let exchange = server.exchange_round(&offer);
+        assert!(exchange.updates.is_empty());
+        assert!(
+            exchange
+                .faults
+                .iter()
+                .any(|f| matches!(f.kind, FaultKind::FrameOversized { declared, .. } if declared == u32::MAX as u64)),
+            "{:?}",
+            exchange.faults
+        );
+        // The offending session was dropped.
+        assert!(exchange.sessions.iter().any(|e| e.kind == SessionEventKind::Drop));
+        assert!(server.joined().is_empty());
+        server.finish();
+        evil.join().unwrap();
+    }
+
+    #[test]
+    fn disconnect_mid_round_maps_to_dropout() {
+        let (mut server, addr) = bind_server(1);
+        let quitter = std::thread::spawn(move || {
+            let mut ch = TcpClientChannel::connect(addr, 3, fast_cfg()).unwrap();
+            // Receive the round start, then vanish without a word.
+            let d = ch.request_round().unwrap();
+            assert!(matches!(d, Directive::Round { participate: true, .. }));
+            drop(ch);
+        });
+        server.wait_for_clients().unwrap();
+        let global = vec![1.0f32; 8];
+        let sampled = vec![3usize];
+        let offer = RoundOffer { round: 0, global: &global, sampled: &sampled, active: &sampled };
+        let exchange = server.exchange_round(&offer);
+        assert!(exchange.updates.is_empty());
+        assert_eq!(
+            exchange.faults,
+            vec![FaultEvent::new(3, FaultKind::Dropout)],
+            "disconnect should read as a dropout"
+        );
+        assert!(exchange.sessions.iter().any(|e| e.kind == SessionEventKind::Drop));
+        quitter.join().unwrap();
+        assert!(server.finish().is_empty());
+    }
+
+    #[test]
+    fn never_joined_active_client_is_a_dropout() {
+        let (mut server, _addr) = bind_server(0);
+        let global = vec![0.0f32; 2];
+        let sampled = vec![5usize, 6];
+        let active = vec![5usize];
+        let offer = RoundOffer { round: 0, global: &global, sampled: &sampled, active: &active };
+        let exchange = server.exchange_round(&offer);
+        // Active-but-absent 5 is a transport dropout; scheduled-dropout 6 is
+        // already accounted by the round loop and must not double-report.
+        assert_eq!(exchange.faults, vec![FaultEvent::new(5, FaultKind::Dropout)]);
+    }
+}

@@ -17,6 +17,7 @@
 
 use crate::comm::CommStats;
 use crate::fault::FaultEvent;
+use crate::transport::{SessionEvent, TransportKind};
 use fg_obs::metrics::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::fs;
@@ -159,6 +160,15 @@ pub struct RoundTelemetry {
     pub malicious_sampled: Vec<usize>,
     /// Byte-accurate communication totals for the round.
     pub comm: CommStats,
+    /// Which deployment carried the round's exchange (in-process simulation
+    /// or TCP). v2 addition; old trails read back as `Local`.
+    #[serde(default)]
+    pub transport: TransportKind,
+    /// Client-session lifecycle events (joins, heartbeats, drops, leaves)
+    /// observed by the transport during the round. Always empty for the
+    /// in-process transport. v2 addition; old trails read back empty.
+    #[serde(default)]
+    pub sessions: Vec<SessionEvent>,
     /// Cumulative process-wide metrics at the end of the round (GEMM FLOPs,
     /// workspace pool traffic, pool job counts, ...), captured only while
     /// `fg_obs` tracing is enabled — empty otherwise, keeping events
@@ -376,6 +386,8 @@ mod tests {
             quorum_met: true,
             malicious_sampled: vec![3],
             comm: CommStats { upload_bytes: 1024, download_bytes: 2048 },
+            transport: TransportKind::Local,
+            sessions: Vec::new(),
             metrics: MetricsSnapshot::default(),
         }
     }

@@ -1,0 +1,694 @@
+//! Length-prefixed binary wire codec for the networked deployment mode.
+//!
+//! Every frame is `[magic u32 LE][kind u8][payload_len u32 LE][payload]`.
+//! Payloads are fixed little-endian encodings — `f32` travels as its raw IEEE
+//! bits, so a decoded parameter vector is **bit-identical** to the encoded
+//! one (NaN payloads included). The codec is deliberately dumb: no varints,
+//! no compression, no schema evolution — a frame either decodes exactly or
+//! fails with a typed [`WireError`], never a panic (fuzzed over arbitrary
+//! byte prefixes in `tests/wire_fuzz.rs`).
+//!
+//! ## Byte accounting
+//!
+//! The paper's communication figures (Table V) count model payloads at
+//! 4 bytes per f32 — exactly what `crate::comm::CommStats` accounts. Each
+//! message therefore reports its [`model_bytes`](Message::model_bytes): the
+//! bytes of classifier/decoder parameters it carries. For an `Upload` this
+//! equals [`ModelUpdate::wire_bytes`]; for a `RoundStart` it is
+//! `global.len() * 4`. Everything else on the wire (headers, ids, lengths,
+//! the coverage histogram) is frame overhead, reported separately, so the
+//! networked path's model-byte counters can be asserted **identical** to the
+//! in-process `CommStats` accounting.
+//!
+//! ## Robustness
+//!
+//! A frame whose declared payload length exceeds [`WireConfig::max_frame_bytes`]
+//! is rejected before any allocation ([`WireError::Oversized`]); truncated or
+//! malformed frames surface as [`WireError`] values the transport maps onto
+//! the fault taxonomy ([`WireError::to_fault_kind`]).
+
+use crate::fault::FaultKind;
+use crate::update::ModelUpdate;
+use std::io::{Read, Write};
+
+/// Frame magic: `FGW1` in little-endian byte order.
+pub const MAGIC: u32 = 0x3157_4746;
+
+/// Bytes of the fixed frame header: magic (4) + kind (1) + payload len (4).
+pub const HEADER_BYTES: usize = 9;
+
+/// Protocol version sent in `Join`; the server rejects mismatches.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Codec limits. The default frame cap (64 MiB) comfortably fits the paper's
+/// largest payload (the Table II classifier: 1,662,752 × 4 B ≈ 6.65 MB) with
+/// room for bigger models, while bounding what a malicious or corrupt peer
+/// can make the server allocate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireConfig {
+    /// Maximum accepted payload length in bytes; larger declared lengths are
+    /// rejected with [`WireError::Oversized`] before any allocation.
+    pub max_frame_bytes: u32,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        WireConfig { max_frame_bytes: 64 << 20 }
+    }
+}
+
+/// Everything that crosses the wire between `fed_server` and `fed_client`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Message {
+    /// Client → server: session open. The server validates the protocol
+    /// version and registers the session under `client_id`.
+    Join { client_id: u64, protocol: u32 },
+    /// Server → client: session accepted. Carries the global parameter count
+    /// and an opaque blob (the serialized `ExperimentConfig` in the shipped
+    /// bins) so one config, defined at the server, drives every process.
+    Welcome { param_len: u64, blob: String },
+    /// Server → client: one round's work order. `participate` is false when
+    /// the seeded fault plan scheduled this client to drop out — the client
+    /// must not train (keeping decoder caches bit-identical to the
+    /// in-process path) and answers with `Decline`.
+    RoundStart { round: u64, participate: bool, global: Vec<f32> },
+    /// Client → server: the trained (and possibly attack-intercepted)
+    /// submission for `round`.
+    Upload { round: u64, update: ModelUpdate },
+    /// Client → server: no submission this round (scheduled dropout).
+    Decline { round: u64 },
+    /// Client → server: liveness signal while idle between rounds.
+    Heartbeat { client_id: u64 },
+    /// Client → server: orderly session close.
+    Leave { client_id: u64 },
+    /// Server → client: the run is over; close after sending `Leave`.
+    Shutdown,
+}
+
+impl Message {
+    /// Wire kind tag.
+    pub fn kind(&self) -> u8 {
+        match self {
+            Message::Join { .. } => 1,
+            Message::Welcome { .. } => 2,
+            Message::RoundStart { .. } => 3,
+            Message::Upload { .. } => 4,
+            Message::Decline { .. } => 5,
+            Message::Heartbeat { .. } => 6,
+            Message::Leave { .. } => 7,
+            Message::Shutdown => 8,
+        }
+    }
+
+    /// Stable name for spans and logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Join { .. } => "join",
+            Message::Welcome { .. } => "welcome",
+            Message::RoundStart { .. } => "round_start",
+            Message::Upload { .. } => "upload",
+            Message::Decline { .. } => "decline",
+            Message::Heartbeat { .. } => "heartbeat",
+            Message::Leave { .. } => "leave",
+            Message::Shutdown => "shutdown",
+        }
+    }
+
+    /// Model-parameter payload bytes this message carries (4 bytes per f32),
+    /// the quantity [`crate::comm::CommStats`] accounts. Zero for control
+    /// frames.
+    pub fn model_bytes(&self) -> u64 {
+        match self {
+            Message::RoundStart { global, .. } => global.len() as u64 * 4,
+            Message::Upload { update, .. } => update.wire_bytes(),
+            _ => 0,
+        }
+    }
+}
+
+/// Why a frame failed to decode. No variant is ever produced by panicking;
+/// the decoder is total over arbitrary byte prefixes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Underlying socket error (includes read/write timeouts as
+    /// `WouldBlock`/`TimedOut`).
+    Io(std::io::ErrorKind),
+    /// The frame does not start with [`MAGIC`].
+    BadMagic(u32),
+    /// Unknown message kind tag.
+    UnknownKind(u8),
+    /// Declared payload length exceeds the configured cap.
+    Oversized { declared: u64, cap: u64 },
+    /// The buffer ends before the declared frame does.
+    Truncated { needed: usize, got: usize },
+    /// Structurally invalid payload (bad flag byte, inner length overrun,
+    /// non-UTF-8 string, trailing garbage...).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(kind) => write!(f, "socket error: {kind:?}"),
+            WireError::BadMagic(got) => write!(f, "bad frame magic {got:#010x}"),
+            WireError::UnknownKind(kind) => write!(f, "unknown frame kind {kind}"),
+            WireError::Oversized { declared, cap } => {
+                write!(f, "frame declares {declared} payload bytes, cap is {cap}")
+            }
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e.kind())
+    }
+}
+
+impl WireError {
+    /// True when the error is a read/write deadline expiry rather than a
+    /// broken peer (`WouldBlock` on Unix, `TimedOut` on Windows).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, WireError::Io(std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut))
+    }
+
+    /// Map the failure onto the round-loop fault taxonomy: an oversized
+    /// declaration becomes [`FaultKind::FrameOversized`], a timeout or
+    /// disconnect becomes [`FaultKind::Dropout`] (the submission simply never
+    /// arrived), and every other decode failure becomes
+    /// [`FaultKind::FrameMalformed`].
+    pub fn to_fault_kind(&self) -> FaultKind {
+        match self {
+            WireError::Oversized { declared, cap } => {
+                FaultKind::FrameOversized { declared: *declared, cap: *cap }
+            }
+            WireError::Io(_) => FaultKind::Dropout,
+            other => FaultKind::FrameMalformed { detail: other.to_string() },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, x: u32) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, x: u64) {
+    buf.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
+    put_u64(buf, xs.len() as u64);
+    buf.reserve(xs.len() * 4);
+    for x in xs {
+        buf.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u64(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn encode_update(buf: &mut Vec<u8>, update: &ModelUpdate) {
+    put_u64(buf, update.client_id as u64);
+    put_u64(buf, update.num_samples as u64);
+    put_f32s(buf, &update.params);
+    match &update.decoder {
+        Some(decoder) => {
+            buf.push(1);
+            put_f32s(buf, decoder);
+        }
+        None => buf.push(0),
+    }
+    match &update.class_coverage {
+        Some(coverage) => {
+            buf.push(1);
+            put_u64(buf, coverage.len() as u64);
+            for c in coverage {
+                put_u32(buf, *c);
+            }
+        }
+        None => buf.push(0),
+    }
+}
+
+fn frame_of(kind: u8, payload: Vec<u8>) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(HEADER_BYTES + payload.len());
+    put_u32(&mut frame, MAGIC);
+    frame.push(kind);
+    put_u32(&mut frame, payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Encode `msg` as one complete frame (header + payload).
+pub fn encode(msg: &Message) -> Vec<u8> {
+    match msg {
+        Message::RoundStart { round, participate, global } => {
+            return encode_round_start(*round, *participate, global);
+        }
+        Message::Upload { round, update } => return encode_upload(*round, update),
+        _ => {}
+    }
+    let mut payload = Vec::new();
+    match msg {
+        Message::Join { client_id, protocol } => {
+            put_u64(&mut payload, *client_id);
+            put_u32(&mut payload, *protocol);
+        }
+        Message::Welcome { param_len, blob } => {
+            put_u64(&mut payload, *param_len);
+            put_str(&mut payload, blob);
+        }
+        Message::Decline { round } => put_u64(&mut payload, *round),
+        Message::Heartbeat { client_id } | Message::Leave { client_id } => {
+            put_u64(&mut payload, *client_id)
+        }
+        Message::Shutdown => {}
+        Message::RoundStart { .. } | Message::Upload { .. } => unreachable!("handled above"),
+    }
+    frame_of(msg.kind(), payload)
+}
+
+/// Encode a `RoundStart` frame straight from a borrowed parameter slice —
+/// lets the server fan one global model out to `m` sessions without cloning
+/// it into an owned [`Message`] per client. Byte-identical to
+/// [`encode`]`(&Message::RoundStart { .. })`.
+pub fn encode_round_start(round: u64, participate: bool, global: &[f32]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + 1 + 8 + global.len() * 4);
+    put_u64(&mut payload, round);
+    payload.push(u8::from(participate));
+    put_f32s(&mut payload, global);
+    frame_of(3, payload)
+}
+
+/// Encode an `Upload` frame from a borrowed update (no clone of the
+/// parameter vectors). Byte-identical to
+/// [`encode`]`(&Message::Upload { .. })`.
+pub fn encode_upload(round: u64, update: &ModelUpdate) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + 24 + update.wire_bytes() as usize);
+    put_u64(&mut payload, round);
+    encode_update(&mut payload, update);
+    frame_of(4, payload)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounded cursor over a payload slice; every take is length-checked.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let remaining = self.buf.len() - self.pos;
+        if remaining < n {
+            return Err(WireError::Truncated { needed: n, got: remaining });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4-byte slice")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8-byte slice")))
+    }
+
+    /// A `u64` that must fit the remaining payload when multiplied by
+    /// `elem_bytes` — guards `Vec` preallocation against corrupt lengths.
+    fn seq_len(&mut self, elem_bytes: usize) -> Result<usize, WireError> {
+        let declared = self.u64()?;
+        let remaining = (self.buf.len() - self.pos) as u64;
+        if declared.saturating_mul(elem_bytes as u64) > remaining {
+            return Err(WireError::Malformed("inner length overruns payload"));
+        }
+        Ok(declared as usize)
+    }
+
+    fn f32s(&mut self) -> Result<Vec<f32>, WireError> {
+        let len = self.seq_len(4)?;
+        let bytes = self.take(len * 4)?;
+        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.seq_len(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed("non-UTF-8 string"))
+    }
+
+    fn flag(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("flag byte not 0/1")),
+        }
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after payload"))
+        }
+    }
+}
+
+fn decode_update(r: &mut Reader<'_>) -> Result<ModelUpdate, WireError> {
+    let client_id = r.u64()? as usize;
+    let num_samples = r.u64()? as usize;
+    let params = r.f32s()?;
+    let decoder = if r.flag()? { Some(r.f32s()?) } else { None };
+    let class_coverage = if r.flag()? {
+        let len = r.seq_len(4)?;
+        let mut coverage = Vec::with_capacity(len);
+        for _ in 0..len {
+            coverage.push(r.u32()?);
+        }
+        Some(coverage)
+    } else {
+        None
+    };
+    Ok(ModelUpdate { client_id, params, num_samples, decoder, class_coverage })
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(payload);
+    let msg = match kind {
+        1 => Message::Join { client_id: r.u64()?, protocol: r.u32()? },
+        2 => Message::Welcome { param_len: r.u64()?, blob: r.string()? },
+        3 => Message::RoundStart { round: r.u64()?, participate: r.flag()?, global: r.f32s()? },
+        4 => Message::Upload { round: r.u64()?, update: decode_update(&mut r)? },
+        5 => Message::Decline { round: r.u64()? },
+        6 => Message::Heartbeat { client_id: r.u64()? },
+        7 => Message::Leave { client_id: r.u64()? },
+        8 => Message::Shutdown,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Decode one frame from the front of `buf`. On success returns the message
+/// and the number of bytes consumed. Total over arbitrary inputs: any input
+/// either decodes or returns a typed error — never panics, never allocates
+/// more than the declared (capped) payload.
+pub fn decode(buf: &[u8], cfg: &WireConfig) -> Result<(Message, usize), WireError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(WireError::Truncated { needed: HEADER_BYTES, got: buf.len() });
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let kind = buf[4];
+    let declared = u32::from_le_bytes(buf[5..9].try_into().unwrap()) as usize;
+    if declared as u64 > cfg.max_frame_bytes as u64 {
+        return Err(WireError::Oversized {
+            declared: declared as u64,
+            cap: cfg.max_frame_bytes as u64,
+        });
+    }
+    let total = HEADER_BYTES + declared;
+    if buf.len() < total {
+        return Err(WireError::Truncated { needed: total, got: buf.len() });
+    }
+    let msg = decode_payload(kind, &buf[HEADER_BYTES..total])?;
+    Ok((msg, total))
+}
+
+/// Write one frame to `w`, flushing it. Returns the total frame bytes put on
+/// the wire.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> Result<u64, WireError> {
+    let frame = encode(msg);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len() as u64)
+}
+
+/// Read exactly one frame from `r`. Returns the message and its total frame
+/// bytes. A peer that closes the connection cleanly between frames surfaces
+/// as `Io(UnexpectedEof)`; a close mid-frame the same way (the transport maps
+/// both onto the fault taxonomy).
+pub fn read_frame<R: Read>(r: &mut R, cfg: &WireConfig) -> Result<(Message, u64), WireError> {
+    let mut header = [0u8; HEADER_BYTES];
+    r.read_exact(&mut header)?;
+    let magic = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let kind = header[4];
+    let declared = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+    if declared as u64 > cfg.max_frame_bytes as u64 {
+        return Err(WireError::Oversized {
+            declared: declared as u64,
+            cap: cfg.max_frame_bytes as u64,
+        });
+    }
+    let mut payload = vec![0u8; declared];
+    r.read_exact(&mut payload)?;
+    let msg = decode_payload(kind, &payload)?;
+    Ok((msg, (HEADER_BYTES + declared) as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_update(decoder: bool) -> ModelUpdate {
+        ModelUpdate {
+            client_id: 7,
+            params: vec![1.5, -2.25, f32::MIN_POSITIVE, 0.0],
+            num_samples: 120,
+            decoder: decoder.then(|| vec![0.5, -0.5, 3.75]),
+            class_coverage: decoder.then(|| vec![3, 0, 9]),
+        }
+    }
+
+    fn all_messages() -> Vec<Message> {
+        vec![
+            Message::Join { client_id: 3, protocol: PROTOCOL_VERSION },
+            Message::Welcome { param_len: 42, blob: "{\"preset\":\"smoke\"}".to_string() },
+            Message::RoundStart { round: 5, participate: true, global: vec![0.25, -1.0, 7.5] },
+            Message::RoundStart { round: 6, participate: false, global: Vec::new() },
+            Message::Upload { round: 5, update: sample_update(true) },
+            Message::Upload { round: 5, update: sample_update(false) },
+            Message::Decline { round: 9 },
+            Message::Heartbeat { client_id: 3 },
+            Message::Leave { client_id: 3 },
+            Message::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_bitwise() {
+        let cfg = WireConfig::default();
+        for msg in all_messages() {
+            let frame = encode(&msg);
+            let (back, consumed) = decode(&frame, &cfg).expect("frame decodes");
+            assert_eq!(back, msg);
+            assert_eq!(consumed, frame.len());
+        }
+    }
+
+    #[test]
+    fn borrowed_encoders_match_the_owned_path() {
+        let update = sample_update(true);
+        assert_eq!(
+            encode_upload(3, &update),
+            encode(&Message::Upload { round: 3, update: update.clone() })
+        );
+        let global = vec![1.0f32, -0.5, f32::MAX];
+        assert_eq!(
+            encode_round_start(9, false, &global),
+            encode(&Message::RoundStart { round: 9, participate: false, global })
+        );
+    }
+
+    #[test]
+    fn nan_parameters_survive_the_wire_bit_for_bit() {
+        let mut update = sample_update(false);
+        update.params = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0];
+        let msg = Message::Upload { round: 0, update };
+        let (back, _) = decode(&encode(&msg), &WireConfig::default()).unwrap();
+        let Message::Upload { update: u, .. } = back else { panic!("upload") };
+        let bits: Vec<u32> = u.params.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            bits,
+            vec![
+                f32::NAN.to_bits(),
+                f32::INFINITY.to_bits(),
+                f32::NEG_INFINITY.to_bits(),
+                (-0.0f32).to_bits()
+            ]
+        );
+    }
+
+    #[test]
+    fn model_bytes_match_comm_accounting() {
+        // Upload: exactly ModelUpdate::wire_bytes (params + decoder, 4 B/f32).
+        let update = sample_update(true);
+        let msg = Message::Upload { round: 1, update: update.clone() };
+        assert_eq!(msg.model_bytes(), update.wire_bytes());
+        assert_eq!(msg.model_bytes(), (4 + 3) * 4);
+        // RoundStart: the global model distribution, 4 B/f32.
+        let global = vec![0.0f32; 11];
+        let msg = Message::RoundStart { round: 0, participate: true, global };
+        assert_eq!(msg.model_bytes(), 44);
+        // Control frames carry no model payload.
+        assert_eq!(Message::Heartbeat { client_id: 0 }.model_bytes(), 0);
+        assert_eq!(Message::Shutdown.model_bytes(), 0);
+    }
+
+    #[test]
+    fn frame_overhead_is_header_plus_fixed_fields() {
+        // The non-model bytes of an Upload are the header, round, ids,
+        // lengths, flags and the coverage histogram — everything CommStats
+        // does not count.
+        let update = sample_update(true);
+        let frame = encode(&Message::Upload { round: 1, update: update.clone() });
+        let fixed = HEADER_BYTES as u64 // frame header
+            + 8  // round
+            + 8  // client_id
+            + 8  // num_samples
+            + 8  // params len
+            + 1 + 8 // decoder flag + len
+            + 1 + 8 // coverage flag + len
+            + update.class_coverage.as_ref().unwrap().len() as u64 * 4;
+        assert_eq!(frame.len() as u64, fixed + update.wire_bytes());
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_allocation() {
+        let mut frame = encode(&Message::Shutdown);
+        // Rewrite the payload length to something enormous.
+        frame[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        let cfg = WireConfig::default();
+        assert_eq!(
+            decode(&frame, &cfg),
+            Err(WireError::Oversized {
+                declared: u32::MAX as u64,
+                cap: cfg.max_frame_bytes as u64
+            })
+        );
+        // A tighter cap rejects an otherwise-valid frame.
+        let big =
+            encode(&Message::RoundStart { round: 0, participate: true, global: vec![0.0; 100] });
+        let tiny = WireConfig { max_frame_bytes: 16 };
+        assert!(matches!(decode(&big, &tiny), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn truncated_prefixes_error_cleanly() {
+        let frame = encode(&Message::Upload { round: 2, update: sample_update(true) });
+        for cut in 0..frame.len() {
+            let err = decode(&frame[..cut], &WireConfig::default())
+                .expect_err("prefix must not decode as a whole frame");
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut {cut}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_unknown_kind_and_trailing_bytes_are_malformed() {
+        let cfg = WireConfig::default();
+        let mut frame = encode(&Message::Shutdown);
+        frame[0] ^= 0xFF;
+        assert!(matches!(decode(&frame, &cfg), Err(WireError::BadMagic(_))));
+
+        let mut frame = encode(&Message::Shutdown);
+        frame[4] = 200;
+        assert_eq!(decode(&frame, &cfg), Err(WireError::UnknownKind(200)));
+
+        // Declare one extra payload byte and append it: trailing garbage.
+        let mut frame = encode(&Message::Decline { round: 3 });
+        let len = u32::from_le_bytes(frame[5..9].try_into().unwrap());
+        frame[5..9].copy_from_slice(&(len + 1).to_le_bytes());
+        frame.push(0xAB);
+        assert_eq!(decode(&frame, &cfg), Err(WireError::Malformed("trailing bytes after payload")));
+    }
+
+    #[test]
+    fn inner_length_overrun_is_malformed_not_oom() {
+        // A RoundStart whose f32 count claims more elements than the payload
+        // holds must fail without attempting the huge allocation.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0); // round
+        payload.push(1); // participate
+        put_u64(&mut payload, u64::MAX / 8); // absurd element count
+        let mut frame = Vec::new();
+        put_u32(&mut frame, MAGIC);
+        frame.push(3);
+        put_u32(&mut frame, payload.len() as u32);
+        frame.extend_from_slice(&payload);
+        assert_eq!(
+            decode(&frame, &WireConfig::default()),
+            Err(WireError::Malformed("inner length overruns payload"))
+        );
+    }
+
+    #[test]
+    fn stream_round_trip_and_eof_mapping() {
+        let cfg = WireConfig::default();
+        let messages = all_messages();
+        let mut buf = Vec::new();
+        for m in &messages {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut cursor = &buf[..];
+        for m in &messages {
+            let (back, _) = read_frame(&mut cursor, &cfg).unwrap();
+            assert_eq!(&back, m);
+        }
+        // Clean EOF between frames surfaces as an Io error, mapped to Dropout.
+        let err = read_frame(&mut cursor, &cfg).unwrap_err();
+        assert_eq!(err, WireError::Io(std::io::ErrorKind::UnexpectedEof));
+        assert_eq!(err.to_fault_kind(), FaultKind::Dropout);
+    }
+
+    #[test]
+    fn wire_errors_map_onto_the_fault_taxonomy() {
+        assert_eq!(
+            WireError::Oversized { declared: 99, cap: 10 }.to_fault_kind(),
+            FaultKind::FrameOversized { declared: 99, cap: 10 }
+        );
+        assert!(matches!(WireError::BadMagic(7).to_fault_kind(), FaultKind::FrameMalformed { .. }));
+        assert!(matches!(
+            WireError::Malformed("x").to_fault_kind(),
+            FaultKind::FrameMalformed { .. }
+        ));
+        assert_eq!(
+            WireError::Io(std::io::ErrorKind::WouldBlock).to_fault_kind(),
+            FaultKind::Dropout
+        );
+        assert!(WireError::Io(std::io::ErrorKind::WouldBlock).is_timeout());
+        assert!(!WireError::BadMagic(0).is_timeout());
+    }
+}

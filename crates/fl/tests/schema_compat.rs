@@ -1,11 +1,13 @@
 //! Forward/backward compatibility of the `RoundTelemetry` JSONL schema.
 //!
-//! v1 trails predate `schema_version` and `metrics`; readers must accept them
-//! (defaulting the missing fields) and must ignore fields emitted by writers
-//! newer than themselves.
+//! v1 trails predate `schema_version` and `metrics`; trails from early-v2
+//! writers additionally predate `transport` and `sessions`. Readers must
+//! accept all of them (defaulting the missing fields) and must ignore fields
+//! emitted by writers newer than themselves.
 
 use fg_fl::comm::CommStats;
 use fg_fl::telemetry::{read_jsonl, RoundTelemetry, StageTimings, SCHEMA_VERSION};
+use fg_fl::transport::{SessionEvent, SessionEventKind, TransportKind};
 use fg_obs::metrics::MetricsSnapshot;
 use serde::{Serialize, Value};
 
@@ -35,6 +37,8 @@ fn sample_event(round: usize) -> RoundTelemetry {
         quorum_met: true,
         malicious_sampled: vec![3],
         comm: CommStats { upload_bytes: 1024, download_bytes: 2048 },
+        transport: TransportKind::Local,
+        sessions: Vec::new(),
         metrics: MetricsSnapshot::default(),
     }
 }
@@ -52,7 +56,7 @@ fn without_keys(event: &RoundTelemetry, keys: &[&str]) -> String {
 #[test]
 fn v1_trail_without_versioned_fields_still_parses() {
     let event = sample_event(4);
-    let v1_line = without_keys(&event, &["schema_version", "metrics"]);
+    let v1_line = without_keys(&event, &["schema_version", "metrics", "transport", "sessions"]);
     assert!(!v1_line.contains("schema_version"));
 
     let back: RoundTelemetry = serde_json::from_str(&v1_line).unwrap();
@@ -60,6 +64,38 @@ fn v1_trail_without_versioned_fields_still_parses() {
     assert_eq!(back.metrics, MetricsSnapshot::default());
     assert_eq!(back.round, 4);
     assert_eq!(back.stages, event.stages);
+}
+
+#[test]
+fn early_v2_trail_without_transport_fields_still_parses() {
+    // Early-v2 writers stamped schema_version/metrics but predate the
+    // networked deployment mode's transport/sessions fields.
+    let event = sample_event(2);
+    let line = without_keys(&event, &["transport", "sessions"]);
+    assert!(!line.contains("transport"));
+
+    let back: RoundTelemetry = serde_json::from_str(&line).unwrap();
+    assert_eq!(back.schema_version, SCHEMA_VERSION);
+    assert_eq!(back.transport, TransportKind::Local, "missing transport defaults to Local");
+    assert!(back.sessions.is_empty(), "missing sessions default to empty");
+    assert_eq!(back, event);
+}
+
+#[test]
+fn transport_and_sessions_round_trip() {
+    let mut event = sample_event(3);
+    event.transport = TransportKind::Tcp;
+    event.sessions = vec![
+        SessionEvent::new(0, SessionEventKind::Join),
+        SessionEvent::new(3, SessionEventKind::Heartbeat),
+        SessionEvent::new(5, SessionEventKind::Drop),
+        SessionEvent::new(0, SessionEventKind::Leave),
+    ];
+    let line = serde_json::to_string(&event).unwrap();
+    let back: RoundTelemetry = serde_json::from_str(&line).unwrap();
+    assert_eq!(back, event);
+    assert_eq!(back.transport, TransportKind::Tcp);
+    assert_eq!(back.sessions.len(), 4);
 }
 
 #[test]
@@ -83,7 +119,7 @@ fn read_jsonl_accepts_mixed_version_trail() {
     let mixed = format!(
         "{}\n{}\n",
         serde_json::to_string(&new_event).unwrap(),
-        without_keys(&old_event, &["schema_version", "metrics"]),
+        without_keys(&old_event, &["schema_version", "metrics", "transport", "sessions"]),
     );
     std::fs::write(&path, mixed).unwrap();
 

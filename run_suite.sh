@@ -46,6 +46,27 @@ FG_TRACE=1 $B/trace_demo --threads 4 --rounds 2 --seed 42 \
     > results/trace/trace_demo.out 2> results/trace/trace_demo.log || exit 1
 test -s results/trace/fedguard_2round.json || exit 1
 grep -q 'round.local_training' results/trace/fedguard_2round_collapsed.txt || exit 1
+# Net stage: the networked deployment mode. fed_server + N fed_client as
+# separate processes over loopback TCP, running a seeded 2-round FedGuard
+# cell; --check-oracle replays the identical config in-process and the
+# server exits non-zero unless the two deployments are bit-identical and
+# the wire's model-parameter bytes match the comm.rs accounting exactly.
+cargo test --release -q -p fedguard --test net_equivalence || exit 1
+cargo build --release -p fg-bench --bin fed_server --bin fed_client || exit 1
+NET_PORT=7963
+$B/fed_server --bind 127.0.0.1:$NET_PORT --preset smoke --strategy fedguard \
+    --attack sign-flipping --seed 42 --rounds 2 --check-oracle \
+    --out results/bench_net.json 2> results/bench_net.log &
+NET_SERVER=$!
+sleep 1
+for i in $(seq 0 9); do
+    $B/fed_client --connect 127.0.0.1:$NET_PORT --id $i 2>> results/bench_net.log &
+done
+wait $NET_SERVER || exit 1
+wait
+grep -q '"equivalent": true' results/bench_net.json || exit 1
+grep -q '"wire_matches_comm": true' results/bench_net.json || exit 1
+
 $B/fig4 --preset fast --seed 42 > results/fig4.csv 2> results/fig4.log
 $B/table4 --preset fast --seed 42 > results/table4.md 2> results/table4.log
 $B/fig5 --preset fast --seed 42 > results/fig5.csv 2> results/fig5.log

@@ -1,0 +1,222 @@
+//! The networked deployment's contract: a seeded FedGuard run over loopback
+//! TCP — server and clients exchanging frames through the wire protocol —
+//! is **bit-identical** to the in-process `LocalTransport` oracle. Same
+//! accuracy series, same audit scores and threshold, same rosters, same
+//! byte accounting, same final global model.
+//!
+//! Clients run on threads here (one `TcpClientChannel` each, driven by the
+//! same `run_federated_client` loop the `fed_client` binary uses); the
+//! separate-process version of this check is the `net` stage of
+//! `run_suite.sh`.
+
+use fedguard::experiment::{
+    build_client, run_experiment_full, run_served_experiment, AttackScenario, ExperimentConfig,
+    Preset, RunArtifacts, StrategyKind,
+};
+use fg_fl::{
+    run_federated_client, ClientChannel, ClientRunReport, Directive, NetConfig, TcpClientChannel,
+    TcpTransport, TransportKind, WireStats,
+};
+use fg_nn::models::Classifier;
+use fg_tensor::rng::SeededRng;
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Duration;
+
+fn net_cfg() -> NetConfig {
+    NetConfig {
+        read_timeout: Duration::from_secs(60),
+        write_timeout: Duration::from_secs(20),
+        join_timeout: Duration::from_secs(20),
+        heartbeat_interval: Duration::from_secs(5),
+        ..NetConfig::default()
+    }
+}
+
+fn bind_for(cfg: &ExperimentConfig) -> (TcpTransport, SocketAddr) {
+    let blob = serde_json::to_string(cfg).expect("config serializes");
+    let param_len =
+        Classifier::new(&cfg.fed.classifier, &mut SeededRng::new(0)).get_params().len() as u64;
+    let transport =
+        TcpTransport::bind("127.0.0.1:0", cfg.fed.n_clients, param_len, blob, net_cfg())
+            .expect("bind loopback transport");
+    let addr = transport.local_addr().expect("ephemeral address");
+    (transport, addr)
+}
+
+/// Serve `cfg` over loopback TCP with one well-behaved worker thread per
+/// client, exactly as the `fed_server`/`fed_client` binaries do.
+fn serve_over_tcp(cfg: &ExperimentConfig) -> (RunArtifacts, Vec<ClientRunReport>, Vec<WireStats>) {
+    let (mut transport, addr) = bind_for(cfg);
+    let wire_log = transport.wire_log();
+    let handles: Vec<_> = (0..cfg.fed.n_clients)
+        .map(|id| {
+            thread::spawn(move || {
+                let mut channel =
+                    TcpClientChannel::connect(addr, id, net_cfg()).expect("worker joins");
+                // Workers rebuild their state from the Welcome blob alone —
+                // the single-source-of-truth path the binaries rely on.
+                let parsed: ExperimentConfig =
+                    serde_json::from_str(channel.welcome_blob()).expect("blob parses");
+                let (mut client, interceptor) = build_client(&parsed, id);
+                run_federated_client(&mut channel, &mut client, interceptor.as_ref())
+                    .expect("worker session completes")
+            })
+        })
+        .collect();
+    transport.wait_for_clients().expect("all workers join");
+    let served = run_served_experiment(cfg, Box::new(transport));
+    let reports = handles.into_iter().map(|h| h.join().expect("worker thread")).collect();
+    let wire = wire_log.lock().clone();
+    (served, reports, wire)
+}
+
+#[test]
+fn tcp_fedguard_run_is_bit_identical_to_in_process_oracle() {
+    let mut cfg = ExperimentConfig::preset(
+        Preset::Smoke,
+        StrategyKind::FedGuard,
+        AttackScenario::SignFlip { fraction: 0.4 },
+        42,
+    );
+    cfg.fed.rounds = 2;
+
+    let oracle = run_experiment_full(&cfg);
+    let (served, reports, wire) = serve_over_tcp(&cfg);
+
+    // Bit-identical outcomes: f32 equality here is exact, not approximate.
+    assert_eq!(oracle.result.accuracy_series(), served.result.accuracy_series());
+    assert_eq!(oracle.final_global, served.final_global, "global model diverged");
+    assert_eq!(oracle.result.malicious_clients, served.result.malicious_clients);
+    assert_eq!(oracle.telemetry.len(), served.telemetry.len());
+    for (a, b) in oracle.telemetry.iter().zip(&served.telemetry) {
+        assert_eq!(a.scores, b.scores, "round {} audit scores diverged", a.round);
+        assert_eq!(a.threshold, b.threshold, "round {} threshold diverged", a.round);
+        assert_eq!(a.sampled, b.sampled);
+        assert_eq!(a.survivors, b.survivors);
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.excluded, b.excluded);
+        assert_eq!(a.comm, b.comm, "round {} comm accounting diverged", a.round);
+        assert_eq!(a.transport, TransportKind::Local);
+        assert_eq!(b.transport, TransportKind::Tcp);
+    }
+    // The served run logged the sessions the oracle never had.
+    assert!(
+        served.telemetry[0].sessions.len() >= cfg.fed.n_clients,
+        "expected at least one Join per client in round 0"
+    );
+    assert!(oracle.telemetry.iter().all(|e| e.sessions.is_empty()));
+
+    // Wire model-parameter bytes realize the simulation's byte accounting
+    // exactly on these fault-free rounds.
+    for event in &served.telemetry {
+        assert!(event.faults.is_empty(), "loopback run should be fault-free");
+        let w = wire.iter().find(|w| w.round == event.round).expect("wire stats per round");
+        assert_eq!(w.model_bytes_tx, event.comm.upload_bytes, "round {}", event.round);
+        assert_eq!(w.model_bytes_rx, event.comm.download_bytes, "round {}", event.round);
+    }
+
+    // Every sampled slot trained: Σ participation = m × rounds.
+    let trained: usize = reports.iter().map(|r| r.rounds_participated).sum();
+    assert_eq!(trained, cfg.fed.clients_per_round * cfg.fed.rounds);
+}
+
+#[test]
+fn worker_vanishing_mid_round_degrades_to_a_dropout_not_a_crash() {
+    // Every client is sampled every round, so the vanishing worker is
+    // guaranteed to be in the active set when it dies.
+    let mut cfg =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 9);
+    cfg.fed.n_clients = 5;
+    cfg.fed.clients_per_round = 5;
+    cfg.fed.rounds = 2;
+
+    let (mut transport, addr) = bind_for(&cfg);
+    let quitter = thread::spawn(move || {
+        let mut channel = TcpClientChannel::connect(addr, 0, net_cfg()).expect("quitter joins");
+        // Accept the round offer, then vanish without uploading.
+        match channel.request_round().expect("first directive") {
+            Directive::Round { .. } => drop(channel),
+            Directive::Shutdown => panic!("expected a round before shutdown"),
+        }
+    });
+    let workers: Vec<_> = (1..cfg.fed.n_clients)
+        .map(|id| {
+            let cfg = cfg.clone();
+            thread::spawn(move || {
+                let mut channel =
+                    TcpClientChannel::connect(addr, id, net_cfg()).expect("worker joins");
+                let (mut client, interceptor) = build_client(&cfg, id);
+                run_federated_client(&mut channel, &mut client, interceptor.as_ref())
+                    .expect("worker session completes")
+            })
+        })
+        .collect();
+    transport.wait_for_clients().expect("all five join");
+    let served = run_served_experiment(&cfg, Box::new(transport));
+    quitter.join().unwrap();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    assert_eq!(served.result.history.len(), 2, "run completes despite the dead session");
+    // Round 0: the quitter's EOF mid-round is a Dropout fault on client 0,
+    // and its session records a Drop event.
+    let r0 = &served.telemetry[0];
+    assert!(
+        r0.faults.iter().any(|f| f.client_id == 0),
+        "expected a fault for the vanished client, got {:?}",
+        r0.faults
+    );
+    assert!(r0
+        .sessions
+        .iter()
+        .any(|s| s.client_id == 0 && s.kind == fg_fl::SessionEventKind::Drop));
+    // Round 1: the session is gone, so the still-sampled client 0 surfaces
+    // as a dropout again; the other four keep training.
+    let r1 = &served.telemetry[1];
+    assert!(r1.faults.iter().any(|f| f.client_id == 0));
+    assert_eq!(r1.survivors, vec![1, 2, 3, 4]);
+    assert!(served.result.history.iter().all(|r| r.accuracy.is_finite()));
+}
+
+#[test]
+fn scheduled_dropouts_stay_bit_identical_over_tcp() {
+    // A fault plan (scheduled dropouts) must reproduce identically across
+    // transports: the schedule is drawn server-side, and remote workers are
+    // told to sit the round out via `participate = false`.
+    let mut cfg =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 11);
+    cfg.fed.rounds = 2;
+    cfg.faults = Some(fg_fl::FaultConfig { dropout_prob: 0.4, ..fg_fl::FaultConfig::default() });
+
+    let oracle = run_experiment_full(&cfg);
+    let (served, reports, _) = serve_over_tcp(&cfg);
+
+    assert_eq!(oracle.result.accuracy_series(), served.result.accuracy_series());
+    assert_eq!(oracle.final_global, served.final_global);
+    for (a, b) in oracle.telemetry.iter().zip(&served.telemetry) {
+        assert_eq!(a.faults, b.faults, "round {} fault records diverged", a.round);
+        assert_eq!(a.survivors, b.survivors);
+        assert_eq!(a.comm, b.comm);
+    }
+    // Declines happened iff the plan scheduled dropouts.
+    let declined: usize = reports.iter().map(|r| r.rounds_declined).sum();
+    let scheduled: usize = served.telemetry.iter().map(|e| e.faults.len()).sum();
+    assert_eq!(declined, scheduled, "one Decline per scheduled dropout");
+}
+
+/// Shared-state guard: two loopback runs in the same process must not
+/// interfere (ephemeral ports, no global registries beyond metrics).
+#[test]
+fn consecutive_tcp_runs_are_independent() {
+    let mut cfg =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 3);
+    cfg.fed.n_clients = 4;
+    cfg.fed.clients_per_round = 3;
+    cfg.fed.rounds = 1;
+    let (a, _, _) = serve_over_tcp(&cfg);
+    let (b, _, _) = serve_over_tcp(&cfg);
+    assert_eq!(a.result.accuracy_series(), b.result.accuracy_series());
+    assert_eq!(a.final_global, b.final_global);
+}
