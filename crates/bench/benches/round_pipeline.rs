@@ -60,6 +60,7 @@ fn bench_rounds(c: &mut Criterion) {
             eval_batch: cfg.fed.eval_batch,
             inner: fedguard::InnerAggregator::FedAvg,
             coverage_aware: false,
+            audit: Default::default(),
         });
         let mut fed = build_federation(Box::new(strategy));
         // Warm up once so the lazy per-client CVAE training cost is paid

@@ -75,6 +75,7 @@ fn run_with_refresh(cfg: &ExperimentConfig, refresh: usize, seed: u64) -> (f32, 
         eval_batch: cfg.fed.eval_batch,
         inner: InnerAggregator::FedAvg,
         coverage_aware: true, // streams are class-windowed; coverage matters
+        audit: Default::default(),
     });
 
     // Initial datasets are the first chunks; streams take over per round.

@@ -1,0 +1,184 @@
+//! Benchmark of the batched audit scorer against the sequential per-model
+//! oracle — the server-side "score `m` client updates on the synthetic
+//! validation set" workload that dominates FedGuard's round cost once
+//! training is federated out to clients.
+//!
+//! Sequential = the pre-batching audit: one `Classifier::from_params` +
+//! `evaluate` per update. Batched = one [`BatchedClassifier`] over all `m`
+//! parameter sets, sharing a single im2col lowering of each validation
+//! minibatch and issuing one grouped kernel launch per layer. Both paths
+//! are timed at 1 thread and N threads, and all four runs must produce
+//! **bit-identical** score vectors — the benchmark doubles as the
+//! equivalence gate (`bitwise_identical` is asserted, not just reported).
+//!
+//! Emits JSON to stdout — `run_suite.sh` redirects it to
+//! `results/bench_scoring.json` — and one progress line per case to
+//! stderr, captured as `results/bench_scoring.log`.
+//!
+//! ```text
+//! cargo run --release -p fg-bench --bin bench_scoring -- [--threads N] [--reps K]
+//! ```
+
+use fedguard::nn::models::{BatchedClassifier, Classifier, ClassifierSpec};
+use fedguard::tensor::rng::SeededRng;
+use fedguard::tensor::Tensor;
+use fg_bench::flag_value;
+use rayon::with_threads;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct CaseReport {
+    name: &'static str,
+    /// Number of parameter sets scored together.
+    models: usize,
+    /// Validation samples and minibatch size.
+    samples: usize,
+    batch: usize,
+    gflops_sequential_1_thread: f64,
+    gflops_sequential_n_threads: f64,
+    gflops_batched_1_thread: f64,
+    gflops_batched_n_threads: f64,
+    /// Batched over sequential at N threads — the headline ratio; the
+    /// acceptance bar is ≥ 1.0 for `models ≥ 8`.
+    speedup_batched_vs_sequential: f64,
+    /// All four runs (2 paths × 2 thread counts) produced bit-identical
+    /// score vectors. Asserted before this report is emitted.
+    bitwise_identical: bool,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    threads: usize,
+    physical_cores: usize,
+    reps: usize,
+    cases: Vec<CaseReport>,
+}
+
+/// Best-of-`reps` wall time of `f`, plus the digest of its (rep-invariant)
+/// result for the cross-path equality assertion.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T, digest: impl Fn(&T) -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut sum = 0u64;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        sum = digest(&out);
+    }
+    (best, sum)
+}
+
+fn bits_digest(data: &[f32]) -> u64 {
+    // Order-sensitive FNV-1a over the raw bit patterns: any bitwise
+    // divergence between paths or schedules changes the digest.
+    let mut h = 0xcbf29ce484222325u64;
+    for x in data {
+        h = (h ^ x.to_bits() as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Analytic forward FLOPs for one sample through one model (multiply-adds
+/// counted as 2 FLOPs; ReLU/pool/argmax ignored, as in `bench_gemm`).
+fn flops_per_sample(spec: &ClassifierSpec) -> f64 {
+    match spec {
+        ClassifierSpec::Mlp { hidden } => {
+            let h = *hidden as f64;
+            2.0 * h * 784.0 + 2.0 * 10.0 * h
+        }
+        ClassifierSpec::TableIICnn => {
+            let conv1 = 2.0 * 32.0 * (28.0 * 28.0) * 25.0;
+            let conv2 = 2.0 * 64.0 * (14.0 * 14.0) * (32.0 * 25.0);
+            let fc1 = 2.0 * 512.0 * 3136.0;
+            let fc2 = 2.0 * 10.0 * 512.0;
+            conv1 + conv2 + fc1 + fc2
+        }
+    }
+}
+
+/// The pre-batching audit path: one fresh `Classifier` per parameter set.
+fn sequential_scores(
+    spec: &ClassifierSpec,
+    models: &[Vec<f32>],
+    x: &Tensor,
+    y: &[usize],
+    batch: usize,
+) -> Vec<f32> {
+    models.iter().map(|p| Classifier::from_params(spec, p).evaluate(x, y, batch)).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads: usize =
+        flag_value(&args, "--threads").and_then(|v| v.parse().ok()).unwrap_or_else(|| cores.max(4));
+    let reps: usize = flag_value(&args, "--reps").and_then(|v| v.parse().ok()).unwrap_or(3);
+
+    // (name, spec, m, samples, batch): the Mlp rows are the CPU-budget
+    // presets' audit shape at cohort sizes straddling MODEL_BLOCK; the CNN
+    // row is the paper's Table II architecture at a reduced sample count
+    // (its per-sample cost is ~50× the Mlp's).
+    let cases: [(&'static str, ClassifierSpec, usize, usize, usize); 3] = [
+        ("mlp64_m8", ClassifierSpec::Mlp { hidden: 64 }, 8, 512, 64),
+        ("mlp64_m16", ClassifierSpec::Mlp { hidden: 64 }, 16, 512, 64),
+        ("table_ii_cnn_m8", ClassifierSpec::TableIICnn, 8, 32, 16),
+    ];
+
+    let mut reports = Vec::new();
+    eprintln!(
+        "[bench_scoring] {} cases, best of {reps} reps, 1 vs {threads} threads \
+         ({cores} cores visible)",
+        cases.len()
+    );
+    for (name, spec, m, samples, batch) in cases {
+        let mut rng = SeededRng::new(7);
+        let models: Vec<Vec<f32>> =
+            (0..m).map(|_| Classifier::new(&spec, &mut rng).get_params()).collect();
+        let x = Tensor::randn(&[samples, 784], &mut rng);
+        let y: Vec<usize> = (0..samples).map(|i| i % 10).collect();
+        let flops = flops_per_sample(&spec) * samples as f64 * m as f64;
+
+        let seq = || sequential_scores(&spec, &models, &x, &y, batch);
+        let bat = || {
+            let views: Vec<&[f32]> = models.iter().map(|v| v.as_slice()).collect();
+            BatchedClassifier::new(&spec, &views).evaluate(&x, &y, batch)
+        };
+
+        let (seq_1t, d_seq_1t) = with_threads(1, || time_best(reps, seq, |s| bits_digest(s)));
+        let (seq_nt, d_seq_nt) = with_threads(threads, || time_best(reps, seq, |s| bits_digest(s)));
+        let (bat_1t, d_bat_1t) = with_threads(1, || time_best(reps, bat, |s| bits_digest(s)));
+        let (bat_nt, d_bat_nt) = with_threads(threads, || time_best(reps, bat, |s| bits_digest(s)));
+
+        // The hard gate: both paths, both schedules, one digest.
+        assert_eq!(d_seq_1t, d_seq_nt, "{name}: sequential diverged across thread counts");
+        assert_eq!(d_bat_1t, d_bat_nt, "{name}: batched diverged across thread counts");
+        assert_eq!(d_seq_1t, d_bat_1t, "{name}: batched diverged from the sequential oracle");
+
+        eprintln!(
+            "[bench_scoring] {name} (m={m}, n={samples}, b={batch}): \
+             seq 1t {:.2} GF/s, {threads}t {:.2} GF/s | \
+             batched 1t {:.2} GF/s, {threads}t {:.2} GF/s ({:.2}x vs seq)",
+            flops / seq_1t / 1e9,
+            flops / seq_nt / 1e9,
+            flops / bat_1t / 1e9,
+            flops / bat_nt / 1e9,
+            seq_nt / bat_nt,
+        );
+        reports.push(CaseReport {
+            name,
+            models: m,
+            samples,
+            batch,
+            gflops_sequential_1_thread: flops / seq_1t / 1e9,
+            gflops_sequential_n_threads: flops / seq_nt / 1e9,
+            gflops_batched_1_thread: flops / bat_1t / 1e9,
+            gflops_batched_n_threads: flops / bat_nt / 1e9,
+            speedup_batched_vs_sequential: seq_nt / bat_nt,
+            bitwise_identical: true,
+        });
+    }
+
+    let report = BenchReport { threads, physical_cores: cores, reps, cases: reports };
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+}

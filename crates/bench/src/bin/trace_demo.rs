@@ -70,6 +70,7 @@ fn main() {
         eval_batch: fed_cfg.eval_batch,
         inner: fedguard::InnerAggregator::FedAvg,
         coverage_aware: false,
+        audit: Default::default(),
     });
     let mut federation = Federation::builder(fed_cfg)
         .datasets(datasets)

@@ -161,6 +161,12 @@ pub struct ExperimentConfig {
     pub fedguard_inner: crate::strategy::InnerAggregator,
     /// Coverage-aware synthesis (§VI-B extension).
     pub fedguard_coverage_aware: bool,
+    /// Audit scorer implementation: the batched fast path (default) or the
+    /// sequential per-model oracle — bitwise identical either way;
+    /// `FG_BATCHED_AUDIT` overrides at run time. `#[serde(default)]` keeps
+    /// config blobs from older deployments parseable.
+    #[serde(default)]
+    pub fedguard_audit: crate::strategy::AuditMode,
     /// When set, the run writes one JSONL telemetry trail (one
     /// `RoundTelemetry` per line) into this directory, named after the
     /// strategy, attack and seed. `None` = no telemetry file.
@@ -209,6 +215,7 @@ impl ExperimentConfig {
                     tail_fraction: 0.8,
                     fedguard_inner: crate::strategy::InnerAggregator::FedAvg,
                     fedguard_coverage_aware: false,
+                    fedguard_audit: crate::strategy::AuditMode::Batched,
                     telemetry_dir: None,
                     faults: None,
                     resilience: ResiliencePolicy::default(),
@@ -258,6 +265,7 @@ impl ExperimentConfig {
                     tail_fraction: 0.8,
                     fedguard_inner: crate::strategy::InnerAggregator::FedAvg,
                     fedguard_coverage_aware: false,
+                    fedguard_audit: crate::strategy::AuditMode::Batched,
                     telemetry_dir: None,
                     faults: None,
                     resilience: ResiliencePolicy::default(),
@@ -313,6 +321,7 @@ impl ExperimentConfig {
                     tail_fraction: 0.8,
                     fedguard_inner: crate::strategy::InnerAggregator::FedAvg,
                     fedguard_coverage_aware: false,
+                    fedguard_audit: crate::strategy::AuditMode::Batched,
                     telemetry_dir: None,
                     faults: None,
                     resilience: ResiliencePolicy::default(),
@@ -421,6 +430,7 @@ fn build_strategy(cfg: &ExperimentConfig) -> Box<dyn AggregationStrategy> {
             eval_batch: cfg.fed.eval_batch,
             inner: cfg.fedguard_inner,
             coverage_aware: cfg.fedguard_coverage_aware,
+            audit: cfg.fedguard_audit,
         })),
     }
 }

@@ -40,7 +40,7 @@ pub mod strategy;
 pub mod summary;
 pub mod synthesis;
 
-pub use strategy::{FedGuardConfig, FedGuardStrategy, InnerAggregator};
+pub use strategy::{AuditMode, FedGuardConfig, FedGuardStrategy, InnerAggregator};
 pub use synthesis::{synthesize_validation_set, SynthesisBudget};
 
 // Re-export the substrate crates under stable names for downstream users.

@@ -6,7 +6,7 @@ use fg_agg::ops::{coordinate_median, fedavg, geometric_median};
 use fg_fl::{
     AggregationContext, AggregationOutcome, AggregationStrategy, ModelUpdate, StrategyTimings,
 };
-use fg_nn::models::{Classifier, ClassifierSpec, CvaeSpec};
+use fg_nn::models::{BatchedClassifier, Classifier, ClassifierSpec, CvaeSpec};
 use fg_obs::span::timed_span;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -37,6 +37,40 @@ impl InnerAggregator {
     }
 }
 
+/// Which scorer implementation the audit stage (Alg. 1 line 5) runs.
+///
+/// Both produce **bitwise identical** scores — the batched path issues, per
+/// model, the same kernel calls as the sequential one and fans the model
+/// axis into disjoint output slabs (`fg_nn::models::BatchedClassifier`);
+/// `tests/schedule_invariance.rs` and `crates/nn/tests/batched_props.rs`
+/// pin the equality. `Sequential` is kept as the oracle the fast path is
+/// cross-checked against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AuditMode {
+    /// One grouped kernel launch per layer across all audited models,
+    /// sharing the validation batch's im2col — the fast path.
+    #[default]
+    Batched,
+    /// Per-model `Classifier::from_params` + `evaluate` — the oracle.
+    Sequential,
+}
+
+impl AuditMode {
+    /// Apply the `FG_BATCHED_AUDIT` environment override: `0`/`false`/`off`
+    /// force the sequential oracle, `1`/`true`/`on` force the batched path,
+    /// anything else (or unset) keeps the configured mode.
+    pub fn resolved(self) -> AuditMode {
+        match std::env::var("FG_BATCHED_AUDIT") {
+            Ok(v) => match v.to_ascii_lowercase().as_str() {
+                "0" | "false" | "off" => AuditMode::Sequential,
+                "1" | "true" | "on" => AuditMode::Batched,
+                _ => self,
+            },
+            Err(_) => self,
+        }
+    }
+}
+
 /// FedGuard's knobs.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FedGuardConfig {
@@ -56,6 +90,10 @@ pub struct FedGuardConfig {
     /// Condition each decoder only on classes it was trained on (§VI-B
     /// extension for heterogeneous clients). Off = the paper's protocol.
     pub coverage_aware: bool,
+    /// Audit scorer implementation; `FG_BATCHED_AUDIT` overrides at run
+    /// time. Defaults to [`AuditMode::Batched`] (bitwise-equal fast path).
+    #[serde(default)]
+    pub audit: AuditMode,
 }
 
 impl FedGuardConfig {
@@ -70,6 +108,7 @@ impl FedGuardConfig {
             eval_batch: 64,
             inner: InnerAggregator::FedAvg,
             coverage_aware: false,
+            audit: AuditMode::Batched,
         }
     }
 }
@@ -169,24 +208,35 @@ impl AggregationStrategy for FedGuardStrategy {
         let y = d_syn.labels_usize();
         let synthesis_secs = stage.close();
 
-        // (3) Audit every client on the identical synthetic set, in
-        // parallel (model reconstruction + forward passes dominate).
+        // (3) Audit every client on the identical synthetic set. The
+        // batched scorer (default) drives one grouped kernel launch per
+        // layer across all models, sharing the validation batch's im2col;
+        // the sequential path reconstructs and scores one model at a time
+        // and is kept as the bitwise oracle (`FG_BATCHED_AUDIT=0`).
         let stage = timed_span("round.audit");
         let eval_batch = self.config.eval_batch;
         let classifier = self.config.classifier;
-        let accuracies: Vec<(usize, f32)> = updates
-            .par_iter()
-            .map(|u| {
-                let acc = if u.is_non_finite() {
-                    // Corrupted to NaN/Inf: worst possible audit score.
-                    0.0
-                } else {
-                    let mut clf = Classifier::from_params(&classifier, &u.params);
-                    clf.evaluate(&x, &y, eval_batch)
-                };
-                (u.client_id, acc)
-            })
-            .collect();
+        let accuracies: Vec<(usize, f32)> = match self.config.audit.resolved() {
+            AuditMode::Batched => {
+                let params: Vec<&[f32]> = updates.iter().map(|u| u.params.as_slice()).collect();
+                let scores =
+                    BatchedClassifier::new(&classifier, &params).evaluate(&x, &y, eval_batch);
+                updates.iter().zip(scores).map(|(u, s)| (u.client_id, s)).collect()
+            }
+            AuditMode::Sequential => updates
+                .par_iter()
+                .map(|u| {
+                    let acc = if u.is_non_finite() {
+                        // Corrupted to NaN/Inf: worst possible audit score.
+                        0.0
+                    } else {
+                        let mut clf = Classifier::from_params(&classifier, &u.params);
+                        clf.evaluate(&x, &y, eval_batch)
+                    };
+                    (u.client_id, acc)
+                })
+                .collect(),
+        };
         let audit_secs = stage.close();
 
         // (4) Selection threshold: the round-mean accuracy.
@@ -240,6 +290,7 @@ mod tests {
             eval_batch: 32,
             inner: InnerAggregator::FedAvg,
             coverage_aware: false,
+            audit: AuditMode::Batched,
         }
     }
 
@@ -386,6 +437,35 @@ mod tests {
         assert_eq!(out.scores.len(), 3, "every update is still audited");
         assert!(out.params.iter().all(|w| w.is_finite()));
         assert!(!out.selected.is_empty());
+    }
+
+    #[test]
+    fn batched_and_sequential_audits_are_bit_identical() {
+        let updates: Vec<ModelUpdate> = (0..4).map(|i| honest_update(i, 80 + i as u64)).collect();
+        let global = vec![0.0f32; updates[0].params.len()];
+        let run = |audit: AuditMode| {
+            let mut cfg = config();
+            cfg.audit = audit;
+            let mut s = FedGuardStrategy::new(cfg);
+            // Same RNG seed → same synthetic set → only the scorer differs.
+            let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(9) };
+            s.aggregate(&updates, &mut ctx)
+        };
+        let batched = run(AuditMode::Batched);
+        let sequential = run(AuditMode::Sequential);
+        let bits = |scores: &[(usize, f32)]| {
+            scores.iter().map(|&(id, a)| (id, a.to_bits())).collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&batched.scores), bits(&sequential.scores), "audit scores diverged");
+        assert_eq!(
+            batched.threshold.unwrap().to_bits(),
+            sequential.threshold.unwrap().to_bits(),
+            "selection threshold diverged"
+        );
+        assert_eq!(batched.selected, sequential.selected, "roster diverged");
+        let pb: Vec<u32> = batched.params.iter().map(|v| v.to_bits()).collect();
+        let ps: Vec<u32> = sequential.params.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, ps, "aggregated parameters diverged");
     }
 
     #[test]

@@ -56,6 +56,10 @@ impl ClassifierSpec {
 pub struct Classifier {
     spec: ClassifierSpec,
     net: Sequential,
+    /// Mini-batch staging tensor recycled across [`Classifier::evaluate`]
+    /// calls (taken around the forward pass, put back after), so scoring
+    /// does not allocate a fresh input copy per mini-batch.
+    eval_stage: Option<Tensor>,
 }
 
 impl Classifier {
@@ -78,7 +82,7 @@ impl Classifier {
                 .push(ReLU::new())
                 .push(Linear::new(*hidden, 10, rng)),
         };
-        Classifier { spec: *spec, net }
+        Classifier { spec: *spec, net, eval_stage: None }
     }
 
     /// Classifier constructed from a flat parameter vector `ψ`.
@@ -165,20 +169,48 @@ impl Classifier {
     }
 
     /// Accuracy over a dataset, evaluated in mini-batches of `batch`.
+    ///
+    /// The scoring hot path of FedGuard's audit: the mini-batch slice is
+    /// staged into one recycled tensor instead of a fresh `slice_rows` copy
+    /// per batch, and the row argmax + label comparison is inlined (same
+    /// scan and tie-breaking as [`Tensor::argmax_rows`]) instead of
+    /// materializing a predictions vector — so a warm evaluation performs
+    /// zero workspace allocations (`crates/nn/tests/alloc_free.rs`).
     pub fn evaluate(&mut self, x: &Tensor, y: &[usize], batch: usize) -> f32 {
         let n = x.dim(0);
         assert_eq!(y.len(), n);
         if n == 0 {
             return 0.0;
         }
+        let cols = x.dim(1);
+        let data = x.data();
         let mut correct = 0usize;
         let mut lo = 0usize;
         while lo < n {
             let hi = (lo + batch).min(n);
-            let xb = x.slice_rows(lo, hi);
-            let logits = self.logits(&xb, false);
-            let preds = logits.argmax_rows();
-            correct += preds.iter().zip(&y[lo..hi]).filter(|(p, t)| p == t).count();
+            let bsz = hi - lo;
+            let mut stage = match self.eval_stage.take() {
+                Some(t) if t.dims() == [bsz, cols] => t,
+                _ => Tensor::zeros(&[bsz, cols]),
+            };
+            stage.data_mut().copy_from_slice(&data[lo * cols..hi * cols]);
+            let logits = self.logits(&stage, false);
+            self.eval_stage = Some(stage);
+            let classes = logits.dim(1);
+            let lg = logits.data();
+            for (row, &t) in lg.chunks_exact(classes).zip(&y[lo..hi]) {
+                let mut best = 0usize;
+                let mut best_v = f32::NEG_INFINITY;
+                for (c, &v) in row.iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = c;
+                    }
+                }
+                if best == t {
+                    correct += 1;
+                }
+            }
             lo = hi;
         }
         correct as f32 / n as f32

@@ -4,14 +4,20 @@
 //!   [`ClassifierSpec::TableIICnn`] variant is the paper's exact Table II
 //!   architecture; [`ClassifierSpec::Mlp`] is the reduced architecture the
 //!   CPU-budget presets use.
+//! * [`BatchedClassifier`] — `m` borrowed parameter sets of one
+//!   architecture scored together through grouped per-layer kernel
+//!   launches, bitwise equal to `m` sequential [`Classifier::evaluate`]
+//!   calls (the server-side audit fast path).
 //! * [`Cvae`] / [`CvaeDecoder`] — the Conditional Variational AutoEncoder of
 //!   Table III and the detachable decoder `D_θ` that FedGuard clients ship
 //!   to the server.
 
+mod batched;
 mod classifier;
 mod cvae;
 mod vae;
 
+pub use batched::BatchedClassifier;
 pub use classifier::{Classifier, ClassifierSpec};
 pub use cvae::{Cvae, CvaeDecoder, CvaeSpec};
 pub use vae::{Vae, VaeSpec};

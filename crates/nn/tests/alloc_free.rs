@@ -83,6 +83,40 @@ fn conv_and_linear_hot_paths_are_allocation_free_after_warmup() {
 }
 
 #[test]
+fn warm_scoring_paths_are_allocation_free() {
+    use fg_nn::models::{BatchedClassifier, Classifier, ClassifierSpec};
+
+    with_threads(1, || {
+        let spec = ClassifierSpec::Mlp { hidden: 32 };
+        let mut rng = SeededRng::new(41);
+        let models: Vec<Vec<f32>> =
+            (0..3).map(|_| Classifier::new(&spec, &mut rng).get_params()).collect();
+        let views: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+        let x = Tensor::randn(&[20, 784], &mut rng);
+        let y: Vec<usize> = (0..20).map(|i| i % 10).collect();
+
+        // Warm-up: populate the workspace pool and the eval staging buffer.
+        let mut seq = Classifier::from_params(&spec, views[0]);
+        let batched = BatchedClassifier::new(&spec, &views);
+        for _ in 0..2 {
+            seq.evaluate(&x, &y, 8);
+            batched.evaluate(&x, &y, 8);
+        }
+
+        let delta = alloc_delta(|| {
+            for _ in 0..4 {
+                seq.evaluate(&x, &y, 8);
+                batched.evaluate(&x, &y, 8);
+            }
+        });
+        assert_eq!(
+            delta, 0,
+            "warm sequential and batched scoring must perform zero workspace allocations"
+        );
+    });
+}
+
+#[test]
 fn shape_change_repopulates_then_settles() {
     with_threads(1, || {
         let mut rng = SeededRng::new(100);

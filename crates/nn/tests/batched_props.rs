@@ -1,0 +1,146 @@
+//! Property-based oracle check for the batched audit scorer.
+//!
+//! [`BatchedClassifier::evaluate`] exists purely as a throughput
+//! optimization: it must be observationally indistinguishable — bitwise,
+//! not approximately — from scoring each parameter set through its own
+//! [`Classifier`]. These properties drive the batched path with random
+//! cohort sizes (including the `m = 0` and `m = 1` degenerate cases),
+//! ragged final minibatches, and NaN/Inf-poisoned parameter sets, and
+//! compare against the per-model sequential oracle.
+
+use fg_nn::models::{BatchedClassifier, Classifier, ClassifierSpec};
+use fg_tensor::rng::SeededRng;
+use fg_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Sequential oracle: score each parameter set through its own
+/// [`Classifier`], mapping non-finite sets to 0.0 exactly as the
+/// server-side audit does.
+fn oracle_scores(
+    spec: &ClassifierSpec,
+    models: &[Vec<f32>],
+    x: &Tensor,
+    y: &[usize],
+    batch: usize,
+) -> Vec<f32> {
+    models
+        .iter()
+        .map(|p| {
+            if p.iter().any(|v| !v.is_finite()) {
+                0.0
+            } else {
+                Classifier::from_params(spec, p).evaluate(x, y, batch)
+            }
+        })
+        .collect()
+}
+
+fn random_models(spec: &ClassifierSpec, m: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = SeededRng::new(seed);
+    (0..m).map(|_| Classifier::new(spec, &mut rng).get_params()).collect()
+}
+
+fn random_dataset(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = SeededRng::new(seed ^ 0x9e37_79b9);
+    let x = Tensor::randn(&[n, 784], &mut rng);
+    let y: Vec<usize> = (0..n).map(|i| (i * 7 + seed as usize) % 10).collect();
+    (x, y)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random cohort sizes (0..=6), random hidden widths, and batch sizes
+    /// that leave ragged final minibatches: batched == oracle, bitwise.
+    #[test]
+    fn batched_scores_match_sequential_oracle_bitwise(
+        m in 0usize..7,
+        hidden in 4usize..24,
+        n in 1usize..40,
+        batch in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let spec = ClassifierSpec::Mlp { hidden };
+        let models = random_models(&spec, m, seed);
+        let (x, y) = random_dataset(n, seed);
+
+        let views: Vec<&[f32]> = models.iter().map(|v| v.as_slice()).collect();
+        let batched = BatchedClassifier::new(&spec, &views).evaluate(&x, &y, batch);
+        let oracle = oracle_scores(&spec, &models, &x, &y, batch);
+
+        prop_assert_eq!(batched.len(), m);
+        let got: Vec<u32> = batched.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = oracle.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Poisoning a random parameter of a random model with NaN or Inf
+    /// audits that model to exactly 0.0 and leaves every other model's
+    /// score bitwise unchanged.
+    #[test]
+    fn non_finite_models_score_zero_without_disturbing_neighbors(
+        m in 1usize..6,
+        victim_sel in 0usize..1000,
+        param_sel in 0usize..1_000_000,
+        nan_sel in 0usize..2,
+        seed in 0u64..10_000,
+    ) {
+        let spec = ClassifierSpec::Mlp { hidden: 8 };
+        let mut models = random_models(&spec, m, seed);
+        let (x, y) = random_dataset(17, seed);
+        let views: Vec<&[f32]> = models.iter().map(|v| v.as_slice()).collect();
+        let clean = BatchedClassifier::new(&spec, &views).evaluate(&x, &y, 8);
+
+        let victim = victim_sel % m;
+        let slot = param_sel % spec.num_params();
+        models[victim][slot] = if nan_sel == 0 { f32::NAN } else { f32::INFINITY };
+
+        let views: Vec<&[f32]> = models.iter().map(|v| v.as_slice()).collect();
+        let poisoned = BatchedClassifier::new(&spec, &views).evaluate(&x, &y, 8);
+
+        prop_assert_eq!(poisoned[victim].to_bits(), 0.0f32.to_bits());
+        for i in (0..m).filter(|&i| i != victim) {
+            prop_assert_eq!(poisoned[i].to_bits(), clean[i].to_bits());
+        }
+    }
+
+    /// A batch size larger than the dataset degenerates to a single ragged
+    /// minibatch and still matches the oracle.
+    #[test]
+    fn oversized_batch_is_one_ragged_minibatch(
+        m in 1usize..5,
+        n in 1usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let spec = ClassifierSpec::Mlp { hidden: 6 };
+        let models = random_models(&spec, m, seed);
+        let (x, y) = random_dataset(n, seed);
+        let views: Vec<&[f32]> = models.iter().map(|v| v.as_slice()).collect();
+        let batched = BatchedClassifier::new(&spec, &views).evaluate(&x, &y, 64);
+        let oracle = oracle_scores(&spec, &models, &x, &y, 64);
+        let got: Vec<u32> = batched.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u32> = oracle.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// The CNN architecture goes through the grouped conv/pool kernels rather
+/// than the pure-GEMM path; one deterministic (non-proptest, it is slow)
+/// case pins its oracle equivalence, including a ragged final minibatch
+/// and a poisoned member.
+#[test]
+fn table_ii_cnn_cohort_matches_oracle_bitwise() {
+    let spec = ClassifierSpec::TableIICnn;
+    let mut models = random_models(&spec, 3, 7);
+    models[1][12_345] = f32::NEG_INFINITY;
+    let (x, y) = random_dataset(11, 7);
+
+    let views: Vec<&[f32]> = models.iter().map(|v| v.as_slice()).collect();
+    let batched = BatchedClassifier::new(&spec, &views).evaluate(&x, &y, 4);
+    let oracle = oracle_scores(&spec, &models, &x, &y, 4);
+
+    assert_eq!(batched[1].to_bits(), 0.0f32.to_bits());
+    let got: Vec<u32> = batched.iter().map(|v| v.to_bits()).collect();
+    let want: Vec<u32> = oracle.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, want);
+}

@@ -172,6 +172,136 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, spec: &Con
     Tensor::from_vec(out, &[b, spec.out_ch, oh, ow])
 }
 
+/// Lower a whole batch `(b, in_ch, h, w)` of images into one
+/// `(b, out_h*out_w, patch_len)` column slab — the shared im2col buffer of
+/// the batched audit path: every audited model convolves the *same*
+/// validation batch, so the lowering is paid once and reused across all of
+/// them. Pure data movement (each value is copied or zero), so the slab is
+/// bit-identical to the per-image [`im2col`] calls [`conv2d_forward`] makes.
+pub fn im2col_batch(
+    input: &[f32],
+    b: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    out: &mut [f32],
+) {
+    let (oh, ow) = spec.out_size(h, w);
+    let img_len = spec.in_ch * h * w;
+    let cols_len = oh * ow * spec.patch_len();
+    debug_assert_eq!(input.len(), b * img_len);
+    assert_eq!(out.len(), b * cols_len, "im2col_batch: output slab size");
+    for (image, cols) in input.chunks_exact(img_len).zip(out.chunks_exact_mut(cols_len)) {
+        im2col(image, h, w, spec, cols);
+    }
+}
+
+/// One grouped forward convolution over pre-lowered *shared* columns: every
+/// group convolves the same `(b, out_plane, patch)` column slab (from
+/// [`im2col_batch`]) with its own `(out_ch, patch)` filter bank and bias,
+/// writing group `g`'s `(b, out_ch, out_plane)` output into
+/// `out[g*b*out_ch*out_plane..]`.
+///
+/// Per (group, image) this issues exactly the bias-seed + GEMM of
+/// [`conv2d_forward`] on value-identical columns, so every output bit
+/// matches `G` independent `conv2d_forward` calls; the group axis fans out
+/// over the rayon shim into disjoint output chunks (no cross-group
+/// arithmetic), keeping results bit-identical at any `FG_THREADS`.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward_cols_grouped(
+    cols: &[f32],
+    b: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    weights: &[&[f32]],
+    biases: &[&[f32]],
+    out: &mut [f32],
+) {
+    let groups = weights.len();
+    assert_eq!(biases.len(), groups, "conv2d_forward_cols_grouped: weights/biases mismatch");
+    let (oh, ow) = spec.out_size(h, w);
+    let out_plane = oh * ow;
+    let patch = spec.patch_len();
+    assert_eq!(cols.len(), b * out_plane * patch, "conv2d_forward_cols_grouped: cols slab");
+    assert_eq!(out.len(), groups * b * spec.out_ch * out_plane);
+    out.par_chunks_mut(b * spec.out_ch * out_plane).enumerate().for_each(|(g, out_g)| {
+        let w_data = weights[g];
+        let bias = biases[g];
+        debug_assert_eq!(w_data.len(), spec.out_ch * patch);
+        debug_assert_eq!(bias.len(), spec.out_ch);
+        for (img_cols, out_img) in cols
+            .chunks_exact(out_plane * patch)
+            .zip(out_g.chunks_exact_mut(spec.out_ch * out_plane))
+        {
+            for (dst, &bv) in out_img.chunks_exact_mut(out_plane).zip(bias) {
+                dst.fill(bv);
+            }
+            kernels::gemm(
+                false,
+                spec.out_ch,
+                out_plane,
+                patch,
+                MatRef { data: w_data, rs: patch, cs: 1 },
+                MatRef { data: img_cols, rs: 1, cs: patch },
+                out_img,
+            );
+        }
+    });
+}
+
+/// One grouped forward convolution over *per-group* activations: group `g`
+/// convolves its own `(b, in_ch, h, w)` slab slice
+/// `input[g*b*in_ch*h*w..]` — the deeper-layer case of the batched audit
+/// path, where activations have already diverged per model. Lowering happens
+/// inside each group's task (per image, into thread-local workspace scratch,
+/// exactly as [`conv2d_forward`] does), followed by the identical
+/// bias-seed-then-GEMM sequence; the same bit-identity argument as
+/// [`conv2d_forward_cols_grouped`] applies.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_forward_grouped(
+    input: &[f32],
+    b: usize,
+    h: usize,
+    w: usize,
+    spec: &Conv2dSpec,
+    weights: &[&[f32]],
+    biases: &[&[f32]],
+    out: &mut [f32],
+) {
+    let groups = weights.len();
+    assert_eq!(biases.len(), groups, "conv2d_forward_grouped: weights/biases mismatch");
+    let (oh, ow) = spec.out_size(h, w);
+    let out_plane = oh * ow;
+    let patch = spec.patch_len();
+    let img_len = spec.in_ch * h * w;
+    assert_eq!(input.len(), groups * b * img_len, "conv2d_forward_grouped: input slab");
+    assert_eq!(out.len(), groups * b * spec.out_ch * out_plane);
+    out.par_chunks_mut(b * spec.out_ch * out_plane).enumerate().for_each(|(g, out_g)| {
+        let w_data = weights[g];
+        let bias = biases[g];
+        let in_g = &input[g * b * img_len..(g + 1) * b * img_len];
+        let mut cols = workspace::take_uninit(out_plane * patch);
+        for (image, out_img) in
+            in_g.chunks_exact(img_len).zip(out_g.chunks_exact_mut(spec.out_ch * out_plane))
+        {
+            im2col(image, h, w, spec, &mut cols);
+            for (dst, &bv) in out_img.chunks_exact_mut(out_plane).zip(bias) {
+                dst.fill(bv);
+            }
+            kernels::gemm(
+                false,
+                spec.out_ch,
+                out_plane,
+                patch,
+                MatRef { data: w_data, rs: patch, cs: 1 },
+                MatRef { data: &cols, rs: 1, cs: patch },
+                out_img,
+            );
+        }
+    });
+}
+
 /// Gradients produced by [`conv2d_backward`].
 pub struct Conv2dGrads {
     pub d_input: Tensor,

@@ -381,6 +381,70 @@ pub fn matmul_bt_bias(a: &Tensor, b: &Tensor, bias: &Tensor) -> Tensor {
     Tensor::from_vec(out, &[m, n])
 }
 
+/// Left operand of a grouped GEMM launch ([`matmul_bt_bias_grouped`]).
+#[derive(Clone, Copy)]
+pub enum GroupedA<'a> {
+    /// Every group multiplies the same row-major `m×k` matrix — the shared
+    /// validation batch of the batched audit path.
+    Shared(&'a [f32]),
+    /// Group `g` multiplies `slab[g*m*k..(g+1)*m*k]` — per-model activation
+    /// slabs produced by an earlier grouped layer.
+    PerGroup(&'a [f32]),
+}
+
+/// One grouped launch of `C_g = A_g · W_gᵀ + bias_g` over `G` groups — the
+/// batched-audit form of [`matmul_bt_bias`]: `A_g` is `m×k` (shared or a
+/// per-group slab slice), `W_g` is `n×k`, `bias_g` has length `n`, and group
+/// `g`'s output lands in `out[g*m*n..(g+1)*m*n]`.
+///
+/// Each group runs the *same* bias-seed + [`gemm`] call the per-model
+/// sequential path issues (same shape, same `MatRef` strides, same
+/// increasing-`k` accumulation chains), so per-element arithmetic — and
+/// therefore every output bit — is identical to `G` independent
+/// `matmul_bt_bias` calls. The model axis fans out over the rayon shim into
+/// disjoint output chunks with no cross-group reduction, so results are also
+/// bit-identical at any `FG_THREADS`. Per-group GEMMs stay sequential: the
+/// group axis is the parallel grain here.
+pub fn matmul_bt_bias_grouped(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: GroupedA<'_>,
+    weights: &[&[f32]],
+    biases: &[&[f32]],
+    out: &mut [f32],
+) {
+    let groups = weights.len();
+    assert_eq!(biases.len(), groups, "matmul_bt_bias_grouped: weights/biases length mismatch");
+    assert_eq!(out.len(), groups * m * n, "matmul_bt_bias_grouped: output slab size");
+    match a {
+        GroupedA::Shared(s) => assert_eq!(s.len(), m * k, "grouped A: shared matrix size"),
+        GroupedA::PerGroup(s) => assert_eq!(s.len(), groups * m * k, "grouped A: slab size"),
+    }
+    out.par_chunks_mut(m * n).enumerate().for_each(|(g, out_g)| {
+        let w = weights[g];
+        let bias = biases[g];
+        debug_assert_eq!(w.len(), n * k);
+        debug_assert_eq!(bias.len(), n);
+        let a_g = match a {
+            GroupedA::Shared(s) => s,
+            GroupedA::PerGroup(s) => &s[g * m * k..(g + 1) * m * k],
+        };
+        for row in out_g.chunks_exact_mut(n) {
+            row.copy_from_slice(bias);
+        }
+        gemm(
+            false,
+            m,
+            n,
+            k,
+            MatRef { data: a_g, rs: k, cs: 1 },
+            MatRef { data: w, rs: 1, cs: k },
+            out_g,
+        );
+    });
+}
+
 /// `C = Aᵀ · B` where `A` is (K,M) and `B` is (K,N).
 ///
 /// This is the weight-gradient layout: `dW = Xᵀ · dY` accumulated over the

@@ -1,6 +1,7 @@
 //! 2-D max pooling (the paper's classifier uses 2×2, stride = kernel).
 
 use crate::tensor::Tensor;
+use rayon::prelude::*;
 
 /// Static description of a max pool with square window `k` and stride `k`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,6 +64,67 @@ pub fn maxpool2d_forward(input: &Tensor, spec: &MaxPool2dSpec) -> MaxPoolOutput 
     }
 
     MaxPoolOutput { output: Tensor::from_vec(out, &[b, c, oh, ow]), argmax }
+}
+
+/// Values-only max pooling over one `(b, c, h, w)` slice — the inference
+/// variant used by the batched audit path, which never backpropagates and so
+/// skips the argmax bookkeeping. The window scan (`if v > best`, row-major
+/// within the window) is copied verbatim from [`maxpool2d_forward`]: pooling
+/// is pure selection, no arithmetic, so outputs are bit-identical to the
+/// training-path forward.
+pub fn maxpool2d_forward_values(
+    input: &[f32],
+    b: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    let (oh, ow) = (h / k, w / k);
+    debug_assert_eq!(input.len(), b * c * h * w);
+    debug_assert_eq!(out.len(), b * c * oh * ow);
+    for (plane, out_plane) in input.chunks_exact(h * w).zip(out.chunks_exact_mut(oh * ow)) {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..k {
+                    let row_off = (oy * k + ky) * w + ox * k;
+                    for kx in 0..k {
+                        let v = plane[row_off + kx];
+                        if v > best {
+                            best = v;
+                        }
+                    }
+                }
+                out_plane[oy * ow + ox] = best;
+            }
+        }
+    }
+}
+
+/// Grouped values-only max pooling: group `g` pools its `(b, c, h, w)` slab
+/// slice `input[g*b*c*h*w..]` into `out[g*b*c*(h/k)*(w/k)..]`. Groups fan
+/// out over the rayon shim into disjoint output chunks; each group runs
+/// [`maxpool2d_forward_values`], so bits match the sequential path at any
+/// `FG_THREADS`.
+pub fn maxpool2d_forward_grouped(
+    input: &[f32],
+    b: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    let in_len = b * c * h * w;
+    let out_len = b * c * (h / k) * (w / k);
+    assert_eq!(input.len() % in_len, 0, "maxpool2d_forward_grouped: input slab size");
+    let groups = input.len() / in_len;
+    assert_eq!(out.len(), groups * out_len, "maxpool2d_forward_grouped: output slab size");
+    out.par_chunks_mut(out_len).enumerate().for_each(|(g, out_g)| {
+        maxpool2d_forward_values(&input[g * in_len..(g + 1) * in_len], b, c, h, w, k, out_g);
+    });
 }
 
 /// Backward max pooling: scatter the upstream gradient to the winning input

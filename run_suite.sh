@@ -33,6 +33,18 @@ cargo build --release -p fg-bench --bin bench_gemm || exit 1
 $B/bench_gemm > results/bench_gemm.json 2> results/bench_gemm.log || exit 1
 test -s results/bench_gemm.log || exit 1
 
+# Scoring stage: the batched audit scorer. Property suite + warm-path
+# allocation gate first, then bench_scoring times batched vs sequential
+# audit of m parameter sets (1 vs N threads) and hard-asserts all four
+# runs produce one bit-identical score vector. physical_cores is recorded
+# so multicore hosts can gate on the batched-vs-sequential ratio.
+cargo test --release -q -p fg-nn --test batched_props --test alloc_free || exit 1
+cargo build --release -p fg-bench --bin bench_scoring || exit 1
+$B/bench_scoring > results/bench_scoring.json 2> results/bench_scoring.log || exit 1
+test -s results/bench_scoring.log || exit 1
+grep -q '"physical_cores"' results/bench_scoring.json || exit 1
+grep -q '"bitwise_identical": true' results/bench_scoring.json || exit 1
+
 # Trace stage: (a) span totals must agree with StageTimings on a traced
 # 2-round FedGuard run, and stolen-job spans must nest under their logical
 # parents; (b) disabled tracing must stay within the overhead budget;

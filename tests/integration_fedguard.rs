@@ -80,6 +80,7 @@ fn all_malicious_round_does_not_crash_and_keeps_someone() {
         eval_batch: 32,
         inner: fedguard::InnerAggregator::FedAvg,
         coverage_aware: false,
+        audit: Default::default(),
     });
     let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(0) };
     let out = strategy.aggregate(&updates, &mut ctx);
@@ -101,6 +102,7 @@ fn single_client_round_degenerates_to_that_client() {
         eval_batch: 32,
         inner: fedguard::InnerAggregator::FedAvg,
         coverage_aware: false,
+        audit: Default::default(),
     });
     let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(1) };
     let out = strategy.aggregate(std::slice::from_ref(&update), &mut ctx);
@@ -123,6 +125,7 @@ fn audit_scores_are_reported_for_every_update() {
         eval_batch: 32,
         inner: fedguard::InnerAggregator::FedAvg,
         coverage_aware: false,
+        audit: Default::default(),
     });
     let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(2) };
     let out = strategy.aggregate(&updates, &mut ctx);
@@ -191,6 +194,7 @@ fn fedguard_survives_shard_heterogeneity_with_coverage_awareness() {
         eval_batch: base.fed.eval_batch,
         inner: fedguard::InnerAggregator::FedAvg,
         coverage_aware: true,
+        audit: Default::default(),
     });
     let mut fed = Federation::builder(base.fed)
         .datasets(datasets)
@@ -237,6 +241,7 @@ fn nan_update_poisons_fedavg_but_not_fedguard() {
         eval_batch: 32,
         inner: fedguard::InnerAggregator::FedAvg,
         coverage_aware: false,
+        audit: Default::default(),
     });
     let mut ctx = AggregationContext { round: 0, global: &global, rng: SeededRng::new(1) };
     let out = guard.aggregate(&updates, &mut ctx);

@@ -42,6 +42,7 @@ fn fedguard_federation(seed: u64, collector: MemoryCollector, sink: JsonlSink) -
         eval_batch: base.fed.eval_batch,
         inner: fedguard::InnerAggregator::FedAvg,
         coverage_aware: false,
+        audit: Default::default(),
     });
     Federation::builder(base.fed)
         .datasets(datasets)

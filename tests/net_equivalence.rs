@@ -122,6 +122,38 @@ fn tcp_fedguard_run_is_bit_identical_to_in_process_oracle() {
 }
 
 #[test]
+fn tcp_batched_audit_matches_in_process_sequential_oracle() {
+    // Cross the two axes at once: the served run audits with the batched
+    // scorer while the in-process oracle audits sequentially. Scores,
+    // threshold, rosters, and the final global model must all stay
+    // bit-identical — transport and audit mode are both non-observable.
+    let mut cfg = ExperimentConfig::preset(
+        Preset::Smoke,
+        StrategyKind::FedGuard,
+        AttackScenario::SignFlip { fraction: 0.4 },
+        44,
+    );
+    cfg.fed.rounds = 2;
+
+    cfg.fedguard_audit = fedguard::AuditMode::Sequential;
+    let oracle = run_experiment_full(&cfg);
+
+    cfg.fedguard_audit = fedguard::AuditMode::Batched;
+    let (served, _, _) = serve_over_tcp(&cfg);
+
+    assert_eq!(oracle.result.accuracy_series(), served.result.accuracy_series());
+    assert_eq!(oracle.final_global, served.final_global, "global model diverged");
+    assert_eq!(oracle.result.malicious_clients, served.result.malicious_clients);
+    for (a, b) in oracle.telemetry.iter().zip(&served.telemetry) {
+        assert_eq!(a.scores, b.scores, "round {} audit scores diverged", a.round);
+        assert_eq!(a.threshold, b.threshold, "round {} threshold diverged", a.round);
+        assert_eq!(a.selected, b.selected);
+        assert_eq!(a.excluded, b.excluded);
+        assert_eq!(a.survivors, b.survivors);
+    }
+}
+
+#[test]
 fn worker_vanishing_mid_round_degrades_to_a_dropout_not_a_crash() {
     // Every client is sampled every round, so the vanishing worker is
     // guaranteed to be in the active set when it dies.

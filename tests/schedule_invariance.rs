@@ -137,6 +137,67 @@ fn vecops_are_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn batched_scorer_is_bit_identical_across_thread_counts() {
+    use fedguard::nn::models::{BatchedClassifier, Classifier, ClassifierSpec};
+
+    // Wide enough that the grouped fc1 launch clears worth_forking and the
+    // model axis actually fans out over the pool.
+    let spec = ClassifierSpec::Mlp { hidden: 256 };
+    let mut rng = SeededRng::new(61);
+    let models: Vec<Vec<f32>> =
+        (0..6).map(|_| Classifier::new(&spec, &mut rng).get_params()).collect();
+    let x = Tensor::randn(&[96, 784], &mut rng);
+    let y: Vec<usize> = (0..96).map(|i| i % 10).collect();
+
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let views: Vec<&[f32]> = models.iter().map(|m| m.as_slice()).collect();
+            BatchedClassifier::new(&spec, &views).evaluate(&x, &y, 32)
+        })
+    };
+    assert_eq!(bits(&run(1)), bits(&run(4)), "batched audit scores diverged across thread counts");
+}
+
+#[test]
+fn fedguard_audit_modes_agree_across_thread_counts() {
+    use fedguard::AuditMode;
+
+    // A full FedGuard federation must produce one bit-identical history for
+    // every (audit mode × thread count) combination: the batched scorer is
+    // an internal fast path, not an observable behavior change.
+    let run_fed = |audit: AuditMode, threads: usize| -> ExperimentResult {
+        with_threads(threads, || {
+            let mut cfg = ExperimentConfig::preset(
+                Preset::Smoke,
+                StrategyKind::FedGuard,
+                AttackScenario::SignFlip { fraction: 0.3 },
+                43,
+            );
+            cfg.fed.rounds = 2;
+            cfg.fedguard_audit = audit;
+            run_experiment(&cfg)
+        })
+    };
+
+    let baseline = run_fed(AuditMode::Sequential, 1);
+    for (audit, threads) in
+        [(AuditMode::Sequential, 4), (AuditMode::Batched, 1), (AuditMode::Batched, 4)]
+    {
+        let got = run_fed(audit, threads);
+        assert_eq!(baseline.malicious_clients, got.malicious_clients);
+        assert_eq!(baseline.history.len(), got.history.len());
+        for (rs, rp) in baseline.history.iter().zip(&got.history) {
+            assert_eq!(
+                rs.normalized(),
+                rp.normalized(),
+                "round {} diverged for {audit:?} at {threads} threads",
+                rs.round
+            );
+        }
+    }
+}
+
+#[test]
 fn seeded_federation_history_is_bit_identical_across_thread_counts() {
     let run_fed = |strategy: StrategyKind, threads: usize| -> ExperimentResult {
         with_threads(threads, || {

@@ -60,6 +60,7 @@ fn traced_two_round_fedguard_run_matches_stage_timings() {
         eval_batch: fed_cfg.eval_batch,
         inner: fedguard::InnerAggregator::FedAvg,
         coverage_aware: false,
+        audit: Default::default(),
     });
     let collector = MemoryCollector::new();
     let mut federation = Federation::builder(fed_cfg)
