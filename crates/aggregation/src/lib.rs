@@ -13,6 +13,7 @@
 
 pub mod ops;
 pub mod strategies;
+pub mod streaming;
 
 pub use ops::{
     coordinate_median, fedavg, geometric_median, krum, krum_scores, multi_krum,
@@ -21,4 +22,7 @@ pub use ops::{
 pub use strategies::{
     FedAvgStrategy, GeoMedStrategy, KrumStrategy, MedianStrategy, MultiKrumStrategy,
     TrimmedMeanStrategy,
+};
+pub use streaming::{
+    fedavg_streaming, BufferedRobust, HierarchicalFedAvg, RobustOp, StreamingFedAvg,
 };

@@ -1,12 +1,47 @@
 //! Pure aggregation operators over flat parameter vectors.
 
-use fg_tensor::vecops;
+use fg_obs::metrics::Counter;
+use fg_tensor::{vecops, workspace};
 use rayon::prelude::*;
+
+/// Incremented whenever [`krum_scores`] has to clamp the neighbour count to
+/// its floor of 1 because the cohort is below Blanchard's precondition —
+/// the signal that "Krum" is silently running as nearest-neighbour selection.
+static KRUM_K_CLAMPED: Counter = Counter::new("agg.krum.k_clamped");
+
+/// Total `agg.krum.k_clamped` warnings so far (test/telemetry hook).
+pub fn krum_k_clamped_total() -> u64 {
+    KRUM_K_CLAMPED.get()
+}
+
+/// Coordinates per shard for the coordinate-wise operators below: every
+/// output slab transposes at most `SLAB · m` input elements at a time
+/// through one pooled m-length column scratch, so peak transient residency
+/// is O(slab + d) instead of O(d) extra per worker. 64K elements matches
+/// `vecops::PAR_LEN`, the proven fork-join grain.
+const SLAB: usize = 1 << 16;
 
 /// FedAvg (McMahan et al.): the sample-count-weighted mean of the updates.
 ///
+/// Computed as a **slot-ordered incremental weighted mean**: with cumulative
+/// weight `W_k = n_1 + … + n_k`, the k-th update folds in as
+/// `acc += (n_k / W_k) · (x_k − acc)` (zero-weight updates are skipped; the
+/// first surviving update is copied verbatim). Two properties the old
+/// `Σ (n_i / total) · x_i` form lacked:
+///
+/// * **Exactness on agreement** — f32-rounded weights `n_i / total` do not
+///   sum to exactly 1.0 (three equal weights already drift), so averaging m
+///   identical updates was not bit-equal to the input. The incremental form
+///   contributes exactly `+0.0` once `acc == x_k` bitwise. (One caveat: a
+///   `-0.0` coordinate relaxes to `+0.0` from the second fold on.)
+/// * **O(d) streamability** — each step needs only the running accumulator
+///   and cumulative weight, never the total; `streaming::StreamingFedAvg`
+///   replays this exact fold update-at-a-time off the transport and stays
+///   bit-identical to this batch oracle.
+///
 /// Panics on empty input or ragged vectors. Zero total weight falls back to
-/// the unweighted mean.
+/// the unweighted mean (itself an incremental fold now, see
+/// [`vecops::mean_vector`]).
 pub fn fedavg(updates: &[&[f32]], num_samples: &[usize]) -> Vec<f32> {
     assert!(!updates.is_empty(), "fedavg of zero updates");
     assert_eq!(updates.len(), num_samples.len(), "weight count mismatch");
@@ -14,8 +49,19 @@ pub fn fedavg(updates: &[&[f32]], num_samples: &[usize]) -> Vec<f32> {
     if total == 0 {
         return vecops::mean_vector(updates);
     }
-    let weights: Vec<f32> = num_samples.iter().map(|&n| n as f32 / total as f32).collect();
-    vecops::weighted_sum(updates, &weights)
+    let mut acc: Option<Vec<f32>> = None;
+    let mut cum = 0usize;
+    for (v, &n) in updates.iter().zip(num_samples) {
+        if n == 0 {
+            continue;
+        }
+        cum += n;
+        match &mut acc {
+            None => acc = Some(v.to_vec()),
+            Some(a) => vecops::fold_weighted_mean(a, v, n as f32 / cum as f32),
+        }
+    }
+    acc.expect("positive total weight implies a weighted update")
 }
 
 /// Geometric median via Weiszfeld's algorithm (the GeoMed baseline,
@@ -43,6 +89,12 @@ pub fn geometric_median(updates: &[&[f32]], max_iters: usize, tol: f32) -> Vec<f
         return finite[0].to_vec();
     }
     let mut current = vecops::mean_vector(&finite);
+    // Double-buffer the iterate: `weighted_sum_into` writes each Weiszfeld
+    // step into the spare d-length buffer and the two swap, so the loop
+    // allocates only two O(d) buffers total regardless of iteration count.
+    // Distances stream over PAR_LEN slabs with f64 partials inside
+    // `l2_distance`, so peak transient residency stays O(d).
+    let mut next = vec![0.0f32; current.len()];
     let eps = 1e-8f32;
     for _ in 0..max_iters {
         // w_i = 1 / max(||x_i - current||, eps); 0 if the distance overflows.
@@ -62,9 +114,9 @@ pub fn geometric_median(updates: &[&[f32]], max_iters: usize, tol: f32) -> Vec<f
             break;
         }
         let weights: Vec<f32> = inv_dists.iter().map(|w| w / total).collect();
-        let next = vecops::weighted_sum(&finite, &weights);
+        vecops::weighted_sum_into(&finite, &weights, &mut next);
         let movement = vecops::l2_distance(&next, &current);
-        current = next;
+        std::mem::swap(&mut current, &mut next);
         if movement < tol {
             break;
         }
@@ -74,25 +126,44 @@ pub fn geometric_median(updates: &[&[f32]], max_iters: usize, tol: f32) -> Vec<f
 
 /// Krum scores (Blanchard et al.): for each update, the sum of squared
 /// distances to its `m - f - 2` nearest neighbours, where `f` is the assumed
-/// number of Byzantine clients. Lower is better.
+/// number of Byzantine clients. Lower is better. Truncated-to-f32 view of
+/// [`krum_scores_f64`] for reporting; selection ranks on the f64 form.
+pub fn krum_scores(updates: &[&[f32]], f: usize) -> Vec<f32> {
+    krum_scores_f64(updates, f).into_iter().map(|s| s as f32).collect()
+}
+
+/// [`krum_scores`] at full f64 width — distances accumulate in f64
+/// ([`vecops::squared_distance_f64`]) and the per-row neighbour sums stay
+/// f64, so finite-but-huge poisoned updates (whose squared distances blow
+/// past `f32::MAX` at paper scale d≈1.66M) keep distinct, ordered scores
+/// instead of collapsing into one `+inf` tie.
 ///
 /// NaN distances (from NaN/Inf-poisoned vectors) are ordered with
-/// [`f32::total_cmp`], which sorts NaN after +∞: a poisoned update's
+/// [`f64::total_cmp`], which sorts NaN after +∞: a poisoned update's
 /// distances land at the *far* end of every neighbour list, so its own score
 /// goes to NaN/∞ and it is never preferred by the selection below.
-pub fn krum_scores(updates: &[&[f32]], f: usize) -> Vec<f32> {
+///
+/// Blanchard's guarantee needs `m ≥ 2f + 3`. Below `m = f + 3` the
+/// neighbour count `m − f − 2` would reach zero, so it is clamped to a
+/// floor of 1 — Krum silently degrades to nearest-neighbour selection.
+/// That clamp is surfaced on the `agg.krum.k_clamped` warning counter
+/// (see [`krum_k_clamped_total`]) rather than hidden as it used to be.
+pub fn krum_scores_f64(updates: &[&[f32]], f: usize) -> Vec<f64> {
     let m = updates.len();
     assert!(m >= 1, "krum of zero updates");
-    // Number of neighbours considered; clamp to a sane floor for tiny m.
+    // Number of neighbours considered; clamp to a floor of 1 for tiny m.
     let k = m.saturating_sub(f + 2).max(1).min(m - 1).max(1);
-    let dist = vecops::pairwise_squared_distances(updates);
+    if m > 1 && m <= f + 2 {
+        KRUM_K_CLAMPED.incr();
+    }
+    let dist = vecops::pairwise_squared_distances_f64(updates);
     (0..m)
         .map(|i| {
             if m == 1 {
                 return 0.0;
             }
-            let mut row: Vec<f32> = (0..m).filter(|&j| j != i).map(|j| dist[i][j]).collect();
-            row.sort_by(f32::total_cmp);
+            let mut row: Vec<f64> = (0..m).filter(|&j| j != i).map(|j| dist[i][j]).collect();
+            row.sort_by(f64::total_cmp);
             row.iter().take(k).sum()
         })
         .collect()
@@ -100,10 +171,11 @@ pub fn krum_scores(updates: &[&[f32]], f: usize) -> Vec<f32> {
 
 /// Krum selection: return the single update with the lowest Krum score (the
 /// paper's baseline uses plain Krum, not Multi-Krum) together with its index.
-/// NaN scores rank worst under the total order, so a NaN-poisoned update is
-/// only ever selected when *every* update is poisoned.
+/// Ranks on the f64 scores; NaN scores rank worst under the total order, so
+/// a NaN-poisoned update is only ever selected when *every* update is
+/// poisoned.
 pub fn krum(updates: &[&[f32]], f: usize) -> (Vec<f32>, usize) {
-    let scores = krum_scores(updates, f);
+    let scores = krum_scores_f64(updates, f);
     let best = scores
         .iter()
         .enumerate()
@@ -114,10 +186,11 @@ pub fn krum(updates: &[&[f32]], f: usize) -> (Vec<f32>, usize) {
 }
 
 /// Multi-Krum: average the `c` lowest-scoring updates. Returns the aggregate
-/// and the selected indices. Like [`krum`], NaN scores sort last.
+/// and the selected indices. Like [`krum`], ranks on f64 scores with NaN
+/// sorting last.
 pub fn multi_krum(updates: &[&[f32]], f: usize, c: usize) -> (Vec<f32>, Vec<usize>) {
     assert!(c >= 1 && c <= updates.len(), "multi-krum selection size out of range");
-    let scores = krum_scores(updates, f);
+    let scores = krum_scores_f64(updates, f);
     let mut order: Vec<usize> = (0..updates.len()).collect();
     order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let chosen: Vec<usize> = order.into_iter().take(c).collect();
@@ -128,6 +201,14 @@ pub fn multi_krum(updates: &[&[f32]], f: usize, c: usize) -> (Vec<f32>, Vec<usiz
 /// Coordinate-wise median (Yin et al.). NaNs sort last under
 /// [`f32::total_cmp`], so with an honest majority per coordinate the median
 /// element stays finite.
+///
+/// Sharded over [`SLAB`]-wide coordinate blocks: each rayon worker
+/// transposes one slab at a time through a single pooled m-length column
+/// scratch ([`workspace::take_uninit`]), reused across every coordinate of
+/// the block — the warm path performs zero workspace allocations and peak
+/// transient residency is O(d + threads·m) instead of one fresh m-vector
+/// per coordinate. Per-coordinate results are computed independently, so
+/// the output is bit-identical to the unsharded form at any `FG_THREADS`.
 pub fn coordinate_median(updates: &[&[f32]]) -> Vec<f32> {
     assert!(!updates.is_empty(), "median of zero updates");
     let n = updates[0].len();
@@ -135,38 +216,56 @@ pub fn coordinate_median(updates: &[&[f32]]) -> Vec<f32> {
         assert_eq!(u.len(), n, "median: ragged input");
     }
     let m = updates.len();
-    (0..n)
-        .into_par_iter()
-        .map(|j| {
-            let mut col: Vec<f32> = updates.iter().map(|u| u[j]).collect();
-            col.sort_by(f32::total_cmp);
-            if m % 2 == 1 {
-                col[m / 2]
-            } else {
-                0.5 * (col[m / 2 - 1] + col[m / 2])
+    let mut out = vec![0.0f32; n];
+    out.par_chunks_mut(SLAB).enumerate().for_each(|(ci, block)| {
+        let start = ci * SLAB;
+        let mut col = workspace::take_uninit(m);
+        for (off, o) in block.iter_mut().enumerate() {
+            let j = start + off;
+            for (slot, u) in updates.iter().enumerate() {
+                col[slot] = u[j];
             }
-        })
-        .collect()
+            // Unstable sort allocates nothing; under total_cmp equal keys
+            // are bit-identical, so the sorted value sequence is unique.
+            col.sort_unstable_by(f32::total_cmp);
+            *o = if m % 2 == 1 { col[m / 2] } else { 0.5 * (col[m / 2 - 1] + col[m / 2]) };
+        }
+    });
+    out
 }
 
 /// Coordinate-wise trimmed mean (Yin et al.): drop the `trim` smallest and
 /// largest values per coordinate, average the rest. NaN and +∞ sort to the
 /// top under [`f32::total_cmp`] and are trimmed away first, like any other
 /// extreme value.
+///
+/// Slab-sharded exactly like [`coordinate_median`]: pooled column scratch,
+/// allocation-free warm path, bit-identical at any thread count.
 pub fn trimmed_mean_vectors(updates: &[&[f32]], trim: usize) -> Vec<f32> {
     assert!(!updates.is_empty(), "trimmed mean of zero updates");
     let m = updates.len();
     assert!(2 * trim < m, "trim {trim} would drop all {m} updates");
     let n = updates[0].len();
-    (0..n)
-        .into_par_iter()
-        .map(|j| {
-            let mut col: Vec<f32> = updates.iter().map(|u| u[j]).collect();
-            col.sort_by(f32::total_cmp);
+    for u in updates {
+        assert_eq!(u.len(), n, "trimmed mean: ragged input");
+    }
+    let mut out = vec![0.0f32; n];
+    out.par_chunks_mut(SLAB).enumerate().for_each(|(ci, block)| {
+        let start = ci * SLAB;
+        let mut col = workspace::take_uninit(m);
+        for (off, o) in block.iter_mut().enumerate() {
+            let j = start + off;
+            for (slot, u) in updates.iter().enumerate() {
+                col[slot] = u[j];
+            }
+            col.sort_unstable_by(f32::total_cmp);
             let kept = &col[trim..m - trim];
-            kept.iter().sum::<f32>() / kept.len() as f32
-        })
-        .collect()
+            // Ascending-order f32 sum: the exact add sequence of the
+            // pre-sharded implementation.
+            *o = kept.iter().sum::<f32>() / kept.len() as f32;
+        }
+    });
+    out
 }
 
 /// Norm clipping (Sun et al.): scale any update whose L2 norm exceeds
@@ -314,6 +413,51 @@ mod tests {
         assert_eq!(chosen.len(), 2);
         assert!(!chosen.contains(&3));
         assert!(agg[0] < 0.5);
+    }
+
+    #[test]
+    fn krum_ordering_survives_f32_distance_overflow() {
+        // Finite-but-large poisoned updates whose squared distances exceed
+        // f32::MAX: the old f32 accumulator collapsed every overflowing
+        // score to +inf, so Krum could no longer rank the attackers (or,
+        // with f large enough, tell the honest cluster's scores apart from
+        // theirs). The f64 path keeps distinct, ordered scores.
+        let d = 512;
+        let honest: Vec<Vec<f32>> = (0..4).map(|i| vec![0.001 * i as f32; d]).collect();
+        let mut vs = honest;
+        vs.push(vec![2.0e38f32; d]); // ‖diff‖² ≈ 2e79 per pair — finite in f64
+        vs.push(vec![3.0e38f32; d]);
+        let scores = krum_scores_f64(&refs(&vs), 1);
+        assert!(scores.iter().all(|s| s.is_finite()), "{scores:?}");
+        // Strictly increasing severity: the farther attacker scores worse.
+        assert!(scores[5] > scores[4]);
+        assert!(scores[4] > scores[3]);
+        let (_, idx) = krum(&refs(&vs), 1);
+        assert!(idx < 4, "Krum selected an overflowing attacker ({idx})");
+        // The f32 reporting view saturates to +inf — that is the documented
+        // truncation the selection path no longer depends on.
+        let f32_scores = krum_scores(&refs(&vs), 1);
+        assert_eq!(f32_scores[4], f32::INFINITY);
+        assert_eq!(f32_scores[5], f32::INFINITY);
+    }
+
+    #[test]
+    fn krum_clamp_below_blanchard_precondition_is_counted() {
+        // m = 10 ≥ f + 3 for f = 2: no clamp, counter untouched. (ops.rs's
+        // other Krum tests all run above the clamp region, so this is safe
+        // against parallel test interference within this binary.)
+        let vs: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32, 1.0]).collect();
+        let before = krum_k_clamped_total();
+        let _ = krum_scores(&refs(&vs), 2);
+        assert_eq!(krum_k_clamped_total(), before, "clamp counter moved above the floor");
+        // m = 3 ≤ f + 2 for f = 2: k clamps to 1 (nearest-neighbour Krum)
+        // and each scoring pass records exactly one warning.
+        let tiny: Vec<Vec<f32>> = (0..3).map(|i| vec![i as f32]).collect();
+        let _ = krum_scores(&refs(&tiny), 2);
+        assert_eq!(krum_k_clamped_total(), before + 1, "clamp was not surfaced");
+        let (_, idx) = krum(&refs(&tiny), 2);
+        assert_eq!(krum_k_clamped_total(), before + 2);
+        assert!(idx < 3);
     }
 
     #[test]

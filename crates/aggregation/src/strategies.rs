@@ -1,7 +1,11 @@
 //! [`AggregationStrategy`] adapters for the pure operators in [`crate::ops`].
 
 use crate::ops;
-use fg_fl::{AggregationContext, AggregationOutcome, AggregationStrategy, ModelUpdate};
+use crate::streaming::{fedavg_streaming, BufferedRobust, RobustOp};
+use fg_fl::{
+    AggregationContext, AggregationMemory, AggregationOutcome, AggregationStrategy, ModelUpdate,
+    StreamingAggregator,
+};
 
 fn param_refs(updates: &[ModelUpdate]) -> Vec<&[f32]> {
     updates.iter().map(|u| u.params.as_slice()).collect()
@@ -28,6 +32,15 @@ impl AggregationStrategy for FedAvgStrategy {
         let refs = param_refs(updates);
         let counts: Vec<usize> = updates.iter().map(|u| u.num_samples).collect();
         AggregationOutcome::new(ops::fedavg(&refs, &counts), all_ids(updates))
+    }
+
+    fn begin_streaming(
+        &mut self,
+        dim: usize,
+        roster: &[usize],
+        memory: AggregationMemory,
+    ) -> Option<Box<dyn StreamingAggregator>> {
+        fedavg_streaming(dim, roster, memory)
     }
 }
 
@@ -60,6 +73,23 @@ impl AggregationStrategy for GeoMedStrategy {
             ops::geometric_median(&refs, self.max_iters, self.tol),
             all_ids(updates),
         )
+    }
+
+    fn begin_streaming(
+        &mut self,
+        dim: usize,
+        _roster: &[usize],
+        memory: AggregationMemory,
+    ) -> Option<Box<dyn StreamingAggregator>> {
+        match memory {
+            AggregationMemory::Batch => None,
+            // Weiszfeld re-weights against every update each iteration, so
+            // the cohort must be in hand: buffer bare parameter vectors.
+            _ => Some(Box::new(BufferedRobust::new(
+                RobustOp::GeoMed { max_iters: self.max_iters, tol: self.tol },
+                dim,
+            ))),
+        }
     }
 }
 
@@ -142,6 +172,19 @@ impl AggregationStrategy for MedianStrategy {
         let refs = param_refs(updates);
         AggregationOutcome::new(ops::coordinate_median(&refs), all_ids(updates))
     }
+
+    fn begin_streaming(
+        &mut self,
+        dim: usize,
+        _roster: &[usize],
+        memory: AggregationMemory,
+    ) -> Option<Box<dyn StreamingAggregator>> {
+        match memory {
+            AggregationMemory::Batch => None,
+            // Order statistics need the whole column; buffer bare vectors.
+            _ => Some(Box::new(BufferedRobust::new(RobustOp::Median, dim))),
+        }
+    }
 }
 
 /// Coordinate-wise trimmed mean (robust-aggregation ablation).
@@ -170,6 +213,22 @@ impl AggregationStrategy for TrimmedMeanStrategy {
         let refs = param_refs(updates);
         let trim = self.trim.min((updates.len().saturating_sub(1)) / 2);
         AggregationOutcome::new(ops::trimmed_mean_vectors(&refs, trim), all_ids(updates))
+    }
+
+    fn begin_streaming(
+        &mut self,
+        dim: usize,
+        _roster: &[usize],
+        memory: AggregationMemory,
+    ) -> Option<Box<dyn StreamingAggregator>> {
+        match memory {
+            AggregationMemory::Batch => None,
+            // The same clamp `aggregate` applies is re-applied at finalize
+            // against the count that actually arrived.
+            _ => {
+                Some(Box::new(BufferedRobust::new(RobustOp::TrimmedMean { trim: self.trim }, dim)))
+            }
+        }
     }
 }
 

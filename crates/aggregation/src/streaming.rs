@@ -1,0 +1,318 @@
+//! O(d)-memory streaming aggregation.
+//!
+//! The batch path materializes all `m` surviving updates — O(m·d) server
+//! RAM — before an operator in [`crate::ops`] runs. The aggregators here
+//! implement [`fg_fl::StreamingAggregator`] instead: each update folds into
+//! a fixed accumulator as it leaves the transport, so a round's peak
+//! residency no longer scales with the cohort.
+//!
+//! ## Determinism
+//!
+//! The contract ([`AggregationStrategy::begin_streaming`]) is that
+//! `Streaming` mode reproduces the batch oracle **bit-for-bit** at any
+//! arrival order and any `FG_THREADS`. The batch oracle folds survivors in
+//! ascending-client-id order (the sanitizer sorts), so the streaming fold is
+//! keyed to the round roster: each arrival resolves to its roster *slot*,
+//! and folds are issued strictly in slot order. In-order arrivals (both
+//! in-tree transports deliver ascending ids) fold eagerly in O(d); an
+//! out-of-order or gapped arrival parks in a reorder buffer until the slots
+//! before it are resolved, and whatever is still parked when the round ends
+//! is drained in slot order by `finalize` — the fold sequence, and hence
+//! every intermediate rounding, is identical no matter how arrivals were
+//! interleaved. Thread-invariance comes for free: the only parallel kernel
+//! involved is [`vecops::fold_weighted_mean`], which is element-wise over
+//! disjoint blocks.
+
+use crate::ops;
+use fg_fl::{AggregationMemory, AggregationOutcome, ModelUpdate, StreamingAggregator};
+use fg_tensor::vecops;
+use std::collections::BTreeMap;
+
+/// The slot-ordered weighted-mean fold shared by [`StreamingFedAvg`] (one
+/// core over the whole roster) and [`HierarchicalFedAvg`] (one core per
+/// shard). Replays [`ops::fedavg`]'s exact arithmetic: skip zero-weight
+/// updates, copy the first positive-weight update verbatim, then
+/// `acc += (n/cum)·(x − acc)` — with [`ops::fedavg`]'s unweighted
+/// `mean_vector` fallback tracked in parallel until a positive weight
+/// retires it.
+struct FedAvgCore {
+    /// This core's client ids, ascending — the slot order of the fold.
+    roster: Vec<usize>,
+    /// Length of the contiguously folded roster prefix.
+    next_slot: usize,
+    /// Out-of-order arrivals parked until their predecessors resolve.
+    pending: BTreeMap<usize, (Vec<f32>, usize)>,
+    pending_bytes: u64,
+    /// Weighted running mean; allocated by the first positive-weight fold.
+    acc: Option<Vec<f32>>,
+    /// Cumulative sample count folded into `acc`.
+    cum: usize,
+    /// Unweighted running mean of everything folded while `cum == 0` —
+    /// `ops::fedavg`'s zero-total fallback. Freed the moment a positive
+    /// weight arrives.
+    fallback: Option<Vec<f32>>,
+    fallback_count: usize,
+    /// Every pushed client id (sorted at finalize).
+    ids: Vec<usize>,
+    peak_bytes: u64,
+}
+
+impl FedAvgCore {
+    fn new(roster: Vec<usize>) -> FedAvgCore {
+        debug_assert!(roster.windows(2).all(|w| w[0] < w[1]), "roster must be ascending");
+        FedAvgCore {
+            roster,
+            next_slot: 0,
+            pending: BTreeMap::new(),
+            pending_bytes: 0,
+            acc: None,
+            cum: 0,
+            fallback: None,
+            fallback_count: 0,
+            ids: Vec::new(),
+            peak_bytes: 0,
+        }
+    }
+
+    /// Fold one update, already known to be the next one in slot order.
+    fn fold(&mut self, params: &[f32], n: usize) {
+        if n == 0 {
+            // Zero weight: invisible to the weighted mean, but tracked by
+            // the unweighted fallback in case the whole round weighs zero.
+            if self.cum == 0 {
+                match &mut self.fallback {
+                    None => self.fallback = Some(params.to_vec()),
+                    Some(f) => vecops::fold_weighted_mean(
+                        f,
+                        params,
+                        1.0 / (self.fallback_count as f32 + 1.0),
+                    ),
+                }
+                self.fallback_count += 1;
+            }
+            return;
+        }
+        self.fallback = None;
+        self.cum += n;
+        match &mut self.acc {
+            None => self.acc = Some(params.to_vec()),
+            Some(a) => vecops::fold_weighted_mean(a, params, n as f32 / self.cum as f32),
+        }
+    }
+
+    fn note_peak(&mut self) {
+        let live = self.pending_bytes
+            + self.acc.as_ref().map_or(0, |a| (a.len() * 4) as u64)
+            + self.fallback.as_ref().map_or(0, |f| (f.len() * 4) as u64);
+        self.peak_bytes = self.peak_bytes.max(live);
+    }
+
+    fn push(&mut self, update: &ModelUpdate) {
+        let slot = self
+            .roster
+            .binary_search(&update.client_id)
+            .expect("streamed update's client id is not on the round roster");
+        assert!(
+            slot >= self.next_slot && !self.pending.contains_key(&slot),
+            "client {} streamed twice (caller must dedup)",
+            update.client_id
+        );
+        self.ids.push(update.client_id);
+        if slot == self.next_slot {
+            self.fold(&update.params, update.num_samples);
+            self.next_slot += 1;
+            // A fold may unblock parked successors.
+            while let Some((p, n)) = self.pending.remove(&self.next_slot) {
+                self.pending_bytes -= (p.len() * 4) as u64;
+                self.fold(&p, n);
+                self.next_slot += 1;
+            }
+        } else {
+            self.pending_bytes += (update.params.len() * 4) as u64;
+            self.pending.insert(slot, (update.params.clone(), update.num_samples));
+        }
+        self.note_peak();
+    }
+
+    /// Drain whatever is still parked (slots whose predecessors never
+    /// arrived — e.g. a rejected submission left a gap) in slot order, then
+    /// return `(params, total_samples, ids)`; `None` if nothing was pushed.
+    fn finish(mut self) -> Option<(Vec<f32>, usize, Vec<usize>)> {
+        let parked = std::mem::take(&mut self.pending);
+        for (_, (p, n)) in parked {
+            self.pending_bytes -= (p.len() * 4) as u64;
+            self.fold(&p, n);
+            self.note_peak();
+        }
+        let params = self.acc.or(self.fallback)?;
+        self.ids.sort_unstable();
+        Some((params, self.cum, self.ids))
+    }
+}
+
+/// Streaming FedAvg over the whole roster: O(d) accumulator, bit-identical
+/// to `ops::fedavg` over the id-sorted batch.
+pub struct StreamingFedAvg {
+    core: FedAvgCore,
+    dim: usize,
+}
+
+impl StreamingFedAvg {
+    pub fn new(dim: usize, roster: &[usize]) -> StreamingFedAvg {
+        StreamingFedAvg { core: FedAvgCore::new(roster.to_vec()), dim }
+    }
+}
+
+impl StreamingAggregator for StreamingFedAvg {
+    fn push(&mut self, update: &ModelUpdate) {
+        assert_eq!(update.params.len(), self.dim, "streamed update has wrong dimension");
+        self.core.push(update);
+    }
+
+    fn peak_bytes(&self) -> u64 {
+        self.core.peak_bytes
+    }
+
+    fn finalize(self: Box<Self>) -> Option<AggregationOutcome> {
+        let (params, _total, ids) = self.core.finish()?;
+        Some(AggregationOutcome::new(params, ids))
+    }
+}
+
+/// Two-level tree FedAvg: the roster splits into fixed `shard`-sized slot
+/// groups, each folded by its own [`FedAvgCore`]; `finalize` then folds the
+/// shard means, weighted by shard sample totals, in shard order.
+///
+/// Deterministic at any arrival order and thread count (both fold levels are
+/// slot/shard-ordered), but **not** bit-identical to the batch oracle — the
+/// fold tree differs, so rounding differs. Peak residency is
+/// O(d·⌈m/shard⌉): one accumulator per shard that has seen an update.
+pub struct HierarchicalFedAvg {
+    shards: Vec<FedAvgCore>,
+    /// Slot → shard routing: shard `i` owns roster slots
+    /// `[i·shard_size, (i+1)·shard_size)`.
+    roster: Vec<usize>,
+    shard_size: usize,
+    dim: usize,
+}
+
+impl HierarchicalFedAvg {
+    pub fn new(dim: usize, roster: &[usize], shard: usize) -> HierarchicalFedAvg {
+        let shard_size = shard.max(1);
+        let shards = roster.chunks(shard_size).map(|c| FedAvgCore::new(c.to_vec())).collect();
+        HierarchicalFedAvg { shards, roster: roster.to_vec(), shard_size, dim }
+    }
+}
+
+impl StreamingAggregator for HierarchicalFedAvg {
+    fn push(&mut self, update: &ModelUpdate) {
+        assert_eq!(update.params.len(), self.dim, "streamed update has wrong dimension");
+        let slot = self
+            .roster
+            .binary_search(&update.client_id)
+            .expect("streamed update's client id is not on the round roster");
+        self.shards[slot / self.shard_size].push(update);
+    }
+
+    fn peak_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.peak_bytes).sum()
+    }
+
+    fn finalize(self: Box<Self>) -> Option<AggregationOutcome> {
+        // Second level: the shard means are themselves sample-count-weighted
+        // FedAvg inputs, folded in shard order. A shard whose updates all
+        // weighed zero contributes its unweighted mean with weight zero, so
+        // an all-zero-weight round degrades to the unweighted mean of the
+        // non-empty shard means — mirroring `ops::fedavg`'s fallback one
+        // level up.
+        let mut top = FedAvgCore::new((0..self.shards.len()).collect());
+        let mut ids: Vec<usize> = Vec::new();
+        for shard in self.shards {
+            if let Some((params, total, mut shard_ids)) = shard.finish() {
+                ids.append(&mut shard_ids);
+                top.fold(&params, total);
+            }
+        }
+        let params = top.acc.or(top.fallback)?;
+        ids.sort_unstable();
+        Some(AggregationOutcome::new(params, ids))
+    }
+}
+
+/// Which batch operator a [`BufferedRobust`] aggregator runs at finalize.
+pub enum RobustOp {
+    /// [`ops::coordinate_median`].
+    Median,
+    /// [`ops::trimmed_mean_vectors`] with this many values trimmed per end
+    /// (clamped at finalize so at least one value survives per coordinate).
+    TrimmedMean { trim: usize },
+    /// [`ops::geometric_median`] (Weiszfeld).
+    GeoMed { max_iters: usize, tol: f32 },
+}
+
+/// Streaming adapter for operators that need the whole cohort in hand
+/// (order statistics, Weiszfeld re-weighting): parameter vectors are
+/// buffered as they arrive — without the rest of the [`ModelUpdate`]
+/// (decoders, coverage), so residency is exactly m·d·4 bytes — then sorted
+/// by client id and handed to the batch operator, which processes them in
+/// fixed 64K-element slabs. Bit-identical to the batch path at any arrival
+/// order because the operator sees the same id-sorted input either way.
+pub struct BufferedRobust {
+    op: RobustOp,
+    dim: usize,
+    buffered: Vec<(usize, Vec<f32>)>,
+    peak_bytes: u64,
+}
+
+impl BufferedRobust {
+    pub fn new(op: RobustOp, dim: usize) -> BufferedRobust {
+        BufferedRobust { op, dim, buffered: Vec::new(), peak_bytes: 0 }
+    }
+}
+
+impl StreamingAggregator for BufferedRobust {
+    fn push(&mut self, update: &ModelUpdate) {
+        assert_eq!(update.params.len(), self.dim, "streamed update has wrong dimension");
+        self.buffered.push((update.client_id, update.params.clone()));
+        self.peak_bytes += (update.params.len() * 4) as u64;
+    }
+
+    fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+
+    fn finalize(self: Box<Self>) -> Option<AggregationOutcome> {
+        let mut buffered = self.buffered;
+        if buffered.is_empty() {
+            return None;
+        }
+        buffered.sort_unstable_by_key(|(id, _)| *id);
+        let refs: Vec<&[f32]> = buffered.iter().map(|(_, p)| p.as_slice()).collect();
+        let params = match self.op {
+            RobustOp::Median => ops::coordinate_median(&refs),
+            RobustOp::TrimmedMean { trim } => {
+                let trim = trim.min(refs.len().saturating_sub(1) / 2);
+                ops::trimmed_mean_vectors(&refs, trim)
+            }
+            RobustOp::GeoMed { max_iters, tol } => ops::geometric_median(&refs, max_iters, tol),
+        };
+        let ids = buffered.into_iter().map(|(id, _)| id).collect();
+        Some(AggregationOutcome::new(params, ids))
+    }
+}
+
+/// The streaming aggregator [`crate::FedAvgStrategy`] opens for a given
+/// memory mode (also used directly by `bench_aggregation`).
+pub fn fedavg_streaming(
+    dim: usize,
+    roster: &[usize],
+    memory: AggregationMemory,
+) -> Option<Box<dyn StreamingAggregator>> {
+    match memory {
+        AggregationMemory::Batch => None,
+        AggregationMemory::Streaming => Some(Box::new(StreamingFedAvg::new(dim, roster))),
+        AggregationMemory::Hierarchical { shard } => {
+            Some(Box::new(HierarchicalFedAvg::new(dim, roster, shard)))
+        }
+    }
+}

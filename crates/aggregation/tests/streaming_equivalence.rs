@@ -1,0 +1,257 @@
+//! Streaming-vs-batch equivalence: every streamable aggregator must
+//! reproduce its batch oracle **bit-for-bit** — at every cohort size, every
+//! arrival order, and every thread count — and the hierarchical tree mode
+//! must be exactly as deterministic (against itself) even though its fold
+//! tree legitimately differs from the batch oracle's.
+
+use fg_agg::streaming::{fedavg_streaming, HierarchicalFedAvg, StreamingFedAvg};
+use fg_agg::{FedAvgStrategy, GeoMedStrategy, MedianStrategy, TrimmedMeanStrategy};
+use fg_fl::{
+    AggregationContext, AggregationMemory, AggregationOutcome, AggregationStrategy, ModelUpdate,
+    StreamingAggregator,
+};
+use fg_tensor::rng::SeededRng;
+use rayon::with_threads;
+
+/// Big enough that the parallel kernels split (`PAR_LEN = 1<<16`) with a
+/// ragged tail block.
+const DIM: usize = (1 << 16) + 41;
+
+fn cohort(m: usize, seed: u64) -> Vec<ModelUpdate> {
+    let mut rng = SeededRng::new(seed);
+    (0..m)
+        .map(|i| ModelUpdate {
+            // Non-contiguous, non-zero-based ids so roster slots != ids.
+            client_id: 3 * i + 5,
+            params: (0..DIM).map(|_| rng.next_f32() * 4.0 - 2.0).collect(),
+            num_samples: 10 + (i * 7) % 23,
+            decoder: None,
+            class_coverage: None,
+        })
+        .collect()
+}
+
+fn ctx(global: &[f32]) -> AggregationContext<'_> {
+    AggregationContext { round: 0, global, rng: SeededRng::new(0) }
+}
+
+/// Deterministic arrival-order shuffles: identity, reversed, and a few
+/// seeded Fisher–Yates permutations.
+fn permutations(m: usize) -> Vec<Vec<usize>> {
+    let mut orders: Vec<Vec<usize>> = vec![(0..m).collect(), (0..m).rev().collect()];
+    for seed in [7u64, 1312] {
+        let mut rng = SeededRng::new(seed);
+        let mut order: Vec<usize> = (0..m).collect();
+        for i in (1..m).rev() {
+            order.swap(i, rng.next_below(i + 1));
+        }
+        orders.push(order);
+    }
+    orders
+}
+
+/// Run `strategy`'s streaming aggregator over `updates` delivered in
+/// `order`, returning the finalized outcome.
+fn stream<S: AggregationStrategy>(
+    strategy: &mut S,
+    updates: &[ModelUpdate],
+    order: &[usize],
+    memory: AggregationMemory,
+) -> Option<AggregationOutcome> {
+    let roster: Vec<usize> = updates.iter().map(|u| u.client_id).collect();
+    let mut agg = strategy
+        .begin_streaming(DIM, &roster, memory)
+        .expect("strategy should stream in this mode");
+    for &i in order {
+        agg.push(&updates[i]);
+    }
+    agg.finalize()
+}
+
+fn assert_bitwise(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (j, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: coordinate {j} differs: {x} vs {y}");
+    }
+}
+
+/// The full matrix for one strategy: batch oracle at 1 thread vs streaming
+/// at 1 and 4 threads, across cohort sizes and arrival permutations.
+fn check_strategy<S: AggregationStrategy, F: Fn() -> S>(make: F, name: &str) {
+    for m in [1usize, 2, 5, 8] {
+        let updates = cohort(m, 0xC0FFEE ^ m as u64);
+        let global = vec![0.0f32; DIM];
+        let batch = with_threads(1, || make().aggregate(&updates, &mut ctx(&global)));
+        for order in permutations(m) {
+            for threads in [1usize, 4] {
+                let out = with_threads(threads, || {
+                    stream(&mut make(), &updates, &order, AggregationMemory::Streaming)
+                })
+                .unwrap_or_else(|| panic!("{name}: streaming returned None at m={m}"));
+                assert_bitwise(
+                    &batch.params,
+                    &out.params,
+                    &format!("{name} m={m} threads={threads} order={order:?}"),
+                );
+                assert_eq!(batch.selected, out.selected, "{name}: selected roster differs");
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_fedavg_matches_batch_bitwise() {
+    check_strategy(|| FedAvgStrategy, "FedAvg");
+}
+
+#[test]
+fn streaming_median_matches_batch_bitwise() {
+    check_strategy(|| MedianStrategy, "Median");
+}
+
+#[test]
+fn streaming_trimmed_mean_matches_batch_bitwise() {
+    check_strategy(|| TrimmedMeanStrategy::new(2), "TrimmedMean");
+}
+
+#[test]
+fn streaming_geomed_matches_batch_bitwise() {
+    check_strategy(GeoMedStrategy::default, "GeoMed");
+}
+
+#[test]
+fn fedavg_zero_weight_rounds_fall_back_like_the_batch_oracle() {
+    // All-zero sample counts: ops::fedavg degrades to the unweighted mean;
+    // the streaming fold must reproduce that bit-for-bit too.
+    let mut updates = cohort(5, 99);
+    for u in &mut updates {
+        u.num_samples = 0;
+    }
+    let global = vec![0.0f32; DIM];
+    let batch = FedAvgStrategy.aggregate(&updates, &mut ctx(&global));
+    for order in permutations(updates.len()) {
+        let out = stream(&mut FedAvgStrategy, &updates, &order, AggregationMemory::Streaming)
+            .expect("non-empty round finalizes");
+        assert_bitwise(&batch.params, &out.params, &format!("zero-weight order={order:?}"));
+    }
+}
+
+#[test]
+fn empty_round_finalizes_to_none() {
+    let agg: Box<dyn StreamingAggregator> = Box::new(StreamingFedAvg::new(DIM, &[]));
+    assert!(agg.finalize().is_none());
+    let agg: Box<dyn StreamingAggregator> = Box::new(HierarchicalFedAvg::new(DIM, &[], 4));
+    assert!(agg.finalize().is_none());
+    assert!(fedavg_streaming(DIM, &[], AggregationMemory::Batch).is_none(), "Batch never streams");
+}
+
+#[test]
+fn out_of_order_arrivals_park_and_peak_accounting_reflects_them() {
+    let updates = cohort(4, 3);
+    let roster: Vec<usize> = updates.iter().map(|u| u.client_id).collect();
+
+    // In slot order: only the O(d) accumulator is ever live.
+    let mut inorder = StreamingFedAvg::new(DIM, &roster);
+    for u in &updates {
+        inorder.push(u);
+    }
+    assert_eq!(inorder.peak_bytes(), (DIM * 4) as u64, "in-order fold must stay O(d)");
+
+    // Fully reversed: every update but the last parks until slot 0 arrives.
+    let mut reversed = StreamingFedAvg::new(DIM, &roster);
+    for u in updates.iter().rev() {
+        reversed.push(u);
+    }
+    assert_eq!(
+        reversed.peak_bytes(),
+        (3 * DIM * 4) as u64,
+        "reversed arrivals park m-1 vectors before the first fold"
+    );
+    let a = Box::new(inorder).finalize().unwrap();
+    let b = Box::new(reversed).finalize().unwrap();
+    assert_bitwise(&a.params, &b.params, "parked drain");
+}
+
+#[test]
+fn gapped_roster_drains_parked_successors_at_finalize() {
+    // Slot 1 of 4 never arrives (e.g. its submission was rejected): the
+    // later slots park, finalize drains them in slot order, and the result
+    // matches the batch fold over the three arrivals.
+    let updates = cohort(4, 11);
+    let roster: Vec<usize> = updates.iter().map(|u| u.client_id).collect();
+    let arrived: Vec<&ModelUpdate> = [0usize, 2, 3].iter().map(|&i| &updates[i]).collect();
+
+    let refs: Vec<&[f32]> = arrived.iter().map(|u| u.params.as_slice()).collect();
+    let counts: Vec<usize> = arrived.iter().map(|u| u.num_samples).collect();
+    let batch = fg_agg::fedavg(&refs, &counts);
+
+    let mut agg = StreamingFedAvg::new(DIM, &roster);
+    for u in &arrived {
+        agg.push(u);
+    }
+    let out = Box::new(agg).finalize().unwrap();
+    assert_bitwise(&batch, &out.params, "gapped roster");
+    assert_eq!(out.selected, vec![roster[0], roster[2], roster[3]]);
+}
+
+#[test]
+fn hierarchical_is_arrival_order_and_thread_invariant_with_ragged_last_shard() {
+    // m = 8 with shard = 3 → shards of 3, 3, 2 (ragged tail).
+    let updates = cohort(8, 42);
+    let memory = AggregationMemory::Hierarchical { shard: 3 };
+    let reference = with_threads(1, || {
+        stream(&mut FedAvgStrategy, &updates, &(0..8).collect::<Vec<_>>(), memory).unwrap()
+    });
+    for order in permutations(8) {
+        for threads in [1usize, 4] {
+            let out =
+                with_threads(threads, || stream(&mut FedAvgStrategy, &updates, &order, memory))
+                    .unwrap();
+            assert_bitwise(
+                &reference.params,
+                &out.params,
+                &format!("hierarchical order={order:?} threads={threads}"),
+            );
+            assert_eq!(reference.selected, out.selected);
+        }
+    }
+    // The tree fold is a different arithmetic from the flat batch fold; it
+    // should approximate it closely but is not bit-pinned to it.
+    let global = vec![0.0f32; DIM];
+    let batch = FedAvgStrategy.aggregate(&updates, &mut ctx(&global));
+    let err = fg_tensor::vecops::l2_distance(&batch.params, &reference.params);
+    assert!(err < 1e-3 * (DIM as f32).sqrt(), "tree mean far from flat mean: {err}");
+
+    // Degenerate shard sizes clamp/collapse sanely: shard=1 (one core per
+    // client) and shard=100 (single shard) stay deterministic too.
+    for shard in [1usize, 100] {
+        let m = AggregationMemory::Hierarchical { shard };
+        let a = stream(&mut FedAvgStrategy, &updates, &(0..8).collect::<Vec<_>>(), m).unwrap();
+        let b =
+            stream(&mut FedAvgStrategy, &updates, &(0..8).rev().collect::<Vec<_>>(), m).unwrap();
+        assert_bitwise(&a.params, &b.params, &format!("hierarchical shard={shard}"));
+    }
+}
+
+#[test]
+fn hierarchical_single_shard_matches_flat_streaming_bitwise() {
+    // With every client in one shard the tree collapses to the flat fold
+    // followed by a weight-total self-fold; the top level sees exactly one
+    // input, which `FedAvgCore` copies verbatim — so this *is* bit-equal.
+    let updates = cohort(6, 17);
+    let flat = stream(
+        &mut FedAvgStrategy,
+        &updates,
+        &(0..6).collect::<Vec<_>>(),
+        AggregationMemory::Streaming,
+    )
+    .unwrap();
+    let tree = stream(
+        &mut FedAvgStrategy,
+        &updates,
+        &(0..6).collect::<Vec<_>>(),
+        AggregationMemory::Hierarchical { shard: 64 },
+    )
+    .unwrap();
+    assert_bitwise(&flat.params, &tree.params, "single-shard tree");
+}

@@ -121,8 +121,8 @@ fn main() {
             return true; // dropouts shift wire traffic; accounting is simulated
         }
         wire.iter().find(|w| w.round == event.round).is_some_and(|w| {
-            w.model_bytes_tx == event.comm.upload_bytes
-                && w.model_bytes_rx == event.comm.download_bytes
+            w.model_bytes_tx == event.comm.download_bytes
+                && w.model_bytes_rx == event.comm.upload_bytes
         })
     });
 

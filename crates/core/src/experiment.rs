@@ -13,9 +13,9 @@ use fg_data::LabelFlip;
 use fg_defenses::{SpectralConfig, SpectralDefense};
 use fg_fl::client::NoAttack;
 use fg_fl::{
-    AggregationStrategy, Client, CommStats, CvaeTrainConfig, FaultConfig, FaultPlan, Federation,
-    FederationConfig, JsonlSink, LocalTrainConfig, MemoryCollector, ResiliencePolicy, RoundRecord,
-    RoundTelemetry, Transport, UpdateInterceptor,
+    AggregationMemory, AggregationStrategy, Client, CommStats, CvaeTrainConfig, FaultConfig,
+    FaultPlan, Federation, FederationConfig, JsonlSink, LocalTrainConfig, MemoryCollector,
+    ResiliencePolicy, RoundRecord, RoundTelemetry, Transport, UpdateInterceptor,
 };
 use fg_nn::models::{ClassifierSpec, CvaeSpec};
 use fg_tensor::rng::{derive_seed, SeededRng};
@@ -240,6 +240,7 @@ impl ExperimentConfig {
                     server_lr: 1.0,
                     eval_batch: 128,
                     seed,
+                    agg_memory: AggregationMemory::Batch,
                 };
                 ExperimentConfig {
                     fed,
@@ -290,6 +291,7 @@ impl ExperimentConfig {
                     server_lr: 1.0,
                     eval_batch: 64,
                     seed,
+                    agg_memory: AggregationMemory::Batch,
                 };
                 ExperimentConfig {
                     fed,

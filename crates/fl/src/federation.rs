@@ -2,16 +2,18 @@
 
 use crate::client::{Client, NoAttack, UpdateInterceptor};
 use crate::comm::CommStats;
-use crate::config::{CvaeTrainConfig, FederationConfig, ResiliencePolicy};
+use crate::config::{AggregationMemory, CvaeTrainConfig, FederationConfig, ResiliencePolicy};
 use crate::fault::{sanitize_round, FaultEvent, FaultKind, FaultPlan, SubmissionFaults};
 use crate::metrics::RoundRecord;
-use crate::strategy::{AggregationContext, AggregationStrategy, StrategyTimings};
+use crate::strategy::{
+    AggregationContext, AggregationStrategy, StrategyTimings, StreamingAggregator,
+};
 use crate::telemetry::{RoundObserver, RoundTelemetry, StageTimings, SCHEMA_VERSION};
-use crate::transport::{LocalTransport, RoundOffer, Transport};
-use crate::update::ModelUpdate;
+use crate::transport::{LocalTransport, RoundOffer, SessionEvent, Transport};
+use crate::update::{ModelUpdate, UpdateRejection};
 use fg_data::Dataset;
 use fg_nn::models::Classifier;
-use fg_obs::metrics::Counter;
+use fg_obs::metrics::{Counter, Gauge};
 use fg_obs::span::timed_span;
 use fg_tensor::rng::SeededRng;
 use fg_tensor::vecops;
@@ -20,6 +22,31 @@ use std::sync::Arc;
 
 /// Completed federated rounds, across all `Federation` instances.
 static ROUNDS: Counter = Counter::new("fl.rounds");
+
+/// Peak transient server residency of the last aggregation stage, in bytes.
+/// Streaming rounds report the aggregator's own high-water mark; batch
+/// rounds report the materialized-survivors proxy `(m + 1)·d·4` (the m
+/// survivor vectors plus the aggregate), so the two memory models are
+/// directly comparable on one gauge.
+static AGG_PEAK_BYTES: Gauge = Gauge::new("fl.agg.peak_bytes");
+
+/// What stages (2)–(5) of a round distill to — the exchange, sanitization,
+/// and aggregation results. Produced by either [`Federation::batch_body`]
+/// (the O(m·d) oracle) or [`Federation::streamed_body`] (the O(d) fold);
+/// the evaluation/telemetry tail of `run_round` consumes both identically.
+struct RoundBody {
+    local_training_secs: f64,
+    sanitize_secs: f64,
+    sessions: Vec<SessionEvent>,
+    comm: CommStats,
+    survivor_ids: Vec<usize>,
+    quorum_met: bool,
+    selected: Vec<usize>,
+    scores: Vec<(usize, f32)>,
+    threshold: Option<f32>,
+    strategy_timings: StrategyTimings,
+    aggregate_total_secs: f64,
+}
 
 /// A complete federated-learning simulation: `N` clients, a server-side test
 /// set, an aggregation strategy, and an optional attack interceptor.
@@ -339,114 +366,38 @@ impl Federation {
             })
             .collect();
 
-        // (2) + (3) The transport runs the exchange: deliver the global
-        // model, collect the trained (and attack-intercepted) submissions of
-        // the active clients, sorted by client id. In-process this is the
-        // parallel training pass; over TCP it is RoundStart/Upload framing —
-        // either way the same offers must yield the same updates.
-        let stage = timed_span("round.local_training");
-        let offer = RoundOffer { round, global: &self.global, sampled: &sampled, active: &active };
-        let exchange = self.transport.exchange_round(&offer);
-        let updates = exchange.updates;
-        let sessions = exchange.sessions;
-        // Transport-observed losses (TCP disconnects, malformed frames)
-        // degrade exactly like scheduled faults.
-        fault_events.extend(exchange.faults);
-        let local_training_secs = stage.close();
-
-        // (3b) Inject transit faults into the trained submissions: corrupt /
-        // truncate the vector, queue a stale duplicate, and apply the
-        // straggler deadline. Duplicates arrive after every original.
-        let deadline =
-            self.faults.as_ref().map_or(f64::INFINITY, |p| p.config().round_deadline_secs);
-        let faults_of: std::collections::HashMap<usize, SubmissionFaults> =
-            schedule.iter().copied().collect();
-        let mut arrived: Vec<ModelUpdate> = Vec::with_capacity(updates.len());
-        let mut duplicates: Vec<ModelUpdate> = Vec::new();
-        for mut update in updates {
-            let f = faults_of[&update.client_id];
-            if let Some(mode) = f.corrupt {
-                FaultPlan::corrupt_params(&mut update, mode);
-                fault_events.push(FaultEvent::new(update.client_id, FaultKind::Corrupted { mode }));
+        // (2)–(5) Exchange, sanitize, aggregate. When the aggregation-memory
+        // knob resolves away from the batch oracle and the strategy can
+        // stream, every update folds into an O(d) accumulator as it leaves
+        // the transport and the round never materializes; the batch path
+        // stays the bitwise oracle and keeps handling everything that needs
+        // the survivor vectors in hand (fault injection, the damped
+        // below-quorum partial step).
+        let memory = self.config.agg_memory.resolved();
+        let streaming = if self.faults.is_none() && !self.resilience.damped_partial_step {
+            match memory {
+                AggregationMemory::Batch => None,
+                mode => self.strategy.begin_streaming(self.global.len(), &active, mode),
             }
-            if let Some(frac) = f.truncate_fraction {
-                let kept = ((update.params.len() as f64 * frac) as usize).max(1);
-                update.params.truncate(kept);
-                fault_events.push(FaultEvent::new(update.client_id, FaultKind::Truncated { kept }));
-            }
-            if f.duplicate {
-                // A retransmission frozen at the round-start global model; it
-                // goes over the wire even if the original times out.
-                let mut dup = update.clone();
-                dup.params = self.global.clone();
-                duplicates.push(dup);
-                fault_events
-                    .push(FaultEvent::new(update.client_id, FaultKind::DuplicateSubmission));
-            }
-            if let Some(delay) = f.straggler_delay_secs {
-                if delay > deadline {
-                    fault_events.push(FaultEvent::new(
-                        update.client_id,
-                        FaultKind::StragglerTimeout { delay_secs: delay },
-                    ));
-                    continue;
-                }
-                fault_events.push(FaultEvent::new(
-                    update.client_id,
-                    FaultKind::StragglerLate { delay_secs: delay },
-                ));
-            }
-            arrived.push(update);
-        }
-        arrived.extend(duplicates);
-        // Download accounting covers what actually crossed the wire this
-        // round: corrupted/truncated/duplicate submissions included,
-        // dropouts and timeouts not.
-        let comm = CommStats::for_round(self.global.len(), sampled.len(), &arrived);
-
-        // (4) Sanitize: reject malformed vectors, strip bad decoders, dedup
-        // by client id. Runs on every round, fault plan or not.
-        let stage = timed_span("round.sanitize");
-        let survivors = sanitize_round(arrived, self.global.len(), &mut fault_events);
-        let survivor_ids: Vec<usize> = survivors.iter().map(|u| u.client_id).collect();
-        let sanitize_secs = stage.close();
-
-        // (5) Aggregate if the survivors meet quorum; otherwise degrade per
-        // the resilience policy. The strategy reports its own synthesis /
-        // audit time; the remainder of aggregate() is inner aggregation.
-        let quorum = self.resilience.effective_quorum();
-        let quorum_met = survivors.len() >= quorum;
-        let stage = timed_span("round.aggregation");
-        let (selected, scores, threshold, strategy_timings) = if quorum_met {
-            let mut ctx = AggregationContext {
-                round,
-                global: &self.global,
-                rng: self.rng.fork(0xA66 ^ round as u64),
-            };
-            let outcome = self.strategy.aggregate(&survivors, &mut ctx);
-            assert_eq!(
-                outcome.params.len(),
-                self.global.len(),
-                "strategy {} returned wrong-size parameters",
-                self.strategy.name()
-            );
-            // Server learning rate (§V-A): ψ₀ ← (1-η)ψ₀ + η·aggregate.
-            self.global = vecops::lerp(&self.global, &outcome.params, self.config.server_lr);
-            (outcome.selected, outcome.scores, outcome.threshold, outcome.timings)
-        } else if self.resilience.damped_partial_step && !survivors.is_empty() {
-            // Below quorum but not empty: a confidence-weighted step toward
-            // the survivors' unweighted mean, damped by survivors/quorum on
-            // top of the server learning rate.
-            let refs: Vec<&[f32]> = survivors.iter().map(|u| u.params.as_slice()).collect();
-            let mean = vecops::mean_vector(&refs);
-            let scale = survivors.len() as f32 / quorum as f32;
-            self.global = vecops::lerp(&self.global, &mean, self.config.server_lr * scale);
-            (survivor_ids.clone(), Vec::new(), None, StrategyTimings::default())
         } else {
-            // Carry the global model forward unchanged.
-            (Vec::new(), Vec::new(), None, StrategyTimings::default())
+            None
         };
-        let aggregate_total_secs = stage.close();
+        let RoundBody {
+            local_training_secs,
+            sanitize_secs,
+            sessions,
+            comm,
+            survivor_ids,
+            quorum_met,
+            selected,
+            scores,
+            threshold,
+            strategy_timings,
+            aggregate_total_secs,
+        } = match streaming {
+            Some(agg) => self.streamed_body(round, &sampled, &active, &mut fault_events, agg),
+            None => self.batch_body(round, &sampled, &active, &schedule, &mut fault_events),
+        };
 
         // (6) Evaluate, record, and emit telemetry.
         let stage = timed_span("round.evaluation");
@@ -521,6 +472,241 @@ impl Federation {
         record
     }
 
+    /// Stages (2)–(5), batch flavor — the O(m·d) oracle: run the exchange to
+    /// a materialized update list, inject scheduled transit faults, sanitize
+    /// the arrivals, and hand the surviving batch to the strategy.
+    fn batch_body(
+        &mut self,
+        round: usize,
+        sampled: &[usize],
+        active: &[usize],
+        schedule: &[(usize, SubmissionFaults)],
+        fault_events: &mut Vec<FaultEvent>,
+    ) -> RoundBody {
+        // (2) + (3) The transport runs the exchange: deliver the global
+        // model, collect the trained (and attack-intercepted) submissions of
+        // the active clients, sorted by client id. In-process this is the
+        // parallel training pass; over TCP it is RoundStart/Upload framing —
+        // either way the same offers must yield the same updates.
+        let stage = timed_span("round.local_training");
+        let offer = RoundOffer { round, global: &self.global, sampled, active };
+        let exchange = self.transport.exchange_round(&offer);
+        let updates = exchange.updates;
+        let sessions = exchange.sessions;
+        // Transport-observed losses (TCP disconnects, malformed frames)
+        // degrade exactly like scheduled faults.
+        fault_events.extend(exchange.faults);
+        let local_training_secs = stage.close();
+
+        // (3b) Inject transit faults into the trained submissions: corrupt /
+        // truncate the vector, queue a stale duplicate, and apply the
+        // straggler deadline. Duplicates arrive after every original.
+        let deadline =
+            self.faults.as_ref().map_or(f64::INFINITY, |p| p.config().round_deadline_secs);
+        let faults_of: std::collections::HashMap<usize, SubmissionFaults> =
+            schedule.iter().copied().collect();
+        let mut arrived: Vec<ModelUpdate> = Vec::with_capacity(updates.len());
+        let mut duplicates: Vec<ModelUpdate> = Vec::new();
+        for mut update in updates {
+            let f = faults_of[&update.client_id];
+            if let Some(mode) = f.corrupt {
+                FaultPlan::corrupt_params(&mut update, mode);
+                fault_events.push(FaultEvent::new(update.client_id, FaultKind::Corrupted { mode }));
+            }
+            if let Some(frac) = f.truncate_fraction {
+                let kept = ((update.params.len() as f64 * frac) as usize).max(1);
+                update.params.truncate(kept);
+                fault_events.push(FaultEvent::new(update.client_id, FaultKind::Truncated { kept }));
+            }
+            if f.duplicate {
+                // A retransmission frozen at the round-start global model; it
+                // goes over the wire even if the original times out.
+                let mut dup = update.clone();
+                dup.params = self.global.clone();
+                duplicates.push(dup);
+                fault_events
+                    .push(FaultEvent::new(update.client_id, FaultKind::DuplicateSubmission));
+            }
+            if let Some(delay) = f.straggler_delay_secs {
+                if delay > deadline {
+                    fault_events.push(FaultEvent::new(
+                        update.client_id,
+                        FaultKind::StragglerTimeout { delay_secs: delay },
+                    ));
+                    continue;
+                }
+                fault_events.push(FaultEvent::new(
+                    update.client_id,
+                    FaultKind::StragglerLate { delay_secs: delay },
+                ));
+            }
+            arrived.push(update);
+        }
+        arrived.extend(duplicates);
+        // Download accounting covers what actually crossed the wire this
+        // round: corrupted/truncated/duplicate submissions included,
+        // dropouts and timeouts not.
+        let comm = CommStats::for_round(self.global.len(), sampled.len(), &arrived);
+
+        // (4) Sanitize: reject malformed vectors, strip bad decoders, dedup
+        // by client id. Runs on every round, fault plan or not.
+        let stage = timed_span("round.sanitize");
+        let survivors = sanitize_round(arrived, self.global.len(), fault_events);
+        let survivor_ids: Vec<usize> = survivors.iter().map(|u| u.client_id).collect();
+        let sanitize_secs = stage.close();
+
+        // (5) Aggregate if the survivors meet quorum; otherwise degrade per
+        // the resilience policy. The strategy reports its own synthesis /
+        // audit time; the remainder of aggregate() is inner aggregation.
+        let quorum = self.resilience.effective_quorum();
+        let quorum_met = survivors.len() >= quorum;
+        let stage = timed_span("round.aggregation");
+        let (selected, scores, threshold, strategy_timings) = if quorum_met {
+            // Materialized-survivors residency proxy: the m survivor vectors
+            // plus the aggregate the strategy is about to produce.
+            AGG_PEAK_BYTES.set(((survivors.len() + 1) * self.global.len() * 4) as i64);
+            let mut ctx = AggregationContext {
+                round,
+                global: &self.global,
+                rng: self.rng.fork(0xA66 ^ round as u64),
+            };
+            let outcome = self.strategy.aggregate(&survivors, &mut ctx);
+            assert_eq!(
+                outcome.params.len(),
+                self.global.len(),
+                "strategy {} returned wrong-size parameters",
+                self.strategy.name()
+            );
+            // Server learning rate (§V-A): ψ₀ ← (1-η)ψ₀ + η·aggregate.
+            self.global = vecops::lerp(&self.global, &outcome.params, self.config.server_lr);
+            (outcome.selected, outcome.scores, outcome.threshold, outcome.timings)
+        } else if self.resilience.damped_partial_step && !survivors.is_empty() {
+            // Below quorum but not empty: a confidence-weighted step toward
+            // the survivors' unweighted mean, damped by survivors/quorum on
+            // top of the server learning rate.
+            let refs: Vec<&[f32]> = survivors.iter().map(|u| u.params.as_slice()).collect();
+            let mean = vecops::mean_vector(&refs);
+            let scale = survivors.len() as f32 / quorum as f32;
+            self.global = vecops::lerp(&self.global, &mean, self.config.server_lr * scale);
+            (survivor_ids.clone(), Vec::new(), None, StrategyTimings::default())
+        } else {
+            // Carry the global model forward unchanged.
+            (Vec::new(), Vec::new(), None, StrategyTimings::default())
+        };
+        let aggregate_total_secs = stage.close();
+
+        RoundBody {
+            local_training_secs,
+            sanitize_secs,
+            sessions,
+            comm,
+            survivor_ids,
+            quorum_met,
+            selected,
+            scores,
+            threshold,
+            strategy_timings,
+            aggregate_total_secs,
+        }
+    }
+
+    /// Stages (2)–(5), streaming flavor: the transport hands each update to
+    /// a sink that accounts it, sanitizes it inline (same checks and
+    /// [`FaultEvent`]s as [`sanitize_round`], minus its last-duplicate-wins
+    /// rule — a fold is irrevocable, so the *first* valid arrival per client
+    /// wins; unreachable through the in-tree transports, which deliver each
+    /// active client at most once), and folds it into the strategy's O(d)
+    /// accumulator. No update list is ever materialized.
+    fn streamed_body(
+        &mut self,
+        round: usize,
+        sampled: &[usize],
+        active: &[usize],
+        fault_events: &mut Vec<FaultEvent>,
+        mut agg: Box<dyn StreamingAggregator>,
+    ) -> RoundBody {
+        let stage = timed_span("round.local_training");
+        let mut comm = CommStats::for_broadcast(self.global.len(), sampled.len());
+        let expected_len = self.global.len();
+        let mut survivor_ids: Vec<usize> = Vec::new();
+        let offer = RoundOffer { round, global: &self.global, sampled, active };
+        let mut sink = |mut update: ModelUpdate| {
+            // Upload accounting covers everything that crossed the wire,
+            // valid or not — the same policy as the batch path.
+            comm.push_update(&update);
+            match update.validate(expected_len) {
+                Err(UpdateRejection::NonFinite) => {
+                    fault_events
+                        .push(FaultEvent::new(update.client_id, FaultKind::RejectedNonFinite));
+                    return;
+                }
+                Err(UpdateRejection::WrongLength { got, expected }) => {
+                    fault_events.push(FaultEvent::new(
+                        update.client_id,
+                        FaultKind::RejectedWrongLength { got, expected },
+                    ));
+                    return;
+                }
+                Ok(()) => {}
+            }
+            if update.strip_non_finite_decoder() {
+                fault_events.push(FaultEvent::new(update.client_id, FaultKind::DecoderStripped));
+            }
+            if survivor_ids.contains(&update.client_id) {
+                fault_events.push(FaultEvent::new(update.client_id, FaultKind::DuplicateDiscarded));
+                return;
+            }
+            survivor_ids.push(update.client_id);
+            agg.push(&update);
+        };
+        let tail = self.transport.exchange_round_streamed(&offer, &mut sink);
+        fault_events.extend(tail.faults);
+        let sessions = tail.sessions;
+        let local_training_secs = stage.close();
+        // Sanitization ran inline, interleaved with the exchange above; it
+        // has no separately measurable span in streaming mode.
+        let sanitize_secs = 0.0;
+        // The batch sanitizer returns survivors sorted by client id; match.
+        survivor_ids.sort_unstable();
+
+        let quorum = self.resilience.effective_quorum();
+        let quorum_met = survivor_ids.len() >= quorum;
+        let stage = timed_span("round.aggregation");
+        let (selected, scores, threshold, strategy_timings) = if quorum_met {
+            AGG_PEAK_BYTES.set(agg.peak_bytes() as i64);
+            let outcome = agg.finalize().expect("quorum met implies at least one folded update");
+            assert_eq!(
+                outcome.params.len(),
+                self.global.len(),
+                "strategy {} streamed wrong-size parameters",
+                self.strategy.name()
+            );
+            // Server learning rate (§V-A): ψ₀ ← (1-η)ψ₀ + η·aggregate.
+            self.global = vecops::lerp(&self.global, &outcome.params, self.config.server_lr);
+            (outcome.selected, outcome.scores, outcome.threshold, outcome.timings)
+        } else {
+            // Below quorum: discard the accumulator and carry the model
+            // forward (the damped partial step needs survivor vectors and
+            // therefore forces the batch path).
+            (Vec::new(), Vec::new(), None, StrategyTimings::default())
+        };
+        let aggregate_total_secs = stage.close();
+
+        RoundBody {
+            local_training_secs,
+            sanitize_secs,
+            sessions,
+            comm,
+            survivor_ids,
+            quorum_met,
+            selected,
+            scores,
+            threshold,
+            strategy_timings,
+            aggregate_total_secs,
+        }
+    }
+
     /// Run all configured rounds; returns the full history and notifies
     /// observers that the run is complete (sinks flush here).
     pub fn run(&mut self) -> Vec<RoundRecord> {
@@ -589,6 +775,7 @@ mod tests {
             server_lr: 1.0,
             eval_batch: 64,
             seed,
+            agg_memory: AggregationMemory::Batch,
         };
         Federation::builder(config).datasets(datasets).test_set(test).strategy(MeanStrategy)
     }
@@ -666,6 +853,7 @@ mod tests {
             server_lr: 1.0,
             eval_batch: 32,
             seed: 3,
+            agg_memory: AggregationMemory::Batch,
         };
 
         let mut full = Federation::builder(config)
@@ -702,6 +890,7 @@ mod tests {
             server_lr: 1.0,
             eval_batch: 32,
             seed: 0,
+            agg_memory: AggregationMemory::Batch,
         };
         Federation::builder(config)
             .datasets(vec![data.clone()])
@@ -723,6 +912,7 @@ mod tests {
             server_lr: 1.0,
             eval_batch: 32,
             seed: 0,
+            agg_memory: AggregationMemory::Batch,
         };
         Federation::builder(config).datasets(vec![data.clone()]).test_set(data).build();
     }
@@ -780,7 +970,7 @@ mod tests {
             assert!(!e.quorum_met);
             assert!(e.survivors.is_empty());
             assert_eq!(e.faults.len(), 4, "one Dropout event per sampled client");
-            assert_eq!(e.comm.download_bytes, 0, "nothing crossed the wire upstream");
+            assert_eq!(e.comm.upload_bytes, 0, "nothing crossed the wire upstream");
             assert!((r.accuracy - baseline).abs() < 1e-6);
         }
     }

@@ -33,7 +33,9 @@ pub mod wire;
 
 pub use client::{Client, DataStream, UpdateInterceptor};
 pub use comm::CommStats;
-pub use config::{CvaeTrainConfig, FederationConfig, LocalTrainConfig, ResiliencePolicy};
+pub use config::{
+    AggregationMemory, CvaeTrainConfig, FederationConfig, LocalTrainConfig, ResiliencePolicy,
+};
 pub use fault::{
     sanitize_round, CorruptionMode, FaultConfig, FaultEvent, FaultKind, FaultPlan, SubmissionFaults,
 };
@@ -42,14 +44,17 @@ pub use metrics::RoundRecord;
 pub use net::{
     run_federated_client, ClientRunReport, NetConfig, TcpClientChannel, TcpTransport, WireStats,
 };
-pub use strategy::{AggregationContext, AggregationOutcome, AggregationStrategy, StrategyTimings};
+pub use strategy::{
+    AggregationContext, AggregationOutcome, AggregationStrategy, StrategyTimings,
+    StreamingAggregator,
+};
 pub use telemetry::{
     read_jsonl, JsonlSink, MemoryCollector, RoundObserver, RoundTelemetry, StageTimings,
     StderrProgress,
 };
 pub use transport::{
-    ClientChannel, Directive, LocalTransport, RoundExchange, RoundOffer, SessionEvent,
-    SessionEventKind, Transport, TransportKind,
+    ClientChannel, Directive, ExchangeTail, LocalTransport, RoundExchange, RoundOffer,
+    SessionEvent, SessionEventKind, Transport, TransportKind,
 };
 pub use update::{ModelUpdate, UpdateRejection};
 pub use wire::{Message, WireConfig, WireError};

@@ -105,10 +105,12 @@ pub struct WireStats {
     pub bytes_tx: u64,
     pub bytes_rx: u64,
     /// Model-parameter bytes sent (server: `RoundStart` globals; this is the
-    /// networked realization of `CommStats::upload_bytes`).
+    /// networked realization of `CommStats::download_bytes`, the broadcast
+    /// the clients download).
     pub model_bytes_tx: u64,
     /// Model-parameter bytes received (server: `Upload` payloads; the
-    /// networked realization of `CommStats::download_bytes`).
+    /// networked realization of `CommStats::upload_bytes`, the updates the
+    /// clients upload).
     pub model_bytes_rx: u64,
     /// Heartbeat frames observed among the received frames.
     pub heartbeats: u64,

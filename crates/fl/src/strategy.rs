@@ -1,5 +1,6 @@
 //! The pluggable aggregation-strategy interface.
 
+use crate::config::AggregationMemory;
 use crate::update::ModelUpdate;
 use fg_tensor::rng::SeededRng;
 
@@ -101,6 +102,47 @@ pub trait AggregationStrategy: Send {
     fn uses_decoders(&self) -> bool {
         false
     }
+
+    /// Open a streaming accumulator for a round, or `None` if this strategy
+    /// can only aggregate a materialized batch (Krum's pairwise distances,
+    /// FedGuard's audit). `roster` is the round's active client ids in
+    /// ascending order — the canonical slot order every transport delivers
+    /// and the order the streaming fold is keyed to, so results are
+    /// independent of arrival order. The federation only consults this when
+    /// [`AggregationMemory`] resolves away from `Batch`; a `Some` aggregator
+    /// must produce the same `AggregationOutcome` the batch `aggregate`
+    /// would (bit-identical params for `Streaming` mode).
+    fn begin_streaming(
+        &mut self,
+        dim: usize,
+        roster: &[usize],
+        memory: AggregationMemory,
+    ) -> Option<Box<dyn StreamingAggregator>> {
+        let _ = (dim, roster, memory);
+        None
+    }
+}
+
+/// An in-flight O(d)-memory aggregation: updates fold in one at a time as
+/// the transport delivers them, instead of being materialized as a batch.
+///
+/// Contract: the caller sanitizes first (length/finiteness validation,
+/// duplicate discard) and pushes each surviving update exactly once; every
+/// pushed `client_id` must be on the roster `begin_streaming` was given.
+/// `finalize` returns `None` when nothing was pushed (the quorum-skip path
+/// discards the accumulator without finalizing).
+pub trait StreamingAggregator: Send {
+    /// Fold one sanitized update into the accumulator.
+    fn push(&mut self, update: &ModelUpdate);
+
+    /// High-water mark of the aggregator's transient residency in bytes
+    /// (accumulators + any out-of-order reorder buffer), for the
+    /// `fl.agg.peak_bytes` gauge and `bench_aggregation`.
+    fn peak_bytes(&self) -> u64;
+
+    /// Complete the round: the outcome the batch path would have produced,
+    /// or `None` if no updates were pushed.
+    fn finalize(self: Box<Self>) -> Option<AggregationOutcome>;
 }
 
 /// Boxes forward, so `FederationBuilder::strategy` accepts either a plain
@@ -121,6 +163,15 @@ impl<S: AggregationStrategy + ?Sized> AggregationStrategy for Box<S> {
 
     fn uses_decoders(&self) -> bool {
         (**self).uses_decoders()
+    }
+
+    fn begin_streaming(
+        &mut self,
+        dim: usize,
+        roster: &[usize],
+        memory: AggregationMemory,
+    ) -> Option<Box<dyn StreamingAggregator>> {
+        (**self).begin_streaming(dim, roster, memory)
     }
 }
 

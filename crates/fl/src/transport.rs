@@ -112,6 +112,16 @@ pub struct RoundExchange {
     pub sessions: Vec<SessionEvent>,
 }
 
+/// The non-update remainder of a streamed exchange: everything a
+/// [`RoundExchange`] carries besides the updates themselves, returned by
+/// [`Transport::exchange_round_streamed`] after the last submission has been
+/// pushed into the sink.
+#[derive(Debug, Default)]
+pub struct ExchangeTail {
+    pub faults: Vec<FaultEvent>,
+    pub sessions: Vec<SessionEvent>,
+}
+
 /// Server-side transport: delivers the global model to the round's clients
 /// and collects their submissions. Implementations must return updates
 /// sorted by client id and must not reorder, drop, or synthesize
@@ -122,6 +132,29 @@ pub trait Transport: Send {
 
     /// Run one round's exchange.
     fn exchange_round(&mut self, offer: &RoundOffer<'_>) -> RoundExchange;
+
+    /// Streaming variant of [`exchange_round`](Transport::exchange_round):
+    /// hand each submission to `sink` as it becomes available — in ascending
+    /// client-id order for implementations that control arrival order — so
+    /// the server can fold updates into an O(d) accumulator instead of
+    /// holding all m in memory. Same delivery contract as `exchange_round`
+    /// (each active client at most once, losses reported as faults).
+    ///
+    /// The default implementation adapts `exchange_round` by replaying its
+    /// batch through the sink: correct for any transport, but it still
+    /// materializes O(m·d) inside the exchange. [`LocalTransport`] overrides
+    /// it to train-and-sink one client at a time.
+    fn exchange_round_streamed(
+        &mut self,
+        offer: &RoundOffer<'_>,
+        sink: &mut dyn FnMut(ModelUpdate),
+    ) -> ExchangeTail {
+        let RoundExchange { updates, faults, sessions } = self.exchange_round(offer);
+        for update in updates {
+            sink(update);
+        }
+        ExchangeTail { faults, sessions }
+    }
 
     /// The run is over: release clients (a TCP transport sends `Shutdown`
     /// and drains `Leave`s). Returns the final session events.
@@ -141,6 +174,14 @@ impl Transport for Box<dyn Transport> {
 
     fn exchange_round(&mut self, offer: &RoundOffer<'_>) -> RoundExchange {
         (**self).exchange_round(offer)
+    }
+
+    fn exchange_round_streamed(
+        &mut self,
+        offer: &RoundOffer<'_>,
+        sink: &mut dyn FnMut(ModelUpdate),
+    ) -> ExchangeTail {
+        (**self).exchange_round_streamed(offer, sink)
     }
 
     fn finish(&mut self) -> Vec<SessionEvent> {
@@ -205,6 +246,28 @@ impl Transport for LocalTransport {
             .collect();
         updates.sort_by_key(|u| u.client_id);
         RoundExchange { updates, faults: Vec::new(), sessions: Vec::new() }
+    }
+
+    fn exchange_round_streamed(
+        &mut self,
+        offer: &RoundOffer<'_>,
+        sink: &mut dyn FnMut(ModelUpdate),
+    ) -> ExchangeTail {
+        // Train-and-sink one client at a time, in ascending id order (the
+        // canonical order the batch path's sort produces), so only a single
+        // update is ever materialized — O(d) residency. The cross-client
+        // fan-out is given up for that; each client's training still runs
+        // its kernels on the worker pool, and every update is bit-identical
+        // to the batch path's (per-client forked RNG streams).
+        let mut ids = offer.active.to_vec();
+        ids.sort_unstable();
+        for id in ids {
+            let _span = fg_obs::span::span("client.train");
+            let mut update = self.clients[id].lock().train_round(offer.global, offer.round);
+            self.interceptor.intercept(&mut update, offer.round);
+            sink(update);
+        }
+        ExchangeTail::default()
     }
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
@@ -297,6 +360,39 @@ mod tests {
         let a = LocalTransport::honest(toy_clients(3)).exchange_round(&offer);
         let b = LocalTransport::honest(toy_clients(3)).exchange_round(&offer);
         assert_eq!(a.updates, b.updates);
+    }
+
+    #[test]
+    fn streamed_exchange_matches_batch_exchange_bitwise() {
+        let global = toy_global();
+        let sampled = vec![0, 1, 3, 4];
+        let active = vec![4, 0, 3]; // unsorted on purpose
+        let offer = RoundOffer { round: 2, global: &global, sampled: &sampled, active: &active };
+        let batch = LocalTransport::honest(toy_clients(5)).exchange_round(&offer);
+        let mut streamed = Vec::new();
+        let tail = LocalTransport::honest(toy_clients(5))
+            .exchange_round_streamed(&offer, &mut |u| streamed.push(u));
+        assert_eq!(batch.updates, streamed, "streamed updates diverged from batch");
+        assert!(tail.faults.is_empty() && tail.sessions.is_empty());
+        // The default (adapter) implementation replays the batch through the
+        // sink — same contract for transports without a native override.
+        struct Replay(LocalTransport);
+        impl Transport for Replay {
+            fn kind(&self) -> TransportKind {
+                TransportKind::Local
+            }
+            fn exchange_round(&mut self, offer: &RoundOffer<'_>) -> RoundExchange {
+                self.0.exchange_round(offer)
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let mut replayed = Vec::new();
+        let tail = Replay(LocalTransport::honest(toy_clients(5)))
+            .exchange_round_streamed(&offer, &mut |u| replayed.push(u));
+        assert_eq!(batch.updates, replayed, "default adapter diverged from batch");
+        assert!(tail.faults.is_empty());
     }
 
     #[test]

@@ -15,19 +15,48 @@ const PAR_LEN: usize = 1 << 16;
 
 /// Euclidean distance between two equal-length vectors.
 pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
-    squared_distance(a, b).sqrt()
+    squared_distance_f64(a, b).sqrt() as f32
 }
 
-/// Squared Euclidean distance.
+/// Squared Euclidean distance, truncated to f32.
+///
+/// Accumulation happens in f64 (see [`squared_distance_f64`]); finite inputs
+/// whose true squared distance exceeds `f32::MAX` still come back as `+inf`
+/// after the cast — callers that rank by distance (Krum) must stay on the
+/// f64 form to keep their ordering intact.
 pub fn squared_distance(a: &[f32], b: &[f32]) -> f32 {
+    squared_distance_f64(a, b) as f32
+}
+
+/// Squared Euclidean distance with f64 accumulation.
+///
+/// Per-element squares of f32 inputs can reach ~1e76, far beyond
+/// `f32::MAX ≈ 3.4e38`: a single large-but-finite poisoned coordinate used
+/// to overflow the old f32 accumulator to `+inf` and collapse Krum's score
+/// ordering whenever several attackers overflowed together. Partial sums are
+/// taken per `PAR_LEN` chunk (each chunk folds left-to-right in f64) and the
+/// chunk partials are reduced **sequentially in chunk order**, so the result
+/// is bit-identical at any `FG_THREADS` and identical whether a caller walks
+/// the vectors whole or slab by slab.
+pub fn squared_distance_f64(a: &[f32], b: &[f32]) -> f64 {
     assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    // Subtract in f64 too: a diff of two finite f32s near ±3e38 would already
+    // overflow before squaring if taken at f32 width.
+    let chunk_sum = |ca: &[f32], cb: &[f32]| {
+        ca.iter().zip(cb).fold(0.0f64, |acc, (x, y)| {
+            let d = *x as f64 - *y as f64;
+            acc + d * d
+        })
+    };
     if a.len() >= PAR_LEN {
-        a.par_chunks(PAR_LEN)
+        let partials: Vec<f64> = a
+            .par_chunks(PAR_LEN)
             .zip(b.par_chunks(PAR_LEN))
-            .map(|(ca, cb)| ca.iter().zip(cb).map(|(x, y)| (x - y) * (x - y)).sum::<f32>())
-            .sum()
+            .map(|(ca, cb)| chunk_sum(ca, cb))
+            .collect();
+        partials.iter().sum()
     } else {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        chunk_sum(a, b)
     }
 }
 
@@ -41,12 +70,23 @@ pub fn l2_norm(a: &[f32]) -> f32 {
 /// Panics if `vs` is empty, lengths are ragged, or weight count mismatches.
 pub fn weighted_sum(vs: &[&[f32]], weights: &[f32]) -> Vec<f32> {
     assert!(!vs.is_empty(), "weighted_sum of zero vectors");
+    let mut out = vec![0.0f32; vs[0].len()];
+    weighted_sum_into(vs, weights, &mut out);
+    out
+}
+
+/// [`weighted_sum`] into a caller-owned buffer — the allocation-free form
+/// iterative callers (Weiszfeld) use to double-buffer instead of allocating
+/// a fresh `d`-length vector every iteration. `out` is zeroed first, so the
+/// result is bit-identical to `weighted_sum` whatever `out` held before.
+pub fn weighted_sum_into(vs: &[&[f32]], weights: &[f32], out: &mut [f32]) {
+    assert!(!vs.is_empty(), "weighted_sum of zero vectors");
     assert_eq!(vs.len(), weights.len(), "weighted_sum: weight count mismatch");
-    let n = vs[0].len();
+    let n = out.len();
     for v in vs {
         assert_eq!(v.len(), n, "weighted_sum: ragged input");
     }
-    let mut out = vec![0.0f32; n];
+    out.fill(0.0);
     if n >= PAR_LEN {
         // Parallel over disjoint output blocks; each block accumulates its
         // input slices in the same order as the sequential loop, so every
@@ -73,13 +113,48 @@ pub fn weighted_sum(vs: &[&[f32]], weights: &[f32]) -> Vec<f32> {
             }
         }
     }
-    out
 }
 
-/// Arithmetic mean of a set of vectors.
+/// One step of an incremental (running) weighted mean:
+/// `acc[j] += frac * (x[j] - acc[j])`, where `frac = w_k / (w_1 + … + w_k)`.
+///
+/// This is the O(d)-streamable form of the weighted mean: folding vectors
+/// one at a time with their cumulative-weight fraction needs no knowledge of
+/// the total weight up front, and — unlike `Σ (w_i / W) · x_i` with
+/// f32-rounded weights — it is **structurally exact on identical inputs**:
+/// once `acc == x` bitwise, `frac * (x - acc)` contributes exactly `+0.0`,
+/// so averaging m copies of a vector returns that vector bit-for-bit (with
+/// one caveat: a `-0.0` coordinate leaves the first fold as `+0.0`, because
+/// the very first step computes `0.0 + 1.0 * (x - 0.0)`).
+///
+/// Element-wise over disjoint `PAR_LEN` blocks, so the result is
+/// bit-identical at any `FG_THREADS`.
+pub fn fold_weighted_mean(acc: &mut [f32], x: &[f32], frac: f32) {
+    assert_eq!(acc.len(), x.len(), "fold_weighted_mean: length mismatch");
+    if acc.len() >= PAR_LEN {
+        acc.par_chunks_mut(PAR_LEN).zip(x.par_chunks(PAR_LEN)).for_each(|(ca, cx)| {
+            for (a, &v) in ca.iter_mut().zip(cx) {
+                *a += frac * (v - *a);
+            }
+        });
+    } else {
+        for (a, &v) in acc.iter_mut().zip(x) {
+            *a += frac * (v - *a);
+        }
+    }
+}
+
+/// Arithmetic mean of a set of vectors, computed as an incremental fold
+/// (`acc += (x_k - acc) / k`) so that the mean of m identical vectors is
+/// bit-equal to the input — the old `Σ (1/m) · x_i` form drifted whenever
+/// `1/m` was not exactly representable (m = 3 already breaks it).
 pub fn mean_vector(vs: &[&[f32]]) -> Vec<f32> {
-    let w = 1.0 / vs.len() as f32;
-    weighted_sum(vs, &vec![w; vs.len()])
+    assert!(!vs.is_empty(), "mean_vector of zero vectors");
+    let mut acc = vs[0].to_vec();
+    for (k, v) in vs.iter().enumerate().skip(1) {
+        fold_weighted_mean(&mut acc, v, 1.0 / (k as f32 + 1.0));
+    }
+    acc
 }
 
 /// In-place `a += alpha * b`.
@@ -135,10 +210,21 @@ pub fn lerp(a: &[f32], b: &[f32], t: f32) -> Vec<f32> {
 /// Full pairwise squared-distance matrix of `m` vectors, parallelized over
 /// the O(m²) upper triangle. Entry `(i, j)` is `‖v_i − v_j‖²`.
 pub fn pairwise_squared_distances(vs: &[&[f32]]) -> Vec<Vec<f32>> {
+    pairwise_squared_distances_f64(vs)
+        .into_iter()
+        .map(|row| row.into_iter().map(|d| d as f32).collect())
+        .collect()
+}
+
+/// [`pairwise_squared_distances`] at full f64 width — the form Krum ranks
+/// on, where an f32 cast could collapse several large-but-finite distances
+/// to one `+inf` tie.
+pub fn pairwise_squared_distances_f64(vs: &[&[f32]]) -> Vec<Vec<f64>> {
     let m = vs.len();
     let pairs: Vec<(usize, usize)> = (0..m).flat_map(|i| (i + 1..m).map(move |j| (i, j))).collect();
-    let dists: Vec<f32> = pairs.par_iter().map(|&(i, j)| squared_distance(vs[i], vs[j])).collect();
-    let mut mat = vec![vec![0.0f32; m]; m];
+    let dists: Vec<f64> =
+        pairs.par_iter().map(|&(i, j)| squared_distance_f64(vs[i], vs[j])).collect();
+    let mut mat = vec![vec![0.0f64; m]; m];
     for (&(i, j), &d) in pairs.iter().zip(&dists) {
         mat[i][j] = d;
         mat[j][i] = d;
@@ -265,6 +351,75 @@ mod tests {
         let par_l = lerp(&base, &delta, 0.25);
         let seq_l: Vec<f32> = base.iter().zip(&delta).map(|(x, y)| 0.75 * x + 0.25 * y).collect();
         assert!(par_l.iter().zip(&seq_l).all(|(p, s)| p.to_bits() == s.to_bits()));
+    }
+
+    #[test]
+    fn large_finite_inputs_do_not_overflow_the_f64_accumulator() {
+        // Each squared diff is ~1.5e77 — astronomically past f32::MAX — yet
+        // the f64 sum stays finite and ordered. The old f32 accumulator
+        // returned +inf for *both* and lost the ordering.
+        let n = 64;
+        let zero = vec![0.0f32; n];
+        let big = vec![2.0e38f32; n];
+        let bigger = vec![3.0e38f32; n];
+        let d1 = squared_distance_f64(&zero, &big);
+        let d2 = squared_distance_f64(&zero, &bigger);
+        assert!(d1.is_finite() && d2.is_finite());
+        assert!(d2 > d1);
+        // The f32 view still saturates — documented truncation.
+        assert_eq!(squared_distance(&zero, &big), f32::INFINITY);
+    }
+
+    #[test]
+    fn chunked_distance_equals_whole_vector_distance_bitwise() {
+        // Summing per-slab partials in slab order must give the same bits
+        // as one whole-vector call: the contract the sharded aggregators
+        // and the batch oracle both rely on.
+        let n = 3 * (1 << 16) + 997; // ragged final slab
+        let a: Vec<f32> = (0..n).map(|i| ((i % 37) as f32 - 18.0) * 1.7).collect();
+        let b: Vec<f32> = (0..n).map(|i| ((i % 23) as f32 - 11.0) * 0.9).collect();
+        let whole = squared_distance_f64(&a, &b);
+        let mut by_slab = 0.0f64;
+        for (ca, cb) in a.chunks(1 << 16).zip(b.chunks(1 << 16)) {
+            by_slab += squared_distance_f64(ca, cb);
+        }
+        assert_eq!(whole.to_bits(), by_slab.to_bits());
+    }
+
+    #[test]
+    fn mean_of_identical_vectors_is_bit_identical() {
+        let v: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.37 + 0.1).collect();
+        for m in 1..=7 {
+            let refs: Vec<&[f32]> = (0..m).map(|_| v.as_slice()).collect();
+            let out = mean_vector(&refs);
+            assert!(
+                out.iter().zip(&v).all(|(o, e)| o.to_bits() == e.to_bits()),
+                "mean of {m} copies drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn fold_weighted_mean_is_thread_invariant() {
+        let n = (1 << 16) + 31;
+        let base: Vec<f32> = (0..n).map(|i| (i % 19) as f32 * 0.05).collect();
+        let x: Vec<f32> = (0..n).map(|i| ((i % 29) as f32 - 14.0) * 0.11).collect();
+        let mut one = base.clone();
+        let mut four = base.clone();
+        rayon::with_threads(1, || fold_weighted_mean(&mut one, &x, 0.375));
+        rayon::with_threads(4, || fold_weighted_mean(&mut four, &x, 0.375));
+        assert!(one.iter().zip(&four).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn weighted_sum_into_matches_weighted_sum_and_ignores_stale_contents() {
+        let n = (1 << 16) + 5;
+        let a: Vec<f32> = (0..n).map(|i| (i % 13) as f32 * 0.3).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i % 11) as f32 * -0.2).collect();
+        let fresh = weighted_sum(&[&a, &b], &[0.6, 0.4]);
+        let mut stale = vec![f32::NAN; n];
+        weighted_sum_into(&[&a, &b], &[0.6, 0.4], &mut stale);
+        assert!(fresh.iter().zip(&stale).all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 
     #[test]

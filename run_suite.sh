@@ -45,6 +45,21 @@ test -s results/bench_scoring.log || exit 1
 grep -q '"physical_cores"' results/bench_scoring.json || exit 1
 grep -q '"bitwise_identical": true' results/bench_scoring.json || exit 1
 
+# Aggregation stage: the O(d) streaming path vs the O(m·d) batch oracle.
+# The streaming-equivalence suite pins every streamable aggregator to its
+# batch oracle bit-for-bit; bench_aggregation then replays the m=64 ×
+# d=262144 round both ways and hard-asserts (a) bitwise digests across
+# thread counts and arrival orders, (b) a ≥4× peak-residency reduction,
+# and (c) zero workspace-pool misses on the warm streaming pass.
+cargo test --release -q -p fg-agg --test streaming_equivalence || exit 1
+cargo build --release -p fg-bench --bin bench_aggregation || exit 1
+$B/bench_aggregation > results/bench_aggregation.json 2> results/bench_aggregation.log || exit 1
+test -s results/bench_aggregation.log || exit 1
+grep -q '"physical_cores"' results/bench_aggregation.json || exit 1
+grep -q '"bitwise_identical": false' results/bench_aggregation.json && exit 1
+grep -q '"bitwise_identical": true' results/bench_aggregation.json || exit 1
+grep -q '"warm_workspace_allocs": 0' results/bench_aggregation.json || exit 1
+
 # Trace stage: (a) span totals must agree with StageTimings on a traced
 # 2-round FedGuard run, and stolen-job spans must nest under their logical
 # parents; (b) disabled tracing must stay within the overhead budget;

@@ -6,18 +6,29 @@
 //! are unavailable offline). It supports what this workspace declares:
 //! non-generic structs (named, newtype, tuple, unit) and non-generic enums
 //! with unit, tuple, and struct variants, rendered in upstream serde's
-//! default externally-tagged representation. Of the field attributes, only
+//! default externally-tagged representation. Of the field attributes,
 //! `#[serde(default)]` is interpreted (a missing key deserializes to
 //! `Default::default()`, upstream's behavior — the forward-compat knob the
-//! telemetry schema relies on); other `#[serde(...)]` forms are ignored.
-//! Generics are rejected with a compile error.
+//! telemetry schema relies on) and `#[serde(rename = "key")]` maps a field
+//! to a different wire key both ways (the schema-compat knob `CommStats`
+//! relies on); other `#[serde(...)]` forms are ignored. Generics are
+//! rejected with a compile error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// One named field: its identifier and whether `#[serde(default)]` was set.
+/// One named field: its identifier, whether `#[serde(default)]` was set,
+/// and the `#[serde(rename = "...")]` wire key if one was given.
 struct Field {
     name: String,
     default: bool,
+    rename: Option<String>,
+}
+
+impl Field {
+    /// The key this field travels under in the serialized object.
+    fn wire_name(&self) -> &str {
+        self.rename.as_deref().unwrap_or(&self.name)
+    }
 }
 
 enum Fields {
@@ -107,20 +118,48 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// True for the token stream of a `[serde(.., default, ..)]` attribute.
-fn attr_is_serde_default(stream: TokenStream) -> bool {
+/// Interpret a `[serde(...)]` attribute's token stream: returns the
+/// `default` flag and the `rename = "..."` value, if present. Any other
+/// attribute (or unrecognized serde arguments) yields `(false, None)`.
+fn parse_serde_attr(stream: TokenStream) -> (bool, Option<String>) {
     let mut toks = stream.into_iter();
     match toks.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return (false, None),
     }
-    match toks.next() {
-        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
-        _ => false,
+    let args = match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+        _ => return (false, None),
+    };
+    let mut default = false;
+    let mut rename = None;
+    let mut args = args.into_iter().peekable();
+    while let Some(tok) = args.next() {
+        match tok {
+            TokenTree::Ident(id) if id.to_string() == "default" => default = true,
+            TokenTree::Ident(id) if id.to_string() == "rename" => {
+                match (args.next(), args.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        let raw = lit.to_string();
+                        let key = raw.trim_matches('"');
+                        assert!(
+                            raw.starts_with('"') && raw.ends_with('"') && !key.is_empty(),
+                            "serde_derive shim: rename expects a non-empty string literal, \
+                             found {raw}"
+                        );
+                        rename = Some(key.to_string());
+                    }
+                    other => {
+                        panic!("serde_derive shim: malformed serde rename attribute: {other:?}")
+                    }
+                }
+            }
+            _ => {}
+        }
     }
+    (default, rename)
 }
 
 /// Parse `name: Type, ...` lists, returning field names and their
@@ -133,12 +172,17 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     'fields: loop {
         // Leading attributes (doc comments included) and visibility.
         let mut default = false;
+        let mut rename = None;
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
                     if let Some(TokenTree::Group(g)) = toks.next() {
-                        default |= attr_is_serde_default(g.stream());
+                        let (d, r) = parse_serde_attr(g.stream());
+                        default |= d;
+                        if r.is_some() {
+                            rename = r;
+                        }
                     }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
@@ -163,7 +207,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                 panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
             }
         }
-        names.push(Field { name, default });
+        names.push(Field { name, default, rename });
         // Skip the type up to the next top-level comma.
         let mut angle_depth = 0i32;
         loop {
@@ -260,9 +304,10 @@ fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
 fn named_to_value_entries(names: &[Field], prefix: &str) -> String {
     names
         .iter()
-        .map(|f| {
-            let f = &f.name;
-            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f})),")
+        .map(|field| {
+            let f = &field.name;
+            let key = field.wire_name();
+            format!("(\"{key}\".to_string(), ::serde::Serialize::to_value(&{prefix}{f})),")
         })
         .collect()
 }
@@ -270,23 +315,24 @@ fn named_to_value_entries(names: &[Field], prefix: &str) -> String {
 fn named_from_value_fields(names: &[Field]) -> String {
     // A missing key falls back to `Default::default()` for `#[serde(default)]`
     // fields; otherwise it deserializes from Null, which succeeds only for
-    // Option fields. The map_err keeps the field name in the error.
+    // Option fields. The map_err keeps the (wire) field name in the error.
     names
         .iter()
         .map(|field| {
             let f = &field.name;
+            let key = field.wire_name();
             let missing = if field.default {
                 "::std::default::Default::default()".to_string()
             } else {
                 format!(
                     "::serde::Deserialize::from_value(&::serde::Value::Null) \
-                       .map_err(|_| ::serde::Error::msg(\"missing field `{f}`\"))?"
+                       .map_err(|_| ::serde::Error::msg(\"missing field `{key}`\"))?"
                 )
             };
             format!(
-                "{f}: match ::serde::obj_get(obj, \"{f}\") {{ \
+                "{f}: match ::serde::obj_get(obj, \"{key}\") {{ \
                    Some(v) => ::serde::Deserialize::from_value(v) \
-                     .map_err(|e| ::serde::Error::msg(format!(\"field `{f}`: {{e}}\")))?, \
+                     .map_err(|e| ::serde::Error::msg(format!(\"field `{key}`: {{e}}\")))?, \
                    None => {missing}, \
                  }},"
             )

@@ -44,8 +44,9 @@ fn fedguard_comm_accounting_includes_decoders() {
     let theta = CvaeSpec::reduced(64, 8).decoder_params() as u64 * 4;
     let m = cfg.fed.clients_per_round as u64;
     for r in &result.history {
-        assert_eq!(r.comm.upload_bytes, psi * m);
-        assert_eq!(r.comm.download_bytes, (psi + theta) * m);
+        // Broadcast: the classifier alone. Uploads: classifier + decoder.
+        assert_eq!(r.comm.download_bytes, psi * m);
+        assert_eq!(r.comm.upload_bytes, (psi + theta) * m);
     }
 
     // FedAvg moves no decoders.
@@ -53,7 +54,7 @@ fn fedguard_comm_accounting_includes_decoders() {
         ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 6);
     let result2 = run_experiment(&cfg2);
     for r in &result2.history {
-        assert_eq!(r.comm.download_bytes, psi * m);
+        assert_eq!(r.comm.upload_bytes, psi * m);
     }
 }
 

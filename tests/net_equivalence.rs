@@ -112,8 +112,8 @@ fn tcp_fedguard_run_is_bit_identical_to_in_process_oracle() {
     for event in &served.telemetry {
         assert!(event.faults.is_empty(), "loopback run should be fault-free");
         let w = wire.iter().find(|w| w.round == event.round).expect("wire stats per round");
-        assert_eq!(w.model_bytes_tx, event.comm.upload_bytes, "round {}", event.round);
-        assert_eq!(w.model_bytes_rx, event.comm.download_bytes, "round {}", event.round);
+        assert_eq!(w.model_bytes_tx, event.comm.download_bytes, "round {}", event.round);
+        assert_eq!(w.model_bytes_rx, event.comm.upload_bytes, "round {}", event.round);
     }
 
     // Every sampled slot trained: Σ participation = m × rounds.
@@ -236,6 +236,42 @@ fn scheduled_dropouts_stay_bit_identical_over_tcp() {
     let declined: usize = reports.iter().map(|r| r.rounds_declined).sum();
     let scheduled: usize = served.telemetry.iter().map(|e| e.faults.len()).sum();
     assert_eq!(declined, scheduled, "one Decline per scheduled dropout");
+}
+
+/// The streaming aggregation path, driven end-to-end over loopback TCP:
+/// with `agg_memory: Streaming` the server folds each upload into an O(d)
+/// accumulator as it leaves the wire instead of materializing the round,
+/// and the run must stay bit-identical to the batch oracle — in-process
+/// *and* over TCP.
+#[test]
+fn tcp_streaming_aggregation_is_bit_identical_to_batch_oracle() {
+    let mut cfg =
+        ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 42);
+    cfg.fed.rounds = 2;
+    let batch_oracle = run_experiment_full(&cfg);
+
+    let mut streamed_cfg = cfg.clone();
+    streamed_cfg.fed.agg_memory = fg_fl::AggregationMemory::Streaming;
+    // In-process streaming vs in-process batch.
+    let local_streamed = run_experiment_full(&streamed_cfg);
+    assert_eq!(batch_oracle.final_global, local_streamed.final_global, "local streaming diverged");
+    assert_eq!(batch_oracle.result.accuracy_series(), local_streamed.result.accuracy_series());
+
+    // Over-the-wire streaming vs in-process batch.
+    let (served, _reports, wire) = serve_over_tcp(&streamed_cfg);
+    assert_eq!(batch_oracle.final_global, served.final_global, "TCP streaming diverged");
+    assert_eq!(batch_oracle.result.accuracy_series(), served.result.accuracy_series());
+    for (a, b) in batch_oracle.telemetry.iter().zip(&served.telemetry) {
+        assert_eq!(a.sampled, b.sampled);
+        assert_eq!(a.survivors, b.survivors);
+        assert_eq!(a.selected, b.selected);
+        // Per-arrival accounting must equal the batch bookkeeping and the
+        // wire's own tally.
+        assert_eq!(a.comm, b.comm, "round {} comm accounting diverged", a.round);
+        let w = wire.iter().find(|w| w.round == a.round).expect("wire stats per round");
+        assert_eq!(w.model_bytes_rx, b.comm.upload_bytes, "round {}", a.round);
+        assert_eq!(w.model_bytes_tx, b.comm.download_bytes, "round {}", a.round);
+    }
 }
 
 /// Shared-state guard: two loopback runs in the same process must not

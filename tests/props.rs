@@ -236,12 +236,50 @@ proptest! {
     }
 
     #[test]
-    fn weighted_sum_of_equal_vectors_is_identity(v in proptest::collection::vec(-5.0f32..5.0, 8), m in 2usize..6) {
+    fn fedavg_of_identical_updates_is_bit_equal_to_the_input(
+        v in proptest::collection::vec(-5.0f32..5.0, 1..64),
+        weights in proptest::collection::vec(0usize..1000, 2..8),
+    ) {
+        // Regression: the old `Σ (n/total)·x` form accumulated weights that
+        // don't sum to exactly 1.0, so averaging m copies of the same vector
+        // perturbed it. The incremental-mean fold copies the first update
+        // verbatim and then adds exact zeros (`frac·(x−acc)` with `x == acc`),
+        // so the result is bit-identical — for any weight profile, including
+        // zero-total rounds (the unweighted fallback folds the same way).
+        // (-0.0 is the one excluded input: IEEE `-0.0 + 0.0` is `+0.0`, so
+        // the second fold would legitimately relax the sign bit.)
+        let m = weights.len();
         let vs: Vec<Vec<f32>> = vec![v.clone(); m];
         let refs: Vec<&[f32]> = vs.iter().map(|x| x.as_slice()).collect();
-        let out = ops::fedavg(&refs, &vec![7usize; m]);
+        let out = ops::fedavg(&refs, &weights);
+        prop_assert_eq!(out.len(), v.len());
         for (a, b) in out.iter().zip(&v) {
-            prop_assert!((a - b).abs() < 1e-4);
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} != {}", a, b);
+        }
+    }
+
+    #[test]
+    fn fedavg_matches_direct_weighted_sum_within_tolerance(
+        m in 2usize..6,
+        seed in 0u64..1000,
+    ) {
+        // The fold must still *be* the weighted mean: cross-check against
+        // the naive Σ (n/total)·x form numerically.
+        let mut rng = fedguard::tensor::rng::SeededRng::new(seed);
+        let vs: Vec<Vec<f32>> = (0..m)
+            .map(|_| (0..16).map(|_| rng.next_f32() * 10.0 - 5.0).collect())
+            .collect();
+        let weights: Vec<usize> = (0..m).map(|_| 1 + rng.next_below(50)).collect();
+        let refs: Vec<&[f32]> = vs.iter().map(|x| x.as_slice()).collect();
+        let out = ops::fedavg(&refs, &weights);
+        let total: usize = weights.iter().sum();
+        for j in 0..16 {
+            let direct: f64 = vs
+                .iter()
+                .zip(&weights)
+                .map(|(x, &n)| n as f64 / total as f64 * x[j] as f64)
+                .sum();
+            prop_assert!((out[j] as f64 - direct).abs() < 1e-4, "{} vs {}", out[j], direct);
         }
     }
 }
