@@ -24,7 +24,9 @@
 //! disjoint blocks.
 
 use crate::ops;
-use fg_fl::{AggregationMemory, AggregationOutcome, ModelUpdate, StreamingAggregator};
+use fg_fl::{
+    AggregationMemory, AggregationOutcome, ModelUpdate, SparseUpdate, StreamingAggregator,
+};
 use fg_tensor::vecops;
 use std::collections::BTreeMap;
 
@@ -74,6 +76,59 @@ impl FedAvgCore {
         }
     }
 
+    /// Fold a sparse update — `base[i] + val` at the selected coordinates,
+    /// `base` unchanged elsewhere — without materializing the dense vector,
+    /// bit-identically to [`fold`](FedAvgCore::fold) of that vector.
+    ///
+    /// Bit-equality argument: the dense fold computes
+    /// `a[j] += frac·(x[j] − a[j])` with `x[j] = base[j]` off the selected
+    /// set and `x[i] = base[i] + δᵢ` (rounded once, when the vector was
+    /// materialized) on it. Here the selected coordinates are computed first
+    /// from the accumulator's *pre-fold* values with exactly that
+    /// expression, then `fold_weighted_mean(acc, base, frac)` runs the dense
+    /// expression for every coordinate, and the saved selected results
+    /// overwrite their slots — every coordinate ends up with the identical
+    /// sequence of IEEE operations.
+    fn fold_sparse(&mut self, base: &[f32], idx: &[u32], val: &[f32], n: usize) {
+        fn sparse_fold_into(a: &mut [f32], base: &[f32], idx: &[u32], val: &[f32], frac: f32) {
+            let sel: Vec<f32> = idx
+                .iter()
+                .zip(val)
+                .map(|(&i, &v)| {
+                    let ai = a[i as usize];
+                    let xi = base[i as usize] + v;
+                    ai + frac * (xi - ai)
+                })
+                .collect();
+            vecops::fold_weighted_mean(a, base, frac);
+            for (&i, &s) in idx.iter().zip(&sel) {
+                a[i as usize] = s;
+            }
+        }
+        if n == 0 {
+            if self.cum == 0 {
+                match &mut self.fallback {
+                    None => self.fallback = Some(sparse_to_dense(base, idx, val)),
+                    Some(f) => sparse_fold_into(
+                        f,
+                        base,
+                        idx,
+                        val,
+                        1.0 / (self.fallback_count as f32 + 1.0),
+                    ),
+                }
+                self.fallback_count += 1;
+            }
+            return;
+        }
+        self.fallback = None;
+        self.cum += n;
+        match &mut self.acc {
+            None => self.acc = Some(sparse_to_dense(base, idx, val)),
+            Some(a) => sparse_fold_into(a, base, idx, val, n as f32 / self.cum as f32),
+        }
+    }
+
     /// Fold one update, already known to be the next one in slot order.
     fn fold(&mut self, params: &[f32], n: usize) {
         if n == 0 {
@@ -108,30 +163,62 @@ impl FedAvgCore {
     }
 
     fn push(&mut self, update: &ModelUpdate) {
+        let slot = self.claim_slot(update.client_id);
+        if slot == self.next_slot {
+            self.fold(&update.params, update.num_samples);
+            self.advance_and_drain();
+        } else {
+            self.park(slot, update.params.clone(), update.num_samples);
+        }
+        self.note_peak();
+    }
+
+    /// Sparse counterpart of [`push`](FedAvgCore::push): an in-order arrival
+    /// folds its (idx, val) pairs straight into the accumulator — no dense
+    /// vector is ever built for it. Only an out-of-order arrival (which the
+    /// in-tree transports never produce) materializes densely, because the
+    /// reorder buffer outlives the caller's borrow of `base`.
+    fn push_sparse(&mut self, update: &SparseUpdate, base: &[f32]) {
+        let slot = self.claim_slot(update.client_id);
+        if slot == self.next_slot {
+            self.fold_sparse(base, &update.idx, &update.val, update.num_samples);
+            self.advance_and_drain();
+        } else {
+            let dense = sparse_to_dense(base, &update.idx, &update.val);
+            self.park(slot, dense, update.num_samples);
+        }
+        self.note_peak();
+    }
+
+    /// Resolve an arrival to its roster slot, recording the id and rejecting
+    /// duplicates.
+    fn claim_slot(&mut self, client_id: usize) -> usize {
         let slot = self
             .roster
-            .binary_search(&update.client_id)
+            .binary_search(&client_id)
             .expect("streamed update's client id is not on the round roster");
         assert!(
             slot >= self.next_slot && !self.pending.contains_key(&slot),
-            "client {} streamed twice (caller must dedup)",
-            update.client_id
+            "client {client_id} streamed twice (caller must dedup)",
         );
-        self.ids.push(update.client_id);
-        if slot == self.next_slot {
-            self.fold(&update.params, update.num_samples);
+        self.ids.push(client_id);
+        slot
+    }
+
+    /// After an in-order fold: advance past it and fold any parked
+    /// successors it unblocked.
+    fn advance_and_drain(&mut self) {
+        self.next_slot += 1;
+        while let Some((p, n)) = self.pending.remove(&self.next_slot) {
+            self.pending_bytes -= (p.len() * 4) as u64;
+            self.fold(&p, n);
             self.next_slot += 1;
-            // A fold may unblock parked successors.
-            while let Some((p, n)) = self.pending.remove(&self.next_slot) {
-                self.pending_bytes -= (p.len() * 4) as u64;
-                self.fold(&p, n);
-                self.next_slot += 1;
-            }
-        } else {
-            self.pending_bytes += (update.params.len() * 4) as u64;
-            self.pending.insert(slot, (update.params.clone(), update.num_samples));
         }
-        self.note_peak();
+    }
+
+    fn park(&mut self, slot: usize, params: Vec<f32>, n: usize) {
+        self.pending_bytes += (params.len() * 4) as u64;
+        self.pending.insert(slot, (params, n));
     }
 
     /// Drain whatever is still parked (slots whose predecessors never
@@ -148,6 +235,17 @@ impl FedAvgCore {
         self.ids.sort_unstable();
         Some((params, self.cum, self.ids))
     }
+}
+
+/// The dense vector a [`SparseUpdate`] stands for: `base` with the decoded
+/// deltas added at the selected coordinates (a copy elsewhere — not
+/// `+ 0.0`, which would flush `-0.0` to `+0.0`).
+fn sparse_to_dense(base: &[f32], idx: &[u32], val: &[f32]) -> Vec<f32> {
+    let mut x = base.to_vec();
+    for (&i, &v) in idx.iter().zip(val) {
+        x[i as usize] = base[i as usize] + v;
+    }
+    x
 }
 
 /// Streaming FedAvg over the whole roster: O(d) accumulator, bit-identical
@@ -167,6 +265,12 @@ impl StreamingAggregator for StreamingFedAvg {
     fn push(&mut self, update: &ModelUpdate) {
         assert_eq!(update.params.len(), self.dim, "streamed update has wrong dimension");
         self.core.push(update);
+    }
+
+    fn push_sparse(&mut self, update: &SparseUpdate, base: &[f32]) {
+        assert_eq!(update.raw_len, self.dim, "streamed update has wrong dimension");
+        assert_eq!(base.len(), self.dim, "sparse base has wrong dimension");
+        self.core.push_sparse(update, base);
     }
 
     fn peak_bytes(&self) -> u64 {
@@ -212,6 +316,15 @@ impl StreamingAggregator for HierarchicalFedAvg {
             .binary_search(&update.client_id)
             .expect("streamed update's client id is not on the round roster");
         self.shards[slot / self.shard_size].push(update);
+    }
+
+    fn push_sparse(&mut self, update: &SparseUpdate, base: &[f32]) {
+        assert_eq!(update.raw_len, self.dim, "streamed update has wrong dimension");
+        let slot = self
+            .roster
+            .binary_search(&update.client_id)
+            .expect("streamed update's client id is not on the round roster");
+        self.shards[slot / self.shard_size].push_sparse(update, base);
     }
 
     fn peak_bytes(&self) -> u64 {
@@ -314,5 +427,119 @@ pub fn fedavg_streaming(
         AggregationMemory::Hierarchical { shard } => {
             Some(Box::new(HierarchicalFedAvg::new(dim, roster, shard)))
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIM: usize = 257;
+
+    /// A deterministic base vector with awkward values (including -0.0).
+    fn base_vec() -> Vec<f32> {
+        (0..DIM).map(|i| if i == 7 { -0.0 } else { ((i * 31) % 97) as f32 * 0.013 - 0.6 }).collect()
+    }
+
+    fn sparse(id: usize, n: usize, seed: usize) -> SparseUpdate {
+        let idx: Vec<u32> = (0..DIM as u32).filter(|i| (i + seed as u32).is_multiple_of(9)).collect();
+        let val: Vec<f32> = idx.iter().map(|&i| (i as f32 + seed as f32) * 1e-3).collect();
+        SparseUpdate {
+            client_id: id,
+            num_samples: n,
+            raw_len: DIM,
+            idx,
+            val,
+            decoder: None,
+            class_coverage: None,
+        }
+    }
+
+    fn dense_of(s: &SparseUpdate, base: &[f32]) -> ModelUpdate {
+        ModelUpdate {
+            client_id: s.client_id,
+            params: sparse_to_dense(base, &s.idx, &s.val),
+            num_samples: s.num_samples,
+            decoder: None,
+            class_coverage: None,
+        }
+    }
+
+    fn bits(params: &[f32]) -> Vec<u32> {
+        params.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn sparse_fold_matches_dense_fold_bitwise() {
+        let base = base_vec();
+        let roster = vec![1, 4, 6, 9];
+        // Mixed weights, including a leading zero-weight (fallback path).
+        let updates: Vec<SparseUpdate> =
+            [(1, 0), (4, 10), (6, 3), (9, 25)].iter().map(|&(id, n)| sparse(id, n, id)).collect();
+
+        let mut s = StreamingFedAvg::new(DIM, &roster);
+        let mut d = StreamingFedAvg::new(DIM, &roster);
+        for u in &updates {
+            s.push_sparse(u, &base);
+            d.push(&dense_of(u, &base));
+        }
+        let s_out = Box::new(s).finalize().unwrap();
+        let d_out = Box::new(d).finalize().unwrap();
+        assert_eq!(bits(&s_out.params), bits(&d_out.params));
+        assert_eq!(s_out.selected, d_out.selected);
+        // -0.0 at an unselected coordinate survived as a copy.
+        assert!(s_out.params.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn sparse_fold_is_arrival_order_invariant() {
+        let base = base_vec();
+        let roster = vec![0, 2, 5, 8];
+        let updates: Vec<SparseUpdate> =
+            [(0, 4), (2, 9), (5, 1), (8, 16)].iter().map(|&(id, n)| sparse(id, n, id)).collect();
+
+        let mut in_order = StreamingFedAvg::new(DIM, &roster);
+        for u in &updates {
+            in_order.push_sparse(u, &base);
+        }
+        // Reversed arrivals park in the reorder buffer (as dense vectors)
+        // and drain in slot order — same fold sequence.
+        let mut reversed = StreamingFedAvg::new(DIM, &roster);
+        for u in updates.iter().rev() {
+            reversed.push_sparse(u, &base);
+        }
+        let a = Box::new(in_order).finalize().unwrap();
+        let b = Box::new(reversed).finalize().unwrap();
+        assert_eq!(bits(&a.params), bits(&b.params));
+    }
+
+    #[test]
+    fn sparse_fold_matches_on_hierarchical_and_buffered() {
+        let base = base_vec();
+        let roster = vec![1, 3, 4, 7, 9];
+        let updates: Vec<SparseUpdate> = roster.iter().map(|&id| sparse(id, id + 1, id)).collect();
+
+        // Hierarchical: native sparse override, shard size 2.
+        let mut s = HierarchicalFedAvg::new(DIM, &roster, 2);
+        let mut d = HierarchicalFedAvg::new(DIM, &roster, 2);
+        for u in &updates {
+            s.push_sparse(u, &base);
+            d.push(&dense_of(u, &base));
+        }
+        let s_out = Box::new(s).finalize().unwrap();
+        let d_out = Box::new(d).finalize().unwrap();
+        assert_eq!(bits(&s_out.params), bits(&d_out.params));
+
+        // BufferedRobust exercises the trait's default (materializing)
+        // push_sparse.
+        let mut s = BufferedRobust::new(RobustOp::Median, DIM);
+        let mut d = BufferedRobust::new(RobustOp::Median, DIM);
+        for u in &updates {
+            s.push_sparse(u, &base);
+            d.push(&dense_of(u, &base));
+        }
+        let s_out = Box::new(s).finalize().unwrap();
+        let d_out = Box::new(d).finalize().unwrap();
+        assert_eq!(bits(&s_out.params), bits(&d_out.params));
     }
 }

@@ -26,7 +26,11 @@ fn main() {
         .unwrap_or_else(|e| panic!("client {id}: failed to join {addr}: {e:?}"));
     let cfg: ExperimentConfig = serde_json::from_str(channel.welcome_blob())
         .expect("Welcome blob parses as ExperimentConfig");
-    eprintln!("[fed_client {id}] joined {addr} for {}", cfg.label());
+    eprintln!(
+        "[fed_client {id}] joined {addr} for {} (compression: {})",
+        cfg.label(),
+        channel.compression().name()
+    );
 
     let (mut client, interceptor) = build_client(&cfg, id);
     let report = run_federated_client(&mut channel, &mut client, interceptor.as_ref())

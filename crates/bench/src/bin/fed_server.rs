@@ -9,6 +9,7 @@
 //! ```text
 //! fed_server --bind 127.0.0.1:7878 --preset smoke --strategy fedguard \
 //!            --attack none --seed 42 [--rounds N] [--check-oracle] \
+//!            [--compress none|bf16|int8[:block]|topk[:frac]] \
 //!            [--out results/bench_net.json]
 //! ```
 //!
@@ -21,7 +22,7 @@ use fedguard::experiment::{
     run_experiment_full, run_served_experiment, AttackScenario, ExperimentConfig, StrategyKind,
 };
 use fg_bench::{flag_value, preset_from_args, seed_from_args};
-use fg_fl::{CommStats, NetConfig, TcpTransport, WireStats};
+use fg_fl::{CommStats, Compression, NetConfig, TcpTransport, WireStats};
 use fg_nn::models::Classifier;
 use fg_tensor::rng::SeededRng;
 use serde::Serialize;
@@ -63,13 +64,20 @@ struct NetBenchReport {
     n_clients: usize,
     clients_per_round: usize,
     transport: String,
+    /// Negotiated wire-compression mode (`Welcome` handshake).
+    compression: String,
     accuracy: Vec<f32>,
     round_latency_secs: Vec<f64>,
     comm: CommStats,
     wire: Vec<WireStats>,
     /// Wire model-parameter bytes equal the simulation's `CommStats`
-    /// accounting on every fault-free round.
+    /// accounting on every fault-free round — the logical 4 B/f32 ledger is
+    /// mode-invariant, so this must hold under every compression mode.
     wire_matches_comm: bool,
+    /// Under a lossy mode, actual uplink payload bytes must come in under
+    /// the logical model accounting (the wire savings are real); `true`
+    /// vacuously when uncompressed.
+    wire_payload_smaller_than_logical: bool,
     oracle_checked: bool,
     /// `Some(true)` when `--check-oracle` confirmed bit-identity.
     equivalent: Option<bool>,
@@ -90,6 +98,13 @@ fn main() {
     if let Some(rounds) = flag_value(&args, "--rounds") {
         cfg.fed.rounds = rounds.parse().expect("--rounds expects an integer");
     }
+    if let Some(spec) = flag_value(&args, "--compress") {
+        cfg.compression =
+            Compression::parse(&spec).unwrap_or_else(|| panic!("unknown --compress mode {spec:?}"));
+    }
+    // Resolve FG_COMPRESS before the config is serialized, so workers and
+    // the oracle replay all see the same effective mode.
+    cfg.compression = cfg.compression.resolved();
 
     // The Welcome payload: the full config, so every worker reconstructs the
     // identical partition/roster/attack state from one source of truth.
@@ -99,7 +114,8 @@ fn main() {
 
     let mut transport =
         TcpTransport::bind(&bind, cfg.fed.n_clients, param_len, blob, NetConfig::default())
-            .expect("bind fed_server endpoint");
+            .expect("bind fed_server endpoint")
+            .with_compression(cfg.compression);
     let addr = transport.local_addr().expect("bound address");
     let wire_log = transport.wire_log();
     eprintln!(
@@ -125,6 +141,11 @@ fn main() {
                 && w.model_bytes_rx == event.comm.upload_bytes
         })
     });
+    // Under a lossy mode the *actual* uplink payloads must undercut the
+    // logical ledger on every round — compression that doesn't shrink the
+    // wire is a codec regression.
+    let wire_payload_smaller_than_logical = cfg.compression == Compression::None
+        || wire.iter().all(|w| w.model_bytes_rx == 0 || w.payload_bytes_rx < w.model_bytes_rx);
 
     let equivalent = check_oracle.then(|| {
         eprintln!("[fed_server] replaying in-process oracle for equivalence check...");
@@ -155,11 +176,13 @@ fn main() {
         n_clients: cfg.fed.n_clients,
         clients_per_round: cfg.fed.clients_per_round,
         transport: "tcp".to_string(),
+        compression: cfg.compression.name().to_string(),
         accuracy: served.result.accuracy_series(),
         round_latency_secs: served.telemetry.iter().map(|e| e.wall_secs).collect(),
         comm,
         wire,
         wire_matches_comm,
+        wire_payload_smaller_than_logical,
         oracle_checked: check_oracle,
         equivalent,
     };
@@ -169,12 +192,13 @@ fn main() {
     fs::write(&out, serde_json::to_string_pretty(&report).expect("report serializes"))
         .expect("write bench_net.json");
     eprintln!(
-        "[fed_server] done: final acc {:.4}, wire/comm match {}, report at {out}",
+        "[fed_server] done: final acc {:.4}, compression {}, wire/comm match {}, report at {out}",
         served.result.final_accuracy(),
+        cfg.compression.name(),
         wire_matches_comm
     );
 
-    if !wire_matches_comm || equivalent == Some(false) {
+    if !wire_matches_comm || !wire_payload_smaller_than_logical || equivalent == Some(false) {
         std::process::exit(1);
     }
 }

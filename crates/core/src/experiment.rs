@@ -13,9 +13,9 @@ use fg_data::LabelFlip;
 use fg_defenses::{SpectralConfig, SpectralDefense};
 use fg_fl::client::NoAttack;
 use fg_fl::{
-    AggregationMemory, AggregationStrategy, Client, CommStats, CvaeTrainConfig, FaultConfig,
-    FaultPlan, Federation, FederationConfig, JsonlSink, LocalTrainConfig, MemoryCollector,
-    ResiliencePolicy, RoundRecord, RoundTelemetry, Transport, UpdateInterceptor,
+    AggregationMemory, AggregationStrategy, Client, CommStats, Compression, CvaeTrainConfig,
+    FaultConfig, FaultPlan, Federation, FederationConfig, JsonlSink, LocalTrainConfig,
+    MemoryCollector, ResiliencePolicy, RoundRecord, RoundTelemetry, Transport, UpdateInterceptor,
 };
 use fg_nn::models::{ClassifierSpec, CvaeSpec};
 use fg_tensor::rng::{derive_seed, SeededRng};
@@ -177,6 +177,14 @@ pub struct ExperimentConfig {
     pub faults: Option<FaultConfig>,
     /// Round degradation policy when submissions go missing.
     pub resilience: ResiliencePolicy,
+    /// Wire-level update compression (bf16 / int8 / top-k; see
+    /// [`Compression`]). The default `None` keeps every model payload as
+    /// dense f32 — bit-identical to pre-compression deployments — and
+    /// `FG_COMPRESS` overrides at run time (applied via
+    /// [`Compression::resolved`] by the runners). `#[serde(default)]` keeps
+    /// config blobs from older deployments parseable.
+    #[serde(default)]
+    pub compression: Compression,
 }
 
 impl ExperimentConfig {
@@ -219,6 +227,7 @@ impl ExperimentConfig {
                     telemetry_dir: None,
                     faults: None,
                     resilience: ResiliencePolicy::default(),
+                    compression: Compression::None,
                 }
             }
             Preset::Fast => {
@@ -270,6 +279,7 @@ impl ExperimentConfig {
                     telemetry_dir: None,
                     faults: None,
                     resilience: ResiliencePolicy::default(),
+                    compression: Compression::None,
                 }
             }
             Preset::Smoke => {
@@ -327,6 +337,7 @@ impl ExperimentConfig {
                     telemetry_dir: None,
                     faults: None,
                     resilience: ResiliencePolicy::default(),
+                    compression: Compression::None,
                 }
             }
         }
@@ -547,8 +558,10 @@ fn run_with(cfg: &ExperimentConfig, transport: Option<Box<dyn Transport>>) -> Ru
         .resilience(cfg.resilience)
         .observer(collector.clone());
     builder = match transport {
+        // A custom transport (TcpTransport) negotiates its own compression
+        // mode in the Join/Welcome handshake.
         Some(t) => builder.transport(t),
-        None => builder.datasets(setup.datasets).cvae(cvae),
+        None => builder.datasets(setup.datasets).cvae(cvae).compression(cfg.compression.resolved()),
     };
     if let Some(dir) = &cfg.telemetry_dir {
         let path = std::path::Path::new(dir).join(format!(
@@ -774,6 +787,30 @@ mod tests {
         // server must agree on who is malicious).
         let (_, again) = build_client(&cfg, 0);
         assert_eq!(again.malicious_clients(), interceptor.malicious_clients());
+    }
+
+    #[test]
+    fn pre_compression_config_blobs_still_parse() {
+        let cfg =
+            ExperimentConfig::preset(Preset::Smoke, StrategyKind::FedAvg, AttackScenario::None, 9);
+        // A pre-knob config blob (no compression key) must keep parsing and
+        // resolve to the uncompressed wire format.
+        let serde::Value::Obj(fields) = serde_json::to_value(&cfg) else {
+            panic!("config serializes to an object");
+        };
+        let pruned: Vec<_> = fields.into_iter().filter(|(k, _)| k != "compression").collect();
+        let parsed: ExperimentConfig = serde_json::from_value(&serde::Value::Obj(pruned)).unwrap();
+        assert_eq!(parsed.compression, Compression::None);
+        // The lossy modes' payloads round-trip through a config blob.
+        for mode in
+            [Compression::Bf16, Compression::Int8 { block: 4096 }, Compression::TopK { frac: 0.1 }]
+        {
+            let mut cfg = cfg.clone();
+            cfg.compression = mode;
+            let json = serde_json::to_string(&cfg).unwrap();
+            let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.compression, mode);
+        }
     }
 
     #[test]

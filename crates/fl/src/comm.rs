@@ -68,7 +68,16 @@ impl CommStats {
 
     /// Account one client upload as it arrives off the transport.
     pub fn push_update(&mut self, update: &ModelUpdate) {
-        let bytes = update.wire_bytes();
+        self.push_bytes(update.wire_bytes());
+    }
+
+    /// Account one client upload by its logical model byte size — the form
+    /// the sparse streamed path uses, which never materializes a
+    /// [`ModelUpdate`]. Logical bytes (4 per f32 parameter) keep this
+    /// ledger mode-invariant under wire compression; actual on-wire sizes
+    /// live in the `fl.comm.wire_bytes` counter and
+    /// [`WireStats`](crate::net::WireStats).
+    pub fn push_bytes(&mut self, bytes: u64) {
         self.upload_bytes += bytes;
         UPLOAD_BYTES.add(bytes);
     }

@@ -1,0 +1,643 @@
+//! Wire-level update compression (DESIGN.md §14).
+//!
+//! A FedGuard round ships ψ+θ f32 parameters per client in both directions;
+//! at large cohorts the wire, not the server, is the scaling ceiling. This
+//! module turns the `fg_tensor::codec` kernels into a transport-level
+//! compression layer:
+//!
+//! * [`Compression`] — the experiment knob (`FG_COMPRESS` overrides),
+//!   negotiated in the Join/Welcome handshake so one server-side config
+//!   drives every client process.
+//! * [`CompressedBlob`] / [`CompressedUpdate`] — the in-memory form of the
+//!   `UploadCompressed` / `RoundStartCompressed` wire frames.
+//! * [`compress_update`] / [`decompress_update`] — the encode→decode pair
+//!   both transports share ([`crate::transport::LocalTransport`] runs it
+//!   in-process, so the oracle exercises the exact codec path TCP does).
+//!
+//! ## Delta coding and the reference model
+//!
+//! Uplink compression never quantizes raw parameter vectors: every uplink
+//! blob encodes the **delta** `Δ = ψ_j − ref`, where `ref` is exactly the
+//! global model the client received this round — i.e. the broadcast *after*
+//! the downlink codec. Deltas are small relative to the weights, so the
+//! quantization error that survives is proportional to the per-round step,
+//! not to the weight magnitude — that is what keeps the lossy modes inside
+//! the ≤ 0.5 pp accuracy-drift gate. The server reconstructs the same `ref`
+//! (it knows what it broadcast), so both sides agree bit-for-bit.
+//!
+//! Per-mode downlink policy: `Bf16` and `Int8` broadcast `bf16(ψ₀)` (the
+//! broadcast is the shared reference every client must rebuild — int8
+//! reference error would dominate the delta signal); `TopK` broadcasts
+//! dense (sparsifying the one vector everyone folds against would compound
+//! round over round). CVAE decoders have no reference: `Int8` quantizes
+//! them directly, `Bf16` and `TopK` ship them as bf16 (sparsifying a
+//! generative decoder corrupts the FedGuard audit).
+//!
+//! ## Determinism
+//!
+//! Every codec kernel is bit-deterministic at any `FG_THREADS` (see
+//! `fg_tensor::codec`), and both transports call the same
+//! [`decompress_update`]; the dequantized fold is therefore bit-identical
+//! across thread counts, arrival orders, and Local-vs-TCP deployments —
+//! asserted by `bench_compression` and `tests/net_equivalence.rs`.
+
+use crate::update::{ModelUpdate, UpdateRejection};
+use fg_obs::metrics::Counter;
+use fg_tensor::codec;
+use fg_tensor::workspace;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Logical (pre-codec) model-payload bytes pushed through [`compress_update`]
+/// / [`compress_global`], at 4 B per f32 — the numerator of the measured
+/// compression ratio.
+static RAW_BYTES: Counter = Counter::new("fl.comm.raw_bytes");
+/// Encoded model-payload bytes the same calls produced — the denominator.
+/// The ratio is measured from real encodes, never assumed from the format.
+static WIRE_BYTES: Counter = Counter::new("fl.comm.wire_bytes");
+/// Nanoseconds spent inside encode kernels.
+static ENC_NS: Counter = Counter::new("fl.codec.enc_ns");
+/// Nanoseconds spent inside decode kernels.
+static DEC_NS: Counter = Counter::new("fl.codec.dec_ns");
+
+/// Default int8 scale-block size: one scale per 64K-element slab, aligned
+/// with the kernels' parallel split.
+pub const DEFAULT_INT8_BLOCK: usize = codec::CODEC_SLAB;
+/// Default top-k keep fraction (10%).
+pub const DEFAULT_TOPK_FRAC: f64 = 0.1;
+
+/// Wire-compression mode for model payloads; the `ExperimentConfig` knob.
+/// `FG_COMPRESS` overrides at run time (see [`Compression::resolved`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum Compression {
+    /// Dense f32 frames — bit-identical to the pre-compression protocol.
+    #[default]
+    None,
+    /// bf16 round-to-nearest-even (2 B/param, ≈ 2× reduction).
+    Bf16,
+    /// Symmetric per-block int8 with f32 scales (≈ 4× reduction).
+    Int8 {
+        /// Elements per scale block.
+        block: usize,
+    },
+    /// Magnitude top-k of the delta: a presence bitmap plus bf16 values
+    /// (`frac = 0.1` ≈ 12× reduction).
+    TopK {
+        /// Fraction of entries kept, in (0, 1].
+        frac: f64,
+    },
+}
+
+impl Compression {
+    /// Apply the `FG_COMPRESS` environment override: `0`/`false`/`off`/
+    /// `none` force dense frames; `bf16`, `int8[:block]`, `topk[:frac]`
+    /// force that codec; anything else (or unset) keeps the configured
+    /// mode.
+    pub fn resolved(self) -> Compression {
+        match std::env::var("FG_COMPRESS") {
+            Ok(v) => Compression::parse(&v).unwrap_or(self),
+            Err(_) => self,
+        }
+    }
+
+    /// Parse a mode spec — the shared grammar of `FG_COMPRESS` and the
+    /// bench binaries' `--compress` flag: `0`/`false`/`off`/`none` for
+    /// dense frames; `bf16`; `int8[:block]`; `topk[:frac]`. `None` for
+    /// anything else (out-of-range arguments fall back to the defaults).
+    pub fn parse(spec: &str) -> Option<Compression> {
+        let v = spec.to_ascii_lowercase();
+        let (mode, arg) = match v.split_once(':') {
+            Some((m, a)) => (m, Some(a)),
+            None => (v.as_str(), None),
+        };
+        match mode {
+            "0" | "false" | "off" | "none" => Some(Compression::None),
+            "bf16" => Some(Compression::Bf16),
+            "int8" => Some(Compression::Int8 {
+                block: arg
+                    .and_then(|a| a.parse().ok())
+                    .filter(|&b| b > 0)
+                    .unwrap_or(DEFAULT_INT8_BLOCK),
+            }),
+            "topk" => Some(Compression::TopK {
+                frac: arg
+                    .and_then(|a| a.parse().ok())
+                    .filter(|f: &f64| f.is_finite() && *f > 0.0 && *f <= 1.0)
+                    .unwrap_or(DEFAULT_TOPK_FRAC),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Codec applied to the server → client broadcast (see the module docs
+    /// for the rationale): `Int8` rides bf16 downlink, `TopK` rides dense.
+    pub fn downlink(self) -> Compression {
+        match self {
+            Compression::Int8 { .. } => Compression::Bf16,
+            Compression::TopK { .. } => Compression::None,
+            other => other,
+        }
+    }
+
+    /// Codec applied to a CVAE decoder (no reference model exists for it).
+    pub fn decoder_codec(self) -> Compression {
+        match self {
+            Compression::TopK { .. } => Compression::Bf16,
+            other => other,
+        }
+    }
+
+    /// Short stable name (bench/report labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Compression::None => "none",
+            Compression::Bf16 => "bf16",
+            Compression::Int8 { .. } => "int8",
+            Compression::TopK { .. } => "topk",
+        }
+    }
+}
+
+/// One compressed f32 vector, in memory exactly as it travels in a frame.
+/// Top-k values are stored as bf16 bits (the canonical wire form), so a
+/// decoded blob re-encodes byte-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CompressedBlob {
+    /// bf16 bits, one per source element.
+    Bf16 { raw_len: u32, data: Vec<u16> },
+    /// Per-block scales plus one signed byte per source element.
+    Int8 { raw_len: u32, block: u32, scales: Vec<f32>, q: Vec<i8> },
+    /// Selected indices (ascending, unique) with bf16 values; travels as a
+    /// presence bitmap + value list.
+    TopK { raw_len: u32, idx: Vec<u32>, val: Vec<u16> },
+}
+
+impl CompressedBlob {
+    /// Length of the vector this blob reconstructs to.
+    pub fn raw_len(&self) -> usize {
+        match self {
+            CompressedBlob::Bf16 { raw_len, .. }
+            | CompressedBlob::Int8 { raw_len, .. }
+            | CompressedBlob::TopK { raw_len, .. } => *raw_len as usize,
+        }
+    }
+
+    /// Logical (pre-codec) bytes: `raw_len × 4`.
+    pub fn raw_bytes(&self) -> u64 {
+        self.raw_len() as u64 * 4
+    }
+
+    /// Exact encoded payload bytes of this blob on the wire (tag byte
+    /// included) — what `fl.comm.wire_bytes` accounts.
+    pub fn encoded_bytes(&self) -> u64 {
+        match self {
+            CompressedBlob::Bf16 { raw_len, .. } => 1 + 4 + *raw_len as u64 * 2,
+            CompressedBlob::Int8 { raw_len, scales, .. } => {
+                1 + 4 + 4 + scales.len() as u64 * 4 + *raw_len as u64
+            }
+            CompressedBlob::TopK { raw_len, val, .. } => {
+                1 + 4 + 4 + (*raw_len as u64).div_ceil(8) + val.len() as u64 * 2
+            }
+        }
+    }
+}
+
+/// A client's round submission in compressed form — the payload of the
+/// `UploadCompressed` wire frame. `params` encodes the delta against the
+/// round's reference model; `decoder` (when the strategy audits decoders)
+/// is compressed directly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressedUpdate {
+    pub client_id: usize,
+    pub num_samples: usize,
+    pub params: CompressedBlob,
+    pub decoder: Option<CompressedBlob>,
+    pub class_coverage: Option<Vec<u32>>,
+}
+
+impl CompressedUpdate {
+    /// Logical model bytes this update stands for — identical to the
+    /// reconstructed [`ModelUpdate::wire_bytes`], so `CommStats` accounting
+    /// is invariant across compression modes.
+    pub fn model_bytes(&self) -> u64 {
+        self.params.raw_bytes() + self.decoder.as_ref().map_or(0, |d| d.raw_bytes())
+    }
+
+    /// Encoded model-payload bytes (params + decoder blobs).
+    pub fn encoded_model_bytes(&self) -> u64 {
+        self.params.encoded_bytes() + self.decoder.as_ref().map_or(0, |d| d.encoded_bytes())
+    }
+}
+
+/// A top-k submission kept sparse all the way into the aggregation fold:
+/// `val[i]` is the decoded delta at `idx[i]` against the round's reference
+/// model; every unlisted coordinate is unchanged. Produced by
+/// [`sparse_update`] on the streaming path so no dense f32 vector is ever
+/// materialized for the update.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseUpdate {
+    pub client_id: usize,
+    pub num_samples: usize,
+    /// Length of the dense vector this update sparsifies.
+    pub raw_len: usize,
+    /// Selected coordinates, ascending and unique.
+    pub idx: Vec<u32>,
+    /// Decoded deltas, one per selected coordinate.
+    pub val: Vec<f32>,
+    pub decoder: Option<Vec<f32>>,
+    pub class_coverage: Option<Vec<u32>>,
+}
+
+impl SparseUpdate {
+    /// Logical model bytes (same basis as [`ModelUpdate::wire_bytes`]).
+    pub fn wire_bytes(&self) -> u64 {
+        (self.raw_len as u64 + self.decoder.as_ref().map_or(0, |d| d.len() as u64)) * 4
+    }
+
+    /// The checks [`ModelUpdate::validate`] runs, on the sparse form.
+    pub fn validate(&self, expected_len: usize) -> Result<(), UpdateRejection> {
+        if self.raw_len != expected_len {
+            return Err(UpdateRejection::WrongLength { got: self.raw_len, expected: expected_len });
+        }
+        if self.val.iter().any(|v| !v.is_finite()) {
+            return Err(UpdateRejection::NonFinite);
+        }
+        Ok(())
+    }
+
+    /// Strip a non-finite decoder and its coverage (mirror of
+    /// [`ModelUpdate::strip_non_finite_decoder`]); returns true if stripped.
+    pub fn strip_non_finite_decoder(&mut self) -> bool {
+        let bad = self.decoder.as_ref().is_some_and(|d| d.iter().any(|x| !x.is_finite()));
+        if bad {
+            self.decoder = None;
+            self.class_coverage = None;
+        }
+        bad
+    }
+}
+
+/// Compress one f32 vector under `mode` (which must not be
+/// [`Compression::None`] — dense vectors stay on the dense frames).
+pub fn compress_vec(mode: Compression, data: &[f32]) -> CompressedBlob {
+    assert!(
+        data.len() <= u32::MAX as usize,
+        "compression supports vectors up to u32::MAX elements"
+    );
+    let t0 = Instant::now();
+    let raw_len = data.len() as u32;
+    let blob = match mode {
+        Compression::None => unreachable!("Compression::None never builds a blob"),
+        Compression::Bf16 => {
+            let mut packed = Vec::new();
+            codec::bf16_pack_into(data, &mut packed);
+            CompressedBlob::Bf16 { raw_len, data: packed }
+        }
+        Compression::Int8 { block } => {
+            let (mut scales, mut q) = (Vec::new(), Vec::new());
+            codec::int8_quantize_into(data, block, &mut scales, &mut q);
+            CompressedBlob::Int8 { raw_len, block: block as u32, scales, q }
+        }
+        Compression::TopK { frac } => {
+            let k = codec::topk_count(data.len(), frac);
+            let (mut idx, mut keys) = (Vec::new(), Vec::new());
+            codec::topk_select(data, k, &mut idx, &mut keys);
+            let val: Vec<u16> = idx.iter().map(|&i| codec::f32_to_bf16(data[i as usize])).collect();
+            CompressedBlob::TopK { raw_len, idx, val }
+        }
+    };
+    ENC_NS.add(t0.elapsed().as_nanos() as u64);
+    RAW_BYTES.add(blob.raw_bytes());
+    WIRE_BYTES.add(blob.encoded_bytes());
+    blob
+}
+
+/// Decode a blob into the dense vector it directly encodes (for top-k:
+/// zeros off the selected set). `dst` is overwritten and resized.
+pub fn decompress_blob_into(blob: &CompressedBlob, dst: &mut Vec<f32>) {
+    let t0 = Instant::now();
+    dst.clear();
+    dst.resize(blob.raw_len(), 0.0);
+    match blob {
+        CompressedBlob::Bf16 { data, .. } => codec::bf16_unpack_into(data, dst),
+        CompressedBlob::Int8 { block, scales, q, .. } => {
+            codec::int8_dequantize_into(q, scales, *block as usize, dst)
+        }
+        CompressedBlob::TopK { idx, val, .. } => {
+            for (&i, &v) in idx.iter().zip(val) {
+                dst[i as usize] = codec::bf16_to_f32(v);
+            }
+        }
+    }
+    DEC_NS.add(t0.elapsed().as_nanos() as u64);
+}
+
+/// The reference model a round runs against: the broadcast global after the
+/// downlink codec. `None` means the downlink is dense and the reference is
+/// the global itself (no copy needed).
+pub fn reference_global(mode: Compression, global: &[f32]) -> Option<Vec<f32>> {
+    match mode.downlink() {
+        Compression::None => None,
+        downlink => {
+            let blob = compress_vec(downlink, global);
+            let mut reference = Vec::new();
+            decompress_blob_into(&blob, &mut reference);
+            Some(reference)
+        }
+    }
+}
+
+/// Compress the global broadcast for the `RoundStartCompressed` frame.
+/// Only meaningful when `mode.downlink() != None`.
+pub fn compress_global(mode: Compression, global: &[f32]) -> CompressedBlob {
+    compress_vec(mode.downlink(), global)
+}
+
+/// Client side: compress a trained submission against the reference model
+/// the client received this round. The params blob encodes
+/// `Δ = params − reference`; the decoder (if any) is compressed directly
+/// under [`Compression::decoder_codec`].
+pub fn compress_update(
+    mode: Compression,
+    update: &ModelUpdate,
+    reference: &[f32],
+) -> CompressedUpdate {
+    assert_eq!(
+        update.params.len(),
+        reference.len(),
+        "compress_update: params/reference length mismatch"
+    );
+    let mut delta = workspace::take_uninit(update.params.len());
+    for ((d, &p), &r) in delta.iter_mut().zip(&update.params).zip(reference) {
+        *d = p - r;
+    }
+    let params = compress_vec(mode, &delta);
+    let decoder = update.decoder.as_ref().map(|d| compress_vec(mode.decoder_codec(), d));
+    CompressedUpdate {
+        client_id: update.client_id,
+        num_samples: update.num_samples,
+        params,
+        decoder,
+        class_coverage: update.class_coverage.clone(),
+    }
+}
+
+/// Server side: reconstruct the dense [`ModelUpdate`] from a compressed
+/// one, adding the decoded delta back onto the same reference the client
+/// encoded against. Top-k leaves unselected coordinates exactly at the
+/// reference value (a copy, not a `+ 0.0`), so the dense reconstruction is
+/// bit-identical to the sparse fold's per-element arithmetic.
+///
+/// A blob whose `raw_len` disagrees with the reference cannot be rebased;
+/// its raw delta is returned instead and the round sanitizer rejects it by
+/// length — decoding stays total without an error channel.
+pub fn decompress_update(cu: &CompressedUpdate, reference: &[f32]) -> ModelUpdate {
+    let params = if cu.params.raw_len() == reference.len() {
+        match &cu.params {
+            CompressedBlob::TopK { idx, val, .. } => {
+                let t0 = Instant::now();
+                let mut params = reference.to_vec();
+                for (&i, &v) in idx.iter().zip(val) {
+                    params[i as usize] = reference[i as usize] + codec::bf16_to_f32(v);
+                }
+                DEC_NS.add(t0.elapsed().as_nanos() as u64);
+                params
+            }
+            dense => {
+                let mut delta = Vec::new();
+                decompress_blob_into(dense, &mut delta);
+                let t0 = Instant::now();
+                for (d, &r) in delta.iter_mut().zip(reference) {
+                    *d += r;
+                }
+                DEC_NS.add(t0.elapsed().as_nanos() as u64);
+                delta
+            }
+        }
+    } else {
+        let mut delta = Vec::new();
+        decompress_blob_into(&cu.params, &mut delta);
+        delta
+    };
+    let decoder = cu.decoder.as_ref().map(|blob| {
+        let mut d = Vec::new();
+        decompress_blob_into(blob, &mut d);
+        d
+    });
+    ModelUpdate {
+        client_id: cu.client_id,
+        params,
+        num_samples: cu.num_samples,
+        decoder,
+        class_coverage: cu.class_coverage.clone(),
+    }
+}
+
+/// The sparse view of a top-k submission, for the streaming fold — decoded
+/// deltas, never a dense vector. Returns `None` for dense blobs (the
+/// caller reconstructs densely instead).
+pub fn sparse_update(cu: &CompressedUpdate) -> Option<SparseUpdate> {
+    let CompressedBlob::TopK { raw_len, idx, val } = &cu.params else {
+        return None;
+    };
+    let t0 = Instant::now();
+    let vals: Vec<f32> = val.iter().map(|&v| codec::bf16_to_f32(v)).collect();
+    let decoder = cu.decoder.as_ref().map(|blob| {
+        let mut d = Vec::new();
+        decompress_blob_into(blob, &mut d);
+        d
+    });
+    DEC_NS.add(t0.elapsed().as_nanos() as u64);
+    Some(SparseUpdate {
+        client_id: cu.client_id,
+        num_samples: cu.num_samples,
+        raw_len: *raw_len as usize,
+        idx: idx.clone(),
+        val: vals,
+        decoder,
+        class_coverage: cu.class_coverage.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_tensor::rng::SeededRng;
+
+    fn noise(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = SeededRng::new(seed);
+        (0..n).map(|_| rng.next_f32() * 0.2 - 0.1).collect()
+    }
+
+    fn update(params: Vec<f32>, decoder: Option<Vec<f32>>) -> ModelUpdate {
+        ModelUpdate { client_id: 3, params, num_samples: 40, decoder, class_coverage: None }
+    }
+
+    #[test]
+    fn resolved_parses_the_env_grammar() {
+        // Set/unset FG_COMPRESS around each case; tests in this crate run
+        // single-process per binary but the var is process-global, so keep
+        // the whole grammar in one test.
+        let base = Compression::Bf16;
+        for (v, want) in [
+            ("off", Compression::None),
+            ("none", Compression::None),
+            ("0", Compression::None),
+            ("bf16", Compression::Bf16),
+            ("int8", Compression::Int8 { block: DEFAULT_INT8_BLOCK }),
+            ("int8:512", Compression::Int8 { block: 512 }),
+            ("int8:junk", Compression::Int8 { block: DEFAULT_INT8_BLOCK }),
+            ("topk", Compression::TopK { frac: DEFAULT_TOPK_FRAC }),
+            ("topk:0.25", Compression::TopK { frac: 0.25 }),
+            ("topk:7", Compression::TopK { frac: DEFAULT_TOPK_FRAC }),
+            ("garbage", base),
+        ] {
+            std::env::set_var("FG_COMPRESS", v);
+            assert_eq!(base.resolved(), want, "FG_COMPRESS={v}");
+        }
+        std::env::remove_var("FG_COMPRESS");
+        assert_eq!(base.resolved(), base);
+    }
+
+    #[test]
+    fn downlink_and_decoder_policies() {
+        assert_eq!(Compression::None.downlink(), Compression::None);
+        assert_eq!(Compression::Bf16.downlink(), Compression::Bf16);
+        assert_eq!(Compression::Int8 { block: 64 }.downlink(), Compression::Bf16);
+        assert_eq!(Compression::TopK { frac: 0.1 }.downlink(), Compression::None);
+        assert_eq!(Compression::TopK { frac: 0.1 }.decoder_codec(), Compression::Bf16);
+        assert_eq!(
+            Compression::Int8 { block: 64 }.decoder_codec(),
+            Compression::Int8 { block: 64 }
+        );
+    }
+
+    #[test]
+    fn old_config_blobs_without_the_field_still_parse() {
+        assert_eq!(Compression::default(), Compression::None);
+        let json = serde_json::to_string(&Compression::TopK { frac: 0.1 }).unwrap();
+        let back: Compression = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Compression::TopK { frac: 0.1 });
+    }
+
+    #[test]
+    fn round_trip_reconstructs_within_codec_error() {
+        let reference = noise(10_000, 1);
+        let mut params = reference.clone();
+        let delta = noise(10_000, 2);
+        for (p, d) in params.iter_mut().zip(&delta) {
+            *p += d * 0.01;
+        }
+        for mode in [
+            Compression::Bf16,
+            Compression::Int8 { block: 1 << 10 },
+            Compression::TopK { frac: 0.1 },
+        ] {
+            let cu = compress_update(mode, &update(params.clone(), None), &reference);
+            assert_eq!(cu.model_bytes(), params.len() as u64 * 4);
+            let back = decompress_update(&cu, &reference);
+            assert_eq!(back.client_id, 3);
+            assert_eq!(back.params.len(), params.len());
+            // The reconstruction error is bounded by the codec's error on
+            // the *delta*, which is ~1e-3 of the delta magnitude here.
+            let worst =
+                params.iter().zip(&back.params).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
+            assert!(worst < 1e-3, "{}: worst abs error {worst}", mode.name());
+        }
+    }
+
+    #[test]
+    fn topk_keeps_reference_bits_off_the_selected_set() {
+        // Unselected coordinates must be *copies* of the reference, not
+        // `ref + 0.0` (which would flush -0.0): that is the bit-equality
+        // contract between the dense reconstruction and the sparse fold.
+        let reference = vec![-0.0f32, 1.0, 2.0, 3.0];
+        let params = vec![-0.0f32, 1.0, 2.0, 9.0]; // only index 3 changed
+        let cu =
+            compress_update(Compression::TopK { frac: 0.25 }, &update(params, None), &reference);
+        let back = decompress_update(&cu, &reference);
+        assert_eq!(back.params[0].to_bits(), (-0.0f32).to_bits());
+        assert!((back.params[3] - 9.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sparse_view_matches_dense_reconstruction_bitwise() {
+        let reference = noise(5_000, 3);
+        let mut params = reference.clone();
+        for (i, p) in params.iter_mut().enumerate() {
+            if i % 7 == 0 {
+                *p += 0.05;
+            }
+        }
+        let cu = compress_update(
+            Compression::TopK { frac: 0.05 },
+            &update(params, Some(noise(64, 4))),
+            &reference,
+        );
+        let dense = decompress_update(&cu, &reference);
+        let sparse = sparse_update(&cu).expect("topk blob has a sparse view");
+        assert_eq!(sparse.raw_len, reference.len());
+        assert_eq!(sparse.validate(reference.len()), Ok(()));
+        assert_eq!(sparse.wire_bytes(), dense.wire_bytes());
+        let mut rebuilt = reference.clone();
+        for (&i, &v) in sparse.idx.iter().zip(&sparse.val) {
+            rebuilt[i as usize] = reference[i as usize] + v;
+        }
+        let dense_bits: Vec<u32> = dense.params.iter().map(|x| x.to_bits()).collect();
+        let sparse_bits: Vec<u32> = rebuilt.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(dense_bits, sparse_bits);
+        assert_eq!(sparse.decoder.as_ref().map(|d| d.len()), Some(64));
+    }
+
+    #[test]
+    fn sparse_update_validation_mirrors_dense_checks() {
+        let mut s = SparseUpdate {
+            client_id: 0,
+            num_samples: 1,
+            raw_len: 100,
+            idx: vec![5],
+            val: vec![1.0],
+            decoder: Some(vec![f32::NAN]),
+            class_coverage: None,
+        };
+        assert!(matches!(
+            s.validate(99),
+            Err(UpdateRejection::WrongLength { got: 100, expected: 99 })
+        ));
+        assert_eq!(s.validate(100), Ok(()));
+        assert!(s.strip_non_finite_decoder());
+        assert!(s.decoder.is_none());
+        s.val[0] = f32::INFINITY;
+        assert_eq!(s.validate(100), Err(UpdateRejection::NonFinite));
+    }
+
+    #[test]
+    fn reference_global_tracks_the_downlink_codec() {
+        let global = noise(1_000, 5);
+        assert!(reference_global(Compression::None, &global).is_none());
+        assert!(reference_global(Compression::TopK { frac: 0.1 }, &global).is_none());
+        let bf = reference_global(Compression::Bf16, &global).unwrap();
+        let i8ref = reference_global(Compression::Int8 { block: 64 }, &global).unwrap();
+        // Int8 mode's downlink is bf16: both modes share the reference.
+        let bf_bits: Vec<u32> = bf.iter().map(|x| x.to_bits()).collect();
+        let i8_bits: Vec<u32> = i8ref.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(bf_bits, i8_bits);
+        // And it is exactly the bf16 round-trip of the global.
+        for (&g, &r) in global.iter().zip(&bf) {
+            assert_eq!(fg_tensor::codec::bf16_to_f32(fg_tensor::codec::f32_to_bf16(g)), r);
+        }
+    }
+
+    #[test]
+    fn encoded_bytes_hit_the_headline_ratios() {
+        let d = 200_000usize;
+        let data = noise(d, 6);
+        let raw = d as u64 * 4;
+        let bf = compress_vec(Compression::Bf16, &data);
+        assert!(raw as f64 / bf.encoded_bytes() as f64 >= 1.9);
+        let i8b = compress_vec(Compression::Int8 { block: DEFAULT_INT8_BLOCK }, &data);
+        assert!(raw as f64 / i8b.encoded_bytes() as f64 >= 3.5);
+        let tk = compress_vec(Compression::TopK { frac: 0.1 }, &data);
+        assert!(raw as f64 / tk.encoded_bytes() as f64 >= 8.0);
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::client::{Client, NoAttack, UpdateInterceptor};
 use crate::comm::CommStats;
+use crate::compress::Compression;
 use crate::config::{AggregationMemory, CvaeTrainConfig, FederationConfig, ResiliencePolicy};
 use crate::fault::{sanitize_round, FaultEvent, FaultKind, FaultPlan, SubmissionFaults};
 use crate::metrics::RoundRecord;
@@ -9,7 +10,7 @@ use crate::strategy::{
     AggregationContext, AggregationStrategy, StrategyTimings, StreamingAggregator,
 };
 use crate::telemetry::{RoundObserver, RoundTelemetry, StageTimings, SCHEMA_VERSION};
-use crate::transport::{LocalTransport, RoundOffer, SessionEvent, Transport};
+use crate::transport::{IncomingUpdate, LocalTransport, RoundOffer, SessionEvent, Transport};
 use crate::update::{ModelUpdate, UpdateRejection};
 use fg_data::Dataset;
 use fg_nn::models::Classifier;
@@ -116,6 +117,7 @@ pub struct FederationBuilder {
     cvae: Option<CvaeTrainConfig>,
     observers: Vec<Box<dyn RoundObserver>>,
     transport: Option<Box<dyn Transport>>,
+    compression: Compression,
 }
 
 impl FederationBuilder {
@@ -185,6 +187,15 @@ impl FederationBuilder {
         self
     }
 
+    /// Wire-compression mode for the in-process transport (see
+    /// [`Compression`]). Applies only to the default [`LocalTransport`] —
+    /// a custom transport carries its own mode (e.g.
+    /// `TcpTransport::with_compression`).
+    pub fn compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
     /// Validate the assembled configuration and construct the federation.
     ///
     /// Panics when a required component is missing, the partition count does
@@ -244,7 +255,10 @@ impl FederationBuilder {
                         )
                     })
                     .collect();
-                Box::new(LocalTransport::new(clients, Arc::clone(&self.interceptor)))
+                Box::new(
+                    LocalTransport::new(clients, Arc::clone(&self.interceptor))
+                        .with_compression(self.compression),
+                )
             }
         };
 
@@ -281,6 +295,7 @@ impl Federation {
             cvae: None,
             observers: Vec::new(),
             transport: None,
+            compression: Compression::None,
         }
     }
 
@@ -630,34 +645,73 @@ impl Federation {
         let expected_len = self.global.len();
         let mut survivor_ids: Vec<usize> = Vec::new();
         let offer = RoundOffer { round, global: &self.global, sampled, active };
-        let mut sink = |mut update: ModelUpdate| {
-            // Upload accounting covers everything that crossed the wire,
-            // valid or not — the same policy as the batch path.
-            comm.push_update(&update);
-            match update.validate(expected_len) {
-                Err(UpdateRejection::NonFinite) => {
-                    fault_events
-                        .push(FaultEvent::new(update.client_id, FaultKind::RejectedNonFinite));
-                    return;
+        // A sparse (top-k) submission's deltas are coded against the round's
+        // reference model, which for top-k is the exact global the offer
+        // broadcast (its downlink stays dense).
+        let base: &[f32] = offer.global;
+        let mut sink = |incoming: IncomingUpdate| {
+            let mut push_fault = |id: usize, kind: FaultKind| {
+                fault_events.push(FaultEvent::new(id, kind));
+            };
+            match incoming {
+                IncomingUpdate::Dense(mut update) => {
+                    // Upload accounting covers everything that crossed the
+                    // wire, valid or not — the same policy as the batch path.
+                    comm.push_update(&update);
+                    match update.validate(expected_len) {
+                        Err(UpdateRejection::NonFinite) => {
+                            push_fault(update.client_id, FaultKind::RejectedNonFinite);
+                            return;
+                        }
+                        Err(UpdateRejection::WrongLength { got, expected }) => {
+                            push_fault(
+                                update.client_id,
+                                FaultKind::RejectedWrongLength { got, expected },
+                            );
+                            return;
+                        }
+                        Ok(()) => {}
+                    }
+                    if update.strip_non_finite_decoder() {
+                        push_fault(update.client_id, FaultKind::DecoderStripped);
+                    }
+                    if survivor_ids.contains(&update.client_id) {
+                        push_fault(update.client_id, FaultKind::DuplicateDiscarded);
+                        return;
+                    }
+                    survivor_ids.push(update.client_id);
+                    agg.push(&update);
                 }
-                Err(UpdateRejection::WrongLength { got, expected }) => {
-                    fault_events.push(FaultEvent::new(
-                        update.client_id,
-                        FaultKind::RejectedWrongLength { got, expected },
-                    ));
-                    return;
+                IncomingUpdate::Sparse(mut update) => {
+                    // Same pipeline, sparse flavor: the submission folds as
+                    // (idx, val) deltas against `base` without ever being
+                    // materialized densely.
+                    comm.push_bytes(update.wire_bytes());
+                    match update.validate(expected_len) {
+                        Err(UpdateRejection::NonFinite) => {
+                            push_fault(update.client_id, FaultKind::RejectedNonFinite);
+                            return;
+                        }
+                        Err(UpdateRejection::WrongLength { got, expected }) => {
+                            push_fault(
+                                update.client_id,
+                                FaultKind::RejectedWrongLength { got, expected },
+                            );
+                            return;
+                        }
+                        Ok(()) => {}
+                    }
+                    if update.strip_non_finite_decoder() {
+                        push_fault(update.client_id, FaultKind::DecoderStripped);
+                    }
+                    if survivor_ids.contains(&update.client_id) {
+                        push_fault(update.client_id, FaultKind::DuplicateDiscarded);
+                        return;
+                    }
+                    survivor_ids.push(update.client_id);
+                    agg.push_sparse(&update, base);
                 }
-                Ok(()) => {}
             }
-            if update.strip_non_finite_decoder() {
-                fault_events.push(FaultEvent::new(update.client_id, FaultKind::DecoderStripped));
-            }
-            if survivor_ids.contains(&update.client_id) {
-                fault_events.push(FaultEvent::new(update.client_id, FaultKind::DuplicateDiscarded));
-                return;
-            }
-            survivor_ids.push(update.client_id);
-            agg.push(&update);
         };
         let tail = self.transport.exchange_round_streamed(&offer, &mut sink);
         fault_events.extend(tail.faults);

@@ -20,6 +20,7 @@
 
 pub mod client;
 pub mod comm;
+pub mod compress;
 pub mod config;
 pub mod fault;
 pub mod federation;
@@ -33,6 +34,7 @@ pub mod wire;
 
 pub use client::{Client, DataStream, UpdateInterceptor};
 pub use comm::CommStats;
+pub use compress::{CompressedBlob, CompressedUpdate, Compression, SparseUpdate};
 pub use config::{
     AggregationMemory, CvaeTrainConfig, FederationConfig, LocalTrainConfig, ResiliencePolicy,
 };
@@ -53,8 +55,8 @@ pub use telemetry::{
     StderrProgress,
 };
 pub use transport::{
-    ClientChannel, Directive, ExchangeTail, LocalTransport, RoundExchange, RoundOffer,
-    SessionEvent, SessionEventKind, Transport, TransportKind,
+    ClientChannel, Directive, ExchangeTail, IncomingUpdate, LocalTransport, RoundExchange,
+    RoundOffer, SessionEvent, SessionEventKind, Transport, TransportKind,
 };
 pub use update::{ModelUpdate, UpdateRejection};
 pub use wire::{Message, WireConfig, WireError};

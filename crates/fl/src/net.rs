@@ -34,6 +34,9 @@
 //! so they never touch the wire).
 
 use crate::client::Client;
+use crate::compress::{
+    compress_global, compress_update, decompress_update, reference_global, Compression,
+};
 use crate::fault::{FaultEvent, FaultKind};
 use crate::transport::{
     ClientChannel, Directive, RoundExchange, RoundOffer, SessionEvent, SessionEventKind, Transport,
@@ -41,7 +44,8 @@ use crate::transport::{
 };
 use crate::update::ModelUpdate;
 use crate::wire::{
-    encode, encode_round_start, encode_upload, read_frame, Message, WireConfig, WireError,
+    encode, encode_round_start, encode_round_start_compressed, encode_upload,
+    encode_upload_compressed, read_frame, Message, WireConfig, WireError, HEADER_BYTES,
     PROTOCOL_VERSION,
 };
 use fg_obs::metrics::Counter;
@@ -114,6 +118,22 @@ pub struct WireStats {
     pub model_bytes_rx: u64,
     /// Heartbeat frames observed among the received frames.
     pub heartbeats: u64,
+    /// Fixed frame-header bytes sent ([`HEADER_BYTES`] per frame);
+    /// `bytes_tx == header_bytes_tx + payload_bytes_tx` always holds.
+    #[serde(default)]
+    pub header_bytes_tx: u64,
+    /// Header bytes received.
+    #[serde(default)]
+    pub header_bytes_rx: u64,
+    /// Payload bytes sent (everything after the 9-byte header — model
+    /// payloads, ids, lengths, blobs). Under a lossy compression mode this
+    /// is where the wire savings show up, while `model_bytes_tx` keeps
+    /// reporting the logical 4 B/f32 accounting.
+    #[serde(default)]
+    pub payload_bytes_tx: u64,
+    /// Payload bytes received.
+    #[serde(default)]
+    pub payload_bytes_rx: u64,
 }
 
 impl WireStats {
@@ -125,6 +145,10 @@ impl WireStats {
         self.model_bytes_tx += other.model_bytes_tx;
         self.model_bytes_rx += other.model_bytes_rx;
         self.heartbeats += other.heartbeats;
+        self.header_bytes_tx += other.header_bytes_tx;
+        self.header_bytes_rx += other.header_bytes_rx;
+        self.payload_bytes_tx += other.payload_bytes_tx;
+        self.payload_bytes_rx += other.payload_bytes_rx;
     }
 }
 
@@ -139,6 +163,8 @@ fn tx_raw(
     stream.flush()?;
     stats.frames_tx += 1;
     stats.bytes_tx += frame.len() as u64;
+    stats.header_bytes_tx += HEADER_BYTES as u64;
+    stats.payload_bytes_tx += (frame.len() - HEADER_BYTES) as u64;
     stats.model_bytes_tx += model_bytes;
     NET_FRAMES_TX.incr();
     NET_BYTES_TX.add(frame.len() as u64);
@@ -155,6 +181,8 @@ fn rx_frame(
     let (msg, bytes) = read_frame(stream, wire)?;
     stats.frames_rx += 1;
     stats.bytes_rx += bytes;
+    stats.header_bytes_rx += HEADER_BYTES as u64;
+    stats.payload_bytes_rx += bytes - HEADER_BYTES as u64;
     stats.model_bytes_rx += msg.model_bytes();
     NET_FRAMES_RX.incr();
     NET_BYTES_RX.add(bytes);
@@ -181,6 +209,7 @@ pub struct TcpTransport {
     expected: usize,
     welcome_param_len: u64,
     welcome_blob: String,
+    compression: Compression,
     sessions: BTreeMap<usize, TcpStream>,
     /// Session events observed outside a round (setup joins, finish leaves);
     /// drained into the next exchange / the finish result.
@@ -207,10 +236,25 @@ impl TcpTransport {
             expected,
             welcome_param_len: param_len,
             welcome_blob: blob,
+            compression: Compression::None,
             sessions: BTreeMap::new(),
             pending_events: Vec::new(),
             wire_log: Arc::new(Mutex::new(Vec::new())),
         })
+    }
+
+    /// Set the wire-compression mode announced to every client in `Welcome`
+    /// (the server's resolved mode is authoritative for the session). Must
+    /// be called before any client joins.
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        assert!(self.sessions.is_empty(), "set compression before clients join");
+        self.compression = compression;
+        self
+    }
+
+    /// The negotiated wire-compression mode.
+    pub fn compression(&self) -> Compression {
+        self.compression
     }
 
     /// The bound address (use with port 0 to discover the ephemeral port).
@@ -259,6 +303,7 @@ impl TcpTransport {
         }
         let welcome = encode(&Message::Welcome {
             param_len: self.welcome_param_len,
+            compression: self.compression,
             blob: self.welcome_blob.clone(),
         });
         tx_raw(&mut stream, &welcome, 0, &mut stats).ok()?;
@@ -293,12 +338,16 @@ impl TcpTransport {
 
     /// Read one session's round response, skipping heartbeats. Returns the
     /// accepted update (if any); pushes faults/session events as they arise.
+    /// `reference` is the round's reference model: a compressed upload's
+    /// delta payload is folded back onto it, reconstructing the dense update
+    /// bit-identically to what the in-process oracle produces.
     #[allow(clippy::too_many_arguments)]
     fn collect_response(
         stream: &mut TcpStream,
         id: usize,
         round: usize,
         active: bool,
+        reference: &[f32],
         wire: &WireConfig,
         stats: &mut WireStats,
         faults: &mut Vec<FaultEvent>,
@@ -335,6 +384,30 @@ impl TcpTransport {
                         return (None, true);
                     }
                     return (Some(update), true);
+                }
+                Ok(Message::UploadCompressed { round: r, update }) if r as usize == round => {
+                    if update.client_id != id {
+                        faults.push(FaultEvent::new(
+                            id,
+                            FaultKind::FrameMalformed {
+                                detail: format!(
+                                    "upload claims client {} on session {id}",
+                                    update.client_id
+                                ),
+                            },
+                        ));
+                        return (None, true);
+                    }
+                    if !active {
+                        faults.push(FaultEvent::new(
+                            id,
+                            FaultKind::FrameMalformed {
+                                detail: "upload from non-participating client".to_string(),
+                            },
+                        ));
+                        return (None, true);
+                    }
+                    return (Some(decompress_update(&update, reference)), true);
                 }
                 Ok(Message::Decline { round: r }) if r as usize == round => {
                     if active {
@@ -387,8 +460,23 @@ impl Transport for TcpTransport {
 
         // Fan the work order out to every sampled session. Both frame
         // variants are encoded once; the global model is never cloned.
-        let frame_active = encode_round_start(offer.round as u64, true, offer.global);
-        let frame_idle = encode_round_start(offer.round as u64, false, offer.global);
+        // Under a compressed downlink the global is compressed once and the
+        // reference model (what every client will actually receive, i.e. the
+        // decoded broadcast) is reconstructed once for the whole round.
+        let downlink_blob = (self.compression.downlink() != Compression::None)
+            .then(|| compress_global(self.compression, offer.global));
+        let reference = reference_global(self.compression, offer.global);
+        let reference: &[f32] = reference.as_deref().unwrap_or(offer.global);
+        let (frame_active, frame_idle) = match &downlink_blob {
+            Some(blob) => (
+                encode_round_start_compressed(offer.round as u64, true, blob),
+                encode_round_start_compressed(offer.round as u64, false, blob),
+            ),
+            None => (
+                encode_round_start(offer.round as u64, true, offer.global),
+                encode_round_start(offer.round as u64, false, offer.global),
+            ),
+        };
         let model_bytes = offer.global.len() as u64 * 4;
         let mut notified: Vec<usize> = Vec::with_capacity(offer.sampled.len());
         for &id in offer.sampled {
@@ -425,6 +513,7 @@ impl Transport for TcpTransport {
                 id,
                 offer.round,
                 active.contains(&id),
+                reference,
                 &self.cfg.wire,
                 &mut stats,
                 &mut exchange.faults,
@@ -492,6 +581,13 @@ pub struct TcpClientChannel {
     cfg: NetConfig,
     welcome_param_len: u64,
     welcome_blob: String,
+    /// Wire-compression mode negotiated in `Welcome`; the server's resolved
+    /// mode is authoritative.
+    compression: Compression,
+    /// The exact global this client received in the last round directive —
+    /// the reference its next upload's delta is encoded against. Kept only
+    /// when a compressed uplink needs it.
+    reference: Vec<f32>,
     stats: WireStats,
 }
 
@@ -523,16 +619,23 @@ impl TcpClientChannel {
             encode(&Message::Join { client_id: client_id as u64, protocol: PROTOCOL_VERSION });
         tx_raw(&mut stream, &join, 0, &mut stats)?;
         match rx_frame(&mut stream, &cfg.wire, &mut stats)? {
-            Message::Welcome { param_len, blob } => Ok(TcpClientChannel {
+            Message::Welcome { param_len, compression, blob } => Ok(TcpClientChannel {
                 stream,
                 client_id,
                 cfg,
                 welcome_param_len: param_len,
                 welcome_blob: blob,
+                compression,
+                reference: Vec::new(),
                 stats,
             }),
             _ => Err(WireError::Malformed("expected Welcome after Join")),
         }
+    }
+
+    /// The wire-compression mode negotiated in `Welcome`.
+    pub fn compression(&self) -> Compression {
+        self.compression
     }
 
     /// The global parameter count announced by the server.
@@ -568,7 +671,23 @@ impl ClientChannel for TcpClientChannel {
         let result = loop {
             match rx_frame(&mut self.stream, &self.cfg.wire, &mut self.stats) {
                 Ok(Message::RoundStart { round, participate, global }) => {
+                    if self.compression != Compression::None {
+                        // The dense broadcast *is* the reference (top-k
+                        // mode's downlink stays dense).
+                        self.reference = global.clone();
+                    }
                     break Ok(Directive::Round { round: round as usize, participate, global });
+                }
+                Ok(Message::RoundStartCompressed { round, participate, blob }) => {
+                    // The decoded broadcast is both the model to train on
+                    // and the reference for this round's delta encoding —
+                    // exactly what the server reconstructs on its side.
+                    crate::compress::decompress_blob_into(&blob, &mut self.reference);
+                    break Ok(Directive::Round {
+                        round: round as usize,
+                        participate,
+                        global: self.reference.clone(),
+                    });
                 }
                 Ok(Message::Shutdown) => break Ok(Directive::Shutdown),
                 Ok(_) => break Err(WireError::Malformed("unexpected frame while awaiting round")),
@@ -589,7 +708,12 @@ impl ClientChannel for TcpClientChannel {
     }
 
     fn upload_update(&mut self, round: usize, update: &ModelUpdate) -> Result<(), WireError> {
-        let frame = encode_upload(round as u64, update);
+        let frame = if self.compression == Compression::None {
+            encode_upload(round as u64, update)
+        } else {
+            let compressed = compress_update(self.compression, update, &self.reference);
+            encode_upload_compressed(round as u64, &compressed)
+        };
         self.send(&frame, update.wire_bytes())
     }
 

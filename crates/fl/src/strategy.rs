@@ -1,5 +1,6 @@
 //! The pluggable aggregation-strategy interface.
 
+use crate::compress::SparseUpdate;
 use crate::config::AggregationMemory;
 use crate::update::ModelUpdate;
 use fg_tensor::rng::SeededRng;
@@ -134,6 +135,30 @@ pub trait AggregationStrategy: Send {
 pub trait StreamingAggregator: Send {
     /// Fold one sanitized update into the accumulator.
     fn push(&mut self, update: &ModelUpdate);
+
+    /// Fold one sanitized **sparse** update (a top-k compressed submission's
+    /// decoded deltas against `base`, the round's reference model): the
+    /// coordinate `idx[i]` holds `base[idx[i]] + val[i]`, every other
+    /// coordinate holds `base` unchanged. Must produce bit-identical state
+    /// to [`push`](StreamingAggregator::push) of the dense reconstruction.
+    ///
+    /// The default materializes that reconstruction and pushes it — correct
+    /// for any aggregator; O(d)-fold implementations override it to fold the
+    /// (idx, val) pairs directly without a dense intermediate.
+    fn push_sparse(&mut self, update: &SparseUpdate, base: &[f32]) {
+        assert_eq!(update.raw_len, base.len(), "sparse update/base length mismatch");
+        let mut params = base.to_vec();
+        for (&i, &v) in update.idx.iter().zip(&update.val) {
+            params[i as usize] = base[i as usize] + v;
+        }
+        self.push(&ModelUpdate {
+            client_id: update.client_id,
+            params,
+            num_samples: update.num_samples,
+            decoder: update.decoder.clone(),
+            class_coverage: update.class_coverage.clone(),
+        });
+    }
 
     /// High-water mark of the aggregator's transient residency in bytes
     /// (accumulators + any out-of-order reorder buffer), for the

@@ -22,9 +22,16 @@
 //! whatever carries the frames.
 
 use crate::client::{Client, NoAttack, UpdateInterceptor};
+use crate::compress::{
+    compress_global, compress_update, decompress_blob_into, decompress_update, sparse_update,
+    CompressedUpdate, Compression, SparseUpdate,
+};
 use crate::fault::FaultEvent;
 use crate::update::ModelUpdate;
-use crate::wire::WireError;
+use crate::wire::{
+    self, encode_round_start, encode_round_start_compressed, encode_upload_compressed, Message,
+    WireConfig, WireError,
+};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -122,6 +129,29 @@ pub struct ExchangeTail {
     pub sessions: Vec<SessionEvent>,
 }
 
+/// One submission leaving a streamed exchange. Most arrive dense; a top-k
+/// compressed submission on the in-process path stays sparse all the way to
+/// the aggregation fold (the decoded deltas against the round's reference
+/// model), so no full f32 vector is materialized for it. A transport that
+/// reconstructs densely (TCP today) simply never emits `Sparse` — the fold
+/// result is bit-identical either way (see
+/// [`StreamingAggregator::push_sparse`](crate::strategy::StreamingAggregator::push_sparse)).
+#[derive(Clone, Debug, PartialEq)]
+pub enum IncomingUpdate {
+    Dense(ModelUpdate),
+    Sparse(SparseUpdate),
+}
+
+impl IncomingUpdate {
+    /// The submitting client.
+    pub fn client_id(&self) -> usize {
+        match self {
+            IncomingUpdate::Dense(u) => u.client_id,
+            IncomingUpdate::Sparse(s) => s.client_id,
+        }
+    }
+}
+
 /// Server-side transport: delivers the global model to the round's clients
 /// and collects their submissions. Implementations must return updates
 /// sorted by client id and must not reorder, drop, or synthesize
@@ -147,11 +177,11 @@ pub trait Transport: Send {
     fn exchange_round_streamed(
         &mut self,
         offer: &RoundOffer<'_>,
-        sink: &mut dyn FnMut(ModelUpdate),
+        sink: &mut dyn FnMut(IncomingUpdate),
     ) -> ExchangeTail {
         let RoundExchange { updates, faults, sessions } = self.exchange_round(offer);
         for update in updates {
-            sink(update);
+            sink(IncomingUpdate::Dense(update));
         }
         ExchangeTail { faults, sessions }
     }
@@ -179,7 +209,7 @@ impl Transport for Box<dyn Transport> {
     fn exchange_round_streamed(
         &mut self,
         offer: &RoundOffer<'_>,
-        sink: &mut dyn FnMut(ModelUpdate),
+        sink: &mut dyn FnMut(IncomingUpdate),
     ) -> ExchangeTail {
         (**self).exchange_round_streamed(offer, sink)
     }
@@ -196,19 +226,42 @@ impl Transport for Box<dyn Transport> {
 /// The in-process deployment: clients live in this process, train in
 /// parallel on the worker pool, and the attack interceptor runs right after
 /// each client's training — exactly the classic simulation loop.
+///
+/// With a wire-compression mode set, the oracle routes every model payload
+/// through the **real wire frames** — encode → [`wire::decode`] on both the
+/// downlink broadcast and each uplink submission — so a compressed
+/// in-process run exercises byte-for-byte the codec path a TCP deployment
+/// runs, and stays bit-identical to it.
 pub struct LocalTransport {
     clients: Vec<Mutex<Client>>,
     interceptor: Arc<dyn UpdateInterceptor>,
+    compression: Compression,
 }
 
 impl LocalTransport {
     pub fn new(clients: Vec<Client>, interceptor: Arc<dyn UpdateInterceptor>) -> Self {
-        LocalTransport { clients: clients.into_iter().map(Mutex::new).collect(), interceptor }
+        LocalTransport {
+            clients: clients.into_iter().map(Mutex::new).collect(),
+            interceptor,
+            compression: Compression::None,
+        }
     }
 
     /// In-process clients with no attack.
     pub fn honest(clients: Vec<Client>) -> Self {
         Self::new(clients, Arc::new(NoAttack))
+    }
+
+    /// Set the wire-compression mode. Every round's broadcast and every
+    /// submission then travel through real encode→decode wire frames.
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
+
+    /// The active wire-compression mode.
+    pub fn compression(&self) -> Compression {
+        self.compression
     }
 
     pub fn n_clients(&self) -> usize {
@@ -220,6 +273,56 @@ impl LocalTransport {
     pub fn client_mut(&mut self, id: usize) -> &mut Client {
         self.clients[id].get_mut()
     }
+
+    /// The reference model for a compressed round: the broadcast frame is
+    /// actually encoded and decoded (kind 10 when the mode compresses the
+    /// downlink, the dense kind 3 otherwise — top-k rides a dense downlink),
+    /// and what comes out is what every client trains on *and* the base its
+    /// delta is encoded against — exactly the TCP client's view. `None`
+    /// when no compression is configured (the dense path stays untouched).
+    fn wire_reference(&self, offer: &RoundOffer<'_>) -> Option<Vec<f32>> {
+        if self.compression == Compression::None {
+            return None;
+        }
+        let frame = match self.compression.downlink() {
+            Compression::None => encode_round_start(offer.round as u64, true, offer.global),
+            _ => {
+                let blob = compress_global(self.compression, offer.global);
+                encode_round_start_compressed(offer.round as u64, true, &blob)
+            }
+        };
+        let (msg, _) = wire::decode(&frame, &WireConfig::default())
+            .expect("oracle-encoded round-start frame decodes");
+        match msg {
+            Message::RoundStart { global, .. } => Some(global),
+            Message::RoundStartCompressed { blob, .. } => {
+                let mut global = Vec::new();
+                decompress_blob_into(&blob, &mut global);
+                Some(global)
+            }
+            _ => unreachable!("round-start frame decodes to a round-start message"),
+        }
+    }
+
+    /// Push one trained submission through the real uplink wire frame:
+    /// compress against `reference`, encode the kind-9 frame, decode it
+    /// back. Returns the compressed update exactly as a TCP server's
+    /// `collect_response` would hold it.
+    fn wire_roundtrip_update(
+        mode: Compression,
+        round: usize,
+        update: &ModelUpdate,
+        reference: &[f32],
+    ) -> CompressedUpdate {
+        let compressed = compress_update(mode, update, reference);
+        let frame = encode_upload_compressed(round as u64, &compressed);
+        let (msg, _) = wire::decode(&frame, &WireConfig::default())
+            .expect("oracle-encoded upload frame decodes");
+        match msg {
+            Message::UploadCompressed { update, .. } => update,
+            _ => unreachable!("upload frame decodes to an upload message"),
+        }
+    }
 }
 
 impl Transport for LocalTransport {
@@ -230,7 +333,12 @@ impl Transport for LocalTransport {
     fn exchange_round(&mut self, offer: &RoundOffer<'_>) -> RoundExchange {
         // Parallel local training + attack interception. Each client trains
         // from its own forked RNG stream, so the result is bit-identical at
-        // any thread count; the sort restores the canonical order.
+        // any thread count; the sort restores the canonical order. When a
+        // compression mode is active, clients train on the wire-decoded
+        // reference and every submission round-trips the real uplink frame.
+        let mode = self.compression;
+        let reference = self.wire_reference(offer);
+        let trained_on: &[f32] = reference.as_deref().unwrap_or(offer.global);
         let clients = &self.clients;
         let interceptor = &self.interceptor;
         let mut updates: Vec<ModelUpdate> = offer
@@ -239,9 +347,15 @@ impl Transport for LocalTransport {
             .map(|&id| {
                 let _span = fg_obs::span::span("client.train");
                 let mut client = clients[id].lock();
-                let mut update = client.train_round(offer.global, offer.round);
+                let mut update = client.train_round(trained_on, offer.round);
                 interceptor.intercept(&mut update, offer.round);
-                update
+                match &reference {
+                    Some(reference) => {
+                        let cu = Self::wire_roundtrip_update(mode, offer.round, &update, reference);
+                        decompress_update(&cu, reference)
+                    }
+                    None => update,
+                }
             })
             .collect();
         updates.sort_by_key(|u| u.client_id);
@@ -251,21 +365,35 @@ impl Transport for LocalTransport {
     fn exchange_round_streamed(
         &mut self,
         offer: &RoundOffer<'_>,
-        sink: &mut dyn FnMut(ModelUpdate),
+        sink: &mut dyn FnMut(IncomingUpdate),
     ) -> ExchangeTail {
         // Train-and-sink one client at a time, in ascending id order (the
         // canonical order the batch path's sort produces), so only a single
         // update is ever materialized — O(d) residency. The cross-client
         // fan-out is given up for that; each client's training still runs
         // its kernels on the worker pool, and every update is bit-identical
-        // to the batch path's (per-client forked RNG streams).
+        // to the batch path's (per-client forked RNG streams). A top-k
+        // submission stays sparse through the sink, preserving O(d) — the
+        // decoded (idx, val) deltas go straight to the aggregation fold.
+        let mode = self.compression;
+        let reference = self.wire_reference(offer);
+        let trained_on: &[f32] = reference.as_deref().unwrap_or(offer.global);
         let mut ids = offer.active.to_vec();
         ids.sort_unstable();
         for id in ids {
             let _span = fg_obs::span::span("client.train");
-            let mut update = self.clients[id].lock().train_round(offer.global, offer.round);
+            let mut update = self.clients[id].lock().train_round(trained_on, offer.round);
             self.interceptor.intercept(&mut update, offer.round);
-            sink(update);
+            match &reference {
+                Some(reference) => {
+                    let cu = Self::wire_roundtrip_update(mode, offer.round, &update, reference);
+                    match sparse_update(&cu) {
+                        Some(s) => sink(IncomingUpdate::Sparse(s)),
+                        None => sink(IncomingUpdate::Dense(decompress_update(&cu, reference))),
+                    }
+                }
+                None => sink(IncomingUpdate::Dense(update)),
+            }
         }
         ExchangeTail::default()
     }
@@ -371,7 +499,7 @@ mod tests {
         let batch = LocalTransport::honest(toy_clients(5)).exchange_round(&offer);
         let mut streamed = Vec::new();
         let tail = LocalTransport::honest(toy_clients(5))
-            .exchange_round_streamed(&offer, &mut |u| streamed.push(u));
+            .exchange_round_streamed(&offer, &mut |u| streamed.push(dense(u)));
         assert_eq!(batch.updates, streamed, "streamed updates diverged from batch");
         assert!(tail.faults.is_empty() && tail.sessions.is_empty());
         // The default (adapter) implementation replays the batch through the
@@ -390,9 +518,101 @@ mod tests {
         }
         let mut replayed = Vec::new();
         let tail = Replay(LocalTransport::honest(toy_clients(5)))
-            .exchange_round_streamed(&offer, &mut |u| replayed.push(u));
+            .exchange_round_streamed(&offer, &mut |u| replayed.push(dense(u)));
         assert_eq!(batch.updates, replayed, "default adapter diverged from batch");
         assert!(tail.faults.is_empty());
+    }
+
+    /// Unwrap a streamed submission that is expected to be dense.
+    fn dense(u: IncomingUpdate) -> ModelUpdate {
+        match u {
+            IncomingUpdate::Dense(u) => u,
+            IncomingUpdate::Sparse(s) => {
+                panic!("unexpected sparse submission from client {}", s.client_id)
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_exchange_round_trips_the_real_wire_frames() {
+        let global = toy_global();
+        let sampled = vec![0, 1, 2];
+        let offer = RoundOffer { round: 0, global: &global, sampled: &sampled, active: &sampled };
+        let plain = LocalTransport::honest(toy_clients(3)).exchange_round(&offer);
+        for mode in
+            [Compression::Bf16, Compression::Int8 { block: 64 }, Compression::TopK { frac: 0.25 }]
+        {
+            let mut t = LocalTransport::honest(toy_clients(3)).with_compression(mode);
+            assert_eq!(t.compression(), mode);
+            let exchange = t.exchange_round(&offer);
+            let ids: Vec<usize> = exchange.updates.iter().map(|u| u.client_id).collect();
+            assert_eq!(ids, sampled, "{}: id order", mode.name());
+            for (lossy, dense) in exchange.updates.iter().zip(&plain.updates) {
+                assert_eq!(lossy.params.len(), dense.params.len());
+                assert_eq!(lossy.num_samples, dense.num_samples);
+                assert!(lossy.params.iter().all(|x| x.is_finite()), "{}: finite", mode.name());
+                // Lossy, but close: the codec quantizes a one-round delta.
+                let drift = lossy
+                    .params
+                    .iter()
+                    .zip(&dense.params)
+                    .map(|(a, b)| (a - b).abs())
+                    .fold(0.0f32, f32::max);
+                assert!(drift < 0.05, "{}: max drift {drift} too large", mode.name());
+            }
+        }
+    }
+
+    #[test]
+    fn compressed_streamed_exchange_matches_compressed_batch_bitwise() {
+        let global = toy_global();
+        let sampled = vec![0, 1, 2, 3];
+        let offer = RoundOffer { round: 1, global: &global, sampled: &sampled, active: &sampled };
+        for mode in [Compression::Bf16, Compression::Int8 { block: 4096 }] {
+            let batch = LocalTransport::honest(toy_clients(4))
+                .with_compression(mode)
+                .exchange_round(&offer);
+            let mut streamed = Vec::new();
+            LocalTransport::honest(toy_clients(4))
+                .with_compression(mode)
+                .exchange_round_streamed(&offer, &mut |u| streamed.push(dense(u)));
+            assert_eq!(batch.updates, streamed, "{}: streamed vs batch", mode.name());
+        }
+    }
+
+    #[test]
+    fn topk_streamed_exchange_stays_sparse_and_reconstructs_bitwise() {
+        let mode = Compression::TopK { frac: 0.2 };
+        let global = toy_global();
+        let sampled = vec![0, 1, 2];
+        let offer = RoundOffer { round: 0, global: &global, sampled: &sampled, active: &sampled };
+        let batch =
+            LocalTransport::honest(toy_clients(3)).with_compression(mode).exchange_round(&offer);
+        // The streamed path must deliver every top-k submission sparse; its
+        // dense reconstruction (reference + deltas at idx) must match the
+        // batch path's decompressed update bit-for-bit.
+        let mut sparse = Vec::new();
+        LocalTransport::honest(toy_clients(3)).with_compression(mode).exchange_round_streamed(
+            &offer,
+            &mut |u| match u {
+                IncomingUpdate::Sparse(s) => sparse.push(s),
+                IncomingUpdate::Dense(u) => {
+                    panic!("top-k streamed dense for client {}", u.client_id)
+                }
+            },
+        );
+        assert_eq!(sparse.len(), batch.updates.len());
+        for (s, dense) in sparse.iter().zip(&batch.updates) {
+            assert_eq!(s.client_id, dense.client_id);
+            assert_eq!(s.raw_len, dense.params.len());
+            // Top-k rides a dense downlink, so the reference is the global.
+            let mut rebuilt = global.clone();
+            for (&i, &v) in s.idx.iter().zip(&s.val) {
+                rebuilt[i as usize] = global[i as usize] + v;
+            }
+            let same = rebuilt.iter().zip(&dense.params).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "sparse reconstruction diverged for client {}", s.client_id);
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! malformed frames surface as [`WireError`] values the transport maps onto
 //! the fault taxonomy ([`WireError::to_fault_kind`]).
 
+use crate::compress::{CompressedBlob, CompressedUpdate, Compression};
 use crate::fault::FaultKind;
 use crate::update::ModelUpdate;
 use std::io::{Read, Write};
@@ -38,7 +39,9 @@ pub const MAGIC: u32 = 0x3157_4746;
 pub const HEADER_BYTES: usize = 9;
 
 /// Protocol version sent in `Join`; the server rejects mismatches.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Version 2 added compression negotiation to `Welcome` and the
+/// `UploadCompressed`/`RoundStartCompressed` frame kinds.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Codec limits. The default frame cap (64 MiB) comfortably fits the paper's
 /// largest payload (the Table II classifier: 1,662,752 × 4 B ≈ 6.65 MB) with
@@ -63,10 +66,12 @@ pub enum Message {
     /// Client → server: session open. The server validates the protocol
     /// version and registers the session under `client_id`.
     Join { client_id: u64, protocol: u32 },
-    /// Server → client: session accepted. Carries the global parameter count
-    /// and an opaque blob (the serialized `ExperimentConfig` in the shipped
-    /// bins) so one config, defined at the server, drives every process.
-    Welcome { param_len: u64, blob: String },
+    /// Server → client: session accepted. Carries the global parameter
+    /// count, the negotiated wire-compression mode (the server's resolved
+    /// `Compression`, authoritative for the whole session), and an opaque
+    /// blob (the serialized `ExperimentConfig` in the shipped bins) so one
+    /// config, defined at the server, drives every process.
+    Welcome { param_len: u64, compression: Compression, blob: String },
     /// Server → client: one round's work order. `participate` is false when
     /// the seeded fault plan scheduled this client to drop out — the client
     /// must not train (keeping decoder caches bit-identical to the
@@ -83,6 +88,16 @@ pub enum Message {
     Leave { client_id: u64 },
     /// Server → client: the run is over; close after sending `Leave`.
     Shutdown,
+    /// Client → server: the trained submission for `round`, compressed
+    /// (delta-coded against the round's reference model; see
+    /// [`crate::compress`]). Used when the negotiated mode is not
+    /// [`Compression::None`].
+    UploadCompressed { round: u64, update: CompressedUpdate },
+    /// Server → client: one round's work order with a compressed global
+    /// broadcast. Sent only when the negotiated mode's
+    /// [`Compression::downlink`] codec is not `None`; top-k mode keeps the
+    /// dense [`Message::RoundStart`] downlink.
+    RoundStartCompressed { round: u64, participate: bool, blob: CompressedBlob },
 }
 
 impl Message {
@@ -97,6 +112,8 @@ impl Message {
             Message::Heartbeat { .. } => 6,
             Message::Leave { .. } => 7,
             Message::Shutdown => 8,
+            Message::UploadCompressed { .. } => 9,
+            Message::RoundStartCompressed { .. } => 10,
         }
     }
 
@@ -111,16 +128,24 @@ impl Message {
             Message::Heartbeat { .. } => "heartbeat",
             Message::Leave { .. } => "leave",
             Message::Shutdown => "shutdown",
+            Message::UploadCompressed { .. } => "upload_compressed",
+            Message::RoundStartCompressed { .. } => "round_start_compressed",
         }
     }
 
     /// Model-parameter payload bytes this message carries (4 bytes per f32),
     /// the quantity [`crate::comm::CommStats`] accounts. Zero for control
-    /// frames.
+    /// frames. Compressed frames report the **logical** (pre-codec) model
+    /// bytes they stand for — identical to their dense reconstruction — so
+    /// this accounting is invariant across compression modes; the actual
+    /// encoded footprint surfaces via the `fl.comm.wire_bytes` counter and
+    /// the `WireStats` header/payload split.
     pub fn model_bytes(&self) -> u64 {
         match self {
             Message::RoundStart { global, .. } => global.len() as u64 * 4,
             Message::Upload { update, .. } => update.wire_bytes(),
+            Message::UploadCompressed { update, .. } => update.model_bytes(),
+            Message::RoundStartCompressed { blob, .. } => blob.raw_bytes(),
             _ => 0,
         }
     }
@@ -219,6 +244,67 @@ fn put_str(buf: &mut Vec<u8>, s: &str) {
     buf.extend_from_slice(s.as_bytes());
 }
 
+/// Compression travels as `[tag u8][aux u64]`: tag 0 = none, 1 = bf16,
+/// 2 = int8 (aux = block size), 3 = top-k (aux = `f64::to_bits(frac)`).
+fn put_compression(buf: &mut Vec<u8>, c: Compression) {
+    let (tag, aux): (u8, u64) = match c {
+        Compression::None => (0, 0),
+        Compression::Bf16 => (1, 0),
+        Compression::Int8 { block } => (2, block as u64),
+        Compression::TopK { frac } => (3, frac.to_bits()),
+    };
+    buf.push(tag);
+    put_u64(buf, aux);
+}
+
+/// Blob layout carries no inner length prefixes: every field's byte count
+/// derives from `raw_len` (and `block`/`k`), so a decoder can length-check
+/// the whole payload before building anything.
+///
+/// * tag 1 (bf16): `raw_len u32`, `raw_len × u16`.
+/// * tag 2 (int8): `raw_len u32`, `block u32`, `ceil(raw_len/block) × f32`
+///   scales, `raw_len × i8`.
+/// * tag 3 (top-k): `raw_len u32`, `k u32`, presence bitmap of
+///   `ceil(raw_len/8)` bytes (bit `i & 7` of byte `i >> 3` set ⇔ index `i`
+///   selected; pad bits must be zero), `k × u16` bf16 values in ascending
+///   index order.
+fn put_blob(buf: &mut Vec<u8>, blob: &CompressedBlob) {
+    match blob {
+        CompressedBlob::Bf16 { raw_len, data } => {
+            buf.push(1);
+            put_u32(buf, *raw_len);
+            buf.reserve(data.len() * 2);
+            for h in data {
+                buf.extend_from_slice(&h.to_le_bytes());
+            }
+        }
+        CompressedBlob::Int8 { raw_len, block, scales, q } => {
+            buf.push(2);
+            put_u32(buf, *raw_len);
+            put_u32(buf, *block);
+            buf.reserve(scales.len() * 4 + q.len());
+            for s in scales {
+                buf.extend_from_slice(&s.to_le_bytes());
+            }
+            buf.extend(q.iter().map(|&b| b as u8));
+        }
+        CompressedBlob::TopK { raw_len, idx, val } => {
+            buf.push(3);
+            put_u32(buf, *raw_len);
+            put_u32(buf, val.len() as u32);
+            let mut bitmap = vec![0u8; (*raw_len as usize).div_ceil(8)];
+            for &i in idx {
+                bitmap[(i >> 3) as usize] |= 1 << (i & 7);
+            }
+            buf.extend_from_slice(&bitmap);
+            buf.reserve(val.len() * 2);
+            for v in val {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+    }
+}
+
 fn encode_update(buf: &mut Vec<u8>, update: &ModelUpdate) {
     put_u64(buf, update.client_id as u64);
     put_u64(buf, update.num_samples as u64);
@@ -258,6 +344,12 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             return encode_round_start(*round, *participate, global);
         }
         Message::Upload { round, update } => return encode_upload(*round, update),
+        Message::UploadCompressed { round, update } => {
+            return encode_upload_compressed(*round, update);
+        }
+        Message::RoundStartCompressed { round, participate, blob } => {
+            return encode_round_start_compressed(*round, *participate, blob);
+        }
         _ => {}
     }
     let mut payload = Vec::new();
@@ -266,8 +358,9 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             put_u64(&mut payload, *client_id);
             put_u32(&mut payload, *protocol);
         }
-        Message::Welcome { param_len, blob } => {
+        Message::Welcome { param_len, compression, blob } => {
             put_u64(&mut payload, *param_len);
+            put_compression(&mut payload, *compression);
             put_str(&mut payload, blob);
         }
         Message::Decline { round } => put_u64(&mut payload, *round),
@@ -275,7 +368,10 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             put_u64(&mut payload, *client_id)
         }
         Message::Shutdown => {}
-        Message::RoundStart { .. } | Message::Upload { .. } => unreachable!("handled above"),
+        Message::RoundStart { .. }
+        | Message::Upload { .. }
+        | Message::UploadCompressed { .. }
+        | Message::RoundStartCompressed { .. } => unreachable!("handled above"),
     }
     frame_of(msg.kind(), payload)
 }
@@ -300,6 +396,50 @@ pub fn encode_upload(round: u64, update: &ModelUpdate) -> Vec<u8> {
     put_u64(&mut payload, round);
     encode_update(&mut payload, update);
     frame_of(4, payload)
+}
+
+/// Encode a `RoundStartCompressed` frame from a borrowed blob (the server
+/// compresses the global once per round and fans the same blob out to `m`
+/// sessions). Byte-identical to
+/// [`encode`]`(&Message::RoundStartCompressed { .. })`.
+pub fn encode_round_start_compressed(
+    round: u64,
+    participate: bool,
+    blob: &CompressedBlob,
+) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + 1 + blob.encoded_bytes() as usize);
+    put_u64(&mut payload, round);
+    payload.push(u8::from(participate));
+    put_blob(&mut payload, blob);
+    frame_of(10, payload)
+}
+
+/// Encode an `UploadCompressed` frame from a borrowed update.
+/// Byte-identical to [`encode`]`(&Message::UploadCompressed { .. })`.
+pub fn encode_upload_compressed(round: u64, update: &CompressedUpdate) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + 24 + update.encoded_model_bytes() as usize);
+    put_u64(&mut payload, round);
+    put_u64(&mut payload, update.client_id as u64);
+    put_u64(&mut payload, update.num_samples as u64);
+    put_blob(&mut payload, &update.params);
+    match &update.decoder {
+        Some(decoder) => {
+            payload.push(1);
+            put_blob(&mut payload, decoder);
+        }
+        None => payload.push(0),
+    }
+    match &update.class_coverage {
+        Some(coverage) => {
+            payload.push(1);
+            put_u64(&mut payload, coverage.len() as u64);
+            for c in coverage {
+                put_u32(&mut payload, *c);
+            }
+        }
+        None => payload.push(0),
+    }
+    frame_of(9, payload)
 }
 
 // ---------------------------------------------------------------------------
@@ -379,6 +519,112 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn read_compression(r: &mut Reader<'_>) -> Result<Compression, WireError> {
+    let tag = r.u8()?;
+    let aux = r.u64()?;
+    match tag {
+        0 => Ok(Compression::None),
+        1 => Ok(Compression::Bf16),
+        2 => {
+            if aux == 0 || aux > u32::MAX as u64 {
+                return Err(WireError::Malformed("int8 block size out of range"));
+            }
+            Ok(Compression::Int8 { block: aux as usize })
+        }
+        3 => {
+            let frac = f64::from_bits(aux);
+            if !frac.is_finite() || frac <= 0.0 || frac > 1.0 {
+                return Err(WireError::Malformed("top-k fraction out of range"));
+            }
+            Ok(Compression::TopK { frac })
+        }
+        _ => Err(WireError::Malformed("unknown compression tag")),
+    }
+}
+
+/// Decode one blob (layout documented on `put_blob`). Every field's byte
+/// count derives from the leading `raw_len`/`block`/`k` fields, and each is
+/// `take`n from the bounded payload before any `Vec` is built — allocation
+/// is capped by bytes actually received, never by a declared count.
+fn read_blob(r: &mut Reader<'_>) -> Result<CompressedBlob, WireError> {
+    match r.u8()? {
+        1 => {
+            let raw_len = r.u32()?;
+            let bytes = r.take(raw_len as usize * 2)?;
+            let data =
+                bytes.chunks_exact(2).map(|c| u16::from_le_bytes(c.try_into().unwrap())).collect();
+            Ok(CompressedBlob::Bf16 { raw_len, data })
+        }
+        2 => {
+            let raw_len = r.u32()?;
+            let block = r.u32()?;
+            if block == 0 {
+                return Err(WireError::Malformed("int8 block size out of range"));
+            }
+            let n_blocks = (raw_len as usize).div_ceil(block as usize);
+            let scale_bytes = r.take(n_blocks * 4)?;
+            let q_bytes = r.take(raw_len as usize)?;
+            let scales =
+                scale_bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().unwrap()));
+            Ok(CompressedBlob::Int8 {
+                raw_len,
+                block,
+                scales: scales.collect(),
+                q: q_bytes.iter().map(|&b| b as i8).collect(),
+            })
+        }
+        3 => {
+            let raw_len = r.u32()?;
+            let k = r.u32()?;
+            if k > raw_len {
+                return Err(WireError::Malformed("top-k count exceeds raw length"));
+            }
+            let bitmap = r.take((raw_len as usize).div_ceil(8))?;
+            let val_bytes = r.take(k as usize * 2)?;
+            let ones: u32 = bitmap.iter().map(|b| b.count_ones()).sum();
+            if ones != k {
+                return Err(WireError::Malformed("top-k bitmap popcount mismatch"));
+            }
+            if raw_len % 8 != 0 {
+                let pad_mask = !0u8 << (raw_len % 8);
+                if bitmap.last().is_some_and(|b| b & pad_mask != 0) {
+                    return Err(WireError::Malformed("top-k bitmap pad bits set"));
+                }
+            }
+            let mut idx = Vec::with_capacity(k as usize);
+            for (byte_i, &b) in bitmap.iter().enumerate() {
+                let mut bits = b;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros();
+                    idx.push(byte_i as u32 * 8 + bit);
+                    bits &= bits - 1;
+                }
+            }
+            let val = val_bytes.chunks_exact(2).map(|c| u16::from_le_bytes(c.try_into().unwrap()));
+            Ok(CompressedBlob::TopK { raw_len, idx, val: val.collect() })
+        }
+        _ => Err(WireError::Malformed("unknown blob tag")),
+    }
+}
+
+fn decode_compressed_update(r: &mut Reader<'_>) -> Result<CompressedUpdate, WireError> {
+    let client_id = r.u64()? as usize;
+    let num_samples = r.u64()? as usize;
+    let params = read_blob(r)?;
+    let decoder = if r.flag()? { Some(read_blob(r)?) } else { None };
+    let class_coverage = if r.flag()? {
+        let len = r.seq_len(4)?;
+        let mut coverage = Vec::with_capacity(len);
+        for _ in 0..len {
+            coverage.push(r.u32()?);
+        }
+        Some(coverage)
+    } else {
+        None
+    };
+    Ok(CompressedUpdate { client_id, num_samples, params, decoder, class_coverage })
+}
+
 fn decode_update(r: &mut Reader<'_>) -> Result<ModelUpdate, WireError> {
     let client_id = r.u64()? as usize;
     let num_samples = r.u64()? as usize;
@@ -401,13 +647,25 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
     let mut r = Reader::new(payload);
     let msg = match kind {
         1 => Message::Join { client_id: r.u64()?, protocol: r.u32()? },
-        2 => Message::Welcome { param_len: r.u64()?, blob: r.string()? },
+        2 => Message::Welcome {
+            param_len: r.u64()?,
+            compression: read_compression(&mut r)?,
+            blob: r.string()?,
+        },
         3 => Message::RoundStart { round: r.u64()?, participate: r.flag()?, global: r.f32s()? },
         4 => Message::Upload { round: r.u64()?, update: decode_update(&mut r)? },
         5 => Message::Decline { round: r.u64()? },
         6 => Message::Heartbeat { client_id: r.u64()? },
         7 => Message::Leave { client_id: r.u64()? },
         8 => Message::Shutdown,
+        9 => {
+            Message::UploadCompressed { round: r.u64()?, update: decode_compressed_update(&mut r)? }
+        }
+        10 => Message::RoundStartCompressed {
+            round: r.u64()?,
+            participate: r.flag()?,
+            blob: read_blob(&mut r)?,
+        },
         other => return Err(WireError::UnknownKind(other)),
     };
     r.finish()?;
@@ -490,10 +748,48 @@ mod tests {
         }
     }
 
-    fn all_messages() -> Vec<Message> {
+    fn sample_blobs() -> Vec<CompressedBlob> {
+        use crate::compress::compress_vec;
+        let data: Vec<f32> = (0..300).map(|i| ((i * 37) % 101) as f32 * 0.013 - 0.65).collect();
         vec![
+            compress_vec(Compression::Bf16, &data),
+            compress_vec(Compression::Int8 { block: 64 }, &data),
+            compress_vec(Compression::TopK { frac: 0.1 }, &data),
+            // Edge: raw_len a multiple of 8 (no bitmap pad bits).
+            compress_vec(Compression::TopK { frac: 0.5 }, &data[..16]),
+        ]
+    }
+
+    fn sample_compressed_update(decoder: bool) -> CompressedUpdate {
+        use crate::compress::compress_vec;
+        let params = compress_vec(Compression::TopK { frac: 0.2 }, &[0.0, 3.5, 0.0, -1.25, 0.0]);
+        CompressedUpdate {
+            client_id: 7,
+            num_samples: 120,
+            params,
+            decoder: decoder.then(|| compress_vec(Compression::Bf16, &[0.5, -0.5, 3.75])),
+            class_coverage: decoder.then(|| vec![3, 0, 9]),
+        }
+    }
+
+    fn all_messages() -> Vec<Message> {
+        let mut msgs = vec![
             Message::Join { client_id: 3, protocol: PROTOCOL_VERSION },
-            Message::Welcome { param_len: 42, blob: "{\"preset\":\"smoke\"}".to_string() },
+            Message::Welcome {
+                param_len: 42,
+                compression: Compression::None,
+                blob: "{\"preset\":\"smoke\"}".to_string(),
+            },
+            Message::Welcome {
+                param_len: 42,
+                compression: Compression::Int8 { block: 65536 },
+                blob: String::new(),
+            },
+            Message::Welcome {
+                param_len: 42,
+                compression: Compression::TopK { frac: 0.1 },
+                blob: String::new(),
+            },
             Message::RoundStart { round: 5, participate: true, global: vec![0.25, -1.0, 7.5] },
             Message::RoundStart { round: 6, participate: false, global: Vec::new() },
             Message::Upload { round: 5, update: sample_update(true) },
@@ -502,7 +798,17 @@ mod tests {
             Message::Heartbeat { client_id: 3 },
             Message::Leave { client_id: 3 },
             Message::Shutdown,
-        ]
+            Message::UploadCompressed { round: 5, update: sample_compressed_update(true) },
+            Message::UploadCompressed { round: 5, update: sample_compressed_update(false) },
+        ];
+        for (i, blob) in sample_blobs().into_iter().enumerate() {
+            msgs.push(Message::RoundStartCompressed {
+                round: 11 + i as u64,
+                participate: i % 2 == 0,
+                blob,
+            });
+        }
+        msgs
     }
 
     #[test]
@@ -528,6 +834,17 @@ mod tests {
             encode_round_start(9, false, &global),
             encode(&Message::RoundStart { round: 9, participate: false, global })
         );
+        let cu = sample_compressed_update(true);
+        assert_eq!(
+            encode_upload_compressed(3, &cu),
+            encode(&Message::UploadCompressed { round: 3, update: cu.clone() })
+        );
+        for blob in sample_blobs() {
+            assert_eq!(
+                encode_round_start_compressed(9, true, &blob),
+                encode(&Message::RoundStartCompressed { round: 9, participate: true, blob })
+            );
+        }
     }
 
     #[test]
@@ -563,6 +880,117 @@ mod tests {
         // Control frames carry no model payload.
         assert_eq!(Message::Heartbeat { client_id: 0 }.model_bytes(), 0);
         assert_eq!(Message::Shutdown.model_bytes(), 0);
+        // Compressed frames report the LOGICAL model bytes they stand for —
+        // identical to their dense reconstruction — keeping CommStats
+        // accounting invariant across compression modes.
+        let cu = sample_compressed_update(true);
+        let msg = Message::UploadCompressed { round: 1, update: cu.clone() };
+        assert_eq!(msg.model_bytes(), (5 + 3) * 4);
+        assert_eq!(msg.model_bytes(), cu.model_bytes());
+        let blob = crate::compress::compress_vec(Compression::Bf16, &[0.0; 11]);
+        let msg = Message::RoundStartCompressed { round: 0, participate: true, blob };
+        assert_eq!(msg.model_bytes(), 44);
+    }
+
+    #[test]
+    fn compressed_frames_are_smaller_than_their_logical_bytes() {
+        // The whole point: the encoded frame (header + ids + blob) undercuts
+        // the 4 B/f32 logical payload it stands for once vectors are
+        // non-trivial.
+        let data: Vec<f32> = (0..100_000).map(|i| (i as f32).sin()).collect();
+        for mode in
+            [Compression::Bf16, Compression::Int8 { block: 65536 }, Compression::TopK { frac: 0.1 }]
+        {
+            let blob = crate::compress::compress_vec(mode, &data);
+            let frame = encode_round_start_compressed(0, true, &blob);
+            let logical = data.len() as u64 * 4;
+            assert!(
+                (frame.len() as u64) < logical / 19 * 10,
+                "{:?}: frame {} vs logical {}",
+                mode,
+                frame.len(),
+                logical
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_compressed_payloads_error_cleanly() {
+        let cfg = WireConfig::default();
+        let blob = crate::compress::compress_vec(Compression::TopK { frac: 0.5 }, &[1.0, 0.0, 3.0]);
+        let good = encode_round_start_compressed(0, true, &blob);
+        // Payload layout: round u64, participate u8, then the blob.
+        let payload_at = |off: usize| HEADER_BYTES + 8 + 1 + off;
+        let bitmap_pos = payload_at(1 + 4 + 4);
+
+        // Keep popcount == k but set a pad bit (raw_len = 3, so bits 3..8 of
+        // byte 0 are pad): bits {0, 6} instead of the selected {0, 2}.
+        let mut frame = good.clone();
+        frame[bitmap_pos] = 0b0100_0001;
+        assert!(matches!(decode(&frame, &cfg), Err(WireError::Malformed(m)) if m.contains("pad")));
+
+        // Clear a selected bit: popcount no longer matches k.
+        let mut frame = good.clone();
+        frame[bitmap_pos] &= !1;
+        assert!(
+            matches!(decode(&frame, &cfg), Err(WireError::Malformed(m)) if m.contains("popcount"))
+        );
+
+        // k > raw_len.
+        let mut frame = good.clone();
+        let k_pos = payload_at(1 + 4);
+        frame[k_pos..k_pos + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(
+            matches!(decode(&frame, &cfg), Err(WireError::Malformed(m)) if m.contains("exceeds"))
+        );
+
+        // Unknown blob tag.
+        let mut frame = good.clone();
+        frame[payload_at(0)] = 77;
+        assert_eq!(decode(&frame, &cfg), Err(WireError::Malformed("unknown blob tag")));
+
+        // Int8 blob with block = 0.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 0);
+        payload.push(1);
+        payload.push(2); // int8 tag
+        put_u32(&mut payload, 8); // raw_len
+        put_u32(&mut payload, 0); // block: invalid
+        let frame = frame_of(10, payload);
+        assert_eq!(decode(&frame, &cfg), Err(WireError::Malformed("int8 block size out of range")));
+    }
+
+    #[test]
+    fn welcome_compression_field_is_validated() {
+        let cfg = WireConfig::default();
+        let base = Message::Welcome {
+            param_len: 7,
+            compression: Compression::TopK { frac: 0.25 },
+            blob: String::new(),
+        };
+        let good = encode(&base);
+        let tag_pos = HEADER_BYTES + 8;
+
+        let mut frame = good.clone();
+        frame[tag_pos] = 9;
+        assert_eq!(decode(&frame, &cfg), Err(WireError::Malformed("unknown compression tag")));
+
+        // top-k fraction outside (0, 1].
+        for bad in [0.0f64, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let mut frame = good.clone();
+            frame[tag_pos + 1..tag_pos + 9].copy_from_slice(&bad.to_bits().to_le_bytes());
+            assert_eq!(
+                decode(&frame, &cfg),
+                Err(WireError::Malformed("top-k fraction out of range")),
+                "frac {bad}"
+            );
+        }
+
+        // int8 with a zero block.
+        let mut frame = good.clone();
+        frame[tag_pos] = 2;
+        frame[tag_pos + 1..tag_pos + 9].copy_from_slice(&0u64.to_le_bytes());
+        assert_eq!(decode(&frame, &cfg), Err(WireError::Malformed("int8 block size out of range")));
     }
 
     #[test]

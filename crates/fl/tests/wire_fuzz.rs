@@ -3,8 +3,9 @@
 //! byte strings, truncations and mutations — and `encode`/`decode` must be
 //! an exact round trip, bit-preserving for every f32 payload.
 
+use fg_fl::compress::compress_vec;
 use fg_fl::wire::{decode, encode, HEADER_BYTES, MAGIC};
-use fg_fl::{Message, ModelUpdate, WireConfig, WireError};
+use fg_fl::{CompressedUpdate, Compression, Message, ModelUpdate, WireConfig, WireError};
 use proptest::prelude::*;
 
 fn f32s(bits: &[u32]) -> Vec<f32> {
@@ -12,12 +13,32 @@ fn f32s(bits: &[u32]) -> Vec<f32> {
     bits.iter().map(|&b| f32::from_bits(b)).collect()
 }
 
-/// Build one of the eight message kinds from raw fuzz inputs (the shimmed
+/// Derive a lossy codec from fuzz inputs (compressed frames carry exactly
+/// one of the three blob layouts; `None` never reaches a blob).
+fn fuzz_codec(b: u64) -> Compression {
+    match b % 3 {
+        0 => Compression::Bf16,
+        1 => Compression::Int8 { block: (b % 1000) as usize + 1 },
+        _ => Compression::TopK { frac: ((b % 99) as f64 + 1.0) / 100.0 },
+    }
+}
+
+/// Build one of the ten message kinds from raw fuzz inputs (the shimmed
 /// proptest has no `prop_oneof`, so the selector is an explicit argument).
+/// Compressed payloads go through the canonical [`compress_vec`] encoder,
+/// so every generated blob is internally consistent (bitmap popcount,
+/// block counts) while its f32 source still ranges over NaN/Inf/denormals.
 fn build_message(sel: u64, a: u64, b: u64, bits: &[u32], cov: &[u32]) -> Message {
-    match sel % 8 {
+    match sel % 10 {
         0 => Message::Join { client_id: a, protocol: b as u32 },
-        1 => Message::Welcome { param_len: a, blob: format!("cfg-{b:016x}") },
+        1 => Message::Welcome {
+            param_len: a,
+            compression: match b % 4 {
+                0 => Compression::None,
+                _ => fuzz_codec(b),
+            },
+            blob: format!("cfg-{b:016x}"),
+        },
         2 => Message::RoundStart { round: a, participate: b.is_multiple_of(2), global: f32s(bits) },
         3 => Message::Upload {
             round: a,
@@ -34,7 +55,29 @@ fn build_message(sel: u64, a: u64, b: u64, bits: &[u32], cov: &[u32]) -> Message
         4 => Message::Decline { round: a },
         5 => Message::Heartbeat { client_id: a },
         6 => Message::Leave { client_id: a },
-        _ => Message::Shutdown,
+        7 => Message::Shutdown,
+        8 => {
+            let codec = fuzz_codec(b);
+            Message::UploadCompressed {
+                round: a,
+                update: CompressedUpdate {
+                    client_id: (a % 1000) as usize,
+                    num_samples: (b % 10_000) as usize + 1,
+                    params: compress_vec(codec, &f32s(bits)),
+                    decoder: b.is_multiple_of(3).then(|| {
+                        let data: Vec<f32> =
+                            cov.iter().map(|&x| f32::from_bits(x.rotate_left(7))).collect();
+                        compress_vec(codec.decoder_codec(), &data)
+                    }),
+                    class_coverage: b.is_multiple_of(5).then(|| cov.to_vec()),
+                },
+            }
+        }
+        _ => Message::RoundStartCompressed {
+            round: a,
+            participate: b.is_multiple_of(2),
+            blob: compress_vec(fuzz_codec(b), &f32s(bits)),
+        },
     }
 }
 
@@ -57,7 +100,7 @@ proptest! {
     /// NaNs included.
     #[test]
     fn encode_decode_round_trips_bitwise(
-        sel in 0u64..8,
+        sel in 0u64..10,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         bits in collection::vec(0u32..u32::MAX, 0..64),
@@ -79,7 +122,7 @@ proptest! {
     /// as `Truncated`, never a panic, never a bogus success.
     #[test]
     fn truncated_prefixes_never_decode(
-        sel in 0u64..8,
+        sel in 0u64..10,
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         bits in collection::vec(0u32..u32::MAX, 0..64),
@@ -102,7 +145,7 @@ proptest! {
     /// but it must stay total and in-bounds.)
     #[test]
     fn mutated_frames_never_panic(
-        sel in 0u64..8,
+        sel in 0u64..10,
         a in 0u64..u64::MAX,
         bits in collection::vec(0u32..u32::MAX, 0..48),
         pos_seed in 0u64..u64::MAX,

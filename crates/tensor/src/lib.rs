@@ -31,6 +31,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod codec;
 pub mod conv;
 pub mod kernels;
 pub mod pool;

@@ -1,20 +1,34 @@
 #!/bin/bash
 # Lint gate + regeneration of every table/figure of the paper at the fast
 # preset. Telemetry trails land under results/telemetry/ (one JSONL per run).
+# Each stage prints a "[suite] stage <name>: <N>s" wall-clock line so
+# runtime regressions are visible across the (now ten) stages.
 set -x
 cd /root/repo
 
-# Lint stage: formatting and clippy must be clean before results count.
+STAGE_T0=$(date +%s)
+stage_done() {
+    local now
+    now=$(date +%s)
+    echo "[suite] stage $1: $((now - STAGE_T0))s"
+    STAGE_T0=$now
+}
+
+# Lint stage: formatting and clippy (workspace-wide, all targets — the
+# codec module and bench bins included) must be clean before results count.
 cargo fmt --check || exit 1
 cargo clippy --workspace --all-targets -- -D warnings || exit 1
+stage_done lint
 
 # Chaos stage: deterministic fault-replay + sanitizer property suites. Seeds
 # are fixed inside the tests, so failures here are reproducible verbatim.
 cargo test --release -q -p fedguard --test chaos --test props || exit 1
+stage_done chaos
 
 # Schedule-invariance stage: same federation at 1 vs 4 threads must be
 # bit-identical (the rayon shim's determinism contract).
 cargo test --release -q -p fedguard --test schedule_invariance || exit 1
+stage_done schedule_invariance
 
 B=target/release
 
@@ -23,6 +37,7 @@ B=target/release
 # single core cannot speed up) for later PRs to regress against.
 cargo build --release -p fg-bench --bin bench_parallel || exit 1
 $B/bench_parallel > results/bench_parallel.json 2> results/bench_parallel.log || exit 1
+stage_done bench_parallel
 
 # GEMM stage: blocked, panel-packed kernel vs the old naive one over the
 # MNIST-CNN / server-scoring shapes, 1 vs N threads, with a bitwise
@@ -32,6 +47,7 @@ $B/bench_parallel > results/bench_parallel.json 2> results/bench_parallel.log ||
 cargo build --release -p fg-bench --bin bench_gemm || exit 1
 $B/bench_gemm > results/bench_gemm.json 2> results/bench_gemm.log || exit 1
 test -s results/bench_gemm.log || exit 1
+stage_done gemm
 
 # Scoring stage: the batched audit scorer. Property suite + warm-path
 # allocation gate first, then bench_scoring times batched vs sequential
@@ -44,6 +60,7 @@ $B/bench_scoring > results/bench_scoring.json 2> results/bench_scoring.log || ex
 test -s results/bench_scoring.log || exit 1
 grep -q '"physical_cores"' results/bench_scoring.json || exit 1
 grep -q '"bitwise_identical": true' results/bench_scoring.json || exit 1
+stage_done scoring
 
 # Aggregation stage: the O(d) streaming path vs the O(m·d) batch oracle.
 # The streaming-equivalence suite pins every streamable aggregator to its
@@ -59,6 +76,23 @@ grep -q '"physical_cores"' results/bench_aggregation.json || exit 1
 grep -q '"bitwise_identical": false' results/bench_aggregation.json && exit 1
 grep -q '"bitwise_identical": true' results/bench_aggregation.json || exit 1
 grep -q '"warm_workspace_allocs": 0' results/bench_aggregation.json || exit 1
+stage_done aggregation
+
+# Compression stage: the wire codecs (bf16 / int8 / top-k) on the m=8
+# Table-II-CNN cohort (d ≈ 1.66M). bench_compression hard-asserts the
+# wire-byte reduction bars (int8 ≥3.5×, bf16 ≥1.9×, top-k(10%) ≥8×), the
+# mode-invariant logical comm ledger vs the fg-obs byte counters, frame
+# round-trips, and a bit-identical dequantized fold across arrival orders,
+# thread counts and the batch oracle. Emits the outcome/objective/metrics
+# result.json schema from ROADMAP item 4.
+cargo build --release -p fg-bench --bin bench_compression || exit 1
+$B/bench_compression > results/bench_compression.json 2> results/bench_compression.log || exit 1
+test -s results/bench_compression.log || exit 1
+grep -q '"outcome": "success"' results/bench_compression.json || exit 1
+grep -q '"fold_bitwise_identical": false' results/bench_compression.json && exit 1
+grep -q '"fold_bitwise_identical": true' results/bench_compression.json || exit 1
+grep -q '"wire_matches_comm": true' results/bench_compression.json || exit 1
+stage_done compression
 
 # Trace stage: (a) span totals must agree with StageTimings on a traced
 # 2-round FedGuard run, and stolen-job spans must nest under their logical
@@ -73,11 +107,16 @@ FG_TRACE=1 $B/trace_demo --threads 4 --rounds 2 --seed 42 \
     > results/trace/trace_demo.out 2> results/trace/trace_demo.log || exit 1
 test -s results/trace/fedguard_2round.json || exit 1
 grep -q 'round.local_training' results/trace/fedguard_2round_collapsed.txt || exit 1
+stage_done trace
+
 # Net stage: the networked deployment mode. fed_server + N fed_client as
 # separate processes over loopback TCP, running a seeded 2-round FedGuard
 # cell; --check-oracle replays the identical config in-process and the
 # server exits non-zero unless the two deployments are bit-identical and
 # the wire's model-parameter bytes match the comm.rs accounting exactly.
+# The compressed variant reruns the cell under the int8 codec: same
+# bit-identity bar (the oracle routes payloads through the same frames),
+# plus the server's wire-payload-undercuts-ledger assertion.
 cargo test --release -q -p fedguard --test net_equivalence || exit 1
 cargo build --release -p fg-bench --bin fed_server --bin fed_client || exit 1
 NET_PORT=7963
@@ -93,6 +132,21 @@ wait $NET_SERVER || exit 1
 wait
 grep -q '"equivalent": true' results/bench_net.json || exit 1
 grep -q '"wire_matches_comm": true' results/bench_net.json || exit 1
+NET_PORT=7964
+$B/fed_server --bind 127.0.0.1:$NET_PORT --preset smoke --strategy fedguard \
+    --attack sign-flipping --seed 42 --rounds 2 --check-oracle --compress int8 \
+    --out results/bench_net_int8.json 2> results/bench_net_int8.log &
+NET_SERVER=$!
+sleep 1
+for i in $(seq 0 9); do
+    $B/fed_client --connect 127.0.0.1:$NET_PORT --id $i 2>> results/bench_net_int8.log &
+done
+wait $NET_SERVER || exit 1
+wait
+grep -q '"equivalent": true' results/bench_net_int8.json || exit 1
+grep -q '"wire_matches_comm": true' results/bench_net_int8.json || exit 1
+grep -q '"wire_payload_smaller_than_logical": true' results/bench_net_int8.json || exit 1
+stage_done net
 
 $B/fig4 --preset fast --seed 42 > results/fig4.csv 2> results/fig4.log
 $B/table4 --preset fast --seed 42 > results/table4.md 2> results/table4.log
@@ -102,4 +156,5 @@ $B/ablation_budget --preset fast --seed 42 > results/ablation_budget.md 2> resul
 $B/ablation_inner --preset fast --seed 42 > results/ablation_inner.md 2> results/ablation_inner.log
 $B/ablation_heterogeneity --preset fast --seed 42 > results/ablation_heterogeneity.md 2> results/ablation_heterogeneity.log
 $B/ablation_faults --preset fast --seed 42 > results/ablation_faults.md 2> results/ablation_faults.log
+stage_done figures
 echo ALL_RESULTS_DONE

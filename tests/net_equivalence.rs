@@ -13,6 +13,7 @@ use fedguard::experiment::{
     build_client, run_experiment_full, run_served_experiment, AttackScenario, ExperimentConfig,
     Preset, RunArtifacts, StrategyKind,
 };
+use fedguard::synthesis::SynthesisBudget;
 use fg_fl::{
     run_federated_client, ClientChannel, ClientRunReport, Directive, NetConfig, TcpClientChannel,
     TcpTransport, TransportKind, WireStats,
@@ -39,7 +40,8 @@ fn bind_for(cfg: &ExperimentConfig) -> (TcpTransport, SocketAddr) {
         Classifier::new(&cfg.fed.classifier, &mut SeededRng::new(0)).get_params().len() as u64;
     let transport =
         TcpTransport::bind("127.0.0.1:0", cfg.fed.n_clients, param_len, blob, net_cfg())
-            .expect("bind loopback transport");
+            .expect("bind loopback transport")
+            .with_compression(cfg.compression.resolved());
     let addr = transport.local_addr().expect("ephemeral address");
     (transport, addr)
 }
@@ -271,6 +273,84 @@ fn tcp_streaming_aggregation_is_bit_identical_to_batch_oracle() {
         let w = wire.iter().find(|w| w.round == a.round).expect("wire stats per round");
         assert_eq!(w.model_bytes_rx, b.comm.upload_bytes, "round {}", a.round);
         assert_eq!(w.model_bytes_tx, b.comm.download_bytes, "round {}", a.round);
+    }
+}
+
+/// Wire-compression gates (DESIGN.md §14). The uncompressed default is
+/// covered by every other test in this file — `Compression::None` keeps the
+/// dense frames and stays bit-identical to the pre-compression protocol.
+/// Each lossy codec must:
+/// * cost at most half a percentage point of **converged** accuracy against
+///   the uncompressed oracle on a seeded FedGuard run under attack (drift is
+///   measured on the mean of the final two rounds once the trajectory has
+///   saturated — per-round equality is not a meaningful gate, because the
+///   audit's survivor *selection* is a threshold cut: a sub-codec-error
+///   score perturbation can legitimately swap one borderline client and
+///   move a single early round by many points before both runs converge to
+///   the same place),
+/// * be bit-identical across worker-pool sizes (1 vs 4 threads), and
+/// * be bit-identical between the in-process deployment and loopback TCP —
+///   the in-process oracle routes compressed payloads through the same
+///   encode→decode wire frames the TCP deployment uses.
+///
+/// The smoke preset's 200-sample test split quantizes accuracy in 0.5pp
+/// steps, so the gate run widens the eval split to 1 000 samples (0.1pp
+/// granularity) and the audit budget to 600 draws to keep both measurements
+/// finer than the bound being asserted.
+#[test]
+fn compressed_fedguard_runs_drift_at_most_half_a_point_and_match_across_deployments() {
+    let mut cfg = ExperimentConfig::preset(
+        Preset::Smoke,
+        StrategyKind::FedGuard,
+        AttackScenario::SignFlip { fraction: 0.4 },
+        42,
+    );
+    cfg.fed.rounds = 8;
+    cfg.per_class_test = 100;
+    cfg.budget = SynthesisBudget::Total(600);
+    let baseline = run_experiment_full(&cfg);
+    let converged = |r: &RunArtifacts| {
+        let acc = r.result.accuracy_series();
+        (acc[acc.len() - 2] + acc[acc.len() - 1]) / 2.0
+    };
+
+    for mode in [
+        fg_fl::Compression::Bf16,
+        fg_fl::Compression::Int8 { block: fg_fl::compress::DEFAULT_INT8_BLOCK },
+        fg_fl::Compression::TopK { frac: fg_fl::compress::DEFAULT_TOPK_FRAC },
+    ] {
+        let mut lossy_cfg = cfg.clone();
+        lossy_cfg.compression = mode;
+        let local = rayon::with_threads(4, || run_experiment_full(&lossy_cfg));
+
+        // Lossy, but bounded: ≤ 0.5pp converged-accuracy drift.
+        let drift = (converged(&baseline) - converged(&local)).abs();
+        assert!(
+            drift <= 0.005,
+            "{}: converged accuracy drifted {:.4} (> 0.5pp) from the uncompressed \
+             oracle ({:?} vs {:?})",
+            mode.name(),
+            drift,
+            baseline.result.accuracy_series(),
+            local.result.accuracy_series()
+        );
+
+        // Bit-identical at any worker-pool size.
+        let single = rayon::with_threads(1, || run_experiment_full(&lossy_cfg));
+        assert_eq!(single.final_global, local.final_global, "{}: thread count", mode.name());
+        assert_eq!(single.result.accuracy_series(), local.result.accuracy_series());
+
+        // Bit-identical across deployments.
+        let (served, _, _) = serve_over_tcp(&lossy_cfg);
+        assert_eq!(local.final_global, served.final_global, "{}: local vs TCP", mode.name());
+        assert_eq!(local.result.accuracy_series(), served.result.accuracy_series());
+        for (a, b) in local.telemetry.iter().zip(&served.telemetry) {
+            assert_eq!(a.scores, b.scores, "{}: round {} scores", mode.name(), a.round);
+            assert_eq!(a.survivors, b.survivors);
+            assert_eq!(a.selected, b.selected);
+            // The logical byte ledger is mode-invariant by design.
+            assert_eq!(a.comm, b.comm, "{}: round {} comm", mode.name(), a.round);
+        }
     }
 }
 
