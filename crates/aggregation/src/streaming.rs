@@ -442,7 +442,8 @@ mod tests {
     }
 
     fn sparse(id: usize, n: usize, seed: usize) -> SparseUpdate {
-        let idx: Vec<u32> = (0..DIM as u32).filter(|i| (i + seed as u32).is_multiple_of(9)).collect();
+        let idx: Vec<u32> =
+            (0..DIM as u32).filter(|i| (i + seed as u32).is_multiple_of(9)).collect();
         let val: Vec<f32> = idx.iter().map(|&i| (i as f32 + seed as f32) * 1e-3).collect();
         SparseUpdate {
             client_id: id,

@@ -10,6 +10,7 @@
 //! fed_server --bind 127.0.0.1:7878 --preset smoke --strategy fedguard \
 //!            --attack none --seed 42 [--rounds N] [--check-oracle] \
 //!            [--compress none|bf16|int8[:block]|topk[:frac]] \
+//!            [--admin 127.0.0.1:9878] [--telemetry results/telemetry] \
 //!            [--out results/bench_net.json]
 //! ```
 //!
@@ -17,17 +18,33 @@
 //! config through the in-process `LocalTransport` oracle and asserts the
 //! two deployments are bit-identical (accuracy series, audit scores and the
 //! final global model).
+//!
+//! With `--admin <addr>` the server binds a second socket serving
+//! `GET /metrics` (Prometheus text), `GET /healthz` and `GET /forensics`,
+//! drained from the transport's existing nonblocking poll loop (no extra
+//! thread), arms the fg-obs flight recorder with dump-on-anomaly triggers
+//! writing to `results/flightrec/`, and self-checks after the run that an
+//! HTTP scrape of `/metrics` is byte-identical to rendering a registry
+//! snapshot taken at the same instant.
 
 use fedguard::experiment::{
-    run_experiment_full, run_served_experiment, AttackScenario, ExperimentConfig, StrategyKind,
+    run_experiment_full, run_served_experiment_observed, AttackScenario, ExperimentConfig,
+    StrategyKind,
 };
 use fg_bench::{flag_value, preset_from_args, seed_from_args};
-use fg_fl::{CommStats, Compression, NetConfig, TcpTransport, WireStats};
+use fg_fl::{
+    AdminPlane, CommStats, Compression, FlightRecTrigger, NetConfig, OpsState, RoundObserver,
+    TcpTransport, WireStats,
+};
 use fg_nn::models::Classifier;
 use fg_tensor::rng::SeededRng;
+use parking_lot::Mutex;
 use serde::Serialize;
 use std::fs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::path::Path;
+use std::sync::Arc;
 
 fn strategy_from_args(args: &[String]) -> StrategyKind {
     match flag_value(args, "--strategy").as_deref().map(str::to_lowercase).as_deref() {
@@ -81,6 +98,25 @@ struct NetBenchReport {
     oracle_checked: bool,
     /// `Some(true)` when `--check-oracle` confirmed bit-identity.
     equivalent: Option<bool>,
+    /// Admin-plane address when `--admin` was given.
+    admin: Option<String>,
+    /// `Some(true)` when the post-run `/metrics` self-scrape was
+    /// byte-identical to rendering a registry snapshot taken at the same
+    /// instant (only with `--admin`).
+    scrape_consistent: Option<bool>,
+    /// Rounds recorded in the forensics ledger (always equals `rounds`).
+    forensics_rounds: usize,
+}
+
+/// Minimal blocking HTTP/1.0 GET against the admin plane; returns the body.
+fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: fed_server\r\n\r\n")?;
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp)?;
+    resp.split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))
 }
 
 fn main() {
@@ -105,6 +141,9 @@ fn main() {
     // Resolve FG_COMPRESS before the config is serialized, so workers and
     // the oracle replay all see the same effective mode.
     cfg.compression = cfg.compression.resolved();
+    if let Some(dir) = flag_value(&args, "--telemetry") {
+        cfg.telemetry_dir = Some(dir);
+    }
 
     // The Welcome payload: the full config, so every worker reconstructs the
     // identical partition/roster/attack state from one source of truth.
@@ -112,21 +151,74 @@ fn main() {
     let param_len =
         Classifier::new(&cfg.fed.classifier, &mut SeededRng::new(0)).get_params().len() as u64;
 
+    // The operational plane: a second socket drained from the transport's
+    // poll loop, the health/forensics observer, and flight-recorder
+    // triggers dumping to results/flightrec/ on anomalies.
+    let admin = flag_value(&args, "--admin").map(|admin_addr| {
+        let ops = OpsState::new(cfg.fed.rounds);
+        let plane =
+            Arc::new(Mutex::new(AdminPlane::bind(&admin_addr, ops.clone()).expect("bind admin")));
+        (ops, plane)
+    });
+
     let mut transport =
         TcpTransport::bind(&bind, cfg.fed.n_clients, param_len, blob, NetConfig::default())
             .expect("bind fed_server endpoint")
             .with_compression(cfg.compression);
     let addr = transport.local_addr().expect("bound address");
     let wire_log = transport.wire_log();
+
+    let mut observers: Vec<Box<dyn RoundObserver>> = Vec::new();
+    if let Some((ops, plane)) = &admin {
+        fg_obs::flightrec::enable(fg_obs::flightrec::DEFAULT_CAPACITY);
+        observers.push(Box::new(ops.observer()));
+        observers.push(Box::new(FlightRecTrigger::new("results/flightrec")));
+        transport = transport.with_admin(Arc::clone(plane));
+    }
+    let admin = admin.map(|(_, plane)| plane);
+
     eprintln!(
         "[fed_server] {} on {addr}, waiting for {} clients...",
         cfg.label(),
         cfg.fed.n_clients
     );
+    if let Some(plane) = &admin {
+        eprintln!("[fed_server] admin plane on {}", plane.lock().local_addr().unwrap());
+    }
     transport.wait_for_clients().expect("all clients joined");
     eprintln!("[fed_server] all clients joined; running {} rounds", cfg.fed.rounds);
 
-    let served = run_served_experiment(&cfg, Box::new(transport));
+    let served = run_served_experiment_observed(&cfg, Box::new(transport), observers);
+
+    // Self-scrape consistency: render a snapshot taken *now*, then fetch
+    // /metrics over HTTP (the run is over, so nothing mutates the registry
+    // in between) and require byte identity.
+    let scrape_consistent = admin.as_ref().map(|plane| {
+        let admin_addr = plane.lock().local_addr().expect("admin address");
+        let expected = fg_obs::prometheus::render(&fg_obs::metrics::snapshot());
+        let handle = std::thread::spawn(move || http_get(admin_addr, "/metrics"));
+        while !handle.is_finished() {
+            plane.lock().poll();
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        match handle.join().expect("scrape thread") {
+            Ok(body) => {
+                let ok = body == expected;
+                if !ok {
+                    eprintln!(
+                        "[fed_server] scrape mismatch: {} scraped bytes vs {} rendered",
+                        body.len(),
+                        expected.len()
+                    );
+                }
+                ok
+            }
+            Err(e) => {
+                eprintln!("[fed_server] self-scrape failed: {e}");
+                false
+            }
+        }
+    });
 
     // Cross-check the wire traffic against the simulation's byte accounting:
     // on fault-free rounds they must agree exactly (DESIGN.md §12).
@@ -149,7 +241,11 @@ fn main() {
 
     let equivalent = check_oracle.then(|| {
         eprintln!("[fed_server] replaying in-process oracle for equivalence check...");
-        let oracle = run_experiment_full(&cfg);
+        // The replay must not clobber the served run's telemetry/forensics
+        // trails; the sink path does not influence the computation.
+        let mut oracle_cfg = cfg.clone();
+        oracle_cfg.telemetry_dir = None;
+        let oracle = run_experiment_full(&oracle_cfg);
         let acc_ok = oracle.result.accuracy_series() == served.result.accuracy_series();
         let global_ok = oracle.final_global == served.final_global;
         let scores_ok = oracle
@@ -157,11 +253,15 @@ fn main() {
             .iter()
             .zip(&served.telemetry)
             .all(|(a, b)| a.scores == b.scores && a.threshold == b.threshold);
+        // The forensics ledger derives purely from deterministic telemetry,
+        // so it must be byte-identical across the two deployments too.
+        let forensics_ok = serde_json::to_string(&oracle.forensics).ok()
+            == serde_json::to_string(&served.forensics).ok();
         eprintln!(
-            "[fed_server] oracle check: accuracy {} | global {} | scores {}",
-            acc_ok, global_ok, scores_ok
+            "[fed_server] oracle check: accuracy {} | global {} | scores {} | forensics {}",
+            acc_ok, global_ok, scores_ok, forensics_ok
         );
-        acc_ok && global_ok && scores_ok
+        acc_ok && global_ok && scores_ok && forensics_ok
     });
 
     let mut comm = CommStats::default();
@@ -185,6 +285,12 @@ fn main() {
         wire_payload_smaller_than_logical,
         oracle_checked: check_oracle,
         equivalent,
+        admin: admin
+            .as_ref()
+            .and_then(|plane| plane.lock().local_addr().ok())
+            .map(|a| a.to_string()),
+        scrape_consistent,
+        forensics_rounds: served.forensics.len(),
     };
     if let Some(dir) = Path::new(&out).parent() {
         fs::create_dir_all(dir).expect("create output dir");
@@ -198,7 +304,11 @@ fn main() {
         wire_matches_comm
     );
 
-    if !wire_matches_comm || !wire_payload_smaller_than_logical || equivalent == Some(false) {
+    if !wire_matches_comm
+        || !wire_payload_smaller_than_logical
+        || equivalent == Some(false)
+        || scrape_consistent == Some(false)
+    {
         std::process::exit(1);
     }
 }

@@ -14,8 +14,9 @@ use fg_defenses::{SpectralConfig, SpectralDefense};
 use fg_fl::client::NoAttack;
 use fg_fl::{
     AggregationMemory, AggregationStrategy, Client, CommStats, Compression, CvaeTrainConfig,
-    FaultConfig, FaultPlan, Federation, FederationConfig, JsonlSink, LocalTrainConfig,
-    MemoryCollector, ResiliencePolicy, RoundRecord, RoundTelemetry, Transport, UpdateInterceptor,
+    FaultConfig, FaultPlan, Federation, FederationConfig, ForensicsCollector, JsonlSink,
+    LocalTrainConfig, MemoryCollector, ResiliencePolicy, RoundForensics, RoundObserver,
+    RoundRecord, RoundTelemetry, Transport, UpdateInterceptor,
 };
 use fg_nn::models::{ClassifierSpec, CvaeSpec};
 use fg_tensor::rng::{derive_seed, SeededRng};
@@ -347,6 +348,14 @@ impl ExperimentConfig {
     pub fn label(&self) -> String {
         format!("{}/{}", self.strategy.name(), self.attack.name())
     }
+
+    /// File-name stem identifying this (strategy × attack × seed) cell,
+    /// e.g. `fedguard-sign-flipping-s7`. Both the telemetry trail
+    /// (`<stem>.jsonl`) and the forensics ledger (`<stem>.forensics.jsonl`)
+    /// derive their names from it.
+    pub fn cell_stem(&self) -> String {
+        format!("{}-{}-s{}", self.strategy.name().to_lowercase(), self.attack.name(), self.fed.seed)
+    }
 }
 
 /// The outcome of one experiment run — enough to regenerate the paper's
@@ -526,9 +535,9 @@ pub fn build_client(cfg: &ExperimentConfig, id: usize) -> (Client, Arc<dyn Updat
     (Client::for_federation(&cfg.fed, id, data, cvae), setup.interceptor)
 }
 
-/// The full output of a run: the summary result, the final global model and
-/// the per-round telemetry trail — everything the networked equivalence
-/// checks compare bit-for-bit.
+/// The full output of a run: the summary result, the final global model,
+/// the per-round telemetry trail and the defense forensics ledger —
+/// everything the networked equivalence checks compare bit-for-bit.
 #[derive(Clone, Debug)]
 pub struct RunArtifacts {
     pub result: ExperimentResult,
@@ -536,13 +545,23 @@ pub struct RunArtifacts {
     pub final_global: Vec<f32>,
     /// One event per round, as captured by an in-memory collector.
     pub telemetry: Vec<RoundTelemetry>,
+    /// The forensics ledger: one record per round attributing every
+    /// exclusion to a cause and tracking running defense precision/recall.
+    pub forensics: Vec<RoundForensics>,
 }
 
 /// Shared runner behind every entry point. `transport = None` assembles
 /// in-process clients (the deterministic oracle); `Some(transport)` serves
 /// rounds over the given transport and the builder must not also own local
 /// clients or CVAE configs — those live in the worker processes.
-fn run_with(cfg: &ExperimentConfig, transport: Option<Box<dyn Transport>>) -> RunArtifacts {
+/// `extra_observers` lets a deployment bin attach additional sinks (the
+/// `fed_server` admin plane, flight-recorder triggers) without this module
+/// knowing about them.
+fn run_with(
+    cfg: &ExperimentConfig,
+    transport: Option<Box<dyn Transport>>,
+    extra_observers: Vec<Box<dyn RoundObserver>>,
+) -> RunArtifacts {
     cfg.fed.validate();
     let seed = cfg.fed.seed;
     let setup = prepare_setup(cfg);
@@ -550,13 +569,23 @@ fn run_with(cfg: &ExperimentConfig, transport: Option<Box<dyn Transport>>) -> Ru
     let strategy = build_strategy(cfg);
     let cvae = strategy.uses_decoders().then_some(cfg.cvae);
     let collector = MemoryCollector::new();
+    // The forensics ledger rides every run; when a telemetry dir is set it
+    // also writes `<cell>.forensics.jsonl` next to the telemetry trail.
+    let forensics = match &cfg.telemetry_dir {
+        Some(dir) => ForensicsCollector::with_jsonl(
+            std::path::Path::new(dir).join(format!("{}.forensics.jsonl", cfg.cell_stem())),
+        )
+        .expect("create forensics sink"),
+        None => ForensicsCollector::new(),
+    };
     let mut builder = Federation::builder(cfg.fed)
         .test_set(setup.test)
         .strategy(strategy)
         .interceptor(Arc::clone(&setup.interceptor))
         .faults(cfg.faults.map(|fc| FaultPlan::new(fc, derive_seed(seed, 0xFA))))
         .resilience(cfg.resilience)
-        .observer(collector.clone());
+        .observer(collector.clone())
+        .observer(forensics.clone());
     builder = match transport {
         // A custom transport (TcpTransport) negotiates its own compression
         // mode in the Join/Welcome handshake.
@@ -564,13 +593,11 @@ fn run_with(cfg: &ExperimentConfig, transport: Option<Box<dyn Transport>>) -> Ru
         None => builder.datasets(setup.datasets).cvae(cvae).compression(cfg.compression.resolved()),
     };
     if let Some(dir) = &cfg.telemetry_dir {
-        let path = std::path::Path::new(dir).join(format!(
-            "{}-{}-s{}.jsonl",
-            cfg.strategy.name().to_lowercase(),
-            cfg.attack.name(),
-            cfg.fed.seed
-        ));
+        let path = std::path::Path::new(dir).join(format!("{}.jsonl", cfg.cell_stem()));
         builder = builder.observer(JsonlSink::create(&path).expect("create telemetry sink"));
+    }
+    for obs in extra_observers {
+        builder = builder.observer_boxed(obs);
     }
     let mut federation = builder.build();
     let history = federation.run();
@@ -586,19 +613,20 @@ fn run_with(cfg: &ExperimentConfig, transport: Option<Box<dyn Transport>>) -> Ru
         },
         final_global,
         telemetry: collector.events(),
+        forensics: forensics.rounds(),
     }
 }
 
 /// Run one experiment cell end to end in-process: generate data, partition,
 /// install the attack, build the strategy, run the federation, summarize.
 pub fn run_experiment(cfg: &ExperimentConfig) -> ExperimentResult {
-    run_with(cfg, None).result
+    run_with(cfg, None, Vec::new()).result
 }
 
 /// [`run_experiment`], keeping the final global model and telemetry trail —
 /// the oracle side of the networked equivalence checks.
 pub fn run_experiment_full(cfg: &ExperimentConfig) -> RunArtifacts {
-    run_with(cfg, None)
+    run_with(cfg, None, Vec::new())
 }
 
 /// Run the server half of a networked deployment: same data generation,
@@ -611,7 +639,19 @@ pub fn run_served_experiment(
     cfg: &ExperimentConfig,
     transport: Box<dyn Transport>,
 ) -> RunArtifacts {
-    run_with(cfg, Some(transport))
+    run_with(cfg, Some(transport), Vec::new())
+}
+
+/// [`run_served_experiment`] with extra observers attached to the round
+/// loop — how `fed_server` plugs its admin plane ([`fg_fl::OpsObserver`])
+/// and flight-recorder triggers ([`fg_fl::FlightRecTrigger`]) into a run
+/// without the harness knowing about deployment concerns.
+pub fn run_served_experiment_observed(
+    cfg: &ExperimentConfig,
+    transport: Box<dyn Transport>,
+    observers: Vec<Box<dyn RoundObserver>>,
+) -> RunArtifacts {
+    run_with(cfg, Some(transport), observers)
 }
 
 /// Interceptor for label-flip scenarios: mutates nothing (the poisoning

@@ -177,6 +177,13 @@ impl FederationBuilder {
         self
     }
 
+    /// Like [`Self::observer`] but accepts an already-boxed observer, so
+    /// callers can assemble heterogeneous observer lists at runtime.
+    pub fn observer_boxed(mut self, observer: Box<dyn RoundObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
     /// Install a custom [`Transport`] (e.g. [`crate::net::TcpTransport`])
     /// instead of the in-process default. With a custom transport the
     /// clients live elsewhere: `datasets(..)`/`cvae(..)` must not be set —

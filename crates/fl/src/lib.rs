@@ -18,12 +18,14 @@
 //! `fg-agg`, `fg-defenses`, `fg-attacks` and `fedguard`, all plugging in via
 //! [`strategy::AggregationStrategy`] and [`client::UpdateInterceptor`].
 
+pub mod admin;
 pub mod client;
 pub mod comm;
 pub mod compress;
 pub mod config;
 pub mod fault;
 pub mod federation;
+pub mod forensics;
 pub mod metrics;
 pub mod net;
 pub mod strategy;
@@ -32,6 +34,7 @@ pub mod transport;
 pub mod update;
 pub mod wire;
 
+pub use admin::{AdminPlane, FlightRecTrigger, OpsObserver, OpsState};
 pub use client::{Client, DataStream, UpdateInterceptor};
 pub use comm::CommStats;
 pub use compress::{CompressedBlob, CompressedUpdate, Compression, SparseUpdate};
@@ -42,6 +45,10 @@ pub use fault::{
     sanitize_round, CorruptionMode, FaultConfig, FaultEvent, FaultKind, FaultPlan, SubmissionFaults,
 };
 pub use federation::{Federation, FederationBuilder};
+pub use forensics::{
+    read_forensics_jsonl, ClientVerdict, DefenseConfusion, ExclusionCause, ForensicsCollector,
+    ForensicsLedger, RoundForensics,
+};
 pub use metrics::RoundRecord;
 pub use net::{
     run_federated_client, ClientRunReport, NetConfig, TcpClientChannel, TcpTransport, WireStats,

@@ -215,6 +215,10 @@ pub struct TcpTransport {
     /// drained into the next exchange / the finish result.
     pending_events: Vec<SessionEvent>,
     wire_log: Arc<Mutex<Vec<WireStats>>>,
+    /// Optional admin plane drained from the same nonblocking poll points
+    /// as the join socket — operational requests are answered at every
+    /// round boundary without a dedicated thread.
+    admin: Option<Arc<Mutex<crate::admin::AdminPlane>>>,
 }
 
 impl TcpTransport {
@@ -240,6 +244,7 @@ impl TcpTransport {
             sessions: BTreeMap::new(),
             pending_events: Vec::new(),
             wire_log: Arc::new(Mutex::new(Vec::new())),
+            admin: None,
         })
     }
 
@@ -255,6 +260,15 @@ impl TcpTransport {
     /// The negotiated wire-compression mode.
     pub fn compression(&self) -> Compression {
         self.compression
+    }
+
+    /// Attach an [`crate::admin::AdminPlane`]: its socket is polled from the
+    /// same accept loop as client joins (round boundaries and the
+    /// wait-for-clients spin), and its session gauge tracks this transport.
+    /// The caller keeps a clone of the `Arc` to poll during post-run checks.
+    pub fn with_admin(mut self, admin: Arc<Mutex<crate::admin::AdminPlane>>) -> Self {
+        self.admin = Some(admin);
+        self
     }
 
     /// The bound address (use with port 0 to discover the ephemeral port).
@@ -287,6 +301,11 @@ impl TcpTransport {
                 Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                 Err(_) => break,
             }
+        }
+        if let Some(admin) = &self.admin {
+            let mut admin = admin.lock();
+            admin.state().set_sessions(self.sessions.len());
+            admin.poll();
         }
     }
 
@@ -561,6 +580,11 @@ impl Transport for TcpTransport {
         }
         if stats.frames_tx > 0 || stats.frames_rx > 0 {
             self.wire_log.lock().push(stats);
+        }
+        if let Some(admin) = &self.admin {
+            let mut admin = admin.lock();
+            admin.state().set_sessions(0);
+            admin.poll();
         }
         events
     }

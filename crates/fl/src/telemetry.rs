@@ -314,11 +314,18 @@ pub fn read_jsonl(path: impl AsRef<Path>) -> std::io::Result<Vec<RoundTelemetry>
     Ok(events)
 }
 
-/// Human-readable progress sink writing one line per round to stderr.
-#[derive(Clone, Copy, Debug, Default)]
+/// Human-readable progress sink writing one line per round to stderr:
+/// which clients the defense excluded and, once ground truth has been seen
+/// (the event's `malicious_sampled` roster is non-empty on attack runs),
+/// the running defense precision/recall.
+#[derive(Clone, Debug, Default)]
 pub struct StderrProgress {
     /// Optional run label prefixed to every line.
     label: Option<&'static str>,
+    /// Running exclusion-decision confusion against `malicious_sampled`.
+    confusion: crate::forensics::DefenseConfusion,
+    /// Set once any round carried a ground-truth malicious roster.
+    saw_ground_truth: bool,
 }
 
 impl StderrProgress {
@@ -327,23 +334,39 @@ impl StderrProgress {
     }
 
     pub fn labeled(label: &'static str) -> Self {
-        StderrProgress { label: Some(label) }
+        StderrProgress { label: Some(label), ..Self::default() }
     }
 }
 
 impl RoundObserver for StderrProgress {
     fn on_round(&mut self, event: &RoundTelemetry) {
+        let malicious: std::collections::BTreeSet<usize> =
+            event.malicious_sampled.iter().copied().collect();
+        self.saw_ground_truth |= !malicious.is_empty();
+        let excluded: std::collections::BTreeSet<usize> = event.excluded.iter().copied().collect();
+        for &id in &event.sampled {
+            self.confusion.note(malicious.contains(&id), excluded.contains(&id));
+        }
         let prefix = self.label.map(|l| format!("{l} ")).unwrap_or_default();
         let thr = event.threshold.map_or_else(|| "-".to_string(), |t| format!("{t:.3}"));
+        let excl = if event.excluded.is_empty() {
+            "-".to_string()
+        } else {
+            let ids: Vec<String> = event.excluded.iter().map(|id| id.to_string()).collect();
+            format!("[{}]", ids.join(","))
+        };
+        let defense = if self.saw_ground_truth {
+            format!(" | P {:.2} R {:.2}", self.confusion.precision(), self.confusion.recall())
+        } else {
+            String::new()
+        };
         eprintln!(
-            "{prefix}[{} r{:03}] acc {:.4} | kept {}/{} excl {} thr {} | train {:.2}s agg {:.2}s | {:.2}s total",
+            "{prefix}[{} r{:03}] acc {:.4} | kept {}/{} excl {excl} thr {thr}{defense} | train {:.2}s agg {:.2}s | {:.2}s total",
             event.strategy,
             event.round,
             event.accuracy,
             event.selected_count(),
             event.sampled.len(),
-            event.excluded_count(),
-            thr,
             event.stages.local_training_secs,
             event.stages.synthesis_secs + event.stages.audit_secs + event.stages.aggregation_secs,
             event.wall_secs,

@@ -1,0 +1,80 @@
+//! The operational plane must be invisible in round wall-clock: folding a
+//! round into the forensics ledger, updating health, and draining an idle
+//! admin socket together cost well under 1% of even the fastest real round.
+//!
+//! Mirrors the `trace_overhead` gate style: median-of-reps microbenchmark
+//! against a deliberately loose absolute threshold, so the test catches a
+//! regression (an allocation storm, a blocking accept, quadratic ledger
+//! state) without flaking on a loaded CI machine. The smoke preset's
+//! fastest rounds run ≈200 ms; 1% of that is 2 ms. The per-round ops cost
+//! is expected in the tens of microseconds.
+
+use fg_fl::{AdminPlane, CommStats, OpsState, RoundObserver, RoundTelemetry, StageTimings};
+use std::time::Instant;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// Median seconds per iteration of `f` over `reps` timed repetitions.
+fn time_per_iter(iters: u32, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        samples.push(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    median(samples)
+}
+
+/// A paper-scale round: 50 sampled clients, scores for every survivor, a
+/// handful of exclusions and one fault event.
+fn synthetic_round(round: usize) -> RoundTelemetry {
+    let sampled: Vec<usize> = (0..50).collect();
+    RoundTelemetry {
+        schema_version: 2,
+        round,
+        strategy: "fedguard".to_string(),
+        accuracy: 0.9,
+        stages: StageTimings::default(),
+        wall_secs: 0.2,
+        scores: sampled.iter().map(|&c| (c, 0.5 + c as f32 * 1e-3)).collect(),
+        threshold: Some(0.51),
+        sampled: sampled.clone(),
+        survivors: sampled.clone(),
+        selected: sampled.iter().copied().filter(|c| c % 5 != 0).collect(),
+        excluded: sampled.iter().copied().filter(|c| c % 5 == 0).collect(),
+        faults: vec![],
+        quorum_met: true,
+        malicious_sampled: sampled.iter().copied().filter(|c| c % 10 == 0).collect(),
+        comm: CommStats::default(),
+        transport: Default::default(),
+        sessions: vec![],
+        metrics: Default::default(),
+    }
+}
+
+#[test]
+fn ledger_and_admin_plane_cost_under_one_percent_of_a_round() {
+    let ops = OpsState::new(1_000_000);
+    let plane = AdminPlane::bind("127.0.0.1:0", ops.clone()).expect("bind admin");
+    let plane = std::sync::Arc::new(parking_lot::Mutex::new(plane));
+    let mut observer = ops.observer();
+
+    let mut round = 0usize;
+    let per_round = time_per_iter(500, 5, || {
+        let event = synthetic_round(round);
+        round += 1;
+        observer.on_round(&event);
+        plane.lock().poll();
+    });
+
+    assert!(
+        per_round < 2e-3,
+        "ops plane costs {:.1}µs per round, over 1% of a 200ms round",
+        per_round * 1e6
+    );
+}

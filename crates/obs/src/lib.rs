@@ -14,6 +14,13 @@
 //!   and log₂-bucketed histograms, registered lazily on first touch and
 //!   folded into a serializable [`metrics::MetricsSnapshot`] (the federation
 //!   attaches one to every `RoundTelemetry` event while tracing is on).
+//!   [`prometheus`] renders a snapshot in the Prometheus text exposition
+//!   format for the `fed_server` admin plane's `/metrics` endpoint.
+//!
+//! On top of the span rings sits an opt-in [`flightrec`] flight recorder: a
+//! bounded process-wide ring of recently closed spans that anomaly triggers
+//! (in `fg-fl`) can dump as a Chrome trace + metrics snapshot while the run
+//! is still in flight.
 //!
 //! ## The kill switch
 //!
@@ -36,7 +43,9 @@
 //! bit of any result.
 
 pub mod export;
+pub mod flightrec;
 pub mod metrics;
+pub mod prometheus;
 pub mod span;
 
 use std::sync::atomic::{AtomicU8, Ordering};

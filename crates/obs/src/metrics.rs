@@ -115,8 +115,9 @@ fn bucket_of(v: u64) -> usize {
     (u64::BITS - v.leading_zeros()) as usize
 }
 
-/// Upper bound (inclusive) of bucket `i` — the percentile resolution.
-fn bucket_upper(i: usize) -> u64 {
+/// Upper bound (inclusive) of bucket `i` — the percentile resolution and
+/// the `le` bound the Prometheus exposition advertises for the bucket.
+pub fn bucket_upper(i: usize) -> u64 {
     if i >= 64 {
         u64::MAX
     } else {
@@ -183,6 +184,12 @@ impl Histogram {
             }
             max
         };
+        let buckets: Vec<(u32, u64)> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
         HistogramSnapshot {
             name: self.name.to_string(),
             count,
@@ -192,6 +199,7 @@ impl Histogram {
             p50: pct(0.50),
             p90: pct(0.90),
             p99: pct(0.99),
+            buckets,
         }
     }
 }
@@ -221,9 +229,10 @@ impl HistogramFamily {
     }
 }
 
-/// Point-in-time copy of one histogram, bucket detail collapsed to summary
-/// statistics (counts stay in the live registry; snapshots ride telemetry
-/// events and should stay small).
+/// Point-in-time copy of one histogram: summary statistics plus the
+/// occupied log₂ buckets (counts stay in the live registry; snapshots ride
+/// telemetry events and should stay small, so only non-zero buckets are
+/// listed).
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     pub name: String,
@@ -234,6 +243,11 @@ pub struct HistogramSnapshot {
     pub p50: u64,
     pub p90: u64,
     pub p99: u64,
+    /// Non-empty log₂ buckets as `(bucket_index, count)` pairs, ascending —
+    /// what [`crate::prometheus`] expands into cumulative `le` buckets.
+    /// `#[serde(default)]` keeps pre-existing snapshots parseable.
+    #[serde(default)]
+    pub buckets: Vec<(u32, u64)>,
 }
 
 /// Point-in-time copy of every registered metric, sorted by name so two
@@ -322,6 +336,10 @@ mod tests {
         assert_eq!(snap.max, 1000);
         assert!(snap.p50 <= snap.p90 && snap.p90 <= snap.p99);
         assert!(snap.p99 <= snap.max && snap.p50 >= snap.min);
+        // Sparse buckets: 0 → idx 0; 1,1 → idx 1; 3 → idx 2; 100 → idx 7;
+        // 1000 → idx 10. Ascending, counts sum to the total.
+        assert_eq!(snap.buckets, vec![(0, 1), (1, 2), (2, 1), (7, 1), (10, 1)]);
+        assert_eq!(snap.buckets.iter().map(|&(_, c)| c).sum::<u64>(), snap.count);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Prometheus text exposition (format version 0.0.4) rendered from a
+//! [`MetricsSnapshot`].
+//!
+//! The renderer is a pure function of the snapshot, so a scrape served from
+//! a live registry and an offline rendering of the same snapshot are
+//! byte-identical — the `fed_server` admin plane relies on this for its
+//! scrape-vs-snapshot consistency self-check.
+//!
+//! Mapping from the fg-obs registry:
+//!
+//! * metric names are dotted (`fl.agg.peak_bytes`); Prometheus names admit
+//!   only `[a-zA-Z_:][a-zA-Z0-9_:]*`, so every other character becomes `_`
+//!   ([`sanitize_metric_name`]);
+//! * counters and gauges render as one `# TYPE` line plus one sample;
+//! * log₂ histograms render as cumulative `_bucket{le="..."}` samples — one
+//!   per occupied bucket, with `le` the inclusive upper bound
+//!   [`bucket_upper`] of that bucket — followed by the conventional
+//!   `_bucket{le="+Inf"}`, `_sum` and `_count` samples.
+
+use crate::metrics::{bucket_upper, HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Coerce `name` into the Prometheus metric-name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: invalid characters (including a leading
+/// digit) become `_`; an empty name becomes `"_"`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        out.push(if ok { ch } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escape a label value per the text exposition format: backslash, double
+/// quote and newline are the only characters that need escaping.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_histogram(out: &mut String, h: &HistogramSnapshot) {
+    let name = sanitize_metric_name(&h.name);
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for &(i, c) in &h.buckets {
+        cumulative += c;
+        let le = bucket_upper(i as usize);
+        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+    }
+    // `count` may trail the buckets by in-flight updates on a live
+    // registry; keep the +Inf bucket monotone regardless.
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", cumulative.max(h.count));
+    let _ = writeln!(out, "{name}_sum {}", h.sum);
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Render `snap` as a complete scrape body. Deterministic: snapshots are
+/// name-sorted, so equal snapshots render to equal bytes.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let name = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for h in &snap.histograms {
+        render_histogram(&mut out, h);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(name: &str, buckets: Vec<(u32, u64)>) -> HistogramSnapshot {
+        let count = buckets.iter().map(|&(_, c)| c).sum();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum: 123,
+            min: 0,
+            max: 9,
+            p50: 1,
+            p90: 3,
+            p99: 9,
+            buckets,
+        }
+    }
+
+    #[test]
+    fn sanitizes_dotted_and_leading_digit_names() {
+        assert_eq!(sanitize_metric_name("fl.agg.peak_bytes"), "fl_agg_peak_bytes");
+        assert_eq!(sanitize_metric_name("9lives"), "_lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn counters_and_gauges_render_one_type_and_one_sample() {
+        let snap = MetricsSnapshot {
+            counters: vec![("fl.rounds".into(), 8)],
+            gauges: vec![("fl.agg.peak_bytes".into(), -1)],
+            histograms: vec![],
+        };
+        let text = render(&snap);
+        assert_eq!(text, "# TYPE fl_rounds counter\nfl_rounds 8\n# TYPE fl_agg_peak_bytes gauge\nfl_agg_peak_bytes -1\n");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_capped_by_inf() {
+        let snap = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![hist("h.x", vec![(0, 2), (2, 3), (4, 1)])],
+        };
+        let text = render(&snap);
+        assert!(text.contains("# TYPE h_x histogram\n"));
+        assert!(text.contains("h_x_bucket{le=\"0\"} 2\n"));
+        assert!(text.contains("h_x_bucket{le=\"3\"} 5\n"));
+        assert!(text.contains("h_x_bucket{le=\"15\"} 6\n"));
+        assert!(text.contains("h_x_bucket{le=\"+Inf\"} 6\n"));
+        assert!(text.contains("h_x_sum 123\n"));
+        assert!(text.contains("h_x_count 6\n"));
+    }
+
+    #[test]
+    fn render_is_deterministic_for_equal_snapshots() {
+        let snap = MetricsSnapshot {
+            counters: vec![("a".into(), 1), ("b".into(), 2)],
+            gauges: vec![("g".into(), 3)],
+            histograms: vec![hist("h", vec![(1, 4)])],
+        };
+        assert_eq!(render(&snap), render(&snap.clone()));
+    }
+}

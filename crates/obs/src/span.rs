@@ -72,6 +72,10 @@ fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 static NEXT_TID: AtomicU32 = AtomicU32::new(0);
 
+/// Mirror of the per-ring overflow tallies as a registered metric, so span
+/// loss shows up in a `/metrics` scrape without draining the rings.
+static DROPPED_TOTAL: crate::metrics::Counter = crate::metrics::Counter::new("obs.spans.dropped");
+
 thread_local! {
     /// The id of the innermost open (or pool-installed) span on this thread.
     static CURRENT: Cell<u64> = const { Cell::new(0) };
@@ -90,12 +94,16 @@ fn push_record(mut rec: SpanRecord) {
             (tid, buf)
         });
         rec.tid = *tid;
-        let mut ring = buf.ring.lock().unwrap_or_else(|e| e.into_inner());
-        if ring.spans.len() >= RING_CAP {
-            ring.spans.pop_front();
-            ring.dropped += 1;
+        {
+            let mut ring = buf.ring.lock().unwrap_or_else(|e| e.into_inner());
+            if ring.spans.len() >= RING_CAP {
+                ring.spans.pop_front();
+                ring.dropped += 1;
+                DROPPED_TOTAL.incr();
+            }
+            ring.spans.push_back(rec);
         }
-        ring.spans.push_back(rec);
+        crate::flightrec::offer(rec);
     });
 }
 

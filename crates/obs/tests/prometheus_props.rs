@@ -1,0 +1,149 @@
+//! Property tests for the Prometheus text renderer: name sanitization,
+//! label-value escaping, cumulative-bucket monotonicity and the one-`#
+//! TYPE`-line-per-metric invariant a scraper depends on.
+
+use fg_obs::metrics::{bucket_upper, HistogramSnapshot, MetricsSnapshot};
+use fg_obs::prometheus::{escape_label_value, render, sanitize_metric_name};
+use proptest::prelude::*;
+
+/// Arbitrary ASCII string, including characters outside the Prometheus
+/// metric-name charset.
+fn raw_name() -> impl Strategy<Value = String> {
+    collection::vec(1u32..0x7f, 0..24)
+        .prop_map(|codes| codes.into_iter().filter_map(char::from_u32).collect())
+}
+
+fn valid_name_char(i: usize, c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+}
+
+/// A synthetic histogram snapshot from raw sample values, built the same
+/// way the live registry buckets them.
+fn hist_from_values(name: &str, values: &[u64]) -> HistogramSnapshot {
+    let mut counts = [0u64; 65];
+    for &v in values {
+        counts[(u64::BITS - v.leading_zeros()) as usize] += 1;
+    }
+    let buckets: Vec<(u32, u64)> =
+        counts.iter().enumerate().filter(|&(_, &c)| c != 0).map(|(i, &c)| (i as u32, c)).collect();
+    HistogramSnapshot {
+        name: name.to_string(),
+        count: values.len() as u64,
+        sum: values.iter().fold(0u64, |a, &v| a.wrapping_add(v)),
+        min: values.iter().copied().min().unwrap_or(0),
+        max: values.iter().copied().max().unwrap_or(0),
+        p50: 0,
+        p90: 0,
+        p99: 0,
+        buckets,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sanitized_names_are_always_valid(name in raw_name()) {
+        let out = sanitize_metric_name(&name);
+        prop_assert!(!out.is_empty());
+        for (i, c) in out.chars().enumerate() {
+            prop_assert!(valid_name_char(i, c), "invalid char {c:?} at {i} in {out:?}");
+        }
+        // Idempotent: sanitizing a sanitized name changes nothing.
+        prop_assert_eq!(sanitize_metric_name(&out), out.clone());
+    }
+
+    #[test]
+    fn escaped_label_values_contain_no_raw_specials(value in raw_name()) {
+        let out = escape_label_value(&value);
+        prop_assert!(!out.contains('\n'));
+        // Every '"' and '\' in the output is preceded by an escaping '\'.
+        let chars: Vec<char> = out.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match chars[i] {
+                '\\' => {
+                    prop_assert!(i + 1 < chars.len(), "dangling backslash");
+                    prop_assert!(matches!(chars[i + 1], '\\' | '"' | 'n'));
+                    i += 2;
+                }
+                '"' => prop_assert!(false, "unescaped quote in {out:?}"),
+                _ => i += 1,
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_le_ascending(
+        values in collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let h = hist_from_values("prop.hist", &values);
+        let snap = MetricsSnapshot { counters: vec![], gauges: vec![], histograms: vec![h] };
+        let text = render(&snap);
+        let mut last_cum = 0u64;
+        let mut last_le: Option<u64> = None;
+        let mut inf_seen = false;
+        for line in text.lines().filter(|l| l.starts_with("prop_hist_bucket")) {
+            let (head, count) = line.rsplit_once(' ').unwrap();
+            let count: u64 = count.parse().unwrap();
+            prop_assert!(count >= last_cum, "cumulative counts must be monotone");
+            last_cum = count;
+            let le = head.split("le=\"").nth(1).unwrap().trim_end_matches("\"}");
+            if le == "+Inf" {
+                inf_seen = true;
+                prop_assert_eq!(count, values.len() as u64);
+            } else {
+                let le: u64 = le.parse().unwrap();
+                if let Some(prev) = last_le {
+                    prop_assert!(le > prev, "le bounds must ascend");
+                }
+                prop_assert!(!inf_seen, "+Inf must come last");
+                last_le = Some(le);
+            }
+        }
+        prop_assert!(inf_seen, "every histogram ends with a +Inf bucket");
+        prop_assert!(text.contains(&format!("prop_hist_count {}\n", values.len())));
+    }
+
+    #[test]
+    fn every_metric_gets_exactly_one_type_line(
+        n_counters in 0usize..6,
+        n_gauges in 0usize..6,
+        values in collection::vec(0u64..1000, 1..16),
+    ) {
+        let snap = MetricsSnapshot {
+            counters: (0..n_counters).map(|i| (format!("prop.c{i}"), i as u64)).collect(),
+            gauges: (0..n_gauges).map(|i| (format!("prop.g{i}"), -(i as i64))).collect(),
+            histograms: vec![hist_from_values("prop.h0", &values)],
+        };
+        let text = render(&snap);
+        let n_types = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+        prop_assert_eq!(n_types, n_counters + n_gauges + 1);
+        for (name, _) in &snap.counters {
+            let sanitized = sanitize_metric_name(name);
+            let ty = format!("# TYPE {sanitized} counter");
+            prop_assert_eq!(text.lines().filter(|l| *l == ty).count(), 1);
+            prop_assert_eq!(
+                text.lines().filter(|l| l.starts_with(&format!("{sanitized} "))).count(),
+                1,
+                "one sample line per counter"
+            );
+        }
+    }
+}
+
+#[test]
+fn le_bounds_match_log2_bucket_uppers() {
+    let values = [0u64, 1, 5, 9, 300];
+    let h = hist_from_values("edge.hist", &values);
+    let snap = MetricsSnapshot { counters: vec![], gauges: vec![], histograms: vec![h] };
+    let text = render(&snap);
+    for (i, v) in [(0usize, 0u64), (1, 1), (3, 5), (4, 9), (9, 300)] {
+        let le = bucket_upper(u64::BITS as usize - v.leading_zeros() as usize);
+        assert_eq!(le, bucket_upper(i.max((u64::BITS - v.leading_zeros()) as usize)));
+        assert!(
+            text.contains(&format!("le=\"{le}\"")),
+            "bucket for value {v} (le {le}) missing from: {text}"
+        );
+    }
+}

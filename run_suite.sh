@@ -148,6 +148,55 @@ grep -q '"wire_matches_comm": true' results/bench_net_int8.json || exit 1
 grep -q '"wire_payload_smaller_than_logical": true' results/bench_net_int8.json || exit 1
 stage_done net
 
+# Ops stage: the operational plane (DESIGN.md §15). A loopback served run
+# with the admin socket and telemetry/forensics trails on; curl-style
+# scrapes of /metrics and /healthz *mid-run*, the server's own post-run
+# scrape-vs-snapshot byte-identity hard-assert, a non-empty forensics
+# JSONL, and fg_report joining the two trails into the ROADMAP item-4
+# outcome/objective/metrics report.
+cargo test --release -q -p fedguard --test forensics_determinism || exit 1
+cargo test --release -q -p fg-fl --test ops_plane --test ops_overhead || exit 1
+cargo build --release -p fg-bench --bin fg_report || exit 1
+NET_PORT=7965
+ADMIN_PORT=7966
+rm -rf results/telemetry_ops
+$B/fed_server --bind 127.0.0.1:$NET_PORT --admin 127.0.0.1:$ADMIN_PORT \
+    --preset smoke --strategy fedguard --attack sign-flipping --seed 42 \
+    --rounds 3 --telemetry results/telemetry_ops \
+    --out results/bench_ops.json 2> results/bench_ops.log &
+NET_SERVER=$!
+sleep 1
+for i in $(seq 0 9); do
+    $B/fed_client --connect 127.0.0.1:$NET_PORT --id $i 2>> results/bench_ops.log &
+done
+# Mid-run scrapes ride the round-boundary polls; retry until a boundary
+# after round 0 answers (fl_rounds only registers once a round has
+# completed, which is what makes the saved scrape genuinely mid-run).
+MIDRUN_OK=0
+for _ in $(seq 1 240); do
+    if curl -sf --max-time 3 http://127.0.0.1:$ADMIN_PORT/metrics > results/ops_scrape_midrun.txt \
+        && grep -q 'fl_rounds' results/ops_scrape_midrun.txt \
+        && curl -sf --max-time 3 http://127.0.0.1:$ADMIN_PORT/healthz > results/ops_healthz_midrun.json; then
+        MIDRUN_OK=1
+        break
+    fi
+    sleep 0.5
+done
+test "$MIDRUN_OK" = 1 || exit 1
+wait $NET_SERVER || exit 1
+wait
+grep -q '# TYPE' results/ops_scrape_midrun.txt || exit 1
+grep -q 'fl_rounds' results/ops_scrape_midrun.txt || exit 1
+grep -q '"status":"ok"' results/ops_healthz_midrun.json || exit 1
+# The server hard-asserted scrape-vs-registry-snapshot byte identity
+# before exiting 0; make the verdict visible in the report too.
+grep -q '"scrape_consistent": true' results/bench_ops.json || exit 1
+test -s results/telemetry_ops/fedguard-sign-flipping-s42.forensics.jsonl || exit 1
+$B/fg_report --telemetry results/telemetry_ops/fedguard-sign-flipping-s42.jsonl \
+    --out results/ops_report.json 2> results/ops_report.log || exit 1
+grep -q '"outcome": "success"' results/ops_report.json || exit 1
+stage_done ops
+
 $B/fig4 --preset fast --seed 42 > results/fig4.csv 2> results/fig4.log
 $B/table4 --preset fast --seed 42 > results/table4.md 2> results/table4.log
 $B/fig5 --preset fast --seed 42 > results/fig5.csv 2> results/fig5.log

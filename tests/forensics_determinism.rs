@@ -1,0 +1,152 @@
+//! The forensics ledger's determinism contract: the serialized ledger of a
+//! seeded FedGuard run is **byte-identical** across every non-observable
+//! axis — worker-pool size (1 vs 4 threads), deployment (in-process
+//! `LocalTransport` vs loopback TCP), and audit mode (batched vs
+//! sequential) — and its per-round exclusion verdicts reproduce the
+//! aggregation outcome recorded in telemetry exactly.
+
+use fedguard::experiment::{
+    build_client, run_experiment_full, run_served_experiment, AttackScenario, ExperimentConfig,
+    Preset, RunArtifacts, StrategyKind,
+};
+use fg_fl::{
+    read_forensics_jsonl, run_federated_client, ExclusionCause, NetConfig, TcpClientChannel,
+    TcpTransport,
+};
+use fg_nn::models::Classifier;
+use fg_tensor::rng::SeededRng;
+use std::thread;
+use std::time::Duration;
+
+fn net_cfg() -> NetConfig {
+    NetConfig {
+        read_timeout: Duration::from_secs(60),
+        write_timeout: Duration::from_secs(20),
+        join_timeout: Duration::from_secs(20),
+        heartbeat_interval: Duration::from_secs(5),
+        ..NetConfig::default()
+    }
+}
+
+/// Loopback TCP deployment with one worker thread per client (the
+/// `net_equivalence` pattern, trimmed to what this test needs).
+fn serve_over_tcp(cfg: &ExperimentConfig) -> RunArtifacts {
+    let blob = serde_json::to_string(cfg).expect("config serializes");
+    let param_len =
+        Classifier::new(&cfg.fed.classifier, &mut SeededRng::new(0)).get_params().len() as u64;
+    let mut transport =
+        TcpTransport::bind("127.0.0.1:0", cfg.fed.n_clients, param_len, blob, net_cfg())
+            .expect("bind loopback transport")
+            .with_compression(cfg.compression.resolved());
+    let addr = transport.local_addr().expect("ephemeral address");
+    let handles: Vec<_> = (0..cfg.fed.n_clients)
+        .map(|id| {
+            thread::spawn(move || {
+                let mut channel =
+                    TcpClientChannel::connect(addr, id, net_cfg()).expect("worker joins");
+                let parsed: ExperimentConfig =
+                    serde_json::from_str(channel.welcome_blob()).expect("blob parses");
+                let (mut client, interceptor) = build_client(&parsed, id);
+                run_federated_client(&mut channel, &mut client, interceptor.as_ref())
+                    .expect("worker session completes")
+            })
+        })
+        .collect();
+    transport.wait_for_clients().expect("all workers join");
+    let served = run_served_experiment(cfg, Box::new(transport));
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    served
+}
+
+fn ledger_bytes(run: &RunArtifacts) -> String {
+    serde_json::to_string(&run.forensics).expect("ledger serializes")
+}
+
+#[test]
+fn ledger_is_byte_identical_across_threads_transports_and_audit_modes() {
+    let mut cfg = ExperimentConfig::preset(
+        Preset::Smoke,
+        StrategyKind::FedGuard,
+        AttackScenario::SignFlip { fraction: 0.4 },
+        42,
+    );
+    cfg.fed.rounds = 8;
+
+    let baseline = rayon::with_threads(4, || run_experiment_full(&cfg));
+    let reference = ledger_bytes(&baseline);
+    assert_eq!(baseline.forensics.len(), 8, "one ledger record per round");
+
+    // Axis 1: worker-pool size.
+    let single = rayon::with_threads(1, || run_experiment_full(&cfg));
+    assert_eq!(ledger_bytes(&single), reference, "1 vs 4 threads diverged");
+
+    // Axis 2: deployment (in-process vs loopback TCP).
+    let served = serve_over_tcp(&cfg);
+    assert_eq!(ledger_bytes(&served), reference, "Local vs TCP diverged");
+
+    // Axis 3: audit mode.
+    let mut seq_cfg = cfg.clone();
+    seq_cfg.fedguard_audit = fedguard::AuditMode::Sequential;
+    let sequential = run_experiment_full(&seq_cfg);
+    assert_eq!(ledger_bytes(&sequential), reference, "audit mode diverged");
+
+    // The ledger's exclusion verdicts reproduce the aggregation outcome:
+    // per round, exactly the telemetry's excluded roster, and on this
+    // fault-free quorum-met run every exclusion is a threshold cut.
+    for (t, f) in baseline.telemetry.iter().zip(&baseline.forensics) {
+        assert_eq!(t.round, f.round);
+        let mut expected = t.excluded.clone();
+        expected.sort_unstable();
+        assert_eq!(f.excluded_ids(), expected, "round {} exclusion set", t.round);
+        assert!(f.quorum_met);
+        for v in &f.verdicts {
+            if v.excluded {
+                assert_eq!(
+                    v.cause,
+                    Some(ExclusionCause::BelowThreshold),
+                    "round {} client {}",
+                    t.round,
+                    v.client_id
+                );
+            }
+            // Ground truth in the ledger matches the run's malicious roster.
+            assert_eq!(
+                v.malicious,
+                baseline.result.malicious_clients.contains(&v.client_id),
+                "round {} client {}",
+                t.round,
+                v.client_id
+            );
+        }
+    }
+
+    // Running precision/recall come from somewhere real: a sign-flip attack
+    // at 40% with FedGuard should exclude at least one true positive.
+    let last = baseline.forensics.last().unwrap();
+    assert!(last.confusion.true_positives > 0, "no malicious client was ever excluded");
+    assert_eq!(last.precision, last.confusion.precision());
+    assert_eq!(last.recall, last.confusion.recall());
+}
+
+#[test]
+fn forensics_jsonl_written_next_to_telemetry_roundtrips() {
+    let dir = std::env::temp_dir().join("fg_forensics_determinism_test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = ExperimentConfig::preset(
+        Preset::Smoke,
+        StrategyKind::FedGuard,
+        AttackScenario::SignFlip { fraction: 0.4 },
+        7,
+    );
+    cfg.fed.rounds = 2;
+    cfg.telemetry_dir = Some(dir.to_string_lossy().into_owned());
+
+    let run = run_experiment_full(&cfg);
+    let path = dir.join(format!("{}.forensics.jsonl", cfg.cell_stem()));
+    let back = read_forensics_jsonl(&path).expect("forensics JSONL readable");
+    assert_eq!(back, run.forensics, "file and in-memory ledger diverged");
+    assert_eq!(back.len(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
